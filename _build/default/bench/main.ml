@@ -1,0 +1,705 @@
+(* Experiment harness: regenerates every figure of the paper's §5
+   (Fig. 1(a)-(h)) plus the ablation studies listed in DESIGN.md, and runs
+   a Bechamel micro-suite with one Test.make per figure.
+
+   Absolute numbers differ from the paper's IBM x3650 testbed; the *shape*
+   of each series (who wins, growth trends) is the reproduction target —
+   see EXPERIMENTS.md for recorded output and commentary.
+
+   Usage: dune exec bench/main.exe -- [--fast] [--only=fig1a,fig1e,...]
+                                      [--skip-bechamel] *)
+
+open Stgq_core
+
+(* ------------------------------------------------------------------ *)
+(* Tunables.                                                           *)
+
+type settings = {
+  fast : bool;
+  group_cap : int;      (* brute-force enumeration cap *)
+  ip_node_cap : int;    (* branch-and-bound node cap *)
+}
+
+let full_settings = { fast = false; group_cap = 4_000_000; ip_node_cap = 40_000 }
+let fast_settings = { fast = true; group_cap = 200_000; ip_node_cap = 4_000 }
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers.  A capped run reports the elapsed time at the cap,
+   flagged with '>' — the series keeps its shape without letting the
+   exponential baselines run for hours.                                *)
+
+type timed = Done of float * string | Capped of float
+
+let ns_cell = function
+  | Done (t, _) -> Report.ns t
+  | Capped t -> ">" ^ Report.ns t
+
+let detail_cell = function Done (_, d) -> d | Capped _ -> "capped"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | detail -> Done ((Unix.gettimeofday () -. t0) *. 1e9, detail)
+  | exception (Baseline.Limit_exceeded | Failure _) ->
+      Capped ((Unix.gettimeofday () -. t0) *. 1e9)
+
+let dist_of = function None -> "none" | Some d -> Printf.sprintf "%.1f" d
+
+(* Solver wrappers returning a distance string as the detail column. *)
+let run_sgselect instance query () =
+  dist_of
+    (Option.map
+       (fun r -> r.Query.total_distance)
+       (Sgselect.solve instance query))
+
+let run_sg_baseline ~cap instance query () =
+  dist_of
+    (Option.map
+       (fun r -> r.Query.total_distance)
+       (Baseline.sgq_brute ~max_groups:cap instance query).Baseline.solution)
+
+let run_sg_ip ~cap instance query () =
+  dist_of
+    (Option.map
+       (fun r -> r.Query.total_distance)
+       (Ip_model.solve_sgq ~node_limit:cap instance query).Ip_model.result)
+
+let run_stgselect ti query () =
+  dist_of
+    (Option.map (fun r -> r.Query.st_total_distance) (Stgselect.solve ti query))
+
+let run_stg_baseline ti query () =
+  dist_of
+    (Option.map
+       (fun r -> r.Query.st_total_distance)
+       (Baseline.stgq_per_slot ti query).Baseline.st_solution)
+
+let print_table ~title ~header rows =
+  print_newline ();
+  print_endline (Report.table ~title ~header rows);
+  flush stdout
+
+(* Shared datasets. *)
+let dataset_194 = lazy (Workload.Scenario.people194 ~seed:1105 ~days:7 ())
+
+let social_194 () = (Lazy.force dataset_194).Query.social
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(a): running time vs p (SGSelect, Baseline, IP); k=2, s=1.    *)
+
+let fig1a st () =
+  let instance = social_194 () in
+  let ps = if st.fast then [ 3; 4; 5; 6; 7 ] else [ 3; 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let rows =
+    List.map
+      (fun p ->
+        let query = { Query.p; s = 1; k = 2 } in
+        let sel = timed (run_sgselect instance query) in
+        let base = timed (run_sg_baseline ~cap:st.group_cap instance query) in
+        let ip = timed (run_sg_ip ~cap:st.ip_node_cap instance query) in
+        [ string_of_int p; ns_cell sel; ns_cell base; ns_cell ip; detail_cell sel ])
+      ps
+  in
+  print_table ~title:"Fig 1(a)  running time vs p   (k=2, s=1, 194-person network)"
+    ~header:[ "p"; "SGSelect"; "Baseline"; "IP"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(b): running time vs s; p=4, k=2.                             *)
+
+let fig1b st () =
+  let instance = social_194 () in
+  let ss = if st.fast then [ 1; 3 ] else [ 1; 3; 5 ] in
+  let rows =
+    List.map
+      (fun s ->
+        let query = { Query.p = 4; s; k = 2 } in
+        let sel = timed (run_sgselect instance query) in
+        let base = timed (run_sg_baseline ~cap:st.group_cap instance query) in
+        [ string_of_int s; ns_cell sel; ns_cell base; detail_cell sel ])
+      ss
+  in
+  print_table ~title:"Fig 1(b)  running time vs s   (p=4, k=2, 194-person network)"
+    ~header:[ "s"; "SGSelect"; "Baseline"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(c): running time vs k; p=5, s=2.                             *)
+
+let fig1c st () =
+  let instance = social_194 () in
+  let ks = if st.fast then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6 ] in
+  let rows =
+    List.map
+      (fun k ->
+        let query = { Query.p = 5; s = 2; k } in
+        let sel = timed (run_sgselect instance query) in
+        let base = timed (run_sg_baseline ~cap:st.group_cap instance query) in
+        [ string_of_int k; ns_cell sel; ns_cell base; detail_cell sel ])
+      ks
+  in
+  print_table ~title:"Fig 1(c)  running time vs k   (p=5, s=2, 194-person network)"
+    ~header:[ "k"; "SGSelect"; "Baseline"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(d): running time vs network size; p=5, k=3, s=1.             *)
+
+let fig1d st () =
+  let sizes = if st.fast then [ 194; 800 ] else [ 194; 800; 3200; 12800 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let ds = Workload.Coauthor.generate ~seed:7 ~days:1 ~n () in
+        let graph = ds.Workload.Coauthor.graph in
+        (* A busy-but-not-hub initiator keeps the feasible graph size
+           comparable across n, as a per-user egocentric query would be. *)
+        let initiator = Workload.Scenario.pick_initiator ~rank:10 graph in
+        let instance = { Query.graph; initiator } in
+        let query = { Query.p = 5; s = 1; k = 3 } in
+        let sel = timed (run_sgselect instance query) in
+        let base = timed (run_sg_baseline ~cap:st.group_cap instance query) in
+        let ip = timed (run_sg_ip ~cap:st.ip_node_cap instance query) in
+        [
+          string_of_int n;
+          string_of_int (Socgraph.Graph.degree graph initiator + 1);
+          ns_cell sel;
+          ns_cell base;
+          ns_cell ip;
+          detail_cell sel;
+        ])
+      sizes
+  in
+  print_table
+    ~title:"Fig 1(d)  running time vs network size   (p=5, k=3, s=1, coauthor networks)"
+    ~header:[ "network"; "|V_F|"; "SGSelect"; "Baseline"; "IP"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(e): running time vs m (STGSelect, per-slot Baseline).        *)
+
+let fig1e st () =
+  let ti = Lazy.force dataset_194 in
+  let ms =
+    if st.fast then [ 2; 4; 8; 12 ] else [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20; 22; 24 ]
+  in
+  let rows =
+    List.map
+      (fun m ->
+        let query = { Query.p = 4; s = 1; k = 2; m } in
+        let sel = timed (run_stgselect ti query) in
+        let base = timed (run_stg_baseline ti query) in
+        [ string_of_int m; ns_cell sel; ns_cell base; detail_cell sel ])
+      ms
+  in
+  print_table
+    ~title:"Fig 1(e)  running time vs m   (p=4, k=2, s=1, 7-day schedules, 0.5h slots)"
+    ~header:[ "m"; "STGSelect"; "Baseline"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(f): running time vs schedule length in days; m=4.            *)
+
+let fig1f st () =
+  let days_list = if st.fast then [ 1; 3; 5 ] else [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let rows =
+    List.map
+      (fun days ->
+        let ti = Workload.Scenario.people194 ~seed:1105 ~days () in
+        let query = { Query.p = 4; s = 1; k = 2; m = 4 } in
+        let sel = timed (run_stgselect ti query) in
+        let base = timed (run_stg_baseline ti query) in
+        [ string_of_int days; ns_cell sel; ns_cell base; detail_cell sel ])
+      days_list
+  in
+  print_table
+    ~title:"Fig 1(f)  running time vs schedule length   (p=4, k=2, s=1, m=4)"
+    ~header:[ "days"; "STGSelect"; "Baseline"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1(g)/(h): solution quality, STGArrange vs PCArrange.           *)
+
+let fig1gh st () =
+  let ti = Lazy.force dataset_194 in
+  let ps = if st.fast then [ 3; 5; 7 ] else [ 3; 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let rows =
+    List.map
+      (fun p ->
+        match Stgarrange.versus_pcarrange ti ~p ~s:2 ~m:4 with
+        | None -> [ string_of_int p; "-"; "-"; "-"; "-" ]
+        | Some ({ Stgarrange.k_used; solution }, pc) ->
+            [
+              string_of_int p;
+              string_of_int k_used;
+              string_of_int pc.Pcarrange.observed_k;
+              Printf.sprintf "%.1f" solution.Query.st_total_distance;
+              Printf.sprintf "%.1f" pc.Pcarrange.total_distance;
+            ])
+      ps
+  in
+  print_table
+    ~title:"Fig 1(g)+(h)  solution quality vs p   (s=2, m=4): k and total distance"
+    ~header:[ "p"; "k STGArrange"; "k PCArrange"; "dist STGArrange"; "dist PCArrange" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations A1-A3: SGSelect strategy toggles.                         *)
+
+let ablation_sg st () =
+  let instance = social_194 () in
+  let query = { Query.p = (if st.fast then 5 else 7); s = 2; k = 2 } in
+  let configs =
+    [
+      ("full SGSelect", Search_core.default_config);
+      ( "no access ordering",
+        { Search_core.default_config with Search_core.use_access_ordering = false } );
+      ( "no distance pruning",
+        { Search_core.default_config with Search_core.use_distance_pruning = false } );
+      ( "no acquaintance pruning",
+        { Search_core.default_config with Search_core.use_acquaintance_pruning = false }
+      );
+      ( "no pruning at all",
+        {
+          Search_core.default_config with
+          Search_core.use_access_ordering = false;
+          use_distance_pruning = false;
+          use_acquaintance_pruning = false;
+        } );
+    ]
+  in
+  let warm_row =
+    let result = ref "" in
+    let t =
+      timed (fun () ->
+          result :=
+            dist_of
+              (Option.map
+                 (fun (s : Query.sg_solution) -> s.Query.total_distance)
+                 (Sgselect.solve_warm instance query));
+          !result)
+    in
+    [ "beam-seeded warm start"; ns_cell t; "-"; detail_cell t ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let report = ref None in
+        let t =
+          timed (fun () ->
+              let r = Sgselect.solve_report ~config instance query in
+              report := Some r;
+              dist_of (Option.map (fun s -> s.Query.total_distance) r.Sgselect.solution))
+        in
+        let nodes =
+          match !report with
+          | Some r -> string_of_int r.Sgselect.stats.Search_core.nodes
+          | None -> "-"
+        in
+        [ name; ns_cell t; nodes; detail_cell t ])
+      configs
+    @ [ warm_row ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "Ablation A1-A3  SGSelect strategies   (p=%d, s=2, k=2, 194-person network)"
+         query.Query.p)
+    ~header:[ "variant"; "time"; "search nodes"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations A4-A6: temporal strategies and the parallel extension.    *)
+
+let ablation_stg st () =
+  let ti = Lazy.force dataset_194 in
+  let query = { Query.p = 4; s = 1; k = 2; m = (if st.fast then 4 else 8) } in
+  let no_avail =
+    { Search_core.default_config with Search_core.use_availability_pruning = false }
+  in
+  let rows =
+    [
+      (let t = timed (run_stgselect ti query) in
+       [ "STGSelect (pivot slots)"; ns_cell t; detail_cell t ]);
+      (let t =
+         timed (fun () ->
+             dist_of
+               (Option.map
+                  (fun r -> r.Query.st_total_distance)
+                  (Stgselect.solve ~config:no_avail ti query)))
+       in
+       [ "no availability pruning"; ns_cell t; detail_cell t ]);
+      (let t = timed (run_stg_baseline ti query) in
+       [ "per-slot scan (no pivots)"; ns_cell t; detail_cell t ]);
+      (let t =
+         timed (fun () ->
+             dist_of
+               (Option.map
+                  (fun r -> r.Query.st_total_distance)
+                  (Parallel.solve ti query)))
+       in
+       [
+         Printf.sprintf "parallel pivots (%d domains)"
+           (Domain.recommended_domain_count ());
+         ns_cell t;
+         detail_cell t;
+       ]);
+    ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "Ablation A4-A6  temporal strategies   (p=4, s=1, k=2, m=%d)"
+         query.Query.m)
+    ~header:[ "variant"; "time"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension E1: heuristic quality vs exact.                           *)
+
+let ext_heuristics st () =
+  let instance = social_194 () in
+  let ps = if st.fast then [ 4; 6 ] else [ 4; 6; 8; 10 ] in
+  let rows =
+    List.concat_map
+      (fun p ->
+        let query = { Query.p; s = 2; k = 2 } in
+        let run name f =
+          let result = ref None in
+          let t = timed (fun () ->
+              let r = f () in
+              result := r;
+              dist_of (Option.map (fun s -> s.Query.total_distance) r))
+          in
+          (name, t, !result)
+        in
+        let exact = run "SGSelect (exact)" (fun () -> Sgselect.solve instance query) in
+        let greedy = run "greedy" (fun () -> Heuristics.greedy_sgq instance query) in
+        let beam8 = run "beam w=8" (fun () -> Heuristics.beam_sgq ~width:8 instance query) in
+        let beam64 =
+          run "beam w=64" (fun () -> Heuristics.beam_sgq ~width:64 instance query)
+        in
+        let opt =
+          match exact with _, _, Some s -> s.Query.total_distance | _ -> nan
+        in
+        let ratio = function
+          | _, _, Some s when Float.is_finite opt ->
+              Printf.sprintf "%.3f" (s.Query.total_distance /. opt)
+          | _, _, Some _ -> "-"
+          | _, _, None -> "fail"
+        in
+        List.map
+          (fun ((name, t, _) as entry) ->
+            [ string_of_int p; name; ns_cell t; ratio entry ])
+          [ exact; greedy; beam8; beam64 ])
+      ps
+  in
+  print_table
+    ~title:"Extension E1  heuristic quality   (s=2, k=2; ratio = distance / optimum)"
+    ~header:[ "p"; "solver"; "time"; "ratio" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension E2: top-k overhead over single-best.                      *)
+
+let ext_topk st () =
+  let ti = Lazy.force dataset_194 in
+  let query = { Query.p = 4; s = 1; k = 2; m = 4 } in
+  let ns_list = if st.fast then [ 1; 5 ] else [ 1; 5; 10; 25 ] in
+  let single = timed (run_stgselect ti query) in
+  let rows =
+    ([ "1 (STGSelect)"; ns_cell single; "1"; detail_cell single ]
+     :: List.map
+          (fun n ->
+            let found = ref [] in
+            let t = timed (fun () ->
+                found := Topk.stgq ~n ti query;
+                match !found with
+                | e :: _ -> Printf.sprintf "%.1f" e.Topk.total_distance
+                | [] -> "none")
+            in
+            [ string_of_int n; ns_cell t; string_of_int (List.length !found);
+              detail_cell t ])
+          ns_list)
+  in
+  print_table ~title:"Extension E2  top-k overhead   (p=4, s=1, k=2, m=4)"
+    ~header:[ "k requested"; "time"; "groups returned"; "best distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension E3: incremental replanning vs full re-solve.              *)
+
+let ext_planner st () =
+  let ti = Workload.Scenario.people194 ~seed:1105 ~days:7 () in
+  let query = { Query.p = 4; s = 1; k = 2; m = 4 } in
+  let planner, create_ns = Report.time (fun () -> Planner.create ti query) in
+  let rng = Random.State.make [| 5 |] in
+  let horizon = Timetable.Availability.horizon ti.Query.schedules.(0) in
+  let edits = if st.fast then 10 else 30 in
+  let incr_ns = ref 0. and full = ref 0. and redone = ref 0 and mismatches = ref 0 in
+  for _ = 1 to edits do
+    let vertex =
+      match Planner.solution planner with
+      | Some s when Random.State.bool rng ->
+          let members = Array.of_list s.Query.st_attendees in
+          members.(Random.State.int rng (Array.length members))
+      | _ -> Random.State.int rng (Array.length ti.Query.schedules)
+    in
+    let schedule = (Planner.schedules planner).(vertex) in
+    let lo = Random.State.int rng (horizon - 4) in
+    Timetable.Availability.set_busy schedule lo (lo + 3);
+    let stats, dt = Report.time (fun () -> Planner.update_schedule planner ~vertex schedule) in
+    incr_ns := !incr_ns +. dt;
+    redone := !redone + stats.Planner.pivots_recomputed;
+    let fresh_ti = { ti with Query.schedules = Planner.schedules planner } in
+    let fresh, dt_full = Report.time (fun () -> Stgselect.solve fresh_ti query) in
+    full := !full +. dt_full;
+    (match (Planner.solution planner, fresh) with
+    | None, None -> ()
+    | Some a, Some b
+      when Float.abs (a.Query.st_total_distance -. b.Query.st_total_distance) < 1e-9 ->
+        ()
+    | _ -> incr mismatches)
+  done;
+  print_table
+    ~title:
+      (Printf.sprintf
+         "Extension E3  incremental replanning   (%d random edits, p=4, s=1, k=2, m=4)"
+         edits)
+    ~header:[ "metric"; "value" ]
+    [
+      [ "planner build"; Report.ns create_ns ];
+      [ "incremental total"; Report.ns !incr_ns ];
+      [ "full re-solve total"; Report.ns !full ];
+      [ "pivots recomputed"; string_of_int !redone ];
+      [ "answer mismatches"; string_of_int !mismatches ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Extension E4: SGQ vs the community-search related work ([20]).      *)
+
+let ext_community st () =
+  ignore st;
+  let instance = social_194 () in
+  let g = instance.Query.graph in
+  let q = instance.Query.initiator in
+  let community = Socgraph.Community_search.search g ~anchor:q in
+  let distances = Socgraph.Bounded_dist.distances g ~src:q ~max_edges:2 in
+  let total vs =
+    List.fold_left
+      (fun acc v -> if v = q then acc else acc +. distances.(v))
+      0. vs
+  in
+  let describe name vs =
+    [
+      name;
+      string_of_int (List.length vs);
+      string_of_int (Socgraph.Community_search.min_internal_degree g vs);
+      (let d = total vs in
+       if Float.is_finite d then Printf.sprintf "%.1f" d else "unbounded");
+    ]
+  in
+  let sgq_row p =
+    match Sgselect.solve instance { Query.p; s = 2; k = 2 } with
+    | Some { attendees; _ } -> [ describe (Printf.sprintf "SGQ p=%d k=2" p) attendees ]
+    | None -> []
+  in
+  print_table
+    ~title:
+      "Extension E4  SGQ vs community search [20]   (same initiator; distances at s=2)"
+    ~header:[ "method"; "size"; "min internal degree"; "total distance" ]
+    (describe "community search" community :: List.concat_map sgq_row [ 4; 6; 8 ])
+
+(* ------------------------------------------------------------------ *)
+(* Extension E5: end-to-end STGQ at coauthor scale.                    *)
+
+let ext_scale st () =
+  let sizes = if st.fast then [ 800 ] else [ 800; 3200; 12800 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let build, gen_ns =
+          Report.time (fun () -> Workload.Scenario.coauthor ~seed:9 ~days:7 ~n ())
+        in
+        let query = { Query.p = 5; s = 1; k = 2; m = 4 } in
+        let exact = timed (run_stgselect build query) in
+        let auto = ref "" in
+        let auto_t =
+          timed (fun () ->
+              let solution, plan = Auto.stgq build query in
+              auto :=
+                (match plan.Auto.choice with Auto.Exact -> "exact" | Auto.Beam -> "beam");
+              dist_of (Option.map (fun s -> s.Query.st_total_distance) solution))
+        in
+        [
+          string_of_int n;
+          Report.ns gen_ns;
+          ns_cell exact;
+          detail_cell exact;
+          ns_cell auto_t;
+          !auto;
+        ])
+      sizes
+  in
+  print_table
+    ~title:"Extension E5  end-to-end scale   (STGQ p=5, s=1, k=2, m=4, 7-day schedules)"
+    ~header:[ "network"; "generate"; "STGSelect"; "distance"; "Auto"; "auto chose" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension E6: depth-first branch and bound vs best-first search.    *)
+
+let ext_astar st () =
+  let instance = social_194 () in
+  let ps = if st.fast then [ 4; 6 ] else [ 4; 5; 6; 7; 8 ] in
+  let rows =
+    List.map
+      (fun p ->
+        let query = { Query.p; s = 1; k = 2 } in
+        let dfs_report = ref None in
+        let dfs =
+          timed (fun () ->
+              let r = Sgselect.solve_report instance query in
+              dfs_report := Some r;
+              dist_of (Option.map (fun s -> s.Query.total_distance) r.Sgselect.solution))
+        in
+        let bf_report = ref None in
+        let bf =
+          timed (fun () ->
+              let r = Astar.solve_report ~node_limit:2_000_000 instance query in
+              bf_report := Some r;
+              dist_of
+                (Option.map (fun s -> s.Query.total_distance) r.Astar.solution))
+        in
+        let dfs_nodes =
+          match !dfs_report with
+          | Some r -> string_of_int r.Sgselect.stats.Search_core.nodes
+          | None -> "-"
+        in
+        let bf_nodes, frontier =
+          match !bf_report with
+          | Some r ->
+              (string_of_int r.Astar.nodes_expanded, string_of_int r.Astar.max_frontier)
+          | None -> ("-", "-")
+        in
+        [
+          string_of_int p;
+          ns_cell dfs;
+          dfs_nodes;
+          ns_cell bf;
+          bf_nodes;
+          frontier;
+          detail_cell dfs;
+        ])
+      ps
+  in
+  print_table
+    ~title:
+      "Extension E6  SGSelect (DFS B&B) vs best-first A*   (k=2, s=1, 194-person network)"
+    ~header:
+      [ "p"; "SGSelect"; "nodes"; "best-first"; "expanded"; "peak frontier"; "distance" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-suite: one Test.make per figure.                     *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let instance = social_194 () in
+  let ti = Lazy.force dataset_194 in
+  let sg p s k = { Query.p; s; k } in
+  let stg p s k m = { Query.p; s; k; m } in
+  let tests =
+    Test.make_grouped ~name:"figures"
+      [
+        Test.make ~name:"fig1a(p=6)"
+          (Staged.stage (fun () -> Sgselect.solve instance (sg 6 1 2)));
+        Test.make ~name:"fig1b(s=3)"
+          (Staged.stage (fun () -> Sgselect.solve instance (sg 4 3 2)));
+        Test.make ~name:"fig1c(k=3)"
+          (Staged.stage (fun () -> Sgselect.solve instance (sg 5 2 3)));
+        Test.make ~name:"fig1d(n=194)"
+          (Staged.stage (fun () -> Sgselect.solve instance (sg 5 1 3)));
+        Test.make ~name:"fig1e(m=4)"
+          (Staged.stage (fun () -> Stgselect.solve ti (stg 4 1 2 4)));
+        Test.make ~name:"fig1f(7d)"
+          (Staged.stage (fun () -> Stgselect.solve ti (stg 4 1 2 6)));
+        Test.make ~name:"fig1g(p=5)"
+          (Staged.stage (fun () -> Stgarrange.versus_pcarrange ti ~p:5 ~s:2 ~m:4));
+        Test.make ~name:"fig1h(p=5)"
+          (Staged.stage (fun () -> Pcarrange.run ti ~p:5 ~s:2 ~m:4));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Report.ns t
+          | _ -> "?"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_table ~title:"Bechamel micro-suite (OLS time per run)"
+    ~header:[ "benchmark"; "time/run"; "r2" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                             *)
+
+let experiments =
+  [
+    ("fig1a", fig1a);
+    ("fig1b", fig1b);
+    ("fig1c", fig1c);
+    ("fig1d", fig1d);
+    ("fig1e", fig1e);
+    ("fig1f", fig1f);
+    ("fig1gh", fig1gh);
+    ("ablation_sg", ablation_sg);
+    ("ablation_stg", ablation_stg);
+    ("ext_heuristics", ext_heuristics);
+    ("ext_topk", ext_topk);
+    ("ext_planner", ext_planner);
+    ("ext_community", ext_community);
+    ("ext_scale", ext_scale);
+    ("ext_astar", ext_astar);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let fast = List.mem "--fast" args in
+  let skip_bechamel = List.mem "--skip-bechamel" args in
+  let only =
+    List.find_map
+      (fun a ->
+        if String.length a > 7 && String.sub a 0 7 = "--only=" then
+          Some (String.split_on_char ',' (String.sub a 7 (String.length a - 7)))
+        else None)
+      args
+  in
+  let st = if fast then fast_settings else full_settings in
+  let wanted name = match only with None -> true | Some l -> List.mem name l in
+  Printf.printf
+    "STGQ experiment harness (%s mode; enumeration cap %d groups, IP cap %d nodes)\n"
+    (if fast then "fast" else "full")
+    st.group_cap st.ip_node_cap;
+  flush stdout;
+  List.iter (fun (name, f) -> if wanted name then f st ()) experiments;
+  if
+    (not skip_bechamel)
+    && match only with None -> true | Some l -> List.mem "bechamel" l
+  then bechamel_suite ();
+  print_newline ();
+  print_endline "done."

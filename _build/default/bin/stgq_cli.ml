@@ -1,0 +1,375 @@
+(* stgq — command-line front end.
+
+   Subcommands:
+     generate   synthesise a dataset and write graph/schedule files
+     sgq        answer a Social Group Query
+     stgq       answer a Social-Temporal Group Query
+     arrange    compare STGArrange against the PCArrange imitation
+
+   Datasets come either from files written by `generate` or from the
+   built-in generators (--kind/--n/--seed/--days). *)
+
+open Cmdliner
+open Stgq_core
+
+(* ------------------------------------------------------------------ *)
+(* Dataset source.                                                     *)
+
+type source = {
+  kind : string;
+  n : int;
+  seed : int;
+  days : int;
+  graph_file : string option;
+  sched_file : string option;
+}
+
+let source_term =
+  let kind =
+    Arg.(value & opt string "people194"
+         & info [ "kind" ] ~docv:"KIND" ~doc:"Generator: people194 or coauthor.")
+  in
+  let n =
+    Arg.(value & opt int 800
+         & info [ "n" ] ~docv:"N" ~doc:"Network size for the coauthor generator.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let days =
+    Arg.(value & opt int 7 & info [ "days" ] ~docv:"DAYS" ~doc:"Schedule length in days.")
+  in
+  let graph_file =
+    Arg.(value & opt (some string) None
+         & info [ "graph" ] ~docv:"FILE" ~doc:"Load the social graph from an edge list.")
+  in
+  let sched_file =
+    Arg.(value & opt (some string) None
+         & info [ "schedules" ] ~docv:"FILE" ~doc:"Load schedules from a schedule file.")
+  in
+  let make kind n seed days graph_file sched_file =
+    { kind; n; seed; days; graph_file; sched_file }
+  in
+  Term.(const make $ kind $ n $ seed $ days $ graph_file $ sched_file)
+
+let load_dataset src =
+  match (src.graph_file, src.sched_file) with
+  | Some gf, Some sf -> (Socgraph.Gio.load gf, Timetable.Sio.load sf)
+  | Some gf, None ->
+      let graph = Socgraph.Gio.load gf in
+      let n = Socgraph.Graph.n_vertices graph in
+      (graph, Array.init n (fun _ -> Timetable.Sched_gen.always_free ~days:src.days))
+  | None, _ -> (
+      match src.kind with
+      | "people194" ->
+          let ds = Workload.People194.generate ~seed:src.seed ~days:src.days () in
+          (ds.Workload.People194.graph, ds.Workload.People194.schedules)
+      | "coauthor" ->
+          let ds =
+            Workload.Coauthor.generate ~seed:src.seed ~days:src.days ~n:src.n ()
+          in
+          (ds.Workload.Coauthor.graph, ds.Workload.Coauthor.schedules)
+      | other -> Fmt.failwith "unknown dataset kind %S (people194|coauthor)" other)
+
+let initiator_term =
+  Arg.(value & opt (some int) None
+       & info [ "initiator"; "q" ] ~docv:"VERTEX"
+           ~doc:"Initiator vertex (default: a well-connected one).")
+
+let pick_initiator graph = function
+  | Some q -> q
+  | None -> Workload.Scenario.pick_initiator graph
+
+(* ------------------------------------------------------------------ *)
+(* generate.                                                           *)
+
+let generate_cmd =
+  let graph_out =
+    Arg.(value & opt string "graph.txt"
+         & info [ "graph-out" ] ~docv:"FILE" ~doc:"Edge-list output path.")
+  in
+  let sched_out =
+    Arg.(value & opt string "schedules.txt"
+         & info [ "sched-out" ] ~docv:"FILE" ~doc:"Schedule output path.")
+  in
+  let run src graph_out sched_out =
+    let graph, schedules = load_dataset src in
+    Socgraph.Gio.save graph graph_out;
+    Timetable.Sio.save schedules sched_out;
+    Fmt.pr "wrote %s (%d vertices, %d edges) and %s (%d schedules)@." graph_out
+      (Socgraph.Graph.n_vertices graph) (Socgraph.Graph.n_edges graph) sched_out
+      (Array.length schedules)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesise a dataset and write it to files.")
+    Term.(const run $ source_term $ graph_out $ sched_out)
+
+(* ------------------------------------------------------------------ *)
+(* sgq.                                                                *)
+
+let p_term = Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc:"Group size.")
+let s_term = Arg.(value & opt int 1 & info [ "s" ] ~docv:"S" ~doc:"Social radius.")
+let k_term = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Acquaintance bound.")
+let m_term = Arg.(value & opt int 4 & info [ "m" ] ~docv:"M" ~doc:"Activity length in slots.")
+
+let algo_term choices default =
+  Arg.(value & opt (enum choices) default
+       & info [ "algo" ] ~docv:"ALGO"
+           ~doc:(Printf.sprintf "Algorithm: %s."
+                   (String.concat ", " (List.map fst choices))))
+
+type sg_algo = Sg_select | Sg_baseline | Sg_ip
+
+let sgq_cmd =
+  let run src initiator p s k algo =
+    let graph, _ = load_dataset src in
+    let instance = { Query.graph; initiator = pick_initiator graph initiator } in
+    let query = { Query.p; s; k } in
+    let label, solution, detail =
+      match algo with
+      | Sg_select ->
+          let r = Sgselect.solve_report instance query in
+          ( "SGSelect",
+            r.Sgselect.solution,
+            Printf.sprintf "%d nodes, |V_F| = %d" r.Sgselect.stats.Search_core.nodes
+              r.Sgselect.feasible_size )
+      | Sg_baseline ->
+          let r = Baseline.sgq_brute instance query in
+          ( "Baseline",
+            r.Baseline.solution,
+            Printf.sprintf "%d candidate groups" r.Baseline.groups_examined )
+      | Sg_ip ->
+          let r = Ip_model.solve_sgq instance query in
+          ( "IP (group form)",
+            r.Ip_model.result,
+            Printf.sprintf "%d B&B nodes" r.Ip_model.ilp_stats.Ilp.nodes_explored )
+    in
+    match solution with
+    | Some sol ->
+        Fmt.pr "%s: %a@.  [%s]@." label Query.pp_sg_solution sol detail;
+        if not (Validate.is_valid_sg instance query sol) then
+          Fmt.epr "WARNING: solution failed validation!@."
+    | None -> Fmt.pr "%s: no feasible group.  [%s]@." label detail
+  in
+  let algo =
+    algo_term [ ("sgselect", Sg_select); ("baseline", Sg_baseline); ("ip", Sg_ip) ]
+      Sg_select
+  in
+  Cmd.v
+    (Cmd.info "sgq" ~doc:"Answer a Social Group Query.")
+    Term.(const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ algo)
+
+(* ------------------------------------------------------------------ *)
+(* stgq.                                                               *)
+
+type stg_algo = St_select | St_baseline | St_parallel | St_ip
+
+let stgq_cmd =
+  let run src initiator p s k m algo =
+    let graph, schedules = load_dataset src in
+    let ti =
+      { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
+        schedules }
+    in
+    let query = { Query.p; s; k; m } in
+    let label, solution, detail =
+      match algo with
+      | St_select ->
+          let r = Stgselect.solve_report ti query in
+          ( "STGSelect",
+            r.Stgselect.solution,
+            Printf.sprintf "%d nodes over %d pivots" r.Stgselect.stats.Search_core.nodes
+              r.Stgselect.pivots_scanned )
+      | St_baseline ->
+          let r = Baseline.stgq_per_slot ti query in
+          ( "Baseline (per slot)",
+            r.Baseline.st_solution,
+            Printf.sprintf "%d windows" r.Baseline.windows_scanned )
+      | St_parallel ->
+          let r = Parallel.solve_report ti query in
+          ( "STGSelect (parallel)",
+            r.Parallel.solution,
+            Printf.sprintf "%d domains, %d nodes" r.Parallel.domains_used
+              r.Parallel.total_nodes )
+      | St_ip ->
+          let r = Ip_model.solve_stgq ti query in
+          ( "IP (group form)",
+            r.Ip_model.result,
+            Printf.sprintf "%d B&B nodes" r.Ip_model.ilp_stats.Ilp.nodes_explored )
+    in
+    match solution with
+    | Some sol ->
+        Fmt.pr "%s: %a@.  [%s]@." label (Query.pp_stg_solution ~m) sol detail;
+        if not (Validate.is_valid_stg ti query sol) then
+          Fmt.epr "WARNING: solution failed validation!@."
+    | None -> Fmt.pr "%s: no feasible group/time.  [%s]@." label detail
+  in
+  let algo =
+    algo_term
+      [
+        ("stgselect", St_select);
+        ("baseline", St_baseline);
+        ("parallel", St_parallel);
+        ("ip", St_ip);
+      ]
+      St_select
+  in
+  Cmd.v
+    (Cmd.info "stgq" ~doc:"Answer a Social-Temporal Group Query.")
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term $ algo)
+
+(* ------------------------------------------------------------------ *)
+(* arrange.                                                            *)
+
+let arrange_cmd =
+  let run src initiator p s m =
+    let graph, schedules = load_dataset src in
+    let ti =
+      { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
+        schedules }
+    in
+    match Stgarrange.versus_pcarrange ti ~p ~s ~m with
+    | None -> Fmt.pr "PCArrange found no group; nothing to compare.@."
+    | Some ({ Stgarrange.k_used; solution }, pc) ->
+        Fmt.pr "PCArrange : distance %.2f, observed k = %d@." pc.Pcarrange.total_distance
+          pc.Pcarrange.observed_k;
+        Fmt.pr "STGArrange: distance %.2f at k = %d@." solution.Query.st_total_distance
+          k_used
+  in
+  Cmd.v
+    (Cmd.info "arrange" ~doc:"Compare STGArrange with the PCArrange imitation.")
+    Term.(const run $ source_term $ initiator_term $ p_term $ s_term $ m_term)
+
+(* ------------------------------------------------------------------ *)
+(* explain.                                                            *)
+
+let explain_cmd =
+  let run src initiator p s k m =
+    let graph, schedules = load_dataset src in
+    let ti =
+      { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
+        schedules }
+    in
+    let query = { Query.p; s; k; m } in
+    match Stgselect.solve ti query with
+    | None -> Fmt.pr "No feasible group/time to explain.@."
+    | Some solution ->
+        let ex = Explain.stg ti query solution in
+        Fmt.pr "%a" (Explain.pp ?name:None) ex
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Solve an STGQ and explain the returned group.")
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term)
+
+(* ------------------------------------------------------------------ *)
+(* topk.                                                               *)
+
+let topk_cmd =
+  let n_best =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"How many groups to list.")
+  in
+  let run src initiator p s k m n =
+    let graph, schedules = load_dataset src in
+    let ti =
+      { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
+        schedules }
+    in
+    let entries = Topk.stgq ~n ti { Query.p; s; k; m } in
+    if entries = [] then Fmt.pr "No feasible group/time.@."
+    else
+      List.iteri
+        (fun i e ->
+          Fmt.pr "#%d  distance %.2f  {%s}%s@." (i + 1) e.Topk.total_distance
+            (String.concat ", " (List.map string_of_int e.Topk.attendees))
+            (match e.Topk.start_slot with
+            | Some start ->
+                Printf.sprintf "  from %s" (Timetable.Slot.to_string start)
+            | None -> ""))
+        entries
+  in
+  Cmd.v
+    (Cmd.info "topk" ~doc:"List the N best groups for an STGQ.")
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term
+      $ n_best)
+
+(* ------------------------------------------------------------------ *)
+(* auto.                                                               *)
+
+let auto_cmd =
+  let budget =
+    Arg.(value & opt float 1e8
+         & info [ "budget" ] ~docv:"GROUPS"
+             ~doc:"Candidate-group budget above which the beam heuristic is used.")
+  in
+  let run src initiator p s k m budget =
+    let graph, schedules = load_dataset src in
+    let ti =
+      { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
+        schedules }
+    in
+    let solution, plan = Auto.stgq ~budget ti { Query.p; s; k; m } in
+    Fmt.pr "plan: %s (|V_F| = %d, log10 groups = %.1f)@."
+      (match plan.Auto.choice with Auto.Exact -> "exact STGSelect" | Auto.Beam -> "beam heuristic")
+      plan.Auto.feasible_size plan.Auto.log10_groups;
+    match solution with
+    | Some sol -> Fmt.pr "%a@." (Query.pp_stg_solution ~m) sol
+    | None -> Fmt.pr "no feasible group/time.@."
+  in
+  Cmd.v
+    (Cmd.info "auto" ~doc:"Answer an STGQ with adaptive exact/heuristic selection.")
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term
+      $ budget)
+
+(* ------------------------------------------------------------------ *)
+(* kplex: maximal cohesive subgroups around an initiator.              *)
+
+let kplex_cmd =
+  let min_size =
+    Arg.(value & opt int 3
+         & info [ "min-size" ] ~docv:"N" ~doc:"Smallest subgroup to report.")
+  in
+  let run src initiator s k min_size =
+    let graph, _ = load_dataset src in
+    let q = pick_initiator graph initiator in
+    (* Restrict to the initiator's radius-s egocentric network; whole-graph
+       enumeration is exponential and rarely what a user wants. *)
+    let fg = Feasible.extract { Query.graph; initiator = q } ~s in
+    let sub = fg.Feasible.sub in
+    if Socgraph.Graph.n_vertices sub > 25 then
+      Fmt.epr
+        "note: egocentric network has %d vertices; enumeration may be slow.@."
+        (Socgraph.Graph.n_vertices sub);
+    let groups = Socgraph.Kplex.enumerate_maximal sub ~k ~min_size () in
+    Fmt.pr "%d maximal subgroups (k=%d, min size %d) within %d edges of #%d:@."
+      (List.length groups) k min_size s q;
+    List.iter
+      (fun group ->
+        let originals = List.map (fun v -> fg.Feasible.of_sub.(v)) group in
+        Fmt.pr "  {%s}@." (String.concat ", " (List.map string_of_int originals)))
+      groups
+  in
+  Cmd.v
+    (Cmd.info "kplex"
+       ~doc:"Enumerate maximal acquaintance-bounded subgroups around an initiator.")
+    Term.(const run $ source_term $ initiator_term $ s_term $ k_term $ min_size)
+
+let () =
+  let info =
+    Cmd.info "stgq" ~version:"1.0.0"
+      ~doc:"Social-Temporal Group Queries with acquaintance constraints (VLDB'11)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            sgq_cmd;
+            stgq_cmd;
+            arrange_cmd;
+            explain_cmd;
+            topk_cmd;
+            auto_cmd;
+            kplex_cmd;
+          ]))

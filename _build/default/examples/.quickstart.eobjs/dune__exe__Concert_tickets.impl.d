@@ -1,0 +1,1 @@
+examples/concert_tickets.ml: Array Format List Query Sgselect Socgraph Stgq_core String Timetable Topk Workload

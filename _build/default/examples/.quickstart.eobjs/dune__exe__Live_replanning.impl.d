@@ -1,0 +1,1 @@
+examples/live_replanning.ml: Array Float Format Planner Printf Query Random Report Stgq_core Stgselect Timetable Workload

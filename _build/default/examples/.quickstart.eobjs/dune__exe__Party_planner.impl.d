@@ -1,0 +1,1 @@
+examples/party_planner.ml: Format List Parallel Pcarrange Query Search_core Socgraph Stgarrange Stgq_core Stgselect String Timetable Workload

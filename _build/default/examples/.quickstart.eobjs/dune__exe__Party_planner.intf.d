@@ -1,0 +1,1 @@
+examples/party_planner.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Query Sgselect Socgraph Stgq_core Stgselect String Timetable

@@ -1,0 +1,1 @@
+examples/study_group.ml: Auto Explain Format List Option Printf Query Stgq_core String Timetable Topk Workload

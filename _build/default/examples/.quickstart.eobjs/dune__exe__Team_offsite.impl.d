@@ -1,0 +1,1 @@
+examples/team_offsite.ml: Format List Printf Query Report Search_core Sgselect Stgq_core Stgselect String Timetable Workload

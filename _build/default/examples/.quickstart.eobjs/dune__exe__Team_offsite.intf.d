@@ -1,0 +1,1 @@
+examples/team_offsite.mli:

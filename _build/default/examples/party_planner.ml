@@ -1,0 +1,57 @@
+(* Party planner: STGQ on the 194-person synthetic community dataset.
+
+   An initiator plans a two-hour party within a week; we contrast the
+   automatic STGSelect answer with the PCArrange phone-call imitation the
+   paper compares against, and show the multicore variant agreeing.
+
+   Run with: dune exec examples/party_planner.exe *)
+
+open Stgq_core
+
+let () =
+  let ti = Workload.Scenario.people194 ~seed:2026 ~days:7 () in
+  let q = ti.Query.social.Query.initiator in
+  let g = ti.Query.social.Query.graph in
+  Format.printf "Dataset: %d people, %d friendships; initiator #%d (degree %d).@.@."
+    (Socgraph.Graph.n_vertices g) (Socgraph.Graph.n_edges g) q
+    (Socgraph.Graph.degree g q);
+
+  let p = 6 and s = 2 and k = 2 and m = 4 in
+  Format.printf "Query: STGQ(p=%d, s=%d, k=%d, m=%d slots of 30 min).@.@." p s k m;
+
+  let report = Stgselect.solve_report ti { Query.p; s; k; m } in
+  (match report.Stgselect.solution with
+  | Some { st_attendees; st_total_distance; start_slot } ->
+      Format.printf "STGSelect: attendees %s@."
+        (String.concat ", " (List.map string_of_int st_attendees));
+      Format.printf "  total social distance %.1f@." st_total_distance;
+      Format.printf "  party %s - %s@." (Timetable.Slot.to_string start_slot)
+        (Timetable.Slot.to_string (start_slot + m - 1));
+      Format.printf "  (search explored %d nodes over %d pivot slots, |V_F| = %d)@.@."
+        report.Stgselect.stats.Search_core.nodes report.Stgselect.pivots_scanned
+        report.Stgselect.feasible_size
+  | None -> Format.printf "STGSelect: no feasible group.@.@.");
+
+  (match Pcarrange.run ti ~p ~s ~m with
+  | Some pc ->
+      Format.printf "PCArrange (manual phone coordination):@.";
+      Format.printf "  attendees %s@."
+        (String.concat ", " (List.map string_of_int pc.Pcarrange.attendees));
+      Format.printf "  total social distance %.1f after %d calls@."
+        pc.Pcarrange.total_distance pc.Pcarrange.calls_made;
+      Format.printf "  observed acquaintance bound k_h = %d@.@." pc.Pcarrange.observed_k;
+      (match Stgarrange.run ti ~p ~s ~m ~target_distance:pc.Pcarrange.total_distance with
+      | Some { Stgarrange.k_used; solution } ->
+          Format.printf
+            "STGArrange matches that distance (%.1f <= %.1f) already at k = %d.@.@."
+            solution.Query.st_total_distance pc.Pcarrange.total_distance k_used
+      | None -> Format.printf "STGArrange could not match PCArrange.@.@.")
+  | None -> Format.printf "PCArrange found no group.@.@.");
+
+  let par = Parallel.solve_report ti { Query.p; s; k; m } in
+  match (par.Parallel.solution, report.Stgselect.solution) with
+  | Some a, Some b ->
+      Format.printf "Multicore check: %d domains agree on distance %.1f (= %.1f).@."
+        par.Parallel.domains_used a.Query.st_total_distance b.Query.st_total_distance
+  | None, None -> Format.printf "Multicore check: both infeasible.@."
+  | _ -> Format.printf "Multicore check: MISMATCH (bug).@."

@@ -1,0 +1,107 @@
+(* Quickstart: the movie-night story of the paper's Appendix A, Example 1.
+
+   Casey Affleck wants to invite friends from his cooperation network.
+   We ask three questions:
+     1. SGQ without an acquaintance bound  -> closest friends, who may be
+        strangers to each other;
+     2. SGQ with k = 0                     -> a mutually acquainted group;
+     3. STGQ with m = 3                    -> the same, plus a time that
+        works for everyone.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Stgq_core
+
+let names =
+  [|
+    "Angelina Jolie";    (* 0 *)
+    "George Clooney";    (* 1 *)
+    "Robert De Niro";    (* 2 *)
+    "Brad Pitt";         (* 3 *)
+    "Matt Damon";        (* 4 *)
+    "Julia Roberts";     (* 5 *)
+    "Casey Affleck";     (* 6 = the initiator *)
+    "Michelle Monaghan"; (* 7 *)
+  |]
+
+let casey = 6
+
+(* Cooperation network; weights are social distances (smaller = closer).
+   Casey's direct co-stars: Clooney, De Niro, Pitt, Roberts, Monaghan. *)
+let graph =
+  Socgraph.Graph.of_edges 8
+    [
+      (casey, 1, 17.);  (* Clooney *)
+      (casey, 2, 18.);  (* De Niro *)
+      (casey, 3, 24.);  (* Pitt *)
+      (casey, 5, 23.);  (* Roberts *)
+      (casey, 7, 28.);  (* Monaghan *)
+      (1, 3, 12.);      (* the Ocean's trio know each other well *)
+      (1, 5, 10.);
+      (3, 5, 14.);
+      (0, 3, 8.);       (* Jolie - Pitt *)
+      (0, 1, 19.);
+      (0, 5, 21.);      (* Jolie - Roberts *)
+      (4, 1, 20.);      (* Damon - Clooney *)
+      (4, 3, 26.);
+      (4, 5, 25.);      (* Damon - Roberts *)
+      (2, 4, 30.);
+    ]
+
+let show_group attendees =
+  String.concat ", " (List.map (fun v -> names.(v)) attendees)
+
+(* Schedules over one evening: six half-hour slots from 18:00. *)
+let horizon = 6
+
+let schedule free_slots =
+  let a = Timetable.Availability.create ~horizon in
+  List.iter (fun slot -> Timetable.Availability.set_free a slot slot) free_slots;
+  a
+
+let schedules =
+  [|
+    schedule [ 1; 2; 3; 4 ];          (* Jolie *)
+    schedule [ 0; 1; 2; 3; 4 ];       (* Clooney *)
+    schedule [ 1; 2; 3; 4; 5 ];       (* De Niro *)
+    schedule [ 0; 1; 2; 3; 4; 5 ];    (* Pitt *)
+    schedule [ 0; 2; 3; 4 ];          (* Damon *)
+    schedule [ 1; 2; 3; 5 ];          (* Roberts: late start, one gap *)
+    schedule [ 1; 2; 3; 4 ];          (* Casey *)
+    schedule [ 0; 1; 2; 3; 5 ];       (* Monaghan *)
+  |]
+
+let () =
+  let instance = { Query.graph; initiator = casey } in
+  Format.printf "Casey Affleck plans a movie night (p = 4 seats, radius s = 1).@.@.";
+
+  (* 1. Closest friends, acquaintance unconstrained (k = 3 is vacuous at p=4). *)
+  (match Sgselect.solve instance { Query.p = 4; s = 1; k = 3 } with
+  | Some { attendees; total_distance } ->
+      Format.printf "Without an acquaintance bound:@.  %s  (total distance %g)@."
+        (show_group attendees) total_distance;
+      Format.printf "  ...but do they all know each other?@.@."
+  | None -> assert false);
+
+  (* 2. Everyone must know everyone: k = 0. *)
+  (match Sgselect.solve instance { Query.p = 4; s = 1; k = 0 } with
+  | Some { attendees; total_distance } ->
+      Format.printf "With k = 0 (mutual acquaintances only):@.  %s  (total distance %g)@.@."
+        (show_group attendees) total_distance
+  | None -> assert false);
+
+  (* 3. Add the calendar: a 3-slot (90-minute) screening. *)
+  let ti = { Query.social = instance; schedules } in
+  (match Stgselect.solve ti { Query.p = 4; s = 1; k = 0; m = 3 } with
+  | Some { st_attendees; st_total_distance; start_slot } ->
+      Format.printf
+        "STGQ with m = 3 half-hour slots:@.  %s@.  total distance %g, screening slots %d-%d@.@."
+        (show_group st_attendees) st_total_distance start_slot (start_slot + 2)
+  | None -> Format.printf "No common 90-minute window exists.@.@.");
+
+  (* Widening the circle: s = 2 brings friends of friends in. *)
+  match Sgselect.solve instance { Query.p = 6; s = 2; k = 2 } with
+  | Some { attendees; total_distance } ->
+      Format.printf "A bigger outing (p = 6, s = 2, k = 2):@.  %s  (total distance %g)@."
+        (show_group attendees) total_distance
+  | None -> Format.printf "No qualifying group of six.@."

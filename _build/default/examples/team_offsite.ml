@@ -1,0 +1,71 @@
+(* Team offsite: how the social knobs change the answer.
+
+   Sweeps the acquaintance bound k and the radius s for a fixed initiator
+   on the 194-person dataset, showing the distance/cohesion trade-off the
+   paper motivates in §3.1, then books the offsite with a full STGQ.
+
+   Run with: dune exec examples/team_offsite.exe *)
+
+open Stgq_core
+
+let () =
+  let ti = Workload.Scenario.people194 ~seed:99 ~days:7 () in
+  let instance = ti.Query.social in
+  let p = 5 in
+
+  Format.printf "Offsite for %d people around initiator #%d.@.@." p
+    instance.Query.initiator;
+
+  (* Sweep k at s = 1: tighter acquaintance -> higher distance. *)
+  let rows_k =
+    List.filter_map
+      (fun k ->
+        match Sgselect.solve_report instance { Query.p; s = 1; k } with
+        | { Stgq_core.Sgselect.solution = Some { total_distance; attendees }; stats; _ } ->
+            Some
+              [
+                string_of_int k;
+                Printf.sprintf "%.1f" total_distance;
+                String.concat " " (List.map string_of_int attendees);
+                string_of_int stats.Search_core.nodes;
+              ]
+        | { Stgq_core.Sgselect.solution = None; _ } ->
+            Some [ string_of_int k; "infeasible"; "-"; "-" ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  print_endline
+    (Report.table ~title:"Acquaintance sweep (s=1): cohesion costs distance"
+       ~header:[ "k"; "total distance"; "group"; "search nodes" ]
+       rows_k);
+  print_newline ();
+
+  (* Sweep s at k = 2: a wider circle can only help. *)
+  let rows_s =
+    List.map
+      (fun s ->
+        let report = Sgselect.solve_report instance { Query.p; s; k = 2 } in
+        match report.Stgq_core.Sgselect.solution with
+        | Some { total_distance; _ } ->
+            [
+              string_of_int s;
+              string_of_int report.Stgq_core.Sgselect.feasible_size;
+              Printf.sprintf "%.1f" total_distance;
+            ]
+        | None -> [ string_of_int s; string_of_int report.Stgq_core.Sgselect.feasible_size; "infeasible" ])
+      [ 1; 2; 3 ]
+  in
+  print_endline
+    (Report.table ~title:"Radius sweep (k=2): wider circles never hurt"
+       ~header:[ "s"; "|V_F|"; "total distance" ]
+       rows_s);
+  print_newline ();
+
+  (* Book it: a half-day (8 slots = 4 hours) within the week. *)
+  match Stgselect.solve ti { Query.p; s = 2; k = 2; m = 8 } with
+  | Some { st_attendees; st_total_distance; start_slot } ->
+      Format.printf "Booked: %s - %s with %s (distance %.1f).@."
+        (Timetable.Slot.to_string start_slot)
+        (Timetable.Slot.to_string (start_slot + 7))
+        (String.concat ", " (List.map string_of_int st_attendees))
+        st_total_distance
+  | None -> Format.printf "No half-day window fits this team; try m=4.@."

@@ -1,0 +1,1 @@
+lib/core/astar.ml: Array Feasible Float Fun List Option Pqueue Query

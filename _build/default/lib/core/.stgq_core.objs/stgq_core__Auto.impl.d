@@ -1,0 +1,1 @@
+lib/core/auto.ml: Feasible Heuristics Query Sgselect Stgselect

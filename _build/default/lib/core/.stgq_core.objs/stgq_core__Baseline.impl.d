@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Feasible Fun List Option Query Search_core Timetable

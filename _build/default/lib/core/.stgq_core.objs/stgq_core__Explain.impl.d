@@ -1,0 +1,1 @@
+lib/core/explain.ml: Float Format List Query Socgraph String Timetable

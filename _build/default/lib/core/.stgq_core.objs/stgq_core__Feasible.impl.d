@@ -1,0 +1,1 @@
+lib/core/feasible.ml: Array Bitset Float List Query Socgraph

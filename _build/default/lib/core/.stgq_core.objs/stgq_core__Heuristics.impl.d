@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Feasible Fun List Option Pqueue Query Timetable

@@ -1,0 +1,1 @@
+lib/core/ip_model.ml: Array Bitset Feasible Fun Hashtbl Ilp List Lp Query Socgraph Timetable

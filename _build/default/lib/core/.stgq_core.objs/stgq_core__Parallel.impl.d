@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Domain Feasible List Option Query Search_core Timetable

@@ -1,0 +1,1 @@
+lib/core/pcarrange.ml: Array Feasible Fun List Query Timetable

@@ -1,0 +1,1 @@
+lib/core/pcarrange.mli: Query

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Bitset Feasible Option Query Search_core Timetable

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Query Search_core Timetable

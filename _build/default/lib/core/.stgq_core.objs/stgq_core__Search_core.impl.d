@@ -1,0 +1,1 @@
+lib/core/search_core.ml: Array Bitset Feasible Float Fun List Timetable

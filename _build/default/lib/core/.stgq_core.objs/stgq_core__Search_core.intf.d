@@ -1,0 +1,1 @@
+lib/core/search_core.mli: Feasible Timetable

@@ -1,0 +1,1 @@
+lib/core/service.ml: Array Feasible Hashtbl List Logs Query Search_core Sgselect Socgraph Stgselect Timetable

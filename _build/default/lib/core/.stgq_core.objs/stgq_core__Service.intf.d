@@ -1,0 +1,1 @@
+lib/core/service.mli: Query Search_core Socgraph Timetable

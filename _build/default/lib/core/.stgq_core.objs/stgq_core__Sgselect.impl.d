@@ -1,0 +1,1 @@
+lib/core/sgselect.ml: Array Feasible Heuristics Logs Option Printf Query Search_core

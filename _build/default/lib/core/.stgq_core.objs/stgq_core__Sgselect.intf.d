@@ -1,0 +1,1 @@
+lib/core/sgselect.mli: Feasible Query Search_core

@@ -1,0 +1,1 @@
+lib/core/stgarrange.ml: Option Pcarrange Query Stgselect

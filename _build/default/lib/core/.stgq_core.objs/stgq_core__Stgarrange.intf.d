@@ -1,0 +1,1 @@
+lib/core/stgarrange.mli: Pcarrange Query Search_core

@@ -1,0 +1,1 @@
+lib/core/stgselect.ml: Array Feasible Heuristics List Logs Option Printf Query Search_core Timetable

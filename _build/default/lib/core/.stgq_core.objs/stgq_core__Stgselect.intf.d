@@ -1,0 +1,1 @@
+lib/core/stgselect.mli: Feasible Query Search_core

@@ -1,0 +1,1 @@
+lib/core/topk.ml: Array Feasible Hashtbl List Pqueue Query Search_core Timetable

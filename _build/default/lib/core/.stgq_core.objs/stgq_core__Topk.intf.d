@@ -1,0 +1,1 @@
+lib/core/topk.mli: Query Search_core

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Float Format List Query Socgraph Timetable

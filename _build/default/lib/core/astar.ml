@@ -1,0 +1,92 @@
+type report = {
+  solution : Query.sg_solution option;
+  nodes_expanded : int;
+  max_frontier : int;
+}
+
+type node = {
+  f : float;          (* g + h, the priority *)
+  g : float;          (* committed distance *)
+  group : int list;   (* sub-ids, q included *)
+  size : int;
+  next : int;         (* extensions use candidate indices >= next *)
+}
+
+let solve_report ?(node_limit = max_int) (instance : Query.instance)
+    (query : Query.sgq) =
+  Query.check_sgq query;
+  Query.check_instance instance;
+  let fg = Feasible.extract instance ~s:query.s in
+  let q = fg.Feasible.q in
+  let cands =
+    List.init (Feasible.size fg) Fun.id
+    |> List.filter (fun v -> v <> q)
+    |> List.sort (fun a b -> compare (fg.Feasible.dist.(a), a) (fg.Feasible.dist.(b), b))
+    |> Array.of_list
+  in
+  let n = Array.length cands in
+  (* prefix.(i) = sum of the first i candidate distances, so the cheapest
+     possible completion from index [next] with [r] members costs
+     prefix.(next + r) - prefix.(next) — admissible because candidates
+     are distance-sorted. *)
+  let prefix = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. fg.Feasible.dist.(cands.(i))
+  done;
+  let h ~next ~size =
+    let r = query.p - size in
+    if next + r > n then infinity else prefix.(next + r) -. prefix.(next)
+  in
+  let acquaintance_ok group v =
+    let extended = v :: group in
+    List.for_all
+      (fun x ->
+        List.fold_left
+          (fun nn w -> if w <> x && not (Feasible.adjacent fg x w) then nn + 1 else nn)
+          0 extended
+        <= query.k)
+      extended
+  in
+  let frontier =
+    Pqueue.Heap.create ~cmp:(fun a b -> compare (a.f, a.size) (b.f, b.size))
+  in
+  let push node = if Float.is_finite node.f then Pqueue.Heap.add frontier node in
+  push { f = h ~next:0 ~size:1; g = 0.; group = [ q ]; size = 1; next = 0 };
+  let expanded = ref 0 and peak = ref 1 in
+  let solution = ref None in
+  while !solution = None && not (Pqueue.Heap.is_empty frontier) do
+    let node = Pqueue.Heap.pop frontier in
+    incr expanded;
+    if !expanded > node_limit then failwith "Astar.solve: node limit exceeded";
+    if node.size = query.p then solution := Some node
+    else
+      for i = node.next to n - 1 do
+        let v = cands.(i) in
+        if acquaintance_ok node.group v then begin
+          let g = node.g +. fg.Feasible.dist.(v) in
+          push
+            {
+              f = g +. h ~next:(i + 1) ~size:(node.size + 1);
+              g;
+              group = v :: node.group;
+              size = node.size + 1;
+              next = i + 1;
+            }
+        end
+      done;
+    peak := max !peak (Pqueue.Heap.size frontier)
+  done;
+  {
+    solution =
+      Option.map
+        (fun node ->
+          {
+            Query.attendees = Feasible.originals fg node.group;
+            total_distance = node.g;
+          })
+        !solution;
+    nodes_expanded = !expanded;
+    max_frontier = !peak;
+  }
+
+let solve ?node_limit instance query = (solve_report ?node_limit instance query).solution

@@ -1,0 +1,28 @@
+(** Best-first exact SGQ search — an alternative to SGSelect's
+    depth-first branch and bound.
+
+    Partial groups are explored in order of [g + h], where [g] is the
+    distance already committed and [h] the sum of the [p - |VS|] smallest
+    distances still selectable — an admissible bound, so the first
+    complete group dequeued is optimal.  Best-first search never explores
+    a node with [f] above the optimum (DFS may), at the price of holding
+    the frontier in memory; the E6 experiment measures the trade against
+    SGSelect.
+
+    Candidate extension follows increasing distance-order index, so each
+    group is enqueued exactly once; partial groups violating the
+    acquaintance bound are discarded on generation (the constraint is
+    monotone). *)
+
+type report = {
+  solution : Query.sg_solution option;
+  nodes_expanded : int;   (** states dequeued *)
+  max_frontier : int;     (** peak priority-queue size *)
+}
+
+(** [solve_report ?node_limit instance query] — best-first exact SGQ.
+    @raise Failure when more than [node_limit] states are dequeued
+    (default unlimited); memory is proportional to the frontier. *)
+val solve_report : ?node_limit:int -> Query.instance -> Query.sgq -> report
+
+val solve : ?node_limit:int -> Query.instance -> Query.sgq -> Query.sg_solution option

@@ -1,0 +1,179 @@
+exception Limit_exceeded
+
+type sg_report = {
+  solution : Query.sg_solution option;
+  groups_examined : int;
+  feasible_size : int;
+}
+
+(* Acquaintance check over sub-ids: every member may have at most [k]
+   non-neighbours among the other members. *)
+let acquaintance_ok fg ~k group =
+  let size = List.length group in
+  List.for_all
+    (fun v ->
+      let nbrs =
+        List.fold_left
+          (fun acc w -> if w <> v && Feasible.adjacent fg v w then acc + 1 else acc)
+          0 group
+      in
+      size - 1 - nbrs <= k)
+    group
+
+(* Enumerate all (p-1)-subsets of [candidates] joined with q, tracking the
+   best qualified group.  [candidates] is an int array of sub-ids. *)
+let enumerate fg ~p ~k ~candidates ~max_groups ~examined ~consider =
+  let q = fg.Feasible.q in
+  let n = Array.length candidates in
+  let chosen = Array.make (p - 1) 0 in
+  let rec go depth first td =
+    if depth = p - 1 then begin
+      incr examined;
+      if !examined > max_groups then raise Limit_exceeded;
+      let group = q :: Array.to_list chosen in
+      if acquaintance_ok fg ~k group then consider group td
+    end
+    else
+      for i = first to n - (p - 1 - depth) do
+        let v = candidates.(i) in
+        chosen.(depth) <- v;
+        go (depth + 1) (i + 1) (td +. fg.Feasible.dist.(v))
+      done
+  in
+  if p - 1 <= n then go 0 0 0.
+
+let sgq_brute ?(max_groups = max_int) instance (query : Query.sgq) =
+  Query.check_sgq query;
+  Query.check_instance instance;
+  let fg = Feasible.extract instance ~s:query.s in
+  let size = Feasible.size fg in
+  let candidates =
+    Array.of_list (List.filter (fun v -> v <> fg.Feasible.q) (List.init size Fun.id))
+  in
+  let examined = ref 0 in
+  let best = ref None in
+  let consider group td =
+    match !best with
+    | Some (btd, _) when td >= btd -. 1e-12 -> ()
+    | _ -> best := Some (td, group)
+  in
+  enumerate fg ~p:query.p ~k:query.k ~candidates ~max_groups ~examined ~consider;
+  let solution =
+    Option.map
+      (fun (td, group) ->
+        { Query.attendees = Feasible.originals fg group; total_distance = td })
+      !best
+  in
+  { solution; groups_examined = !examined; feasible_size = size }
+
+type stg_report = {
+  st_solution : Query.stg_solution option;
+  windows_scanned : int;
+  groups_examined : int;
+}
+
+(* Shared scaffolding of the per-period baselines: scan every start slot,
+   restrict candidates to members available throughout the window, solve
+   the social subproblem with [solve_window]. *)
+let per_window (ti : Query.temporal_instance) (query : Query.stgq) ~solve_window =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  let fg = Feasible.extract ti.social ~s:query.s in
+  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
+  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
+  let windows = ref 0 in
+  let best = ref None in
+  for start = 0 to horizon - query.m do
+    if Timetable.Availability.window_free avail.(fg.Feasible.q) ~start ~len:query.m
+    then begin
+      incr windows;
+      let eligible v =
+        Timetable.Availability.window_free avail.(v) ~start ~len:query.m
+      in
+      match solve_window fg ~eligible with
+      | None -> ()
+      | Some (td, group) -> (
+          match !best with
+          | Some (btd, _, _) when td >= btd -. 1e-12 -> ()
+          | _ -> best := Some (td, group, start))
+    end
+  done;
+  let st_solution =
+    Option.map
+      (fun (td, group, start) ->
+        {
+          Query.st_attendees = Feasible.originals fg group;
+          st_total_distance = td;
+          start_slot = start;
+        })
+      !best
+  in
+  (st_solution, !windows)
+
+(* The paper's "intuitive approach" resolves a complete, independent SGQ
+   per activity period: the radius graph is re-extracted for every window
+   and availability is checked slot by slot — none of the work is shared
+   across periods.  (The property-test oracle [stgq_brute] below shares
+   the extraction; only this benchmarked baseline models the naive cost.) *)
+let stgq_per_slot ?(config = Search_core.default_config) ti (query : Query.stgq) =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
+  let naive_window_free a start =
+    let rec go o = o >= query.m || (Timetable.Availability.available a (start + o) && go (o + 1)) in
+    go 0
+  in
+  let q0 = ti.social.Query.initiator in
+  let stats = Search_core.fresh_stats () in
+  let windows = ref 0 in
+  let best = ref None in
+  for start = 0 to horizon - query.m do
+    incr windows;
+    (* A full SGQ from scratch for this period: radius extraction, then a
+       slot-by-slot availability scan over every candidate. *)
+    let fg = Feasible.extract ti.social ~s:query.s in
+    let available =
+      Array.init (Feasible.size fg) (fun v ->
+          naive_window_free ti.schedules.(fg.Feasible.of_sub.(v)) start)
+    in
+    if available.(fg.Feasible.to_sub.(q0)) then begin
+      match
+        Search_core.solve_social
+          ~eligible:(fun v -> available.(v))
+          fg ~p:query.p ~k:query.k ~config ~stats
+      with
+      | None -> ()
+      | Some { Search_core.group; distance; _ } -> (
+          match !best with
+          | Some (btd, _, _) when distance >= btd -. 1e-12 -> ()
+          | _ -> best := Some (distance, Feasible.originals fg group, start))
+    end
+  done;
+  let st_solution =
+    Option.map
+      (fun (td, attendees, start) ->
+        { Query.st_attendees = attendees; st_total_distance = td; start_slot = start })
+      !best
+  in
+  { st_solution; windows_scanned = !windows; groups_examined = 0 }
+
+let stgq_brute ?(max_groups = max_int) ti (query : Query.stgq) =
+  let examined = ref 0 in
+  let solve_window fg ~eligible =
+    let size = Feasible.size fg in
+    let candidates =
+      Array.of_list
+        (List.filter (fun v -> v <> fg.Feasible.q && eligible v) (List.init size Fun.id))
+    in
+    let best = ref None in
+    let consider group td =
+      match !best with
+      | Some (btd, _) when td >= btd -. 1e-12 -> ()
+      | _ -> best := Some (td, group)
+    in
+    enumerate fg ~p:query.p ~k:query.k ~candidates ~max_groups ~examined ~consider;
+    !best
+    |> Option.map (fun (td, group) -> (td, group))
+  in
+  let st_solution, windows = per_window ti query ~solve_window in
+  { st_solution; windows_scanned = windows; groups_examined = !examined }

@@ -1,0 +1,41 @@
+(** The paper's comparison baselines (§5.2).
+
+    - SGQ baseline: enumerate all [C(f-1, p-1)] candidate groups and keep
+      the qualified one with minimum total social distance.
+    - STGQ baseline: scan every activity period of [m] slots and solve the
+      corresponding SGQ independently (the "intuitive approach" of §4).
+
+    [stgq_per_slot] solves each period with SGSelect — isolating the value
+    of the temporal strategies; [stgq_brute] uses the brute-force SGQ per
+    period and is the fully naive test oracle. *)
+
+exception Limit_exceeded
+(** Raised when [max_groups] enumerations are exceeded; benchmark
+    harnesses use it to cap exponential baseline runs. *)
+
+type sg_report = {
+  solution : Query.sg_solution option;
+  groups_examined : int;
+  feasible_size : int;
+}
+
+(** [sgq_brute ?max_groups instance query] enumerates candidate groups.
+    @raise Limit_exceeded when more than [max_groups] groups are visited. *)
+val sgq_brute : ?max_groups:int -> Query.instance -> Query.sgq -> sg_report
+
+type stg_report = {
+  st_solution : Query.stg_solution option;
+  windows_scanned : int;
+  groups_examined : int;  (** total across windows; [stgq_brute] only *)
+}
+
+(** [stgq_per_slot ?config ti query] — one SGSelect run per activity
+    period, as the paper's STGQ baseline. *)
+val stgq_per_slot :
+  ?config:Search_core.config -> Query.temporal_instance -> Query.stgq -> stg_report
+
+(** [stgq_brute ?max_groups ti query] — brute-force SGQ per period; the
+    ground-truth oracle for STGSelect property tests.
+    @raise Limit_exceeded as for [sgq_brute] (cumulative). *)
+val stgq_brute :
+  ?max_groups:int -> Query.temporal_instance -> Query.stgq -> stg_report

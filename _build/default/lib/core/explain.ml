@@ -1,0 +1,83 @@
+type attendee = {
+  vertex : int;
+  distance : float;
+  path : int list;
+  unacquainted : int list;
+}
+
+type t = {
+  initiator : int;
+  members : attendee list;
+  total_distance : float;
+  acquaintance_slack : int;
+  window : (int * int) option;
+}
+
+let build (instance : Query.instance) (query : Query.sgq) attendees total window =
+  let g = instance.graph and q = instance.initiator in
+  let members =
+    List.map
+      (fun v ->
+        let path, distance =
+          if v = q then ([ q ], 0.)
+          else
+            match Socgraph.Bounded_dist.shortest_path g ~src:q ~max_edges:query.s ~dst:v with
+            | Some witness -> witness
+            | None -> invalid_arg "Explain: attendee outside the social radius"
+        in
+        let unacquainted =
+          List.filter (fun w -> w <> v && not (Socgraph.Graph.adjacent g v w)) attendees
+        in
+        { vertex = v; distance; path; unacquainted })
+      attendees
+    |> List.sort (fun a b ->
+           compare (a.vertex <> q, a.distance, a.vertex) (b.vertex <> q, b.distance, b.vertex))
+  in
+  let worst =
+    List.fold_left (fun acc m -> max acc (List.length m.unacquainted)) 0 members
+  in
+  if worst > query.k then invalid_arg "Explain: acquaintance constraint violated";
+  let recomputed = List.fold_left (fun acc m -> acc +. m.distance) 0. members in
+  if Float.abs (recomputed -. total) > 1e-6 then
+    invalid_arg "Explain: reported distance does not match the graph";
+  {
+    initiator = q;
+    members;
+    total_distance = total;
+    acquaintance_slack = query.k - worst;
+    window;
+  }
+
+let sg instance query (solution : Query.sg_solution) =
+  Query.check_sgq query;
+  Query.check_instance instance;
+  build instance query solution.attendees solution.total_distance None
+
+let stg (ti : Query.temporal_instance) (query : Query.stgq)
+    (solution : Query.stg_solution) =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  build ti.social (Query.sgq_of_stgq query) solution.st_attendees
+    solution.st_total_distance
+    (Some (solution.start_slot, solution.start_slot + query.m - 1))
+
+let pp ?(name = string_of_int) ppf t =
+  Format.fprintf ppf "group of %d around %s, total distance %g@."
+    (List.length t.members) (name t.initiator) t.total_distance;
+  (match t.window with
+  | Some (lo, hi) ->
+      Format.fprintf ppf "meets %a .. %a@." Timetable.Slot.pp lo Timetable.Slot.pp hi
+  | None -> ());
+  Format.fprintf ppf "acquaintance slack: %d@." t.acquaintance_slack;
+  List.iter
+    (fun m ->
+      if m.vertex = t.initiator then
+        Format.fprintf ppf "  %s (initiator)@." (name m.vertex)
+      else begin
+        Format.fprintf ppf "  %s: distance %g via %s@." (name m.vertex) m.distance
+          (String.concat " -> " (List.map name m.path));
+        if m.unacquainted <> [] then
+          Format.fprintf ppf "    does not know: %s@."
+            (String.concat ", " (List.map name m.unacquainted))
+      end)
+    t.members

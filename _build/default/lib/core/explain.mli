@@ -1,0 +1,35 @@
+(** Human-readable solution explanations.
+
+    Answers the questions an initiator asks of a returned group: why is
+    each attendee within reach (the bounded shortest path realising
+    [d_{v,q}]), who does each attendee not know (the acquaintance slack),
+    and how cohesive is the group overall.  Powers the CLI's [explain]
+    output. *)
+
+type attendee = {
+  vertex : int;
+  distance : float;            (** s-edge minimum distance to q *)
+  path : int list;             (** a witness path, initiator first *)
+  unacquainted : int list;     (** fellow attendees without a direct edge *)
+}
+
+type t = {
+  initiator : int;
+  members : attendee list;       (** sorted by distance, initiator first *)
+  total_distance : float;
+  acquaintance_slack : int;
+      (** query [k] minus the worst unacquaintance in the group — how much
+          looser the group is than the constraint demanded *)
+  window : (int * int) option;   (** inclusive activity slots, STGQ only *)
+}
+
+(** [sg instance query solution] explains an SGQ solution.
+    @raise Invalid_argument if the solution is not valid for the query
+    (run {!Validate.check_sg} first for diagnostics). *)
+val sg : Query.instance -> Query.sgq -> Query.sg_solution -> t
+
+(** [stg ti query solution] explains an STGQ solution. *)
+val stg : Query.temporal_instance -> Query.stgq -> Query.stg_solution -> t
+
+(** [pp ?name ppf t] pretty-prints; [name] maps vertex ids to labels. *)
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Radius-graph extraction (§3.2.1).
+
+    Runs the Definition-1 dynamic program from the initiator and keeps the
+    vertices with finite [s]-edge minimum distance, yielding the feasible
+    graph [G_F] every query algorithm works on.  Vertices are re-indexed
+    to the compact range [0 .. size-1]; all search code operates on
+    sub-ids and translates back at the boundary. *)
+
+type t = {
+  sub : Socgraph.Graph.t;   (** induced feasible graph over sub-ids *)
+  of_sub : int array;       (** sub-id -> original vertex *)
+  to_sub : int array;       (** original vertex -> sub-id or [-1] *)
+  q : int;                  (** the initiator's sub-id *)
+  dist : float array;       (** sub-id -> s-edge minimum distance to q *)
+  nbr : Bitset.t array;     (** sub-id -> neighbour bitset in [sub] *)
+}
+
+(** [extract instance ~s] builds the feasible graph. *)
+val extract : Query.instance -> s:int -> t
+
+val size : t -> int
+
+(** [adjacent fg u v] is adjacency between sub-ids, O(1) via bitsets. *)
+val adjacent : t -> int -> int -> bool
+
+(** [total_distance fg subs] sums [dist] over a sub-id list. *)
+val total_distance : t -> int list -> float
+
+(** [originals fg subs] maps sub-ids back to sorted original ids. *)
+val originals : t -> int list -> int list

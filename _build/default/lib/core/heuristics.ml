@@ -1,0 +1,230 @@
+(* Both heuristics admit a candidate only when the partial group still
+   satisfies the acquaintance bound outright — a sound filter because
+   non-neighbour counts only grow as the group grows. *)
+
+let partial_ok fg ~k group v =
+  let nn_of x others =
+    List.fold_left
+      (fun acc w -> if w <> x && not (Feasible.adjacent fg x w) then acc + 1 else acc)
+      0 others
+  in
+  let extended = v :: group in
+  List.for_all (fun x -> nn_of x extended <= k) extended
+
+let candidates_by_distance fg =
+  List.init (Feasible.size fg) Fun.id
+  |> List.filter (fun v -> v <> fg.Feasible.q)
+  |> List.sort (fun a b -> compare (fg.Feasible.dist.(a), a) (fg.Feasible.dist.(b), b))
+
+(* ------------------------------------------------------------------ *)
+(* Greedy.                                                             *)
+
+let greedy_social fg ~p ~k ~eligible ~shrink =
+  (* [shrink group v] is the temporal hook: [Some state'] when the common
+     window survives adding [v].  For SGQ it always succeeds. *)
+  let rec go group size state = function
+    | _ when size = p -> Some (group, state)
+    | [] -> None
+    | v :: rest ->
+        if eligible v && partial_ok fg ~k group v then
+          match shrink state v with
+          | Some state' -> go (v :: group) (size + 1) state' rest
+          | None -> go group size state rest
+        else go group size state rest
+  in
+  go [ fg.Feasible.q ] 1 () (candidates_by_distance fg)
+  |> Option.map (fun (group, ()) -> group)
+
+let greedy_sgq (instance : Query.instance) (query : Query.sgq) =
+  Query.check_sgq query;
+  Query.check_instance instance;
+  let fg = Feasible.extract instance ~s:query.s in
+  if query.p = 1 then Some { Query.attendees = [ instance.initiator ]; total_distance = 0. }
+  else
+    greedy_social fg ~p:query.p ~k:query.k ~eligible:(fun _ -> true)
+      ~shrink:(fun () _ -> Some ())
+    |> Option.map (fun group ->
+           {
+             Query.attendees = Feasible.originals fg group;
+             total_distance = Feasible.total_distance fg group;
+           })
+
+(* Temporal runs around a pivot, shared by greedy and beam. *)
+let pivot_runs fg ~m ~avail pivot =
+  let h = Timetable.Availability.horizon avail.(fg.Feasible.q) in
+  let ilo, ihi = Timetable.Window.interval ~horizon:h ~m pivot in
+  let run v =
+    match Timetable.Availability.run_around avail.(v) pivot with
+    | Some (lo, hi) -> (max lo ilo, min hi ihi)
+    | None -> (1, 0)
+  in
+  Array.init (Feasible.size fg) run
+
+let greedy_stgq (ti : Query.temporal_instance) (query : Query.stgq) =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  let fg = Feasible.extract ti.social ~s:query.s in
+  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
+  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
+  let best = ref None in
+  let consider group start =
+    let td = Feasible.total_distance fg group in
+    match !best with
+    | Some (btd, _, _) when btd <= td +. 1e-12 -> ()
+    | _ -> best := Some (td, group, start)
+  in
+  List.iter
+    (fun pivot ->
+      let runs = pivot_runs fg ~m:query.m ~avail pivot in
+      let len (lo, hi) = hi - lo + 1 in
+      if len runs.(fg.Feasible.q) >= query.m then begin
+        let shrink (lo, hi) v =
+          let rlo, rhi = runs.(v) in
+          let lo' = max lo rlo and hi' = min hi rhi in
+          if hi' - lo' + 1 >= query.m then Some (lo', hi') else None
+        in
+        let start_state = runs.(fg.Feasible.q) in
+        let result =
+          if query.p = 1 then Some ([ fg.Feasible.q ], start_state)
+          else begin
+            let rec go group size state = function
+              | _ when size = query.p -> Some (group, state)
+              | [] -> None
+              | v :: rest ->
+                  if len runs.(v) >= query.m && partial_ok fg ~k:query.k group v then
+                    match shrink state v with
+                    | Some state' -> go (v :: group) (size + 1) state' rest
+                    | None -> go group size state rest
+                  else go group size state rest
+            in
+            go [ fg.Feasible.q ] 1 start_state (candidates_by_distance fg)
+          end
+        in
+        match result with
+        | Some (group, (lo, _)) -> consider group lo
+        | None -> ()
+      end)
+    (Timetable.Window.pivots ~horizon ~m:query.m);
+  Option.map
+    (fun (td, group, start) ->
+      {
+        Query.st_attendees = Feasible.originals fg group;
+        st_total_distance = td;
+        start_slot = start;
+      })
+    !best
+
+(* ------------------------------------------------------------------ *)
+(* Beam search.                                                        *)
+
+type 'state beam_node = {
+  group : int list;
+  size : int;
+  td : float;
+  next : int;      (* next candidate index: enumerate each set once *)
+  state : 'state;  (* temporal interval, or unit *)
+}
+
+let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state =
+  let cands = Array.of_list (candidates_by_distance fg) in
+  let f = Array.length cands in
+  let cmp a b = compare (a.td, a.group) (b.td, b.group) in
+  let level =
+    ref [ { group = [ fg.Feasible.q ]; size = 1; td = 0.; next = 0; state = init_state } ]
+  in
+  let result = ref None in
+  while !result = None && !level <> [] do
+    let keep = Pqueue.Bounded.create ~capacity:width ~cmp in
+    List.iter
+      (fun node ->
+        for i = node.next to f - 1 do
+          let v = cands.(i) in
+          if eligible v && partial_ok fg ~k node.group v then
+            match shrink node.state v with
+            | Some state' ->
+                ignore
+                  (Pqueue.Bounded.add keep
+                     {
+                       group = v :: node.group;
+                       size = node.size + 1;
+                       td = node.td +. fg.Feasible.dist.(v);
+                       next = i + 1;
+                       state = state';
+                     })
+            | None -> ()
+        done)
+      !level;
+    let next_level = Pqueue.Bounded.to_sorted_list keep in
+    (match next_level with
+    | best :: _ when best.size = p -> result := Some best
+    | _ -> ());
+    level := (if (match next_level with n :: _ -> n.size = p | [] -> true) then [] else next_level)
+  done;
+  !result
+
+let beam_sgq ?(width = 32) (instance : Query.instance) (query : Query.sgq) =
+  Query.check_sgq query;
+  Query.check_instance instance;
+  if width < 1 then invalid_arg "Heuristics.beam_sgq: width must be >= 1";
+  let fg = Feasible.extract instance ~s:query.s in
+  if query.p = 1 then Some { Query.attendees = [ instance.initiator ]; total_distance = 0. }
+  else
+    beam_social fg ~p:query.p ~k:query.k ~width ~eligible:(fun _ -> true)
+      ~shrink:(fun () _ -> Some ())
+      ~init_state:()
+    |> Option.map (fun node ->
+           {
+             Query.attendees = Feasible.originals fg node.group;
+             total_distance = node.td;
+           })
+
+let beam_stgq ?(width = 32) (ti : Query.temporal_instance) (query : Query.stgq) =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  if width < 1 then invalid_arg "Heuristics.beam_stgq: width must be >= 1";
+  let fg = Feasible.extract ti.social ~s:query.s in
+  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
+  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
+  let best = ref None in
+  List.iter
+    (fun pivot ->
+      let runs = pivot_runs fg ~m:query.m ~avail pivot in
+      let len (lo, hi) = hi - lo + 1 in
+      if len runs.(fg.Feasible.q) >= query.m then begin
+        let shrink (lo, hi) v =
+          let rlo, rhi = runs.(v) in
+          let lo' = max lo rlo and hi' = min hi rhi in
+          if hi' - lo' + 1 >= query.m then Some (lo', hi') else None
+        in
+        let found =
+          if query.p = 1 then
+            Some
+              {
+                group = [ fg.Feasible.q ];
+                size = 1;
+                td = 0.;
+                next = 0;
+                state = runs.(fg.Feasible.q);
+              }
+          else
+            beam_social fg ~p:query.p ~k:query.k ~width
+              ~eligible:(fun v -> len runs.(v) >= query.m)
+              ~shrink ~init_state:runs.(fg.Feasible.q)
+        in
+        match found with
+        | Some node -> (
+            let lo, _ = node.state in
+            match !best with
+            | Some (btd, _, _) when btd <= node.td +. 1e-12 -> ()
+            | _ -> best := Some (node.td, node.group, lo))
+        | None -> ()
+      end)
+    (Timetable.Window.pivots ~horizon ~m:query.m);
+  Option.map
+    (fun (td, group, start) ->
+      {
+        Query.st_attendees = Feasible.originals fg group;
+        st_total_distance = td;
+        start_slot = start;
+      })
+    !best

@@ -1,0 +1,34 @@
+(** Inexact solvers for instances beyond exact reach.
+
+    SGQ/STGQ are NP-hard; SGSelect/STGSelect are exponential in the worst
+    case.  For very large feasible graphs or tight latency budgets these
+    heuristics trade optimality for a polynomial bound:
+
+    - {b greedy}: scan candidates in ascending social distance, admit a
+      candidate whenever the partial group still satisfies the
+      acquaintance bound (and, temporally, still shares an [m]-window).
+      O(f·p) adjacency work; may fail where a solution exists.
+    - {b beam}: breadth-first over partial groups keeping the [width]
+      best per level, scored by current distance plus an optimistic
+      completion bound.  Approaches the optimum as [width] grows;
+      [width = 1] ≈ greedy, a few dozen is usually near-exact.
+
+    Both return constraint-valid solutions only (checked by the same
+    monotone feasibility predicates the exact search uses); their
+    distance is an upper bound on the optimum — benchmarked against exact
+    in the harness's quality table. *)
+
+(** [greedy_sgq instance query] — greedy SGQ. *)
+val greedy_sgq : Query.instance -> Query.sgq -> Query.sg_solution option
+
+(** [greedy_stgq ti query] — greedy STGQ: per pivot slot, greedy over the
+    members available there; best pivot wins. *)
+val greedy_stgq : Query.temporal_instance -> Query.stgq -> Query.stg_solution option
+
+(** [beam_sgq ?width instance query] — beam-search SGQ ([width] default
+    32). *)
+val beam_sgq : ?width:int -> Query.instance -> Query.sgq -> Query.sg_solution option
+
+(** [beam_stgq ?width ti query] — beam-search STGQ over pivot slots. *)
+val beam_stgq :
+  ?width:int -> Query.temporal_instance -> Query.stgq -> Query.stg_solution option

@@ -1,0 +1,37 @@
+(** The Integer Programming formulation of Appendix D, solved with the
+    from-scratch {!Ilp} branch-and-bound (the CPLEX substitution).
+
+    Two formulations are provided:
+
+    - [Full_form] — the literal Appendix-D model: binary selection
+      variables [φ_u], continuous distances [δ_u], and per-target binary
+      flow variables [π_{u,i,j}] with constraints (1)-(10).  Its
+      [O(|V|·|E|)] binaries are tractable for our solver only on small
+      graphs; it exists to validate the formulation itself.
+    - [Group_form] — the same NP-hard core with [d_{v,q}] precomputed by
+      the Definition-1 dynamic program (as SGSelect does), leaving the
+      [φ_u]/[τ_t] variables and constraints (1)-(3), (9)-(10).  This is
+      the variant benchmarked as "IP" (see DESIGN.md, substitution 1).
+
+    Both produce provably optimal solutions and are checked against
+    SGSelect/STGSelect in the test suite. *)
+
+type form = Group_form | Full_form
+
+type 'a outcome = {
+  result : 'a option;         (** [None] = model infeasible *)
+  ilp_stats : Ilp.stats;
+}
+
+(** [solve_sgq ?form ?node_limit instance query] — optimal SGQ answer via
+    integer programming.
+    @raise Failure when [node_limit] branch-and-bound nodes are exceeded. *)
+val solve_sgq :
+  ?form:form -> ?node_limit:int -> Query.instance -> Query.sgq ->
+  Query.sg_solution outcome
+
+(** [solve_stgq ?form ?node_limit ti query] — optimal STGQ answer,
+    including the start-slot variables [τ_t] (constraints (9)-(10)). *)
+val solve_stgq :
+  ?form:form -> ?node_limit:int -> Query.temporal_instance -> Query.stgq ->
+  Query.stg_solution outcome

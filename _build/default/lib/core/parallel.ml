@@ -1,0 +1,62 @@
+type report = {
+  solution : Query.stg_solution option;
+  domains_used : int;
+  total_nodes : int;
+}
+
+let round_robin chunks items =
+  let buckets = Array.make chunks [] in
+  List.iteri (fun i x -> buckets.(i mod chunks) <- x :: buckets.(i mod chunks)) items;
+  Array.map List.rev buckets
+
+let solve_report ?(config = Search_core.default_config) ?domains
+    (ti : Query.temporal_instance) (query : Query.stgq) =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  let fg = Feasible.extract ti.social ~s:query.s in
+  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
+  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
+  let pivots = Timetable.Window.pivots ~horizon ~m:query.m in
+  let wanted =
+    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
+  in
+  let n_domains = max 1 (min wanted (List.length pivots)) in
+  let buckets = round_robin n_domains pivots in
+  let run bucket =
+    let stats = Search_core.fresh_stats () in
+    let found =
+      Search_core.solve_temporal fg ~p:query.p ~k:query.k ~m:query.m ~horizon ~avail
+        ~pivots:bucket ~config ~stats
+    in
+    (found, stats.Search_core.nodes)
+  in
+  let handles =
+    Array.map (fun bucket -> Domain.spawn (fun () -> run bucket)) buckets
+  in
+  let results = Array.map Domain.join handles in
+  let total_nodes = Array.fold_left (fun acc (_, n) -> acc + n) 0 results in
+  let key (f : Search_core.found) =
+    (f.distance, f.window_start, List.sort compare f.group)
+  in
+  let best =
+    Array.fold_left
+      (fun acc (found, _) ->
+        match (acc, found) with
+        | None, f -> f
+        | Some a, Some b -> if key b < key a then Some b else Some a
+        | Some a, None -> Some a)
+      None results
+  in
+  let solution =
+    Option.map
+      (fun { Search_core.group; distance; window_start } ->
+        {
+          Query.st_attendees = Feasible.originals fg group;
+          st_total_distance = distance;
+          start_slot = Option.get window_start;
+        })
+      best
+  in
+  { solution; domains_used = n_domains; total_nodes }
+
+let solve ?config ?domains ti query = (solve_report ?config ?domains ti query).solution

@@ -1,0 +1,28 @@
+(** Multicore STGSelect: pivot time slots fanned out across domains.
+
+    The paper observes (§5.2) that CPLEX exploits its 8 cores while
+    SGSelect/STGSelect are single-threaded; pivot slots are embarrassingly
+    parallel, so this extension closes that gap.  Each domain owns a full
+    search state over a disjoint pivot subset (round-robin, so busy
+    regions spread out); the feasible graph and schedules are shared
+    read-only.  The incumbent bound is not shared across domains — each
+    explores slightly more than the sequential run, the classic
+    work-vs-parallelism trade measured by ablation A6. *)
+
+type report = {
+  solution : Query.stg_solution option;
+  domains_used : int;
+  total_nodes : int;  (** summed across domains *)
+}
+
+(** [solve ?config ?domains ti query] — [domains] defaults to
+    [Domain.recommended_domain_count ()], capped by the pivot count.
+    Result ties are broken by (distance, start slot, attendees), making
+    the outcome deterministic and equal in distance to {!Stgselect}. *)
+val solve :
+  ?config:Search_core.config -> ?domains:int ->
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution option
+
+val solve_report :
+  ?config:Search_core.config -> ?domains:int ->
+  Query.temporal_instance -> Query.stgq -> report

@@ -1,0 +1,30 @@
+(** PCArrange — the manual phone-coordination baseline of §5.1.
+
+    Models how an initiator plans by phone, following the paper's
+    description ("sequentially invites close friends first and then finds
+    out the common available time slots"):
+
+    + invite the [p - 1] socially closest candidates;
+    + commit to the activity period that suits the most invitees
+      (earliest on ties);
+    + backfill declined seats with the next-closest candidates free at
+      the committed time.
+
+    Inviting before consulting calendars and committing to a single
+    period are the two lossy steps of manual coordination; STGSelect
+    optimises across both.  No acquaintance constraint is enforced — the
+    {e observed} bound [k_h] (the largest number of unacquainted others
+    any attendee ends up with) is reported instead, exactly as the paper
+    measures it in Fig. 1(g). *)
+
+type result = {
+  attendees : int list;      (** sorted, includes the initiator *)
+  total_distance : float;
+  start_slot : int;          (** earliest common window *)
+  observed_k : int;          (** [k_h] *)
+  calls_made : int;          (** phone calls placed, for narrative *)
+}
+
+(** [run ti ~p ~s ~m] — [None] when even calling every radius-[s]
+    candidate cannot assemble [p] attendees with a common window. *)
+val run : Query.temporal_instance -> p:int -> s:int -> m:int -> result option

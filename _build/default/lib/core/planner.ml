@@ -1,0 +1,97 @@
+type update_stats = {
+  pivots_total : int;
+  pivots_recomputed : int;
+}
+
+type t = {
+  config : Search_core.config;
+  query : Query.stgq;
+  fg : Feasible.t;
+  horizon : int;
+  schedules : Timetable.Availability.t array;  (* by original vertex id *)
+  avail : Timetable.Availability.t array;      (* by sub-id, aliases schedules *)
+  pivots : int array;
+  cache : Search_core.found option array;      (* per-pivot optimum *)
+}
+
+let solve_pivot t pivot =
+  let stats = Search_core.fresh_stats () in
+  Search_core.solve_temporal t.fg ~p:t.query.Query.p ~k:t.query.Query.k
+    ~m:t.query.Query.m ~horizon:t.horizon ~avail:t.avail ~pivots:[ pivot ]
+    ~config:t.config ~stats
+
+let create ?(config = Search_core.default_config) (ti : Query.temporal_instance)
+    (query : Query.stgq) =
+  Query.check_stgq query;
+  Query.check_temporal_instance ti;
+  let fg = Feasible.extract ti.social ~s:query.s in
+  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
+  let schedules = Array.map Timetable.Availability.copy ti.schedules in
+  let avail = Array.map (fun orig -> schedules.(orig)) fg.Feasible.of_sub in
+  let pivots = Array.of_list (Timetable.Window.pivots ~horizon ~m:query.m) in
+  let t =
+    { config; query; fg; horizon; schedules; avail; pivots; cache = Array.map (fun _ -> None) pivots }
+  in
+  Array.iteri (fun i pivot -> t.cache.(i) <- solve_pivot t pivot) pivots;
+  t
+
+let solution t =
+  let best =
+    Array.fold_left
+      (fun acc found ->
+        match (acc, found) with
+        | None, f -> f
+        | Some a, Some b ->
+            let key (f : Search_core.found) =
+              (f.Search_core.distance, f.Search_core.window_start)
+            in
+            if key b < key a then Some b else Some a
+        | Some a, None -> Some a)
+      None t.cache
+  in
+  Option.map
+    (fun { Search_core.group; distance; window_start } ->
+      {
+        Query.st_attendees = Feasible.originals t.fg group;
+        st_total_distance = distance;
+        start_slot = Option.get window_start;
+      })
+    best
+
+let update_schedule t ~vertex schedule =
+  if vertex < 0 || vertex >= Array.length t.schedules then
+    invalid_arg "Planner.update_schedule: vertex out of range";
+  if Timetable.Availability.horizon schedule <> t.horizon then
+    invalid_arg "Planner.update_schedule: horizon mismatch";
+  let old_schedule = t.schedules.(vertex) in
+  let changed slot =
+    Timetable.Availability.available old_schedule slot
+    <> Timetable.Availability.available schedule slot
+  in
+  let dirty_pivot pivot =
+    let lo, hi = Timetable.Window.interval ~horizon:t.horizon ~m:t.query.Query.m pivot in
+    let rec scan slot = slot <= hi && (changed slot || scan (slot + 1)) in
+    scan lo
+  in
+  let dirty =
+    (* Only members of the feasible graph influence results, but the
+       schedule copy is refreshed regardless. *)
+    if t.fg.Feasible.to_sub.(vertex) < 0 then [||]
+    else Array.map dirty_pivot t.pivots
+  in
+  (* Install the new calendar in place so the sub-id aliases see it. *)
+  let bits_new = Timetable.Availability.bits schedule in
+  let bits_old = Timetable.Availability.bits old_schedule in
+  Bitset.fill bits_old false;
+  Bitset.iter (fun slot -> Bitset.set bits_old slot) bits_new;
+  let recomputed = ref 0 in
+  Array.iteri
+    (fun i pivot ->
+      if i < Array.length dirty && dirty.(i) then begin
+        incr recomputed;
+        t.cache.(i) <- solve_pivot t pivot
+      end)
+    t.pivots;
+  { pivots_total = Array.length t.pivots; pivots_recomputed = !recomputed }
+
+let schedules t = Array.map Timetable.Availability.copy t.schedules

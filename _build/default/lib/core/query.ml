@@ -1,0 +1,77 @@
+type sgq = {
+  p : int;
+  s : int;
+  k : int;
+}
+
+type stgq = {
+  p : int;
+  s : int;
+  k : int;
+  m : int;
+}
+
+type instance = {
+  graph : Socgraph.Graph.t;
+  initiator : int;
+}
+
+type temporal_instance = {
+  social : instance;
+  schedules : Timetable.Availability.t array;
+}
+
+type sg_solution = {
+  attendees : int list;
+  total_distance : float;
+}
+
+type stg_solution = {
+  st_attendees : int list;
+  st_total_distance : float;
+  start_slot : int;
+}
+
+let check_sgq ({ p; s; k } : sgq) =
+  if p < 1 then invalid_arg "Query: p must be >= 1";
+  if s < 1 then invalid_arg "Query: s must be >= 1";
+  if k < 0 then invalid_arg "Query: k must be >= 0"
+
+let check_stgq ({ p; s; k; m } : stgq) =
+  check_sgq { p; s; k };
+  if m < 1 then invalid_arg "Query: m must be >= 1"
+
+let check_instance { graph; initiator } =
+  if initiator < 0 || initiator >= Socgraph.Graph.n_vertices graph then
+    invalid_arg "Query: initiator out of range"
+
+let check_temporal_instance { social; schedules } =
+  check_instance social;
+  let n = Socgraph.Graph.n_vertices social.graph in
+  if Array.length schedules <> n then
+    invalid_arg "Query: need exactly one schedule per vertex";
+  if n > 0 then begin
+    let h = Timetable.Availability.horizon schedules.(0) in
+    Array.iter
+      (fun a ->
+        if Timetable.Availability.horizon a <> h then
+          invalid_arg "Query: schedules have mismatched horizons")
+      schedules
+  end
+
+let sgq_of_stgq { p; s; k; m = _ } = { p; s; k }
+
+let pp_sg_solution ppf { attendees; total_distance } =
+  Format.fprintf ppf "group {%a}, total distance %g"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    attendees total_distance
+
+let pp_stg_solution ~m ppf { st_attendees; st_total_distance; start_slot } =
+  Format.fprintf ppf "group {%a}, total distance %g, period %a .. %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    st_attendees st_total_distance Timetable.Slot.pp start_slot Timetable.Slot.pp
+    (start_slot + m - 1)

@@ -1,0 +1,546 @@
+type config = {
+  theta0 : int;
+  phi0 : int;
+  phi_threshold : int;
+  use_access_ordering : bool;
+  use_distance_pruning : bool;
+  use_acquaintance_pruning : bool;
+  unsafe_lemma3 : bool;
+  use_availability_pruning : bool;
+}
+
+let default_config =
+  {
+    theta0 = 2;
+    phi0 = 2;
+    phi_threshold = 6;
+    use_access_ordering = true;
+    use_distance_pruning = true;
+    use_acquaintance_pruning = true;
+    unsafe_lemma3 = false;
+    use_availability_pruning = true;
+  }
+
+type stats = {
+  mutable nodes : int;
+  mutable includes : int;
+  mutable pruned_distance : int;
+  mutable pruned_acquaintance : int;
+  mutable pruned_availability : int;
+  mutable removed_exterior : int;
+  mutable removed_interior : int;
+  mutable removed_temporal : int;
+}
+
+let fresh_stats () =
+  {
+    nodes = 0;
+    includes = 0;
+    pruned_distance = 0;
+    pruned_acquaintance = 0;
+    pruned_availability = 0;
+    removed_exterior = 0;
+    removed_interior = 0;
+    removed_temporal = 0;
+  }
+
+type found = {
+  group : int list;
+  distance : float;
+  window_start : int option;
+}
+
+(* Where complete qualified groups are delivered.  [bound] feeds Lemma 2:
+   a node is pruned when no completion can get strictly below it. *)
+type sink = {
+  offer : found -> unit;
+  bound : unit -> float;
+}
+
+(* Temporal context of the pivot slot currently explored.  [run_lo/run_hi]
+   is the member's maximal available run containing the pivot, clipped to
+   the pivot interval ([lo > hi] encodes "not available at the pivot");
+   [unavail.(t - ilo)] counts VA members unavailable at slot [t];
+   [ts_lo..ts_hi] is TS, the common run of the vertices in VS. *)
+type temporal = {
+  m : int;
+  pivot : int;
+  ilo : int;
+  ihi : int;
+  run_lo : int array;
+  run_hi : int array;
+  unavail : int array;
+  av : Timetable.Availability.t array;
+  mutable ts_lo : int;
+  mutable ts_hi : int;
+}
+
+type state = {
+  fg : Feasible.t;
+  p : int;
+  k : int;
+  cfg : config;
+  stats : stats;
+  order : int array;    (* candidate pick order *)
+  by_dist : int array;  (* always distance-sorted, for min-distance scans *)
+  in_vs : bool array;
+  in_va : bool array;
+  nbr_vs : int array;   (* per vertex: #neighbours currently in VS *)
+  nbr_va : int array;   (* per vertex: #neighbours currently in VA *)
+  visited : int array;  (* round id at which the vertex was last examined *)
+  mutable round : int;
+  mutable vs_size : int;
+  mutable va_size : int;
+  mutable vs_list : int list;
+  mutable td : float;
+  mutable sum_nbr_va : int;  (* Σ_{v∈VA} nbr_va(v), maintained incrementally *)
+  sink : sink;
+  temporal : temporal option;
+}
+
+let eps = 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* State transitions, all O(deg) with exact inverses.                  *)
+
+let unavail_adjust tc v delta =
+  for t = tc.ilo to tc.ihi do
+    if not (Timetable.Availability.available tc.av.(v) t) then
+      tc.unavail.(t - tc.ilo) <- tc.unavail.(t - tc.ilo) + delta
+  done
+
+let remove_from_va st v =
+  st.in_va.(v) <- false;
+  st.va_size <- st.va_size - 1;
+  st.sum_nbr_va <- st.sum_nbr_va - st.nbr_va.(v);
+  Bitset.iter
+    (fun w ->
+      st.nbr_va.(w) <- st.nbr_va.(w) - 1;
+      if st.in_va.(w) then st.sum_nbr_va <- st.sum_nbr_va - 1)
+    st.fg.nbr.(v);
+  match st.temporal with Some tc -> unavail_adjust tc v (-1) | None -> ()
+
+let restore_to_va st v =
+  Bitset.iter
+    (fun w ->
+      st.nbr_va.(w) <- st.nbr_va.(w) + 1;
+      if st.in_va.(w) then st.sum_nbr_va <- st.sum_nbr_va + 1)
+    st.fg.nbr.(v);
+  st.in_va.(v) <- true;
+  st.va_size <- st.va_size + 1;
+  st.sum_nbr_va <- st.sum_nbr_va + st.nbr_va.(v);
+  match st.temporal with Some tc -> unavail_adjust tc v 1 | None -> ()
+
+(* Returns the TS interval to restore on undo. *)
+let add_to_vs st v =
+  remove_from_va st v;
+  st.in_vs.(v) <- true;
+  st.vs_size <- st.vs_size + 1;
+  st.vs_list <- v :: st.vs_list;
+  st.td <- st.td +. st.fg.dist.(v);
+  Bitset.iter (fun w -> st.nbr_vs.(w) <- st.nbr_vs.(w) + 1) st.fg.nbr.(v);
+  match st.temporal with
+  | Some tc ->
+      let saved = (tc.ts_lo, tc.ts_hi) in
+      tc.ts_lo <- max tc.ts_lo tc.run_lo.(v);
+      tc.ts_hi <- min tc.ts_hi tc.run_hi.(v);
+      saved
+  | None -> (0, 0)
+
+let remove_from_vs st v (saved_lo, saved_hi) =
+  st.in_vs.(v) <- false;
+  st.vs_size <- st.vs_size - 1;
+  st.vs_list <- List.tl st.vs_list;
+  st.td <- st.td -. st.fg.dist.(v);
+  Bitset.iter (fun w -> st.nbr_vs.(w) <- st.nbr_vs.(w) - 1) st.fg.nbr.(v);
+  (match st.temporal with
+  | Some tc ->
+      tc.ts_lo <- saved_lo;
+      tc.ts_hi <- saved_hi
+  | None -> ());
+  restore_to_va st v
+
+(* ------------------------------------------------------------------ *)
+(* Access-ordering measures (Definitions 2, 3, 5).                     *)
+
+(* Non-neighbours of [w] within VS, excluding [w] itself. *)
+let nn_vs st w = st.vs_size - (if st.in_vs.(w) then 1 else 0) - st.nbr_vs.(w)
+
+(* U(VS ∪ {u}) for a candidate u ∈ VA. *)
+let interior_unfamiliarity st u =
+  let adj = Feasible.adjacent st.fg in
+  let worst =
+    List.fold_left
+      (fun acc w ->
+        let nn = nn_vs st w + (if adj w u then 0 else 1) in
+        max acc nn)
+      0 st.vs_list
+  in
+  max worst (st.vs_size - st.nbr_vs.(u))
+
+(* A(VS ∪ {u}) with VA' = VA - {u} (Definition 3). *)
+let exterior_expansibility st u =
+  let adj = Feasible.adjacent st.fg in
+  let of_member w =
+    let a = if adj w u then 1 else 0 in
+    let in_va' = st.nbr_va.(w) - a in
+    let quota = st.k - (nn_vs st w + (1 - a)) in
+    in_va' + quota
+  in
+  let u_val = st.nbr_va.(u) + st.k - (st.vs_size - st.nbr_vs.(u)) in
+  List.fold_left (fun acc w -> min acc (of_member w)) u_val st.vs_list
+
+(* X(VS ∪ {u}) = |TS ∩ run_u| - m (Definition 5). *)
+let temporal_extensibility tc u =
+  let lo = max tc.ts_lo tc.run_lo.(u) in
+  let hi = min tc.ts_hi tc.run_hi.(u) in
+  hi - lo + 1 - tc.m
+
+(* ------------------------------------------------------------------ *)
+(* Pruning lemmas, evaluated at every node-loop iteration.             *)
+
+let min_distance_in_va st =
+  let n = Array.length st.by_dist in
+  let rec go i =
+    if i >= n then infinity
+    else
+      let v = st.by_dist.(i) in
+      if st.in_va.(v) then st.fg.dist.(v) else go (i + 1)
+  in
+  go 0
+
+(* Lemma 2. *)
+let distance_prunes st =
+  st.cfg.use_distance_pruning
+  &&
+  let bound = st.sink.bound () in
+  Float.is_finite bound
+  &&
+  let needed = float_of_int (st.p - st.vs_size) in
+  st.td +. (needed *. min_distance_in_va st) >= bound -. eps
+
+(* Lemma 3, safe form by default (see DESIGN.md).  The sum of inner
+   degrees is maintained incrementally; the minimum is only scanned when
+   the sum alone cannot decide, and that scan exits at the first vertex
+   disproving the prune. *)
+let acquaintance_prunes st =
+  st.cfg.use_acquaintance_pruning
+  &&
+  let needed = st.p - st.vs_size in
+  let per_vertex =
+    if st.cfg.unsafe_lemma3 then needed - st.k else needed - 1 - st.k
+  in
+  per_vertex > 0
+  &&
+  let rhs = needed * per_vertex in
+  st.sum_nbr_va < rhs
+  ||
+  (* prune <=> sum - (|VA|-needed)·min < rhs <=> min > (sum-rhs)/(|VA|-needed) *)
+  st.va_size > needed
+  &&
+  let threshold = (st.sum_nbr_va - rhs) / (st.va_size - needed) in
+  let n = Array.length st.by_dist in
+  let rec all_above i =
+    if i >= n then true
+    else
+      let v = st.by_dist.(i) in
+      if st.in_va.(v) && st.nbr_va.(v) <= threshold then false else all_above (i + 1)
+  in
+  all_above 0
+
+(* Lemma 5. *)
+let availability_prunes st =
+  st.cfg.use_availability_pruning
+  &&
+  match st.temporal with
+  | None -> false
+  | Some tc ->
+      let needed = st.p - st.vs_size in
+      let n = st.va_size - needed + 1 in
+      let blocked t = tc.unavail.(t - tc.ilo) >= n in
+      let rec up t = if t > tc.ihi then tc.ihi + 1 else if blocked t then t else up (t + 1) in
+      let rec down t = if t < tc.ilo then tc.ilo - 1 else if blocked t then t else down (t - 1) in
+      let t_plus = up (tc.pivot + 1) in
+      let t_minus = down (tc.pivot - 1) in
+      t_plus - t_minus <= tc.m
+
+(* ------------------------------------------------------------------ *)
+(* The node loop (Algorithms 2 and 4).                                 *)
+
+let record_best st =
+  st.sink.offer
+    {
+      group = st.vs_list;
+      distance = st.td;
+      window_start = (match st.temporal with Some tc -> Some tc.ts_lo | None -> None);
+    }
+
+let rec node st =
+  st.stats.nodes <- st.stats.nodes + 1;
+  let removed = ref [] in
+  let theta = ref st.cfg.theta0 in
+  let phi = ref st.cfg.phi0 in
+  st.round <- st.round + 1;
+  let current_round = ref st.round in
+  (* Within one round the pick scan can only move right: a vertex left of
+     the cursor is either already examined this round or permanently out
+     of this node's VA, so restarting from 0 would be O(f) wasted work in
+     the innermost loop. *)
+  let cursor = ref 0 in
+  let new_round () =
+    st.round <- st.round + 1;
+    current_round := st.round;
+    cursor := 0
+  in
+  let pick () =
+    let n = Array.length st.order in
+    let rec go i =
+      if i >= n then begin
+        cursor := n;
+        None
+      end
+      else
+        let v = st.order.(i) in
+        if st.in_va.(v) && st.visited.(v) <> !current_round then begin
+          cursor := i;
+          Some v
+        end
+        else go (i + 1)
+    in
+    go !cursor
+  in
+  let remove_here v =
+    remove_from_va st v;
+    removed := v :: !removed
+  in
+  let fp = float_of_int st.p in
+  let rec loop () =
+    if st.vs_size + st.va_size < st.p then ()
+    else if distance_prunes st then
+      st.stats.pruned_distance <- st.stats.pruned_distance + 1
+    else if acquaintance_prunes st then
+      st.stats.pruned_acquaintance <- st.stats.pruned_acquaintance + 1
+    else if availability_prunes st then
+      st.stats.pruned_availability <- st.stats.pruned_availability + 1
+    else
+      match pick () with
+      | None ->
+          if !theta > 0 then begin
+            decr theta;
+            new_round ();
+            loop ()
+          end
+          else if st.temporal <> None && !phi < st.cfg.phi_threshold then begin
+            incr phi;
+            new_round ();
+            loop ()
+          end
+          else ()
+      | Some u ->
+          st.visited.(u) <- !current_round;
+          if exterior_expansibility st u < st.p - (st.vs_size + 1) then begin
+            st.stats.removed_exterior <- st.stats.removed_exterior + 1;
+            remove_here u;
+            loop ()
+          end
+          else begin
+            let unfamiliarity = float_of_int (interior_unfamiliarity st u) in
+            let interior_rhs =
+              float_of_int st.k
+              *. Float.pow (float_of_int (st.vs_size + 1) /. fp) (float_of_int !theta)
+            in
+            if unfamiliarity > interior_rhs +. 1e-12 then begin
+              if !theta = 0 then begin
+                st.stats.removed_interior <- st.stats.removed_interior + 1;
+                remove_here u
+              end;
+              (* at theta > 0: skipped for now, retried at a lower theta *)
+              loop ()
+            end
+            else begin
+              let temporal_ok =
+                match st.temporal with
+                | None -> `Ok
+                | Some tc ->
+                    let x = float_of_int (temporal_extensibility tc u) in
+                    let rhs =
+                      if !phi >= st.cfg.phi_threshold then 0.
+                      else
+                        float_of_int (tc.m - 1)
+                        *. Float.pow
+                             (float_of_int (st.p - (st.vs_size + 1)) /. fp)
+                             (float_of_int !phi)
+                    in
+                    if x >= rhs -. 1e-12 then `Ok
+                    else if !phi >= st.cfg.phi_threshold then `Remove
+                    else `Skip
+              in
+              match temporal_ok with
+              | `Remove ->
+                  st.stats.removed_temporal <- st.stats.removed_temporal + 1;
+                  remove_here u;
+                  loop ()
+              | `Skip -> loop ()
+              | `Ok ->
+                  st.stats.includes <- st.stats.includes + 1;
+                  let saved_ts = add_to_vs st u in
+                  if st.vs_size = st.p then record_best st else node st;
+                  remove_from_vs st u saved_ts;
+                  remove_here u;
+                  loop ()
+            end
+          end
+  in
+  loop ();
+  (* Give the removed candidates back to the parent. *)
+  List.iter (restore_to_va st) !removed
+
+(* ------------------------------------------------------------------ *)
+(* State construction.                                                 *)
+
+let sorted_candidates fg ~eligible ~by_distance =
+  let size = Feasible.size fg in
+  let cands = ref [] in
+  for v = size - 1 downto 0 do
+    if v <> fg.Feasible.q && eligible v then cands := v :: !cands
+  done;
+  let arr = Array.of_list !cands in
+  if by_distance then
+    Array.sort
+      (fun a b -> compare (fg.Feasible.dist.(a), a) (fg.Feasible.dist.(b), b))
+      arr;
+  arr
+
+let make_state fg ~p ~k ~cfg ~stats ~eligible ~temporal ~sink =
+  let size = Feasible.size fg in
+  let order = sorted_candidates fg ~eligible ~by_distance:cfg.use_access_ordering in
+  let by_dist =
+    if cfg.use_access_ordering then order
+    else sorted_candidates fg ~eligible ~by_distance:true
+  in
+  let in_vs = Array.make size false in
+  let in_va = Array.make size false in
+  Array.iter (fun v -> in_va.(v) <- true) order;
+  in_vs.(fg.Feasible.q) <- true;
+  let nbr_vs = Array.make size 0 in
+  let nbr_va = Array.make size 0 in
+  Bitset.iter (fun w -> nbr_vs.(w) <- 1) fg.Feasible.nbr.(fg.Feasible.q);
+  Array.iter
+    (fun v -> Bitset.iter (fun w -> nbr_va.(w) <- nbr_va.(w) + 1) fg.Feasible.nbr.(v))
+    order;
+  (match temporal with
+  | Some tc ->
+      (* Unavailability counts of the initial VA over the pivot interval. *)
+      Array.fill tc.unavail 0 (Array.length tc.unavail) 0;
+      Array.iter (fun v -> unavail_adjust tc v 1) order
+  | None -> ());
+  {
+    fg;
+    p;
+    k;
+    cfg;
+    stats;
+    order;
+    by_dist;
+    in_vs;
+    in_va;
+    nbr_vs;
+    nbr_va;
+    visited = Array.make size (-1);
+    round = 0;
+    vs_size = 1;
+    va_size = Array.length order;
+    vs_list = [ fg.Feasible.q ];
+    td = 0.;
+    sum_nbr_va =
+      Array.fold_left (fun acc v -> if in_va.(v) then acc + nbr_va.(v) else acc) 0
+        (Array.init size Fun.id);
+    sink;
+    temporal;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+(* The single-best sink used by SGSelect/STGSelect: keep the strictly
+   better solution, bound the search by the incumbent.  [bound_init]
+   (default none) seeds distance pruning before the first solution —
+   STGArrange uses the PCArrange distance this way; solutions worse than
+   the seed may still surface but never hide a qualifying one. *)
+let best_sink ?(bound_init = infinity) cell =
+  {
+    offer =
+      (fun f ->
+        match !cell with
+        | Some { distance; _ } when f.distance >= distance -. eps -> ()
+        | _ -> cell := Some f);
+    bound =
+      (fun () ->
+        match !cell with
+        | Some { distance; _ } -> Float.min distance bound_init
+        | None -> bound_init);
+  }
+
+let solve_social_sink ?(eligible = fun _ -> true) fg ~p ~k ~config ~stats ~sink =
+  if p = 1 then sink.offer { group = [ fg.Feasible.q ]; distance = 0.; window_start = None }
+  else if Feasible.size fg < p then ()
+  else begin
+    let st = make_state fg ~p ~k ~cfg:config ~stats ~eligible ~temporal:None ~sink in
+    if st.vs_size + st.va_size >= p then node st
+  end
+
+let solve_social ?eligible ?bound_init fg ~p ~k ~config ~stats =
+  let cell = ref None in
+  solve_social_sink ?eligible fg ~p ~k ~config ~stats ~sink:(best_sink ?bound_init cell);
+  !cell
+
+let solve_temporal_sink fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats ~sink =
+  ignore horizon;
+  let size = Feasible.size fg in
+  let explore_pivot pivot =
+    let h = Timetable.Availability.horizon avail.(fg.Feasible.q) in
+    let ilo, ihi = Timetable.Window.interval ~horizon:h ~m pivot in
+    let run_lo = Array.make size 1 and run_hi = Array.make size 0 in
+    for v = 0 to size - 1 do
+      match Timetable.Availability.run_around avail.(v) pivot with
+      | Some (lo, hi) ->
+          run_lo.(v) <- max lo ilo;
+          run_hi.(v) <- min hi ihi
+      | None -> ()
+    done;
+    let run_len v = run_hi.(v) - run_lo.(v) + 1 in
+    if run_len fg.Feasible.q >= m then begin
+      let tc =
+        {
+          m;
+          pivot;
+          ilo;
+          ihi;
+          run_lo;
+          run_hi;
+          unavail = Array.make (ihi - ilo + 1) 0;
+          av = avail;
+          ts_lo = run_lo.(fg.Feasible.q);
+          ts_hi = run_hi.(fg.Feasible.q);
+        }
+      in
+      if p = 1 then
+        sink.offer
+          { group = [ fg.Feasible.q ]; distance = 0.; window_start = Some tc.ts_lo }
+      else begin
+        let st =
+          make_state fg ~p ~k ~cfg:config ~stats
+            ~eligible:(fun v -> run_len v >= m)
+            ~temporal:(Some tc) ~sink
+        in
+        if st.vs_size + st.va_size >= p then node st
+      end
+    end
+  in
+  List.iter explore_pivot pivots
+
+let solve_temporal ?bound_init fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats =
+  let cell = ref None in
+  solve_temporal_sink fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats
+    ~sink:(best_sink ?bound_init cell);
+  !cell

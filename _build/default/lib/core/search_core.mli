@@ -1,0 +1,108 @@
+(** The branch-and-bound engine behind SGSelect and STGSelect.
+
+    One search node owns an intermediate solution [VS] and a candidate set
+    [VA]; at each step the engine picks a candidate by access ordering
+    (smallest social distance among those passing the interior
+    unfamiliarity / exterior expansibility / temporal extensibility
+    conditions at the current [θ]/[φ]), recurses on its inclusion, then
+    excludes it — enumerating every group exactly once under the pruning
+    lemmas.  {!Sgselect} and {!Stgselect} are thin wrappers. *)
+
+(** Strategy switches.  Defaults reproduce the paper's full algorithm;
+    the [use_*] flags and [unsafe_lemma3] exist for the ablation study
+    (DESIGN.md A1-A6). *)
+type config = {
+  theta0 : int;
+      (** initial θ of the interior-unfamiliarity condition (paper: 2) *)
+  phi0 : int;  (** initial φ of the temporal-extensibility condition *)
+  phi_threshold : int;
+      (** the "predetermined threshold t" of Algorithm 4: at φ >= this the
+          condition's RHS is treated as 0 *)
+  use_access_ordering : bool;
+      (** false: candidates in vertex-id order instead of distance order *)
+  use_distance_pruning : bool;   (** Lemma 2 *)
+  use_acquaintance_pruning : bool;  (** Lemma 3, safe form *)
+  unsafe_lemma3 : bool;
+      (** use the paper's printed (too strong) Lemma 3 bound — may lose
+          optimality; for ablation only *)
+  use_availability_pruning : bool;  (** Lemma 5 *)
+}
+
+val default_config : config
+
+(** Search-effort counters, for the experiment harness. *)
+type stats = {
+  mutable nodes : int;           (** search-tree nodes expanded *)
+  mutable includes : int;        (** include-branches taken *)
+  mutable pruned_distance : int;
+  mutable pruned_acquaintance : int;
+  mutable pruned_availability : int;
+  mutable removed_exterior : int;
+  mutable removed_interior : int;
+  mutable removed_temporal : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** A found optimum, in feasible-graph sub-ids. *)
+type found = {
+  group : int list;       (** sub-ids, includes q *)
+  distance : float;
+  window_start : int option;  (** [Some start] for STGQ, [None] for SGQ *)
+}
+
+(** Where complete qualified groups are delivered.  [offer] receives every
+    leaf the search reaches; [bound] feeds distance pruning (Lemma 2) — a
+    node is cut when no completion can get strictly below it.  The
+    single-best solvers use an incumbent cell; {!Topk} keeps the N best
+    and bounds by the current worst kept. *)
+type sink = {
+  offer : found -> unit;
+  bound : unit -> float;
+}
+
+(** [best_sink ?bound_init cell] — the classic incumbent: keeps the
+    strictly better solution in [cell], bounds by it.  [bound_init] seeds
+    distance pruning before any solution is found (used by STGArrange
+    with the PCArrange target); a returned solution may exceed the seed
+    and must be re-checked by the caller. *)
+val best_sink : ?bound_init:float -> found option ref -> sink
+
+(** [solve_social fg ~p ~k ~config ~stats] runs SGSelect's search on a
+    feasible graph: optimal group of [p] sub-ids containing [fg.q]
+    minimising total distance under the acquaintance bound [k].
+    [eligible] (default: everyone) restricts the candidate set — the
+    per-slot STGQ baseline uses it to keep only the attendees available
+    during a window. *)
+val solve_social :
+  ?eligible:(int -> bool) -> ?bound_init:float ->
+  Feasible.t -> p:int -> k:int -> config:config -> stats:stats -> found option
+
+(** [solve_temporal fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats]
+    runs STGSelect's search: [avail.(sub_id)] is the member's
+    availability; only the given pivot slots are explored (Lemma 4).
+    The best solution across all pivots is returned; the incumbent bound
+    is shared between pivots for extra pruning (sound: it only tightens
+    Lemma 2). *)
+val solve_temporal :
+  ?bound_init:float ->
+  Feasible.t ->
+  p:int -> k:int -> m:int -> horizon:int ->
+  avail:Timetable.Availability.t array ->
+  pivots:int list ->
+  config:config -> stats:stats ->
+  found option
+
+(** Sink-driven variants of the two searches — same exploration and
+    pruning, custom solution collection. *)
+val solve_social_sink :
+  ?eligible:(int -> bool) ->
+  Feasible.t -> p:int -> k:int -> config:config -> stats:stats -> sink:sink -> unit
+
+val solve_temporal_sink :
+  Feasible.t ->
+  p:int -> k:int -> m:int -> horizon:int ->
+  avail:Timetable.Availability.t array ->
+  pivots:int list ->
+  config:config -> stats:stats -> sink:sink ->
+  unit

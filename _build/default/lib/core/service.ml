@@ -1,0 +1,100 @@
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+let log = Logs.Src.create "stgq.service" ~doc:"STGQ query service"
+
+module Log = (val Logs.src_log log)
+
+type t = {
+  config : Search_core.config;
+  capacity : int;
+  mutable graph : Socgraph.Graph.t;
+  schedules : Timetable.Availability.t array;
+  cache : (int * int, Feasible.t) Hashtbl.t;  (* (initiator, s) -> fg *)
+  mutable order : (int * int) list;           (* most recent first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(config = Search_core.default_config) ?(cache_capacity = 64)
+    (ti : Query.temporal_instance) =
+  Query.check_temporal_instance ti;
+  if cache_capacity < 1 then invalid_arg "Service.create: capacity must be >= 1";
+  {
+    config;
+    capacity = cache_capacity;
+    graph = ti.social.Query.graph;
+    schedules = Array.map Timetable.Availability.copy ti.schedules;
+    cache = Hashtbl.create 64;
+    order = [];
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t key = t.order <- key :: List.filter (fun k -> k <> key) t.order
+
+let feasible_for t ~initiator ~s =
+  let key = (initiator, s) in
+  match Hashtbl.find_opt t.cache key with
+  | Some fg ->
+      t.hits <- t.hits + 1;
+      touch t key;
+      Log.debug (fun m -> m "feasible-graph cache hit for (q=%d, s=%d)" initiator s);
+      fg
+  | None ->
+      t.misses <- t.misses + 1;
+      Log.debug (fun m -> m "feasible-graph cache miss for (q=%d, s=%d)" initiator s);
+      let fg = Feasible.extract { Query.graph = t.graph; initiator } ~s in
+      if Hashtbl.length t.cache >= t.capacity then begin
+        match List.rev t.order with
+        | oldest :: _ ->
+            Hashtbl.remove t.cache oldest;
+            t.order <- List.filter (fun k -> k <> oldest) t.order;
+            t.evictions <- t.evictions + 1
+        | [] -> ()
+      end;
+      Hashtbl.replace t.cache key fg;
+      touch t key;
+      fg
+
+let sgq t ~initiator (query : Query.sgq) =
+  let feasible = feasible_for t ~initiator ~s:query.s in
+  Sgselect.solve ~config:t.config ~feasible
+    { Query.graph = t.graph; initiator }
+    query
+
+let stgq t ~initiator (query : Query.stgq) =
+  let feasible = feasible_for t ~initiator ~s:query.s in
+  Stgselect.solve ~config:t.config ~feasible
+    { Query.social = { Query.graph = t.graph; initiator }; schedules = t.schedules }
+    query
+
+let cache_stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.cache;
+  }
+
+let update_graph t graph =
+  if Socgraph.Graph.n_vertices graph <> Socgraph.Graph.n_vertices t.graph then
+    invalid_arg "Service.update_graph: vertex count changed";
+  t.graph <- graph;
+  Hashtbl.reset t.cache;
+  t.order <- []
+
+let update_schedule t ~vertex schedule =
+  if vertex < 0 || vertex >= Array.length t.schedules then
+    invalid_arg "Service.update_schedule: vertex out of range";
+  if
+    Timetable.Availability.horizon schedule
+    <> Timetable.Availability.horizon t.schedules.(vertex)
+  then invalid_arg "Service.update_schedule: horizon mismatch";
+  t.schedules.(vertex) <- Timetable.Availability.copy schedule

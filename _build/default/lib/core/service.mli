@@ -1,0 +1,42 @@
+(** A multi-initiator query service — the deployment the paper closes
+    with ("we are now implementing the proposed algorithms in Facebook",
+    §6).
+
+    Any member of the dataset may pose queries.  Radius-graph extraction
+    (§3.2.1) is the shared prefix of every query an initiator poses, so
+    the service memoises feasible graphs per [(initiator, s)] in a
+    bounded LRU cache; schedules are read at query time, so calendar
+    changes need no invalidation — only social-graph changes do
+    (see {!update_graph}). *)
+
+type t
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+(** [create ?config ?cache_capacity ti] — [cache_capacity] (default 64)
+    bounds the number of cached feasible graphs. *)
+val create :
+  ?config:Search_core.config -> ?cache_capacity:int ->
+  Query.temporal_instance -> t
+
+(** [sgq t ~initiator query] answers an SGQ for any member. *)
+val sgq : t -> initiator:int -> Query.sgq -> Query.sg_solution option
+
+(** [stgq t ~initiator query] answers an STGQ for any member. *)
+val stgq : t -> initiator:int -> Query.stgq -> Query.stg_solution option
+
+(** [cache_stats t] — cumulative cache behaviour. *)
+val cache_stats : t -> cache_stats
+
+(** [update_graph t graph] replaces the social graph (same vertex count
+    required) and drops every cached feasible graph. *)
+val update_graph : t -> Socgraph.Graph.t -> unit
+
+(** [update_schedule t ~vertex schedule] replaces one calendar (same
+    horizon required); feasible-graph caches are unaffected. *)
+val update_schedule : t -> vertex:int -> Timetable.Availability.t -> unit

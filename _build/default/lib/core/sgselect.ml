@@ -1,0 +1,54 @@
+type report = {
+  solution : Query.sg_solution option;
+  stats : Search_core.stats;
+  feasible_size : int;
+}
+
+let log = Logs.Src.create "stgq.sgselect" ~doc:"SGSelect query processing"
+
+module Log = (val Logs.src_log log)
+
+let solve_report ?(config = Search_core.default_config) ?feasible ?initial_bound
+    (instance : Query.instance) (query : Query.sgq) =
+  Query.check_sgq query;
+  Query.check_instance instance;
+  let fg =
+    match feasible with
+    | Some fg ->
+        if fg.Feasible.of_sub.(fg.Feasible.q) <> instance.Query.initiator then
+          invalid_arg "Sgselect: cached feasible graph is for another initiator";
+        fg
+    | None -> Feasible.extract instance ~s:query.s
+  in
+  let stats = Search_core.fresh_stats () in
+  let found =
+    Search_core.solve_social ?bound_init:initial_bound fg ~p:query.p ~k:query.k
+      ~config ~stats
+  in
+  Log.debug (fun m ->
+      m "SGQ(p=%d,s=%d,k=%d): |V_F|=%d, %d nodes, %s" query.p query.s query.k
+        (Feasible.size fg) stats.Search_core.nodes
+        (match found with
+        | Some f -> Printf.sprintf "optimum %g" f.Search_core.distance
+        | None -> "infeasible"));
+  let solution =
+    Option.map
+      (fun { Search_core.group; distance; _ } ->
+        { Query.attendees = Feasible.originals fg group; total_distance = distance })
+      found
+  in
+  { solution; stats; feasible_size = Feasible.size fg }
+
+let solve ?config ?feasible ?initial_bound instance query =
+  (solve_report ?config ?feasible ?initial_bound instance query).solution
+
+(* A cheap beam pass seeds the incumbent bound: Lemma-2 pruning is active
+   from the first node instead of waiting for the first feasible leaf.
+   The +eps keeps solutions equal to the seed reachable, so the result is
+   still the exact optimum (and never worse than the seed). *)
+let solve_warm ?config ?(beam_width = 16) instance query =
+  let seed = Heuristics.beam_sgq ~width:beam_width instance query in
+  let initial_bound =
+    Option.map (fun (s : Query.sg_solution) -> s.total_distance +. 1e-6) seed
+  in
+  solve ?config ?initial_bound instance query

@@ -1,0 +1,27 @@
+type result = {
+  k_used : int;
+  solution : Query.stg_solution;
+}
+
+let run ?config ?k_max (ti : Query.temporal_instance) ~p ~s ~m ~target_distance =
+  let k_max = Option.value k_max ~default:(p - 1) in
+  let rec attempt k =
+    if k > k_max then None
+    else
+      match
+        Stgselect.solve ?config ~initial_bound:(target_distance +. 1e-6) ti
+          { Query.p; s; k; m }
+      with
+      | Some solution when solution.Query.st_total_distance <= target_distance +. 1e-9 ->
+          Some { k_used = k; solution }
+      | _ -> attempt (k + 1)
+  in
+  attempt 0
+
+let versus_pcarrange ?config ti ~p ~s ~m =
+  match Pcarrange.run ti ~p ~s ~m with
+  | None -> None
+  | Some pc -> (
+      match run ?config ti ~p ~s ~m ~target_distance:pc.Pcarrange.total_distance with
+      | None -> None
+      | Some stg -> Some (stg, pc))

@@ -1,0 +1,27 @@
+(** STGArrange (§5.1): the smallest acquaintance bound beating a target.
+
+    Starting from [k = 0], runs STGSelect with increasing [k] until a
+    solution exists whose total social distance is no worse than the
+    target (PCArrange's, in the paper's comparison).  The returned [k] is
+    the quality measure plotted in Fig. 1(g). *)
+
+type result = {
+  k_used : int;
+  solution : Query.stg_solution;
+}
+
+(** [run ?config ?k_max ti ~p ~s ~m ~target_distance] — [k_max] defaults
+    to [p - 1] (beyond which the constraint is vacuous).  [None] when no
+    [k <= k_max] admits a solution at most [target_distance]. *)
+val run :
+  ?config:Search_core.config -> ?k_max:int ->
+  Query.temporal_instance -> p:int -> s:int -> m:int -> target_distance:float ->
+  result option
+
+(** [versus_pcarrange ?config ti ~p ~s ~m] runs PCArrange, then STGArrange
+    against its distance — one point of Fig. 1(g)/(h).  [None] when
+    PCArrange itself finds no group. *)
+val versus_pcarrange :
+  ?config:Search_core.config ->
+  Query.temporal_instance -> p:int -> s:int -> m:int ->
+  (result * Pcarrange.result) option

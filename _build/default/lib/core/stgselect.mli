@@ -1,0 +1,37 @@
+(** Algorithm STGSelect (§4.2): optimal Social-Temporal Group Query
+    processing.
+
+    Explores only pivot time slots (Lemma 4); per pivot it runs the
+    SGSelect search extended with the temporal-extensibility condition and
+    availability pruning (Lemma 5).  The incumbent is carried across
+    pivots, which only strengthens distance pruning. *)
+
+type report = {
+  solution : Query.stg_solution option;
+  stats : Search_core.stats;
+  feasible_size : int;
+  pivots_scanned : int;
+}
+
+(** [solve ?config ?feasible instance query] is the optimal group and
+    earliest start slot of a shared [query.m]-slot window, or [None].
+    [feasible] supplies a pre-extracted feasible graph (see
+    {!Sgselect.solve}). *)
+val solve :
+  ?config:Search_core.config -> ?feasible:Feasible.t -> ?initial_bound:float ->
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution option
+
+(** [initial_bound] seeds distance pruning before the first incumbent —
+    callers that only care about solutions at most some target distance
+    (STGArrange) pass that target, which sharply cuts searches at
+    too-small [k].  The returned solution can still exceed the bound and
+    must be re-checked. *)
+val solve_report :
+  ?config:Search_core.config -> ?feasible:Feasible.t -> ?initial_bound:float ->
+  Query.temporal_instance -> Query.stgq -> report
+
+(** [solve_warm ?config ?beam_width ti query] — beam-seeded exact search;
+    see {!Sgselect.solve_warm}. *)
+val solve_warm :
+  ?config:Search_core.config -> ?beam_width:int ->
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution option

@@ -1,0 +1,94 @@
+type violation =
+  | Wrong_size of { expected : int; got : int }
+  | Missing_initiator
+  | Duplicate_attendee of int
+  | Unknown_vertex of int
+  | Radius_violation of int
+  | Acquaintance_violation of { vertex : int; non_neighbors : int }
+  | Distance_mismatch of { reported : float; actual : float }
+  | Window_out_of_range
+  | Availability_violation of { vertex : int; slot : int }
+
+let pp_violation ppf = function
+  | Wrong_size { expected; got } ->
+      Format.fprintf ppf "group has %d attendees, expected %d" got expected
+  | Missing_initiator -> Format.pp_print_string ppf "initiator not in group"
+  | Duplicate_attendee v -> Format.fprintf ppf "attendee %d listed twice" v
+  | Unknown_vertex v -> Format.fprintf ppf "attendee %d outside the graph" v
+  | Radius_violation v -> Format.fprintf ppf "attendee %d beyond the social radius" v
+  | Acquaintance_violation { vertex; non_neighbors } ->
+      Format.fprintf ppf "attendee %d has %d unacquainted attendees" vertex non_neighbors
+  | Distance_mismatch { reported; actual } ->
+      Format.fprintf ppf "total distance reported %g, recomputed %g" reported actual
+  | Window_out_of_range -> Format.pp_print_string ppf "activity window outside horizon"
+  | Availability_violation { vertex; slot } ->
+      Format.fprintf ppf "attendee %d unavailable at slot %d" vertex slot
+
+let group_violations (instance : Query.instance) (query : Query.sgq) attendees
+    reported_distance =
+  let g = instance.graph and q = instance.initiator in
+  let n = Socgraph.Graph.n_vertices g in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let got = List.length attendees in
+  if got <> query.p then add (Wrong_size { expected = query.p; got });
+  if not (List.mem q attendees) then add Missing_initiator;
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+        if a = b then add (Duplicate_attendee a);
+        dups rest
+    | _ -> ()
+  in
+  dups (List.sort compare attendees);
+  let in_range = List.filter (fun v -> v >= 0 && v < n) attendees in
+  List.iter (fun v -> if not (List.mem v in_range) then add (Unknown_vertex v)) attendees;
+  let dist = Socgraph.Bounded_dist.distances g ~src:q ~max_edges:query.s in
+  let actual = ref 0. in
+  List.iter
+    (fun v ->
+      if Float.is_finite dist.(v) then actual := !actual +. dist.(v)
+      else add (Radius_violation v))
+    in_range;
+  if Float.abs (!actual -. reported_distance) > 1e-6 then
+    add (Distance_mismatch { reported = reported_distance; actual = !actual });
+  List.iter
+    (fun v ->
+      let nn =
+        List.fold_left
+          (fun acc w ->
+            if w <> v && not (Socgraph.Graph.adjacent g v w) then acc + 1 else acc)
+          0 in_range
+      in
+      if nn > query.k then add (Acquaintance_violation { vertex = v; non_neighbors = nn }))
+    in_range;
+  List.rev !violations
+
+let check_sg instance query (solution : Query.sg_solution) =
+  group_violations instance query solution.attendees solution.total_distance
+
+let check_stg (ti : Query.temporal_instance) (query : Query.stgq)
+    (solution : Query.stg_solution) =
+  let social =
+    group_violations ti.social (Query.sgq_of_stgq query) solution.st_attendees
+      solution.st_total_distance
+  in
+  let horizon =
+    if Array.length ti.schedules = 0 then 0
+    else Timetable.Availability.horizon ti.schedules.(0)
+  in
+  let temporal = ref [] in
+  let start = solution.start_slot in
+  if start < 0 || start + query.m > horizon then temporal := [ Window_out_of_range ]
+  else
+    List.iter
+      (fun v ->
+        if v >= 0 && v < Array.length ti.schedules then
+          for slot = start to start + query.m - 1 do
+            if not (Timetable.Availability.available ti.schedules.(v) slot) then
+              temporal := Availability_violation { vertex = v; slot } :: !temporal
+          done)
+      solution.st_attendees;
+  social @ List.rev !temporal
+
+let is_valid_sg instance query solution = check_sg instance query solution = []
+let is_valid_stg ti query solution = check_stg ti query solution = []

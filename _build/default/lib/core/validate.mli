@@ -1,0 +1,33 @@
+(** Independent solution checking.
+
+    Validators recompute every constraint from the raw instance — they
+    share no code with the solvers, so a solver bug cannot hide behind a
+    checker bug.  Tests run every solver output through these. *)
+
+type violation =
+  | Wrong_size of { expected : int; got : int }
+  | Missing_initiator
+  | Duplicate_attendee of int
+  | Unknown_vertex of int
+  | Radius_violation of int       (** attendee beyond s edges of q *)
+  | Acquaintance_violation of { vertex : int; non_neighbors : int }
+  | Distance_mismatch of { reported : float; actual : float }
+  | Window_out_of_range
+  | Availability_violation of { vertex : int; slot : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check_sg instance query solution] is the (possibly empty) list of
+    violated SGQ constraints. *)
+val check_sg : Query.instance -> Query.sgq -> Query.sg_solution -> violation list
+
+(** [check_stg ti query solution] additionally checks the availability
+    constraint over the reported window. *)
+val check_stg :
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution -> violation list
+
+(** [is_valid_sg] / [is_valid_stg] — empty-violation shorthands. *)
+val is_valid_sg : Query.instance -> Query.sgq -> Query.sg_solution -> bool
+
+val is_valid_stg :
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution -> bool

@@ -1,0 +1,127 @@
+type var_kind = Binary | Continuous
+
+type model = {
+  kinds : var_kind array;
+  sense : Lp.sense;
+  objective : (int * float) list;
+  constraints : Lp.constr list;
+}
+
+type stats = {
+  nodes_explored : int;
+  lp_solves : int;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array; stats : stats }
+  | Infeasible of stats
+  | Unbounded
+
+let binary_model ~n ~sense ~objective ~constraints =
+  { kinds = Array.make n Binary; sense; objective; constraints }
+
+let int_tol = 1e-6
+
+(* A branch fixes some binaries; encoded as equality rows appended to the
+   base constraints.  The 0 <= x <= 1 relaxation rows for binaries are part
+   of the base problem. *)
+let solve ?(eps = 1e-9) ?(node_limit = max_int) model =
+  let n = Array.length model.kinds in
+  let bound_rows =
+    Array.to_list model.kinds
+    |> List.mapi (fun i kind -> (i, kind))
+    |> List.filter_map (fun (i, kind) ->
+           match kind with
+           | Binary -> Some (Lp.constr [ (i, 1.) ] Lp.Le 1.)
+           | Continuous -> None)
+  in
+  let base_constraints = model.constraints @ bound_rows in
+  let relax fixed =
+    let fix_rows =
+      List.map (fun (i, v) -> Lp.constr [ (i, 1.) ] Lp.Eq (float_of_int v)) fixed
+    in
+    Lp.solve ~eps
+      {
+        Lp.n_vars = n;
+        sense = model.sense;
+        objective = model.objective;
+        constraints = base_constraints @ fix_rows;
+      }
+  in
+  let better a b =
+    match model.sense with Lp.Minimize -> a < b -. 1e-9 | Lp.Maximize -> a > b +. 1e-9
+  in
+  let can_beat bound incumbent =
+    match incumbent with
+    | None -> true
+    | Some (obj, _) -> (
+        match model.sense with
+        | Lp.Minimize -> bound < obj -. 1e-9
+        | Lp.Maximize -> bound > obj +. 1e-9)
+  in
+  let most_fractional solution =
+    let best = ref (-1) and best_frac = ref 0. in
+    Array.iteri
+      (fun i kind ->
+        if kind = Binary then begin
+          let x = solution.(i) in
+          let frac = Float.abs (x -. Float.round x) in
+          if frac > int_tol && frac > !best_frac then begin
+            best := i;
+            best_frac := frac
+          end
+        end)
+      model.kinds;
+    !best
+  in
+  let nodes = ref 0 and lps = ref 0 in
+  let incumbent = ref None in
+  let unbounded = ref false in
+  let rec branch fixed =
+    if !unbounded then ()
+    else begin
+      incr nodes;
+      if !nodes > node_limit then failwith "Ilp.solve: node limit exceeded";
+      incr lps;
+      match relax fixed with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded -> unbounded := true
+      | Lp.Optimal { objective; solution } ->
+          if can_beat objective !incumbent then begin
+            let v = most_fractional solution in
+            if v < 0 then begin
+              (* Integral: round binaries exactly and accept. *)
+              let rounded =
+                Array.mapi
+                  (fun i x ->
+                    match model.kinds.(i) with
+                    | Binary -> if x >= 0.5 then 1. else 0.
+                    | Continuous -> x)
+                  solution
+              in
+              match !incumbent with
+              | Some (obj, _) when not (better objective obj) -> ()
+              | _ -> incumbent := Some (objective, rounded)
+            end
+            else begin
+              (* Explore the branch the relaxation leans toward first. *)
+              let first = if solution.(v) >= 0.5 then 1 else 0 in
+              branch ((v, first) :: fixed);
+              branch ((v, 1 - first) :: fixed)
+            end
+          end
+    end
+  in
+  branch [];
+  let stats = { nodes_explored = !nodes; lp_solves = !lps } in
+  if !unbounded then Unbounded
+  else
+    match !incumbent with
+    | Some (objective, solution) -> Optimal { objective; solution; stats }
+    | None -> Infeasible stats
+
+let pp_outcome ppf = function
+  | Optimal { objective; stats; _ } ->
+      Format.fprintf ppf "optimal(%g, %d nodes)" objective stats.nodes_explored
+  | Infeasible stats -> Format.fprintf ppf "infeasible(%d nodes)" stats.nodes_explored
+  | Unbounded -> Format.pp_print_string ppf "unbounded"

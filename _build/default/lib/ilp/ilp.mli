@@ -1,0 +1,40 @@
+(** 0/1 integer programming by branch and bound over {!Lp}.
+
+    Together with {!Lp} this replaces CPLEX in the paper's experiments:
+    the Appendix-D STGQ model is built with {!Stgq_core.Ip_model} and
+    handed to [solve].  Binary variables are relaxed to [0 <= x <= 1];
+    branching fixes the most fractional variable, exploring the branch
+    suggested by the relaxation first; LP objectives bound the search. *)
+
+type var_kind = Binary | Continuous
+
+type model = {
+  kinds : var_kind array;
+  sense : Lp.sense;
+  objective : (int * float) list;
+  constraints : Lp.constr list;
+}
+
+type stats = {
+  nodes_explored : int;
+  lp_solves : int;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array; stats : stats }
+  | Infeasible of stats
+  | Unbounded
+
+(** [solve ?eps ?node_limit model] optimises.  [node_limit] (default
+    [max_int]) aborts with [Failure] when exceeded — benchmark harnesses
+    catch it to cap IP runtimes.  Binary variables in the result are exact
+    [0.] or [1.]. *)
+val solve : ?eps:float -> ?node_limit:int -> model -> outcome
+
+(** [binary_model ~n ~sense ~objective ~constraints] is a model with all
+    [n] variables binary. *)
+val binary_model :
+  n:int -> sense:Lp.sense -> objective:(int * float) list ->
+  constraints:Lp.constr list -> model
+
+val pp_outcome : Format.formatter -> outcome -> unit

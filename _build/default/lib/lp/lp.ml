@@ -1,0 +1,252 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;
+  rel : relation;
+  rhs : float;
+}
+
+type sense = Minimize | Maximize
+
+type problem = {
+  n_vars : int;
+  sense : sense;
+  objective : (int * float) list;
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let constr coeffs rel rhs = { coeffs; rel; rhs }
+
+let validate problem =
+  let check_term what (i, c) =
+    if i < 0 || i >= problem.n_vars then
+      invalid_arg (Printf.sprintf "Lp: %s references variable %d (n=%d)" what i problem.n_vars);
+    if not (Float.is_finite c) then
+      invalid_arg (Printf.sprintf "Lp: %s has non-finite coefficient" what)
+  in
+  List.iter (check_term "objective") problem.objective;
+  List.iter
+    (fun row ->
+      if not (Float.is_finite row.rhs) then invalid_arg "Lp: non-finite rhs";
+      List.iter (check_term "constraint") row.coeffs)
+    problem.constraints
+
+(* Tableau layout: columns [0 .. n-1] structural, [n .. n+slacks-1] slack /
+   surplus, then artificials, last column the rhs.  [basis.(r)] is the
+   column basic in row [r].  Row operations keep rhs >= 0 (phase 1 start). *)
+type tableau = {
+  rows : float array array;  (* m x (cols + 1) *)
+  mutable obj : float array; (* reduced-cost row, length cols + 1 *)
+  basis : int array;
+  cols : int;
+  eps : float;
+}
+
+let pivot t ~row ~col =
+  let pr = t.rows.(row) in
+  let d = pr.(col) in
+  for j = 0 to t.cols do
+    pr.(j) <- pr.(j) /. d
+  done;
+  let eliminate target =
+    let f = target.(col) in
+    if Float.abs f > 0. then
+      for j = 0 to t.cols do
+        target.(j) <- target.(j) -. (f *. pr.(j))
+      done
+  in
+  Array.iteri (fun r tr -> if r <> row then eliminate tr) t.rows;
+  eliminate t.obj;
+  t.basis.(row) <- col
+
+(* Minimize the objective encoded in [t.obj] (reduced costs; entering on
+   negative cost).  Bland's rule: smallest eligible column, then smallest
+   basis index among ratio ties.  Returns [`Optimal] or [`Unbounded]. *)
+let optimize t ~allowed_cols =
+  let m = Array.length t.rows in
+  let rec loop () =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to allowed_cols - 1 do
+         if t.obj.(j) < -.t.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to m - 1 do
+        let a = t.rows.(r).(col) in
+        if a > t.eps then begin
+          let ratio = t.rows.(r).(t.cols) /. a in
+          if
+            ratio < !best_ratio -. t.eps
+            || (Float.abs (ratio -. !best_ratio) <= t.eps
+               && (!best_row < 0 || t.basis.(r) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := r
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ?(eps = 1e-9) problem =
+  validate problem;
+  let rows = Array.of_list problem.constraints in
+  let m = Array.length rows in
+  let n = problem.n_vars in
+  (* Normalise to rhs >= 0. *)
+  let rows =
+    Array.map
+      (fun row ->
+        if row.rhs < 0. then
+          {
+            coeffs = List.map (fun (i, c) -> (i, -.c)) row.coeffs;
+            rel = (match row.rel with Le -> Ge | Ge -> Le | Eq -> Eq);
+            rhs = -.row.rhs;
+          }
+        else row)
+      rows
+  in
+  let n_slack =
+    Array.fold_left (fun acc r -> match r.rel with Eq -> acc | Le | Ge -> acc + 1) 0 rows
+  in
+  let n_art =
+    Array.fold_left (fun acc r -> match r.rel with Le -> acc | Ge | Eq -> acc + 1) 0 rows
+  in
+  let cols = n + n_slack + n_art in
+  let t =
+    {
+      rows = Array.init m (fun _ -> Array.make (cols + 1) 0.);
+      obj = Array.make (cols + 1) 0.;
+      basis = Array.make m (-1);
+      cols;
+      eps;
+    }
+  in
+  let next_slack = ref n in
+  let next_art = ref (n + n_slack) in
+  Array.iteri
+    (fun r row ->
+      let tr = t.rows.(r) in
+      List.iter (fun (i, c) -> tr.(i) <- tr.(i) +. c) row.coeffs;
+      tr.(cols) <- row.rhs;
+      (match row.rel with
+      | Le ->
+          tr.(!next_slack) <- 1.;
+          t.basis.(r) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          tr.(!next_slack) <- -1.;
+          incr next_slack;
+          tr.(!next_art) <- 1.;
+          t.basis.(r) <- !next_art;
+          incr next_art
+      | Eq ->
+          tr.(!next_art) <- 1.;
+          t.basis.(r) <- !next_art;
+          incr next_art);
+      ())
+    rows;
+  (* Phase 1: minimise the sum of artificials. *)
+  let art_lo = n + n_slack in
+  if n_art > 0 then begin
+    for j = art_lo to cols - 1 do
+      t.obj.(j) <- 1.
+    done;
+    (* Make reduced costs consistent with the artificial basis. *)
+    Array.iteri
+      (fun r b ->
+        if b >= art_lo then
+          for j = 0 to cols do
+            t.obj.(j) <- t.obj.(j) -. t.rows.(r).(j)
+          done)
+      t.basis;
+    match optimize t ~allowed_cols:cols with
+    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal ->
+        ();
+        if -.t.obj.(cols) > 1e-7 then raise Exit
+  end;
+  (* Drive remaining artificials out of the basis where possible. *)
+  Array.iteri
+    (fun r b ->
+      if b >= art_lo then begin
+        let found = ref false in
+        for j = 0 to art_lo - 1 do
+          if (not !found) && Float.abs t.rows.(r).(j) > eps then begin
+            pivot t ~row:r ~col:j;
+            found := true
+          end
+        done
+      end)
+    t.basis;
+  (* Phase 2: real objective (as minimisation). *)
+  let sign = match problem.sense with Minimize -> 1. | Maximize -> -1. in
+  Array.fill t.obj 0 (cols + 1) 0.;
+  List.iter (fun (i, c) -> t.obj.(i) <- t.obj.(i) +. (sign *. c)) problem.objective;
+  Array.iteri
+    (fun r b ->
+      let cost = t.obj.(b) in
+      if Float.abs cost > 0. then
+        for j = 0 to cols do
+          t.obj.(j) <- t.obj.(j) -. (cost *. t.rows.(r).(j))
+        done)
+    t.basis;
+  match optimize t ~allowed_cols:art_lo with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let solution = Array.make n 0. in
+      Array.iteri
+        (fun r b -> if b < n then solution.(b) <- t.rows.(r).(t.cols))
+        t.basis;
+      let objective =
+        List.fold_left (fun acc (i, c) -> acc +. (c *. solution.(i))) 0. problem.objective
+      in
+      Optimal { objective; solution }
+
+let solve ?eps problem = try solve ?eps problem with Exit -> Infeasible
+
+let eval_objective problem solution =
+  List.fold_left (fun acc (i, c) -> acc +. (c *. solution.(i))) 0. problem.objective
+
+let check_feasible ?(eps = 1e-6) problem solution =
+  let lhs row =
+    List.fold_left (fun acc (i, c) -> acc +. (c *. solution.(i))) 0. row.coeffs
+  in
+  let violated row =
+    let v = lhs row in
+    match row.rel with
+    | Le -> v > row.rhs +. eps
+    | Ge -> v < row.rhs -. eps
+    | Eq -> Float.abs (v -. row.rhs) > eps
+  in
+  let neg =
+    Array.to_list solution
+    |> List.mapi (fun i x -> (i, x))
+    |> List.filter_map (fun (i, x) ->
+           if x < -.eps then Some (constr [ (i, 1.) ] Ge 0.) else None)
+  in
+  neg @ List.filter violated problem.constraints
+
+let pp_outcome ppf = function
+  | Optimal { objective; _ } -> Format.fprintf ppf "optimal(%g)" objective
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"

@@ -1,0 +1,46 @@
+(** Linear programming by dense two-phase primal simplex.
+
+    Substrate standing in for CPLEX [4] in the paper's Integer-Programming
+    comparison.  Problems are stated over variables [x_0 .. x_{n-1}] with
+    implicit non-negativity; upper bounds are ordinary constraints.
+    Bland's anti-cycling rule guarantees termination. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable, coefficient) *)
+  rel : relation;
+  rhs : float;
+}
+
+type sense = Minimize | Maximize
+
+type problem = {
+  n_vars : int;
+  sense : sense;
+  objective : (int * float) list;  (** sparse objective *)
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(** [constr coeffs rel rhs] builds a constraint row. *)
+val constr : (int * float) list -> relation -> float -> constr
+
+(** [solve ?eps problem] runs two-phase simplex.  [eps] (default [1e-9])
+    is the numerical tolerance for pivoting and feasibility tests.
+    @raise Invalid_argument on out-of-range variable indices or
+    non-finite coefficients. *)
+val solve : ?eps:float -> problem -> outcome
+
+(** [eval_objective problem solution] recomputes the objective value. *)
+val eval_objective : problem -> float array -> float
+
+(** [check_feasible ?eps problem solution] verifies every constraint and
+    non-negativity; returns the violated constraints (empty = feasible). *)
+val check_feasible : ?eps:float -> problem -> float array -> constr list
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,101 @@
+module Heap = struct
+  type 'a t = {
+    cmp : 'a -> 'a -> int;
+    mutable data : 'a array;
+    mutable size : int;
+  }
+
+  let create ~cmp = { cmp; data = [||]; size = 0 }
+  let size t = t.size
+  let is_empty t = t.size = 0
+
+  let grow t x =
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let bigger = Array.make (max 8 (2 * cap)) x in
+      Array.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end
+
+  let swap t i j =
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- tmp
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let best = ref i in
+    if l < t.size && t.cmp t.data.(l) t.data.(!best) < 0 then best := l;
+    if r < t.size && t.cmp t.data.(r) t.data.(!best) < 0 then best := r;
+    if !best <> i then begin
+      swap t i !best;
+      sift_down t !best
+    end
+
+  let add t x =
+    grow t x;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let peek t =
+    if t.size = 0 then raise Not_found;
+    t.data.(0)
+
+  let pop t =
+    if t.size = 0 then raise Not_found;
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    top
+
+  let to_sorted_list t =
+    let copy = { t with data = Array.sub t.data 0 t.size } in
+    let rec drain acc = if is_empty copy then List.rev acc else drain (pop copy :: acc) in
+    drain []
+end
+
+module Bounded = struct
+  (* Internally a max-heap on [cmp] (worst at the root) so eviction is
+     O(log n). *)
+  type 'a t = {
+    capacity : int;
+    cmp : 'a -> 'a -> int;
+    heap : 'a Heap.t;
+  }
+
+  let create ~capacity ~cmp =
+    if capacity < 0 then invalid_arg "Pqueue.Bounded.create: negative capacity";
+    { capacity; cmp; heap = Heap.create ~cmp:(fun a b -> cmp b a) }
+
+  let size t = Heap.size t.heap
+  let is_full t = size t >= t.capacity
+  let worst t = if Heap.is_empty t.heap then None else Some (Heap.peek t.heap)
+
+  let add t x =
+    if t.capacity = 0 then false
+    else if size t < t.capacity then begin
+      Heap.add t.heap x;
+      true
+    end
+    else if t.cmp x (Heap.peek t.heap) < 0 then begin
+      ignore (Heap.pop t.heap);
+      Heap.add t.heap x;
+      true
+    end
+    else false
+
+  let to_sorted_list t = List.rev (Heap.to_sorted_list t.heap)
+end

@@ -1,0 +1,50 @@
+(** Binary heaps: a general priority queue plus the bounded "keep the N
+    best" variant used by top-k group queries and the beam-search
+    heuristics. *)
+
+module Heap : sig
+  type 'a t
+
+  (** [create ~cmp] is an empty heap; [cmp a b < 0] means [a] has higher
+      priority (pops first). *)
+  val create : cmp:('a -> 'a -> int) -> 'a t
+
+  val size : 'a t -> int
+  val is_empty : 'a t -> bool
+  val add : 'a t -> 'a -> unit
+
+  (** [peek t] is the highest-priority element.  @raise Not_found when
+      empty. *)
+  val peek : 'a t -> 'a
+
+  (** [pop t] removes and returns the highest-priority element.
+      @raise Not_found when empty. *)
+  val pop : 'a t -> 'a
+
+  (** [to_sorted_list t] is all elements in priority order (heap intact). *)
+  val to_sorted_list : 'a t -> 'a list
+end
+
+module Bounded : sig
+  (** Keeps the [capacity] best elements under [cmp] ([cmp a b < 0] means
+      [a] is better). *)
+  type 'a t
+
+  val create : capacity:int -> cmp:('a -> 'a -> int) -> 'a t
+  val size : 'a t -> int
+
+  (** [add t x] inserts [x], evicting the worst kept element when over
+      capacity; returns [true] iff [x] was kept. *)
+  val add : 'a t -> 'a -> bool
+
+  (** [worst t] is the currently-kept worst element, if any — the
+      admission threshold once the structure is full. *)
+  val worst : 'a t -> 'a option
+
+  (** [is_full t] — at capacity; further admissions require beating
+      [worst]. *)
+  val is_full : 'a t -> bool
+
+  (** [to_sorted_list t] is the kept elements, best first. *)
+  val to_sorted_list : 'a t -> 'a list
+end

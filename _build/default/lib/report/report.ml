@@ -1,0 +1,52 @@
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (try String.length (List.nth row c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    List.mapi
+      (fun c w ->
+        let cell = try List.nth row c with _ -> "" in
+        cell ^ String.make (w - String.length cell) ' ')
+      widths
+    |> String.concat "  "
+    |> fun s -> String.trim (" " ^ s) |> fun s -> "  " ^ s
+  in
+  let sep = String.make (List.fold_left ( + ) (2 * (cols - 1)) widths + 2) '-' in
+  String.concat "\n"
+    (title :: sep :: render_row header :: sep :: List.map render_row rows)
+
+let csv_field f =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' f) ^ "\""
+  else f
+
+let csv ~header rows =
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map csv_field row)) (header :: rows))
+
+let ns f =
+  if f < 1e3 then Printf.sprintf "%.0fns" f
+  else if f < 1e6 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.1fms" (f /. 1e6)
+  else Printf.sprintf "%.2fs" (f /. 1e9)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1e9)
+
+let time_median ?(runs = 3) f =
+  let result, first = time f in
+  let times = ref [ first ] in
+  for _ = 2 to runs do
+    let _, t = time f in
+    times := t :: !times
+  done;
+  let sorted = List.sort compare !times in
+  (result, List.nth sorted (List.length sorted / 2))

@@ -1,0 +1,21 @@
+(** Fixed-width tables and duration formatting for the experiment
+    harness (EXPERIMENTS.md is generated from this output). *)
+
+(** [table ~title ~header rows] renders an aligned text table. *)
+val table : title:string -> header:string list -> string list list -> string
+
+(** [csv ~header rows] renders comma-separated values (fields containing
+    commas or quotes are quoted). *)
+val csv : header:string list -> string list list -> string
+
+(** [ns f] pretty-prints a duration in nanoseconds with a unit suited to
+    its magnitude (ns / µs / ms / s). *)
+val ns : float -> string
+
+(** [time f] runs [f ()] and returns [(result, elapsed_ns)] using a
+    monotonic clock. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_median ?runs f] repeats [f] and reports the median wall time in
+    nanoseconds (default 3 runs), with the first run's result. *)
+val time_median : ?runs:int -> (unit -> 'a) -> 'a * float

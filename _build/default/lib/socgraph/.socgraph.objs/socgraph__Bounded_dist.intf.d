@@ -1,0 +1,1 @@
+lib/socgraph/bounded_dist.mli: Graph

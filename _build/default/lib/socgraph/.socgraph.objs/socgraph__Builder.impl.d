@@ -1,0 +1,1 @@
+lib/socgraph/builder.ml: Float Graph Hashtbl List Printf

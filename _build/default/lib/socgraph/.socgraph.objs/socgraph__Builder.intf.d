@@ -1,0 +1,1 @@
+lib/socgraph/builder.mli: Graph

@@ -1,0 +1,1 @@
+lib/socgraph/community_search.ml: Array Graph Hashtbl List Queue

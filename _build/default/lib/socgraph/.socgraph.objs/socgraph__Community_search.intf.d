@@ -1,0 +1,1 @@
+lib/socgraph/community_search.mli: Graph

@@ -1,0 +1,1 @@
+lib/socgraph/generators.ml: Array Graph Hashtbl List Random

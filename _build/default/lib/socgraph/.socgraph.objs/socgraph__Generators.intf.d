@@ -1,0 +1,1 @@
+lib/socgraph/generators.mli: Graph Random

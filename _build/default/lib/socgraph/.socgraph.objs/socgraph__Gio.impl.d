@@ -1,0 +1,1 @@
+lib/socgraph/gio.ml: Buffer Fun Graph In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/socgraph/gio.mli: Graph

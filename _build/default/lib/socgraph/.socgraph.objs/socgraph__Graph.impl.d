@@ -1,0 +1,1 @@
+lib/socgraph/graph.ml: Array Bitset Float Format Hashtbl List Printf

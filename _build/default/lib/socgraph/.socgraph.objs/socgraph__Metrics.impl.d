@@ -1,0 +1,1 @@
+lib/socgraph/metrics.ml: Array Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/socgraph/metrics.mli: Graph

@@ -1,0 +1,1 @@
+lib/socgraph/traversal.ml: Array Graph Queue

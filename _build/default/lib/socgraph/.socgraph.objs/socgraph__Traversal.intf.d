@@ -1,0 +1,1 @@
+lib/socgraph/traversal.mli: Graph

@@ -1,0 +1,73 @@
+let distances g ~src ~max_edges =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Bounded_dist.distances: src out of range";
+  if max_edges < 0 then invalid_arg "Bounded_dist.distances: negative max_edges";
+  let prev = Array.make n infinity in
+  prev.(src) <- 0.;
+  let next = Array.copy prev in
+  for _round = 1 to max_edges do
+    Array.blit prev 0 next 0 n;
+    for v = 0 to n - 1 do
+      Graph.iter_neighbors g v (fun u w ->
+          let through = prev.(u) +. w in
+          if through < next.(v) then next.(v) <- through)
+    done;
+    Array.blit next 0 prev 0 n
+  done;
+  prev
+
+(* Keep every round's distance array so paths can be reconstructed by
+   walking hop counts backwards. *)
+let distance_rounds g ~src ~max_edges =
+  let n = Graph.n_vertices g in
+  let rounds = Array.make (max_edges + 1) [||] in
+  rounds.(0) <- Array.make n infinity;
+  rounds.(0).(src) <- 0.;
+  for h = 1 to max_edges do
+    let prev = rounds.(h - 1) in
+    let next = Array.copy prev in
+    for v = 0 to n - 1 do
+      Graph.iter_neighbors g v (fun u w ->
+          let through = prev.(u) +. w in
+          if through < next.(v) then next.(v) <- through)
+    done;
+    rounds.(h) <- next
+  done;
+  rounds
+
+let shortest_path g ~src ~max_edges ~dst =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Bounded_dist.shortest_path: vertex out of range";
+  if max_edges < 0 then invalid_arg "Bounded_dist.shortest_path: negative max_edges";
+  let rounds = distance_rounds g ~src ~max_edges in
+  let total = rounds.(max_edges).(dst) in
+  if not (Float.is_finite total) then None
+  else begin
+    (* Walk back from (dst, max_edges); at each step either the same
+       distance was already achievable with fewer hops, or some neighbour
+       provides the last edge. *)
+    let rec back v h acc =
+      if v = src && rounds.(h).(v) = 0. then v :: acc
+      else if h > 0 && rounds.(h - 1).(v) = rounds.(h).(v) then back v (h - 1) acc
+      else begin
+        let found = ref None in
+        Graph.iter_neighbors g v (fun u w ->
+            if !found = None && h > 0
+               && Float.abs (rounds.(h - 1).(u) +. w -. rounds.(h).(v)) < 1e-12
+            then found := Some u);
+        match !found with
+        | Some u -> back u (h - 1) (v :: acc)
+        | None -> assert false (* a finite DP value always has a witness *)
+      end
+    in
+    Some (back dst max_edges [], total)
+  end
+
+let reachable g ~src ~max_edges =
+  let d = distances g ~src ~max_edges in
+  let acc = ref [] in
+  for v = Graph.n_vertices g - 1 downto 0 do
+    if Float.is_finite d.(v) then acc := v :: !acc
+  done;
+  !acc

@@ -1,0 +1,40 @@
+type t = {
+  n : int;
+  edges : (int * int, float) Hashtbl.t;  (* key normalised to (min, max) *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Builder.create: negative vertex count";
+  { n; edges = Hashtbl.create 64 }
+
+let of_graph g =
+  let t = create (Graph.n_vertices g) in
+  List.iter (fun (u, v, w) -> Hashtbl.replace t.edges (u, v) w) (Graph.edges g);
+  t
+
+let n_vertices t = t.n
+let n_edges t = Hashtbl.length t.edges
+
+let key t u v =
+  if u = v then invalid_arg "Builder: self-loop";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Builder: edge (%d,%d) out of [0,%d)" u v t.n);
+  if u < v then (u, v) else (v, u)
+
+let add_edge t u v w =
+  if not (Float.is_finite w) || w <= 0. then
+    invalid_arg "Builder.add_edge: weight must be positive and finite";
+  Hashtbl.replace t.edges (key t u v) w
+
+let remove_edge t u v =
+  let k = key t u v in
+  if Hashtbl.mem t.edges k then begin
+    Hashtbl.remove t.edges k;
+    true
+  end
+  else false
+
+let mem_edge t u v = Hashtbl.mem t.edges (key t u v)
+
+let snapshot t =
+  Graph.of_edges t.n (Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) t.edges [])

@@ -1,0 +1,35 @@
+(** Mutable graph assembly and editing.
+
+    {!Graph.t} is immutable (the query algorithms depend on that); a
+    builder accumulates edge edits — initial construction, or deltas to
+    an existing graph — and [snapshot]s into a fresh {!Graph.t}.  A
+    service applying friendship updates keeps one builder and snapshots
+    after each batch. *)
+
+type t
+
+(** [create n] starts an empty builder over [n] vertices. *)
+val create : int -> t
+
+(** [of_graph g] starts from an existing graph's edges. *)
+val of_graph : Graph.t -> t
+
+val n_vertices : t -> int
+
+(** [n_edges t] is the current number of distinct undirected edges. *)
+val n_edges : t -> int
+
+(** [add_edge t u v w] inserts or re-weights the undirected edge.
+    @raise Invalid_argument as {!Graph.of_edges} (self-loop, range,
+    non-positive weight). *)
+val add_edge : t -> int -> int -> float -> unit
+
+(** [remove_edge t u v] deletes the edge; [false] if absent. *)
+val remove_edge : t -> int -> int -> bool
+
+(** [mem_edge t u v] tests current presence. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [snapshot t] freezes the current edge set into a {!Graph.t}; the
+    builder remains usable. *)
+val snapshot : t -> Graph.t

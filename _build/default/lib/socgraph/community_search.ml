@@ -1,0 +1,71 @@
+let min_internal_degree g vs =
+  match vs with
+  | [] | [ _ ] -> 0
+  | _ ->
+      List.fold_left
+        (fun acc v ->
+          let d =
+            List.fold_left
+              (fun c w -> if w <> v && Graph.adjacent g v w then c + 1 else c)
+              0 vs
+          in
+          min acc d)
+        max_int vs
+
+(* One peeling step works on the anchor's current component: alive
+   vertices, degrees counted among alive ones only. *)
+let component_of g ~alive anchor =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen anchor ();
+  Queue.add anchor queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbors g v (fun u _ ->
+        if alive.(u) && not (Hashtbl.mem seen u) then begin
+          Hashtbl.replace seen u ();
+          Queue.add u queue
+        end)
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+
+let search g ~anchor =
+  let n = Graph.n_vertices g in
+  if anchor < 0 || anchor >= n then
+    invalid_arg "Community_search.search: anchor out of range";
+  let alive = Array.make n true in
+  let best = ref [ anchor ] in
+  let best_score = ref 0 in
+  let continue_peeling = ref true in
+  while !continue_peeling do
+    let comp = component_of g ~alive anchor in
+    let degree_in v =
+      Graph.fold_neighbors g v (fun u _ acc -> if alive.(u) then acc + 1 else acc) 0
+    in
+    (* Degrees within the component equal alive-degrees because the
+       component is closed under alive adjacency. *)
+    let score =
+      List.fold_left (fun acc v -> min acc (degree_in v)) max_int comp
+    in
+    let score = if List.length comp < 2 then 0 else score in
+    if score > !best_score || (score = !best_score && List.length comp < List.length !best)
+    then begin
+      best := comp;
+      best_score := score
+    end;
+    (* Peel a minimum-degree vertex of the component; stop if it is the
+       anchor itself. *)
+    let victim =
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> Some v
+          | Some w -> if (degree_in v, v) < (degree_in w, w) then Some v else Some w)
+        None
+        (List.filter (fun v -> v <> anchor) comp)
+    in
+    match victim with
+    | Some v when List.length comp > 1 -> alive.(v) <- false
+    | _ -> continue_peeling := false
+  done;
+  List.sort compare !best

@@ -1,0 +1,24 @@
+(** The community-search baseline of Sozio & Gionis (KDD 2010) — the
+    paper's reference [20].
+
+    Given an anchor member, find the connected subgraph containing the
+    anchor that maximises the minimum internal degree (a "cocktail
+    party" community).  The paper's §2 contrasts SGQ against it: the
+    community has no size control and ignores edge weights — our
+    experiment harness reproduces that critique quantitatively
+    (extension E4).
+
+    Implemented as the classic global peeling algorithm: repeatedly
+    delete a minimum-degree vertex, tracking the anchor's component; the
+    best component seen is optimal for the monotone min-degree
+    objective. *)
+
+(** [search g ~anchor] is the vertex set (sorted) of an optimal
+    community containing [anchor]; [[anchor]] when the anchor is
+    isolated.
+    @raise Invalid_argument if [anchor] is out of range. *)
+val search : Graph.t -> anchor:int -> int list
+
+(** [min_internal_degree g vs] is the smallest degree within the induced
+    subgraph; [0] for sets smaller than 2. *)
+val min_internal_degree : Graph.t -> int list -> int

@@ -1,0 +1,110 @@
+type weight_fn = Random.State.t -> float
+
+let default_weight rng = 5. +. Random.State.float rng 30.
+
+let erdos_renyi rng ~n ~p ?(weight = default_weight) () =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v, weight rng) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let barabasi_albert rng ~n ~links ?(weight = default_weight) () =
+  if links < 1 || n <= links then
+    invalid_arg "Generators.barabasi_albert: need n > links >= 1";
+  (* [targets] holds one entry per edge endpoint, so uniform sampling from
+     it is degree-proportional sampling. *)
+  let n_targets = ref 0 in
+  let target_arr = Array.make (2 * n * (links + 1)) 0 in
+  let push v =
+    target_arr.(!n_targets) <- v;
+    incr n_targets
+  in
+  let edges = ref [] in
+  (* Seed: a clique on the first [links + 1] vertices. *)
+  for u = 0 to links do
+    for v = u + 1 to links do
+      edges := (u, v, weight rng) :: !edges;
+      push u;
+      push v
+    done
+  done;
+  for v = links + 1 to n - 1 do
+    let chosen = Hashtbl.create links in
+    while Hashtbl.length chosen < links do
+      let t = target_arr.(Random.State.int rng !n_targets) in
+      if t <> v then Hashtbl.replace chosen t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        edges := (v, t, weight rng) :: !edges;
+        push v;
+        push t)
+      chosen
+  done;
+  Graph.of_edges n !edges
+
+let watts_strogatz rng ~n ~neighbors ~beta ?(weight = default_weight) () =
+  if neighbors mod 2 <> 0 || neighbors >= n || neighbors < 2 then
+    invalid_arg "Generators.watts_strogatz: neighbors must be even, in [2, n)";
+  let tbl = Hashtbl.create (n * neighbors) in
+  let has u v =
+    let key = if u < v then (u, v) else (v, u) in
+    Hashtbl.mem tbl key
+  in
+  let add u v =
+    let key = if u < v then (u, v) else (v, u) in
+    Hashtbl.replace tbl key ()
+  in
+  for u = 0 to n - 1 do
+    for off = 1 to neighbors / 2 do
+      add u ((u + off) mod n)
+    done
+  done;
+  (* Rewire: move the far endpoint to a uniform non-duplicate target. *)
+  let pairs = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  List.iter
+    (fun (u, v) ->
+      if Random.State.float rng 1.0 < beta then begin
+        Hashtbl.remove tbl (if u < v then (u, v) else (v, u));
+        let rec pick tries =
+          let t = Random.State.int rng n in
+          if tries > 100 || (t <> u && not (has u t)) then t else pick (tries + 1)
+        in
+        let t = pick 0 in
+        if t <> u && not (has u t) then add u t else add u v
+      end)
+    pairs;
+  let edges = Hashtbl.fold (fun (u, v) () acc -> (u, v, weight rng) :: acc) tbl [] in
+  Graph.of_edges n edges
+
+let close_weight rng = 5. +. Random.State.float rng 15.
+let far_weight rng = 20. +. Random.State.float rng 15.
+
+let community rng ~sizes ~p_in ~p_out ?(weight_in = close_weight)
+    ?(weight_out = far_weight) () =
+  let n = List.fold_left ( + ) 0 sizes in
+  let block = Array.make n 0 in
+  let fill_blocks () =
+    let v = ref 0 in
+    List.iteri
+      (fun b size ->
+        for _ = 1 to size do
+          block.(!v) <- b;
+          incr v
+        done)
+      sizes
+  in
+  fill_blocks ();
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let same = block.(u) = block.(v) in
+      let p = if same then p_in else p_out in
+      if Random.State.float rng 1.0 < p then
+        edges := (u, v, (if same then weight_in else weight_out) rng) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges

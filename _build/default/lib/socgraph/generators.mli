@@ -1,0 +1,40 @@
+(** Random graph generators.
+
+    All generators are deterministic functions of the supplied
+    [Random.State.t].  [weight] draws an edge's social distance; defaults
+    sample uniformly from [5.0 .. 35.0] (the scale of the paper's worked
+    examples).  Generated graphs never contain self-loops or duplicate
+    edges. *)
+
+type weight_fn = Random.State.t -> float
+
+(** Uniform social distance in [5, 35). *)
+val default_weight : weight_fn
+
+(** [erdos_renyi rng ~n ~p] includes each of the [n(n-1)/2] pairs
+    independently with probability [p]. *)
+val erdos_renyi : Random.State.t -> n:int -> p:float -> ?weight:weight_fn -> unit -> Graph.t
+
+(** [barabasi_albert rng ~n ~links] grows a preferential-attachment graph:
+    each new vertex attaches to [links] distinct existing vertices chosen
+    proportionally to degree.  Produces the heavy-tailed degree structure
+    of coauthorship networks.  Requires [n > links >= 1]. *)
+val barabasi_albert :
+  Random.State.t -> n:int -> links:int -> ?weight:weight_fn -> unit -> Graph.t
+
+(** [watts_strogatz rng ~n ~neighbors ~beta] builds a ring lattice where
+    each vertex connects to its [neighbors] nearest ring neighbours (must
+    be even, [< n]), then rewires each edge with probability [beta]. *)
+val watts_strogatz :
+  Random.State.t -> n:int -> neighbors:int -> beta:float -> ?weight:weight_fn ->
+  unit -> Graph.t
+
+(** [community rng ~sizes ~p_in ~p_out] builds a planted-partition graph
+    with blocks of the given [sizes]; intra-block pairs get an edge with
+    probability [p_in] and a weight drawn from [weight_in] (default:
+    close, uniform [5,20)), inter-block pairs with [p_out] from
+    [weight_out] (default: distant, uniform [20,35)).  Models the
+    194-person multi-community population of the paper's user study. *)
+val community :
+  Random.State.t -> sizes:int list -> p_in:float -> p_out:float ->
+  ?weight_in:weight_fn -> ?weight_out:weight_fn -> unit -> Graph.t

@@ -1,0 +1,46 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# vertices %d\n" (Graph.n_vertices g));
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" u v w))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let n = ref (-1) in
+  let edges = ref [] in
+  let parse_line idx line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if String.length line > 0 && line.[0] = '#' then begin
+      match String.split_on_char ' ' line with
+      | [ "#"; "vertices"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c >= 0 -> n := c
+          | _ -> failwith (Printf.sprintf "Gio: bad vertex count at line %d" idx))
+      | _ -> ()
+    end
+    else
+      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+      | [ u; v; w ] -> (
+          match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w) with
+          | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
+          | _ -> failwith (Printf.sprintf "Gio: malformed edge at line %d" idx))
+      | _ -> failwith (Printf.sprintf "Gio: malformed line %d" idx)
+  in
+  List.iteri (fun i line -> parse_line (i + 1) line) lines;
+  if !n < 0 then failwith "Gio: missing '# vertices <n>' header";
+  Graph.of_edges !n !edges
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,18 @@
+(** Plain-text edge-list persistence.
+
+    Format: a header line ["# vertices <n>"] followed by one
+    ["<u> <v> <w>"] line per undirected edge; blank lines and lines
+    beginning with ['#'] are ignored on input (except the required
+    header). *)
+
+(** [to_string g] serialises [g]. *)
+val to_string : Graph.t -> string
+
+(** [of_string s] parses a graph.  @raise Failure on malformed input. *)
+val of_string : string -> Graph.t
+
+(** [save g path] writes [to_string g] to [path]. *)
+val save : Graph.t -> string -> unit
+
+(** [load path] reads and parses [path]. *)
+val load : string -> Graph.t

@@ -1,0 +1,147 @@
+type edge = int * int * float
+
+(* Compressed sparse row: neighbours of [v] live at indices
+   [row.(v) .. row.(v+1) - 1] of [adj]/[wgt], sorted by neighbour id. *)
+type t = {
+  n : int;
+  m : int;
+  row : int array;
+  adj : int array;
+  wgt : float array;
+}
+
+let n_vertices g = g.n
+let n_edges g = g.m
+let degree g v = g.row.(v + 1) - g.row.(v)
+
+let validate_edge n (u, v, w) =
+  if u = v then invalid_arg (Printf.sprintf "Graph: self-loop at %d" u);
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Graph: edge (%d,%d) out of [0,%d)" u v n);
+  if not (Float.is_finite w) || w <= 0. then
+    invalid_arg (Printf.sprintf "Graph: weight %g of (%d,%d) not positive" w u v)
+
+let of_edges n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative vertex count";
+  List.iter (validate_edge n) edges;
+  (* Deduplicate, keeping the smallest weight per unordered pair. *)
+  let tbl = Hashtbl.create (List.length edges * 2) in
+  let add (u, v, w) =
+    let key = if u < v then (u, v) else (v, u) in
+    match Hashtbl.find_opt tbl key with
+    | Some w' when w' <= w -> ()
+    | _ -> Hashtbl.replace tbl key w
+  in
+  List.iter add edges;
+  let m = Hashtbl.length tbl in
+  let deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    tbl;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + deg.(v)
+  done;
+  let adj = Array.make (max 1 (2 * m)) 0 in
+  let wgt = Array.make (max 1 (2 * m)) 0. in
+  let cursor = Array.copy row in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      adj.(cursor.(u)) <- v;
+      wgt.(cursor.(u)) <- w;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      wgt.(cursor.(v)) <- w;
+      cursor.(v) <- cursor.(v) + 1)
+    tbl;
+  (* Sort each row by neighbour id (weights follow). *)
+  for v = 0 to n - 1 do
+    let lo = row.(v) and hi = row.(v + 1) in
+    let pairs = Array.init (hi - lo) (fun i -> (adj.(lo + i), wgt.(lo + i))) in
+    Array.sort compare pairs;
+    Array.iteri
+      (fun i (u, w) ->
+        adj.(lo + i) <- u;
+        wgt.(lo + i) <- w)
+      pairs
+  done;
+  { n; m; row; adj; wgt }
+
+(* Binary search for [u] within the sorted row of [v]; returns slot or -1. *)
+let find_slot g v u =
+  let lo = ref g.row.(v) and hi = ref (g.row.(v + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.adj.(mid) in
+    if x = u then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if x < u then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let adjacent g u v = u <> v && find_slot g u v >= 0
+
+let edge_weight g u v =
+  if u = v then None
+  else
+    let s = find_slot g u v in
+    if s < 0 then None else Some g.wgt.(s)
+
+let iter_neighbors g v f =
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    f g.adj.(i) g.wgt.(i)
+  done
+
+let fold_neighbors g v f init =
+  let acc = ref init in
+  iter_neighbors g v (fun u w -> acc := f u w !acc);
+  !acc
+
+let neighbors g v = List.rev (fold_neighbors g v (fun u w acc -> (u, w) :: acc) [])
+let neighbor_ids g v = List.map fst (neighbors g v)
+
+let edges g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    iter_neighbors g v (fun u w -> if v < u then acc := (v, u, w) :: !acc)
+  done;
+  !acc
+
+let neighbor_bitset g v =
+  let b = Bitset.create g.n in
+  iter_neighbors g v (fun u _ -> Bitset.set b u);
+  b
+
+let induced g vs =
+  let to_sub = Array.make g.n (-1) in
+  let count = ref 0 in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= g.n then invalid_arg "Graph.induced: vertex out of range";
+      if to_sub.(v) < 0 then begin
+        to_sub.(v) <- !count;
+        incr count
+      end)
+    vs;
+  let of_sub = Array.make !count 0 in
+  Array.iteri (fun v s -> if s >= 0 then of_sub.(s) <- v) to_sub;
+  let sub_edges = ref [] in
+  Array.iter
+    (fun v ->
+      iter_neighbors g v (fun u w ->
+          if v < u && to_sub.(u) >= 0 then
+            sub_edges := (to_sub.(v), to_sub.(u), w) :: !sub_edges))
+    of_sub;
+  (of_edges !count !sub_edges, to_sub, of_sub)
+
+let pp ppf g = Format.fprintf ppf "graph(%d vertices, %d edges)" g.n g.m
+
+let pp_full ppf g =
+  pp ppf g;
+  List.iter (fun (u, v, w) -> Format.fprintf ppf "@\n%d -- %d  (%g)" u v w) (edges g)

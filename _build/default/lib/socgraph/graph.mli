@@ -1,0 +1,64 @@
+(** Immutable weighted undirected graphs over vertices [0 .. n-1].
+
+    Edge weights model social distance: strictly positive floats, smaller =
+    socially closer.  The representation is a compressed sparse row
+    adjacency with neighbour lists sorted by vertex id, giving
+    [O(log deg)] adjacency tests and cache-friendly neighbour scans — the
+    two operations SGSelect/STGSelect perform innermost. *)
+
+type t
+
+(** A weighted undirected edge [(u, v, w)]; [u < v] in normalised output. *)
+type edge = int * int * float
+
+(** [of_edges n edges] builds a graph with [n] vertices.  Duplicate edges
+    keep the smallest weight; orientation of input pairs is irrelevant.
+    @raise Invalid_argument on self-loops, out-of-range endpoints,
+    non-positive or non-finite weights. *)
+val of_edges : int -> edge list -> t
+
+(** [n_vertices g] is the number of vertices (isolated ones included). *)
+val n_vertices : t -> int
+
+(** [n_edges g] is the number of undirected edges. *)
+val n_edges : t -> int
+
+(** [degree g v] is the number of neighbours of [v]. *)
+val degree : t -> int -> int
+
+(** [adjacent g u v] tests whether edge [{u,v}] exists ([false] if [u = v]). *)
+val adjacent : t -> int -> int -> bool
+
+(** [edge_weight g u v] is [Some w] when [{u,v}] exists. *)
+val edge_weight : t -> int -> int -> float option
+
+(** [iter_neighbors g v f] applies [f u w] for each neighbour [u] of [v] in
+    increasing [u] order. *)
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+
+(** [fold_neighbors g v f init] folds [f u w acc] over neighbours of [v]. *)
+val fold_neighbors : t -> int -> (int -> float -> 'a -> 'a) -> 'a -> 'a
+
+(** [neighbors g v] is the sorted list of [(neighbour, weight)] pairs. *)
+val neighbors : t -> int -> (int * float) list
+
+(** [neighbor_ids g v] is the sorted list of neighbour ids. *)
+val neighbor_ids : t -> int -> int list
+
+(** [edges g] lists every undirected edge once, with [u < v], sorted. *)
+val edges : t -> edge list
+
+(** [neighbor_bitset g v] is a fresh bitset of capacity [n_vertices g] with
+    the neighbours of [v] set. *)
+val neighbor_bitset : t -> int -> Bitset.t
+
+(** [induced g vs] is the subgraph induced by the vertex list [vs]
+    (duplicates ignored), together with [to_sub] and [of_sub] index maps:
+    [to_sub.(original) = sub id or -1], [of_sub.(sub id) = original]. *)
+val induced : t -> int list -> t * int array * int array
+
+(** [pp] prints a terse [n/m] summary. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_full] prints every edge, one per line. *)
+val pp_full : Format.formatter -> t -> unit

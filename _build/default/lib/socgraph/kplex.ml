@@ -1,0 +1,55 @@
+let non_neighbors_within g group v =
+  List.fold_left
+    (fun acc u -> if u <> v && not (Graph.adjacent g u v) then acc + 1 else acc)
+    0 group
+
+let satisfies g ~k group =
+  List.for_all (fun v -> non_neighbors_within g group v <= k) group
+
+let violators g ~k group =
+  List.filter_map
+    (fun v ->
+      let nn = non_neighbors_within g group v in
+      if nn > k then Some (v, nn) else None)
+    group
+
+let enumerate_maximal g ~k ?(min_size = 1) () =
+  let n = Graph.n_vertices g in
+  let results = ref [] in
+  (* Include/exclude over vertices in id order; the acquaintance property
+     is monotone, so an infeasible partial set cuts the branch.  At the
+     leaf, maximality = no vertex (kept or excluded) extends the set. *)
+  let rec go v chosen excluded =
+    if v = n then begin
+      let can_add u = satisfies g ~k (u :: chosen) in
+      let maximal = chosen <> [] && not (List.exists can_add excluded) in
+      if maximal && List.length chosen >= min_size then
+        results := List.rev chosen :: !results
+    end
+    else begin
+      if satisfies g ~k (v :: chosen) then go (v + 1) (v :: chosen) excluded;
+      go (v + 1) chosen (v :: excluded)
+    end
+  in
+  go 0 [] [];
+  List.sort compare !results
+
+let max_group_size g ~k ~must_include candidates =
+  let fixed = List.sort_uniq compare must_include in
+  let pool =
+    List.filter (fun v -> not (List.mem v fixed)) (List.sort_uniq compare candidates)
+  in
+  (* Depth-first over include/exclude decisions; the remaining pool size
+     bounds the best completion, which prunes most of the tree. *)
+  let best = ref (if satisfies g ~k fixed then List.length fixed else 0) in
+  let rec go chosen size = function
+    | [] -> if size > !best then best := size
+    | v :: rest ->
+        if size + 1 + List.length rest > !best then begin
+          let with_v = v :: chosen in
+          if satisfies g ~k with_v then go with_v (size + 1) rest;
+          if size + List.length rest > !best then go chosen size rest
+        end
+  in
+  if satisfies g ~k fixed then go fixed (List.length fixed) pool;
+  !best

@@ -1,0 +1,36 @@
+(** k-plex predicates.
+
+    A set [S] is a {e k-plex} when every member is adjacent to at least
+    [|S| - k] members (itself included), i.e. has at most [k - 1]
+    non-neighbours among the others.  The paper's acquaintance constraint
+    "each attendee has at most [k] unacquainted other attendees" makes the
+    group a [(k+1)]-plex; this module speaks the paper's dialect: all
+    functions below take the acquaintance bound [k] = allowed unacquainted
+    {e others}. *)
+
+(** [non_neighbors_within g group v] counts members of [group] other than
+    [v] that are not adjacent to [v].  [v] need not belong to [group]. *)
+val non_neighbors_within : Graph.t -> int list -> int -> int
+
+(** [satisfies g ~k group] is [true] iff every member of [group] has at
+    most [k] non-neighbours among the other members. *)
+val satisfies : Graph.t -> k:int -> int list -> bool
+
+(** [violators g ~k group] lists members exceeding the bound, with their
+    non-neighbour counts. *)
+val violators : Graph.t -> k:int -> int list -> (int * int) list
+
+(** [max_group_size g ~k ~must_include candidates] is the size of the
+    largest subset of [candidates ∪ must_include] containing all of
+    [must_include] that satisfies the acquaintance bound [k].  Exhaustive
+    branch and bound intended for test oracles on small inputs
+    (≤ ~20 candidates). *)
+val max_group_size : Graph.t -> k:int -> must_include:int list -> int list -> int
+
+(** [enumerate_maximal g ~k ?min_size ()] lists every maximal vertex set
+    satisfying the acquaintance bound [k] with at least [min_size]
+    members (default 1) — the problem of the paper's related work
+    [11,16,18,21] in the acquaintance dialect.  Sets are sorted, listed
+    in lexicographic order.  Exponential; intended for small graphs
+    (≤ ~25 vertices). *)
+val enumerate_maximal : Graph.t -> k:int -> ?min_size:int -> unit -> int list list

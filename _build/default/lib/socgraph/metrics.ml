@@ -1,0 +1,75 @@
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+let degree_stats g =
+  let n = Graph.n_vertices g in
+  if n = 0 then { min_degree = 0; max_degree = 0; mean_degree = 0. }
+  else begin
+    let mn = ref max_int and mx = ref 0 and sum = ref 0 in
+    for v = 0 to n - 1 do
+      let d = Graph.degree g v in
+      if d < !mn then mn := d;
+      if d > !mx then mx := d;
+      sum := !sum + d
+    done;
+    { min_degree = !mn; max_degree = !mx; mean_degree = float_of_int !sum /. float_of_int n }
+  end
+
+let clustering g v =
+  let ns = Array.of_list (Graph.neighbor_ids g v) in
+  let d = Array.length ns in
+  if d < 2 then 0.
+  else begin
+    let linked = ref 0 in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        if Graph.adjacent g ns.(i) ns.(j) then incr linked
+      done
+    done;
+    2. *. float_of_int !linked /. float_of_int (d * (d - 1))
+  end
+
+let mean_clustering g =
+  let n = Graph.n_vertices g in
+  if n = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for v = 0 to n - 1 do
+      sum := !sum +. clustering g v
+    done;
+    !sum /. float_of_int n
+  end
+
+type weight_stats = {
+  min_weight : float;
+  max_weight : float;
+  mean_weight : float;
+}
+
+let weight_stats g =
+  match Graph.edges g with
+  | [] -> invalid_arg "Metrics.weight_stats: graph has no edges"
+  | edges ->
+      let mn = ref infinity and mx = ref neg_infinity and sum = ref 0. in
+      List.iter
+        (fun (_, _, w) ->
+          if w < !mn then mn := w;
+          if w > !mx then mx := w;
+          sum := !sum +. w)
+        edges;
+      {
+        min_weight = !mn;
+        max_weight = !mx;
+        mean_weight = !sum /. float_of_int (List.length edges);
+      }
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.n_vertices g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare

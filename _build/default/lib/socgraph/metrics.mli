@@ -1,0 +1,30 @@
+(** Structural statistics used to sanity-check generated workloads. *)
+
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+val degree_stats : Graph.t -> degree_stats
+
+(** [clustering g v] is the local clustering coefficient of [v]: the
+    fraction of neighbour pairs that are themselves adjacent; [0.] when
+    [degree g v < 2]. *)
+val clustering : Graph.t -> int -> float
+
+(** [mean_clustering g] averages [clustering] over all vertices. *)
+val mean_clustering : Graph.t -> float
+
+type weight_stats = {
+  min_weight : float;
+  max_weight : float;
+  mean_weight : float;
+}
+
+(** @raise Invalid_argument on a graph with no edges. *)
+val weight_stats : Graph.t -> weight_stats
+
+(** [degree_histogram g] maps degree -> number of vertices, sorted by
+    degree. *)
+val degree_histogram : Graph.t -> (int * int) list

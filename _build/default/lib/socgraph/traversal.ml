@@ -1,0 +1,51 @@
+let bfs_hops g src =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Traversal.bfs_hops: src out of range";
+  let hops = Array.make n max_int in
+  hops.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbors g v (fun u _ ->
+        if hops.(u) = max_int then begin
+          hops.(u) <- hops.(v) + 1;
+          Queue.add u queue
+        end)
+  done;
+  hops
+
+let within_hops g src h =
+  let hops = bfs_hops g src in
+  let acc = ref [] in
+  for v = Graph.n_vertices g - 1 downto 0 do
+    if hops.(v) <= h then acc := v :: !acc
+  done;
+  !acc
+
+let components g =
+  let n = Graph.n_vertices g in
+  let ids = Array.make n (-1) in
+  let next_id = ref 0 in
+  for v = 0 to n - 1 do
+    if ids.(v) < 0 then begin
+      let id = !next_id in
+      incr next_id;
+      let queue = Queue.create () in
+      ids.(v) <- id;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        Graph.iter_neighbors g x (fun u _ ->
+            if ids.(u) < 0 then begin
+              ids.(u) <- id;
+              Queue.add u queue
+            end)
+      done
+    end
+  done;
+  (ids, !next_id)
+
+let is_connected g =
+  let _, c = components g in
+  c <= 1

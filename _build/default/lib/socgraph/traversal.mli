@@ -1,0 +1,17 @@
+(** Unweighted traversals: hop counts and connected components. *)
+
+(** [bfs_hops g src] is the array of minimum edge counts from [src];
+    [max_int] where unreachable. *)
+val bfs_hops : Graph.t -> int -> int array
+
+(** [within_hops g src h] lists vertices reachable from [src] in at most
+    [h] edges, increasing id order (includes [src]). *)
+val within_hops : Graph.t -> int -> int -> int list
+
+(** [components g] assigns a component id in [0 .. c-1] to every vertex and
+    returns [(ids, c)]. *)
+val components : Graph.t -> int array * int
+
+(** [is_connected g] is [true] iff the graph has at most one component
+    (the empty graph is connected). *)
+val is_connected : Graph.t -> bool

@@ -1,0 +1,1 @@
+lib/timetable/availability.mli: Bitset Format

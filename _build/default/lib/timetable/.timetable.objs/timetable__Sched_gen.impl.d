@@ -1,0 +1,1 @@
+lib/timetable/sched_gen.ml: Array Availability Random Slot

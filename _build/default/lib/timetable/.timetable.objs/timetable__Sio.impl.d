@@ -1,0 +1,1 @@
+lib/timetable/sio.ml: Array Availability Buffer Fun In_channel List Printf String

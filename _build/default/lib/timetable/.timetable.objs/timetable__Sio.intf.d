@@ -1,0 +1,1 @@
+lib/timetable/sio.mli: Availability

@@ -1,0 +1,1 @@
+lib/timetable/slot.mli: Format

@@ -1,0 +1,1 @@
+lib/timetable/window.ml: Availability List

@@ -1,0 +1,112 @@
+(* Shared-calendar semantics (as in the paper's Google-Calendar study):
+   a slot is available unless an event covers it.  Nights are blocked for
+   everyone (sleep), so free time is the daily structure an archetype's
+   routine leaves over — evenings on weekdays, long stretches on
+   weekends.  The resulting calendars both admit occasional long common
+   windows (weekends; Fig. 1(e)'s larger m) and genuinely conflict across
+   archetypes, which is what makes manual greedy coordination
+   (PCArrange) lose to STGSelect in Fig. 1(g)/(h). *)
+
+type archetype = Office_worker | Student | Shift_worker | Freelancer
+
+let all_archetypes = [ Office_worker; Student; Shift_worker; Freelancer ]
+
+let archetype_to_string = function
+  | Office_worker -> "office-worker"
+  | Student -> "student"
+  | Shift_worker -> "shift-worker"
+  | Freelancer -> "freelancer"
+
+(* Hour range [from_h, to_h); [to_h] may be 24. *)
+let set t ~value ~day ~from_h ~to_h =
+  if to_h > from_h then begin
+    let lo = Slot.of_day_time ~day ~hour:from_h ~minute:0 in
+    let hi = (day * Slot.slots_per_day) + (to_h * Slot.slots_per_hour) - 1 in
+    if value then Availability.set_free t lo hi else Availability.set_busy t lo hi
+  end
+
+let busy t ~day ~from_h ~to_h = set t ~value:false ~day ~from_h ~to_h
+let free t ~day ~from_h ~to_h = set t ~value:true ~day ~from_h ~to_h
+
+let is_weekend day = day mod 7 >= 5
+
+(* [count] random 1-2 hour events during waking hours. *)
+let random_events rng t ~day ~count =
+  for _ = 1 to count do
+    let from_h = 9 + Random.State.int rng 12 in
+    let len = 1 + Random.State.int rng 2 in
+    busy t ~day ~from_h ~to_h:(min 23 (from_h + len))
+  done
+
+let office_day rng t ~day =
+  if is_weekend day then begin
+    free t ~day ~from_h:15 ~to_h:23;
+    random_events rng t ~day ~count:(Random.State.int rng 3)
+  end
+  else begin
+    free t ~day ~from_h:18 ~to_h:23;
+    if Random.State.float rng 1.0 < 0.08 then free t ~day ~from_h:9 ~to_h:17;
+    (* An evening event eats part of the free evening. *)
+    if Random.State.float rng 1.0 < 0.35 then begin
+      let from_h = 18 + Random.State.int rng 3 in
+      busy t ~day ~from_h ~to_h:(from_h + 2)
+    end
+  end
+
+let student_day rng t ~day =
+  if is_weekend day then begin
+    free t ~day ~from_h:11 ~to_h:18;
+    if Random.State.float rng 1.0 < 0.4 then random_events rng t ~day ~count:1
+  end
+  else begin
+    free t ~day ~from_h:13 ~to_h:17;
+    (* Half the students are night owls, free in the evening too. *)
+    if Random.State.float rng 1.0 < 0.5 then free t ~day ~from_h:19 ~to_h:23;
+    if Random.State.float rng 1.0 < 0.3 then begin
+      let from_h = 13 + Random.State.int rng 3 in
+      busy t ~day ~from_h ~to_h:(from_h + 1)
+    end
+  end
+
+let shift_day rng t ~day ~night_shift =
+  ignore rng;
+  ignore day;
+  (* Day shift frees the evening; night shift frees the morning; shifts
+     run through weekends. *)
+  if night_shift then free t ~day ~from_h:8 ~to_h:12
+  else free t ~day ~from_h:18 ~to_h:22
+
+let freelancer_day rng t ~day =
+  ignore (is_weekend day);
+  (* One random 3-hour block between 9 and 22. *)
+  let from_h = 9 + Random.State.int rng 11 in
+  free t ~day ~from_h ~to_h:(min 22 (from_h + 3))
+
+let person rng ~days ~archetype =
+  let t = Availability.create ~horizon:(Slot.horizon ~days) in
+  let night_first = Random.State.bool rng in
+  for day = 0 to days - 1 do
+    match archetype with
+    | Office_worker -> office_day rng t ~day
+    | Student -> student_day rng t ~day
+    | Shift_worker ->
+        let week = day / 7 in
+        shift_day rng t ~day ~night_shift:(night_first = (week mod 2 = 0))
+    | Freelancer -> freelancer_day rng t ~day
+  done;
+  t
+
+let pick_archetype rng =
+  let r = Random.State.float rng 1.0 in
+  if r < 0.5 then Office_worker
+  else if r < 0.7 then Student
+  else if r < 0.85 then Shift_worker
+  else Freelancer
+
+let population rng ~days ~n =
+  Array.init n (fun _ -> person rng ~days ~archetype:(pick_archetype rng))
+
+let always_free ~days =
+  let t = Availability.create ~horizon:(Slot.horizon ~days) in
+  Availability.set_free t 0 (Slot.horizon ~days - 1);
+  t

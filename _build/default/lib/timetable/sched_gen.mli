@@ -1,0 +1,30 @@
+(** Calendar-like schedule synthesis.
+
+    Substitute for the paper's 194-person Google-Calendar dataset.  Shared
+    calendars follow event semantics — a slot is available unless an event
+    covers it — so schedules start fully free and each archetype's routine
+    punches busy blocks in (office hours, lectures, shifts, errands).
+    This yields the long free runs (evenings, nights, weekends) that make
+    the paper's large-m experiments satisfiable. *)
+
+type archetype =
+  | Office_worker  (** busy 9-18 weekdays plus occasional evening events *)
+  | Student        (** scattered weekday lecture blocks *)
+  | Shift_worker   (** alternating day/night work weeks *)
+  | Freelancer     (** a few random events per day *)
+
+val all_archetypes : archetype list
+val archetype_to_string : archetype -> string
+
+(** [person rng ~days ~archetype] draws one person's availability over a
+    [days]-day horizon. *)
+val person : Random.State.t -> days:int -> archetype:archetype -> Availability.t
+
+(** [population rng ~days ~n] draws [n] schedules with archetypes in the
+    rough proportions of the paper's mixed communities
+    (50% office, 20% student, 15% shift, 15% freelancer). *)
+val population : Random.State.t -> days:int -> n:int -> Availability.t array
+
+(** [always_free ~days] — available in every slot (reduces STGQ to SGQ,
+    used by tests mirroring the paper's NP-hardness argument in §4.1). *)
+val always_free : days:int -> Availability.t

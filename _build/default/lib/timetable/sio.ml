@@ -1,0 +1,80 @@
+let to_string schedules =
+  let buf = Buffer.create 4096 in
+  let horizon =
+    if Array.length schedules = 0 then 0 else Availability.horizon schedules.(0)
+  in
+  Buffer.add_string buf (Printf.sprintf "# horizon %d\n" horizon);
+  Array.iteri
+    (fun i a ->
+      if Availability.horizon a <> horizon then
+        invalid_arg "Sio.to_string: mismatched horizons";
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_string buf ": ";
+      for slot = 0 to horizon - 1 do
+        Buffer.add_char buf (if Availability.available a slot then '1' else '0')
+      done;
+      Buffer.add_char buf '\n')
+    schedules;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let horizon = ref (-1) in
+  let rows = ref [] in
+  let parse idx line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if line.[0] = '#' then begin
+      match String.split_on_char ' ' line with
+      | [ "#"; "horizon"; h ] -> (
+          match int_of_string_opt h with
+          | Some h when h >= 0 -> horizon := h
+          | _ -> failwith (Printf.sprintf "Sio: bad horizon at line %d" idx))
+      | _ -> ()
+    end
+    else
+      match String.index_opt line ':' with
+      | None -> failwith (Printf.sprintf "Sio: missing ':' at line %d" idx)
+      | Some colon -> (
+          let id = String.trim (String.sub line 0 colon) in
+          let bits =
+            String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+          in
+          match int_of_string_opt id with
+          | None -> failwith (Printf.sprintf "Sio: bad id at line %d" idx)
+          | Some id ->
+              if !horizon < 0 then
+                failwith "Sio: missing '# horizon <n>' header before rows";
+              if String.length bits <> !horizon then
+                failwith (Printf.sprintf "Sio: row %d has %d bits, expected %d" id
+                            (String.length bits) !horizon);
+              let a = Availability.create ~horizon:!horizon in
+              String.iteri
+                (fun slot c ->
+                  match c with
+                  | '1' -> Availability.set_free a slot slot
+                  | '0' -> ()
+                  | _ -> failwith (Printf.sprintf "Sio: bad bit at line %d" idx))
+                bits;
+              rows := (id, a) :: !rows)
+  in
+  List.iteri (fun i line -> parse (i + 1) line) lines;
+  if !horizon < 0 then failwith "Sio: missing '# horizon <n>' header";
+  let rows = List.sort compare !rows in
+  List.iteri
+    (fun expect (id, _) ->
+      if id <> expect then failwith (Printf.sprintf "Sio: ids not contiguous at %d" id))
+    rows;
+  Array.of_list (List.map snd rows)
+
+let save schedules path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string schedules))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,15 @@
+(** Plain-text persistence for schedule sets.
+
+    Format: a header ["# horizon <slots>"], then one ["<id>: <bits>"] line
+    per person where [<bits>] is a 0/1 string, slot 0 leftmost.  Blank
+    lines and other ['#'] comments are ignored. *)
+
+(** [to_string schedules] serialises the array. *)
+val to_string : Availability.t array -> string
+
+(** [of_string s] parses a schedule set.
+    @raise Failure on malformed input or mismatched horizons. *)
+val of_string : string -> Availability.t array
+
+val save : Availability.t array -> string -> unit
+val load : string -> Availability.t array

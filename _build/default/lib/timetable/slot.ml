@@ -1,0 +1,21 @@
+let slots_per_hour = 2
+let slots_per_day = 24 * slots_per_hour
+
+let horizon ~days = days * slots_per_day
+
+let of_day_time ~day ~hour ~minute =
+  if hour < 0 || hour > 23 then invalid_arg "Slot.of_day_time: hour out of range";
+  if minute < 0 || minute > 59 then invalid_arg "Slot.of_day_time: minute out of range";
+  (day * slots_per_day) + (hour * slots_per_hour) + (minute * slots_per_hour / 60)
+
+let day_of slot = slot / slots_per_day
+
+let time_of slot =
+  let within = slot mod slots_per_day in
+  (within / slots_per_hour, within mod slots_per_hour * (60 / slots_per_hour))
+
+let pp ppf slot =
+  let h, m = time_of slot in
+  Format.fprintf ppf "d%d %02d:%02d" (day_of slot) h m
+
+let to_string slot = Format.asprintf "%a" pp slot

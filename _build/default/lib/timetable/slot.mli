@@ -1,0 +1,29 @@
+(** Time-slot arithmetic.
+
+    Following the paper's evaluation (§5, Fig. 1(e)) a slot is half an
+    hour; a day holds 48 slots.  Slots are 0-indexed here; the paper's
+    1-indexed slot [i] corresponds to index [i - 1] (relevant for the
+    pivot-slot rule of Lemma 4, see {!Window}). *)
+
+val slots_per_hour : int
+val slots_per_day : int
+
+(** [horizon ~days] is the number of slots in a [days]-day schedule. *)
+val horizon : days:int -> int
+
+(** [of_day_time ~day ~hour ~minute] is the slot index for a wall-clock
+    instant; [minute] is truncated to the slot grid.
+    @raise Invalid_argument outside [0..23] hours / [0..59] minutes. *)
+val of_day_time : day:int -> hour:int -> minute:int -> int
+
+(** [day_of slot] is the 0-indexed day containing [slot]. *)
+val day_of : int -> int
+
+(** [time_of slot] is the [(hour, minute)] of the slot's start. *)
+val time_of : int -> int * int
+
+(** [pp] prints as ["d<day> <hh>:<mm>"]. *)
+val pp : Format.formatter -> int -> unit
+
+(** [to_string slot] is [Format.asprintf "%a" pp slot]. *)
+val to_string : int -> string

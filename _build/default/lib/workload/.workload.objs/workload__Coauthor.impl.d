@@ -1,0 +1,1 @@
+lib/workload/coauthor.ml: Array People194 Random Socgraph Timetable

@@ -1,0 +1,1 @@
+lib/workload/coauthor.mli: Socgraph Timetable

@@ -1,0 +1,1 @@
+lib/workload/people194.ml: Array Float Fun List Random Socgraph Timetable

@@ -1,0 +1,1 @@
+lib/workload/people194.mli: Random Socgraph Timetable

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Coauthor Fun List People194 Socgraph Stgq_core

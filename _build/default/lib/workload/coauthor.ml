@@ -1,0 +1,30 @@
+type dataset = {
+  graph : Socgraph.Graph.t;
+  schedules : Timetable.Availability.t array;
+}
+
+(* Compose one schedule by sampling, for every day, that day's slots from
+   a random member of the base pool — the paper's §5.1 recipe. *)
+let sampled_schedule rng ~days ~(pool : Timetable.Availability.t array) =
+  let horizon = Timetable.Slot.horizon ~days in
+  let mine = Timetable.Availability.create ~horizon in
+  for day = 0 to days - 1 do
+    let donor = pool.(Random.State.int rng (Array.length pool)) in
+    let lo = day * Timetable.Slot.slots_per_day in
+    for slot = lo to lo + Timetable.Slot.slots_per_day - 1 do
+      if Timetable.Availability.available donor slot then
+        Timetable.Availability.set_free mine slot slot
+    done
+  done;
+  mine
+
+let generate ?(seed = 12800) ?(days = 7) ?(links = 5) ~n () =
+  let rng = Random.State.make [| seed; n |] in
+  let graph =
+    Socgraph.Generators.barabasi_albert rng ~n ~links
+      ~weight:(fun rng -> People194.interaction_distance rng ~close:(Random.State.bool rng))
+      ()
+  in
+  let pool = Timetable.Sched_gen.population rng ~days ~n:People194.population in
+  let schedules = Array.init n (fun _ -> sampled_schedule rng ~days ~pool) in
+  { graph; schedules }

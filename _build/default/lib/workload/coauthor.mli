@@ -1,0 +1,19 @@
+(** The synthetic stand-in for the paper's 12800-person network (§5.1).
+
+    The paper grows its large workload from a coauthorship network [7]
+    and assigns each person's daily schedule by sampling from the
+    194-person real dataset.  Here the graph is a preferential-attachment
+    (Barabási–Albert) network — the canonical generative model for
+    coauthorship degree structure — with interaction-model distances, and
+    each person's schedule is assembled day by day by sampling a random
+    day from a 194-person base pool, exactly the paper's recipe. *)
+
+type dataset = {
+  graph : Socgraph.Graph.t;
+  schedules : Timetable.Availability.t array;
+}
+
+(** [generate ?seed ?days ?links ~n ()] — [links] (default 5) attachment
+    edges per new vertex; [n] is the network size (the paper uses 194,
+    800, 3200, 12800). *)
+val generate : ?seed:int -> ?days:int -> ?links:int -> n:int -> unit -> dataset

@@ -1,0 +1,29 @@
+(** The synthetic stand-in for the paper's 194-person real dataset (§5.1).
+
+    The paper invited 194 people from schools, government, business and
+    industry, collected their Google-Calendar schedules, and derived edge
+    distances from pairwise interaction (meeting / phone / mail
+    frequency, per its references [10,12,13]).  This module synthesises a
+    dataset with the same shape: a community-structured 194-vertex graph
+    whose distances come from a simulated interaction model, plus
+    archetype-based calendar schedules (see {!Timetable.Sched_gen}). *)
+
+type dataset = {
+  graph : Socgraph.Graph.t;
+  schedules : Timetable.Availability.t array;  (** one per vertex *)
+  communities : int array;  (** vertex -> community id *)
+}
+
+val population : int
+(** 194, as in the paper. *)
+
+(** [interaction_distance rng ~close] draws a social distance from the
+    interaction model: meeting/call/mail counts are sampled (higher for
+    intra-community pairs, [close = true]), combined into an interaction
+    score, and mapped to a distance in [5, 35] that decays with the
+    score. *)
+val interaction_distance : Random.State.t -> close:bool -> float
+
+(** [generate ?seed ?days ()] builds the dataset ([days] defaults to 7 —
+    the longest schedule length in Fig. 1(f)). *)
+val generate : ?seed:int -> ?days:int -> unit -> dataset

@@ -1,0 +1,26 @@
+let pick_initiator ?(rank = 3) graph =
+  let n = Socgraph.Graph.n_vertices graph in
+  if n = 0 then invalid_arg "Scenario.pick_initiator: empty graph";
+  let by_degree =
+    List.init n Fun.id
+    |> List.sort (fun a b ->
+           compare
+             (-Socgraph.Graph.degree graph a, a)
+             (-Socgraph.Graph.degree graph b, b))
+  in
+  List.nth by_degree (min rank (n - 1))
+
+let social_instance graph ~initiator = { Stgq_core.Query.graph; initiator }
+
+let temporal_instance graph schedules ~initiator =
+  { Stgq_core.Query.social = social_instance graph ~initiator; schedules }
+
+let people194 ?seed ?days () =
+  let ds = People194.generate ?seed ?days () in
+  temporal_instance ds.People194.graph ds.People194.schedules
+    ~initiator:(pick_initiator ds.People194.graph)
+
+let coauthor ?seed ?days ~n () =
+  let ds = Coauthor.generate ?seed ?days ~n () in
+  temporal_instance ds.Coauthor.graph ds.Coauthor.schedules
+    ~initiator:(pick_initiator ds.Coauthor.graph)

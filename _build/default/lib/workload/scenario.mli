@@ -1,0 +1,24 @@
+(** Packaged query scenarios shared by the examples and the benchmark
+    harness: a dataset, a deterministic initiator choice and instance
+    builders. *)
+
+(** [pick_initiator ?rank graph] is a well-connected vertex: the one with
+    the [rank]-th highest degree (default 3 — busy but not the global
+    hub, like the paper's example initiators). *)
+val pick_initiator : ?rank:int -> Socgraph.Graph.t -> int
+
+(** [social_instance graph ~initiator] wraps a graph as a query instance. *)
+val social_instance : Socgraph.Graph.t -> initiator:int -> Stgq_core.Query.instance
+
+(** [temporal_instance graph schedules ~initiator] builds the full STGQ
+    instance. *)
+val temporal_instance :
+  Socgraph.Graph.t -> Timetable.Availability.t array -> initiator:int ->
+  Stgq_core.Query.temporal_instance
+
+(** [people194 ?seed ?days ()] — the standard small scenario: 194-person
+    dataset with its default initiator. *)
+val people194 : ?seed:int -> ?days:int -> unit -> Stgq_core.Query.temporal_instance
+
+(** [coauthor ?seed ?days ~n ()] — the scalable scenario. *)
+val coauthor : ?seed:int -> ?days:int -> n:int -> unit -> Stgq_core.Query.temporal_instance

@@ -1,0 +1,1 @@
+test/gen.ml: Array List Printf QCheck QCheck_alcotest Socgraph Stgq_core String Timetable

@@ -1,0 +1,1 @@
+test/suite_arrange.ml: Alcotest Array Float Gen List Pcarrange Query Socgraph Stgarrange Stgq_core Timetable Validate

@@ -1,0 +1,1 @@
+test/suite_astar.ml: Alcotest Astar Float Gen Query Random Sgselect Socgraph Stgq_core Validate

@@ -1,0 +1,1 @@
+test/suite_auto.ml: Alcotest Auto Float Gen List Query Sgselect Socgraph Stgq_core Stgselect Validate

@@ -1,0 +1,1 @@
+test/suite_bitset.ml: Alcotest Bitset Fun Gen List Printf QCheck String

@@ -1,0 +1,1 @@
+test/suite_community.ml: Alcotest Fun Gen List Printf QCheck Socgraph

@@ -1,0 +1,1 @@
+test/suite_explain.ml: Alcotest Astring_like Explain Float Format Gen List Query Sgselect Socgraph Stgq_core Stgselect

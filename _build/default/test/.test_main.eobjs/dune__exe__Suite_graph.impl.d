@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Float Fun Gen List Printf QCheck Random Socgraph

@@ -1,0 +1,1 @@
+test/suite_heuristics.ml: Alcotest Float Gen Heuristics Option Query Sgselect Socgraph Stgq_core Stgselect Validate

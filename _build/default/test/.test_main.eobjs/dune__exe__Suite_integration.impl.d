@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Baseline Explain Filename Float Fun Ip_model List Option Parallel Planner Printf Query Socgraph Stgq_core Stgselect Sys Timetable Topk Validate Workload

@@ -1,0 +1,1 @@
+test/suite_ip.ml: Alcotest Float Gen Ip_model Query Random Sgselect Socgraph Stgq_core Stgselect Validate

@@ -1,0 +1,1 @@
+test/suite_lp.ml: Alcotest Array Float Gen Ilp List Lp Printf QCheck String

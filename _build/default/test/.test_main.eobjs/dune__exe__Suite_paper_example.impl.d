@@ -1,0 +1,1 @@
+test/suite_paper_example.ml: Alcotest Array Float List Option Printf Query Sgselect Socgraph Stgq_core Stgselect Timetable

@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest Float Gen Parallel Query Random Socgraph Stgq_core Stgselect Timetable Validate

@@ -1,0 +1,1 @@
+test/suite_planner.ml: Alcotest Array Float Gen Planner Query Random Socgraph Stgq_core Stgselect Timetable

@@ -1,0 +1,1 @@
+test/suite_pqueue.ml: Alcotest Gen List Pqueue Printf QCheck String

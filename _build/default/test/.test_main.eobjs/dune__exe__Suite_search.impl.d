@@ -1,0 +1,1 @@
+test/suite_search.ml: Alcotest Array Baseline Float Gen List Option Query Search_core Sgselect Socgraph Stgq_core Stgselect Timetable Validate

@@ -1,0 +1,1 @@
+test/suite_service.ml: Alcotest Array Float Gen Query Service Sgselect Socgraph Stgq_core Stgselect Timetable

@@ -1,0 +1,1 @@
+test/suite_timetable.ml: Alcotest Array Bitset Fun Gen List Printf QCheck Random String Timetable

@@ -1,0 +1,1 @@
+test/suite_topk.ml: Alcotest Array Feasible Float Gen List Query Sgselect Socgraph Stgq_core Stgselect Topk Validate

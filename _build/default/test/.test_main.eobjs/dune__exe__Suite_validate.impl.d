@@ -1,0 +1,1 @@
+test/suite_validate.ml: Alcotest Array Gen List Query Sgselect Socgraph Stgq_core Stgselect Timetable Validate

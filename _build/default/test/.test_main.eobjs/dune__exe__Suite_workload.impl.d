@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Bitset Fun List Printf Query Random Sgselect Socgraph Stgq_core Stgselect Timetable Validate Workload

@@ -1,0 +1,6 @@
+(* Minimal substring test helper for the suites (astring not a test dep). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0

@@ -1,0 +1,119 @@
+(* Shared random-case generation for the property suites.  All cases are
+   small enough for the brute-force oracles to stay fast. *)
+
+module G = QCheck.Gen
+
+let graph_edges ~n ~density st =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if G.float_bound_inclusive 1.0 st < density then begin
+        let w = float_of_int (1 + G.int_bound 19 st) in
+        edges := (u, v, w) :: !edges
+      end
+    done
+  done;
+  !edges
+
+type sg_case = {
+  n : int;
+  edges : (int * int * float) list;
+  query : Stgq_core.Query.sgq;
+}
+
+let sg_case_gen ?(max_n = 11) ?(max_p = 6) st =
+  let n = 4 + G.int_bound (max_n - 4) st in
+  let density = 0.25 +. G.float_bound_inclusive 0.45 st in
+  let edges = graph_edges ~n ~density st in
+  let p = 2 + G.int_bound (min max_p n - 2) st in
+  let s = 1 + G.int_bound 2 st in
+  let k = G.int_bound 3 st in
+  { n; edges; query = { Stgq_core.Query.p; s; k } }
+
+let pp_edges edges =
+  String.concat "; "
+    (List.map (fun (u, v, w) -> Printf.sprintf "%d-%d:%g" u v w) edges)
+
+let print_sg_case { n; edges; query = { p; s; k } } =
+  Printf.sprintf "n=%d p=%d s=%d k=%d edges=[%s]" n p s k (pp_edges edges)
+
+let sg_case ?max_n ?max_p () =
+  QCheck.make ~print:print_sg_case (sg_case_gen ?max_n ?max_p)
+
+let instance_of_sg_case { n; edges; _ } =
+  { Stgq_core.Query.graph = Socgraph.Graph.of_edges n edges; initiator = 0 }
+
+(* Availability over a small horizon: a few random free runs. *)
+let availability_gen ~horizon st =
+  let a = Timetable.Availability.create ~horizon in
+  let runs = 1 + G.int_bound 3 st in
+  for _ = 1 to runs do
+    let lo = G.int_bound (horizon - 1) st in
+    let len = 1 + G.int_bound (horizon / 2) st in
+    Timetable.Availability.set_free a lo (min (horizon - 1) (lo + len - 1))
+  done;
+  a
+
+type stg_case = {
+  sg : sg_case;
+  horizon : int;
+  free_runs : (int * int) list array;  (* printable schedule description *)
+  m : int;
+}
+
+let stg_case_gen ?(max_n = 8) ?(max_p = 5) st =
+  let sg = sg_case_gen ~max_n ~max_p st in
+  let horizon = 16 + G.int_bound 16 st in
+  let m = 2 + G.int_bound 2 st in
+  let free_runs =
+    Array.init sg.n (fun _ ->
+        let a = availability_gen ~horizon st in
+        (* Record as runs for printing and faithful reconstruction. *)
+        let runs = ref [] in
+        let i = ref 0 in
+        while !i < horizon do
+          if Timetable.Availability.available a !i then begin
+            match Timetable.Availability.run_around a !i with
+            | Some (lo, hi) ->
+                runs := (lo, hi) :: !runs;
+                i := hi + 1
+            | None -> incr i
+          end
+          else incr i
+        done;
+        List.rev !runs)
+  in
+  { sg; horizon; free_runs; m }
+
+let print_stg_case { sg; horizon; free_runs; m } =
+  let sched =
+    Array.to_list free_runs
+    |> List.mapi (fun v runs ->
+           Printf.sprintf "v%d:%s" v
+             (String.concat ","
+                (List.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi) runs)))
+    |> String.concat " "
+  in
+  Printf.sprintf "%s horizon=%d m=%d sched=[%s]" (print_sg_case sg) horizon m sched
+
+let stg_case ?max_n ?max_p () =
+  QCheck.make ~print:print_stg_case (stg_case_gen ?max_n ?max_p)
+
+let temporal_instance_of_stg_case { sg; horizon; free_runs; m = _ } =
+  let schedules =
+    Array.map
+      (fun runs ->
+        let a = Timetable.Availability.create ~horizon in
+        List.iter (fun (lo, hi) -> Timetable.Availability.set_free a lo hi) runs;
+        a)
+      free_runs
+  in
+  { Stgq_core.Query.social = instance_of_sg_case sg; schedules }
+
+let stgq_of_stg_case { sg; m; _ } =
+  let ({ p; s; k } : Stgq_core.Query.sgq) = sg.query in
+  { Stgq_core.Query.p; s; k; m }
+
+(* Alcotest adapter. *)
+let qtest ?(count = 200) name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)

@@ -1,0 +1,134 @@
+(* PCArrange / STGArrange — the solution-quality comparison machinery of
+   §5.1 (Fig. 1(g)/(h)). *)
+
+open Stgq_core
+
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let pc_of_case case ~p =
+  let ti = Gen.temporal_instance_of_stg_case case in
+  let { Query.s; m; _ } = Gen.stgq_of_stg_case case in
+  (ti, Pcarrange.run ti ~p ~s ~m, s, m)
+
+let prop_pcarrange_well_formed =
+  Gen.qtest ~count:150 "PCArrange output satisfies size + availability"
+    (Gen.stg_case ())
+    (fun case ->
+      let p = case.Gen.sg.Gen.query.Query.p in
+      let ti, pc, _, m = pc_of_case case ~p in
+      match pc with
+      | None -> true
+      | Some r ->
+          List.length r.Pcarrange.attendees = p
+          && List.mem ti.Query.social.Query.initiator r.Pcarrange.attendees
+          && r.Pcarrange.observed_k <= p - 1
+          && r.Pcarrange.observed_k >= 0
+          && List.for_all
+               (fun v ->
+                 Timetable.Availability.window_free ti.Query.schedules.(v)
+                   ~start:r.Pcarrange.start_slot ~len:m)
+               r.Pcarrange.attendees)
+
+let prop_observed_k_is_tight =
+  Gen.qtest ~count:150 "observed k is exactly the max unacquaintance"
+    (Gen.stg_case ())
+    (fun case ->
+      let p = case.Gen.sg.Gen.query.Query.p in
+      let ti, pc, _, _ = pc_of_case case ~p in
+      match pc with
+      | None -> true
+      | Some r ->
+          let g = ti.Query.social.Query.graph in
+          let max_nn =
+            List.fold_left
+              (fun acc v ->
+                max acc (Socgraph.Kplex.non_neighbors_within g r.Pcarrange.attendees v))
+              0 r.Pcarrange.attendees
+          in
+          r.Pcarrange.observed_k = max_nn)
+
+let prop_stgarrange_beats_pcarrange =
+  Gen.qtest ~count:100 "STGArrange: distance <= PCArrange at k <= observed k"
+    (Gen.stg_case ())
+    (fun case ->
+      let p = case.Gen.sg.Gen.query.Query.p in
+      let ti, pc, s, m = pc_of_case case ~p in
+      match pc with
+      | None -> true
+      | Some pc -> (
+          match
+            Stgarrange.run ti ~p ~s ~m ~target_distance:pc.Pcarrange.total_distance
+          with
+          | None -> false (* PCArrange's own group is feasible at k_h *)
+          | Some { Stgarrange.k_used; solution } ->
+              k_used <= pc.Pcarrange.observed_k
+              && solution.Query.st_total_distance
+                 <= pc.Pcarrange.total_distance +. 1e-6
+              && Validate.is_valid_stg ti { Query.p; s; k = k_used; m } solution))
+
+let prop_versus_consistent =
+  Gen.qtest ~count:60 "versus_pcarrange packages the same comparison"
+    (Gen.stg_case ())
+    (fun case ->
+      let p = case.Gen.sg.Gen.query.Query.p in
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let { Query.s; m; _ } = Gen.stgq_of_stg_case case in
+      match Stgarrange.versus_pcarrange ti ~p ~s ~m with
+      | None -> Pcarrange.run ti ~p ~s ~m = None
+      | Some ({ Stgarrange.solution; _ }, pc) ->
+          solution.Query.st_total_distance <= pc.Pcarrange.total_distance +. 1e-6)
+
+let test_pcarrange_greedy_order () =
+  (* Candidates at distance 1 and 2 share the initiator's window; the
+     greedy must take the closer one. *)
+  let g = Socgraph.Graph.of_edges 3 [ (0, 1, 1.); (0, 2, 2.) ] in
+  let horizon = 8 in
+  let free lo hi =
+    let a = Timetable.Availability.create ~horizon in
+    Timetable.Availability.set_free a lo hi;
+    a
+  in
+  let ti =
+    {
+      Query.social = { Query.graph = g; initiator = 0 };
+      schedules = [| free 0 7; free 0 7; free 0 7 |];
+    }
+  in
+  match Pcarrange.run ti ~p:2 ~s:1 ~m:2 with
+  | Some r ->
+      Alcotest.check (Alcotest.list Alcotest.int) "closest first" [ 0; 1 ]
+        r.Pcarrange.attendees;
+      Alcotest.check Alcotest.bool "distance 1" true (close r.Pcarrange.total_distance 1.)
+  | None -> Alcotest.fail "expected a PCArrange result"
+
+let test_pcarrange_declines_conflicting () =
+  (* The nearest friend has no overlap with the initiator: the phone call
+     fails and the farther friend is taken instead. *)
+  let g = Socgraph.Graph.of_edges 3 [ (0, 1, 1.); (0, 2, 2.) ] in
+  let horizon = 8 in
+  let free lo hi =
+    let a = Timetable.Availability.create ~horizon in
+    Timetable.Availability.set_free a lo hi;
+    a
+  in
+  let ti =
+    {
+      Query.social = { Query.graph = g; initiator = 0 };
+      schedules = [| free 0 3; free 4 7; free 0 3 |];
+    }
+  in
+  match Pcarrange.run ti ~p:2 ~s:1 ~m:2 with
+  | Some r ->
+      Alcotest.check (Alcotest.list Alcotest.int) "conflicting friend skipped" [ 0; 2 ]
+        r.Pcarrange.attendees
+  | None -> Alcotest.fail "expected a PCArrange result"
+
+let suite =
+  [
+    Alcotest.test_case "greedy picks closest" `Quick test_pcarrange_greedy_order;
+    Alcotest.test_case "conflicting friend declines" `Quick test_pcarrange_declines_conflicting;
+    prop_pcarrange_well_formed;
+    prop_observed_k_is_tight;
+    prop_stgarrange_beats_pcarrange;
+    prop_versus_consistent;
+  ]

@@ -1,0 +1,52 @@
+(* Best-first exact SGQ: must equal SGSelect everywhere. *)
+
+open Stgq_core
+
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let prop_astar_matches_sgselect =
+  Gen.qtest ~count:250 "best-first search = SGSelect" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let a = Astar.solve instance case.Gen.query in
+      let b = Sgselect.solve instance case.Gen.query in
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y ->
+          close x.Query.total_distance y.Query.total_distance
+          && Validate.is_valid_sg instance case.Gen.query x
+      | _ -> false)
+
+let test_astar_report_counters () =
+  let g = Socgraph.Graph.of_edges 4 [ (0, 1, 1.); (0, 2, 2.); (0, 3, 3.); (1, 2, 1.) ] in
+  let instance = { Query.graph = g; initiator = 0 } in
+  let report = Astar.solve_report instance { Query.p = 3; s = 1; k = 0 } in
+  Alcotest.check Alcotest.bool "solved" true (report.Astar.solution <> None);
+  Alcotest.check Alcotest.bool "counters positive" true
+    (report.Astar.nodes_expanded > 0 && report.Astar.max_frontier >= 1)
+
+let test_astar_first_goal_is_optimal () =
+  (* The admissible bound must steer past a tempting-but-infeasible cheap
+     branch: the greedy-trap instance of the heuristics suite. *)
+  let g =
+    Socgraph.Graph.of_edges 4 [ (0, 1, 1.); (0, 2, 5.); (0, 3, 5.); (2, 3, 1.) ]
+  in
+  let instance = { Query.graph = g; initiator = 0 } in
+  match Astar.solve instance { Query.p = 3; s = 1; k = 0 } with
+  | Some { total_distance; _ } ->
+      Alcotest.check Alcotest.bool "optimal 10" true (close total_distance 10.)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_astar_node_limit () =
+  let instance = Gen.instance_of_sg_case (Gen.sg_case_gen (Random.State.make [| 4 |])) in
+  match Astar.solve ~node_limit:0 instance { Query.p = 3; s = 1; k = 1 } with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the node limit to trip"
+
+let suite =
+  [
+    Alcotest.test_case "report counters" `Quick test_astar_report_counters;
+    Alcotest.test_case "first goal is optimal" `Quick test_astar_first_goal_is_optimal;
+    Alcotest.test_case "node limit" `Quick test_astar_node_limit;
+    prop_astar_matches_sgselect;
+  ]

@@ -1,0 +1,72 @@
+(* Adaptive solver selection and the shortest-path witness machinery it
+   sits on. *)
+
+open Stgq_core
+
+let prop_auto_exact_on_small =
+  Gen.qtest ~count:100 "auto picks exact and matches SGSelect on small cases"
+    (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let solution, plan = Auto.sgq instance case.Gen.query in
+      plan.Auto.choice = Auto.Exact
+      &&
+      match (solution, Sgselect.solve instance case.Gen.query) with
+      | None, None -> true
+      | Some a, Some b ->
+          Float.abs (a.Query.total_distance -. b.Query.total_distance) < 1e-6
+      | _ -> false)
+
+let prop_auto_beam_on_tiny_budget =
+  Gen.qtest ~count:80 "auto with a tiny budget degrades to a sound beam"
+    (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let solution, plan = Auto.sgq ~budget:1. instance case.Gen.query in
+      (plan.Auto.choice = Auto.Beam || plan.Auto.log10_groups <= 0.)
+      &&
+      match solution with
+      | None -> true
+      | Some h -> Validate.is_valid_sg instance case.Gen.query h)
+
+let prop_auto_stgq_consistent =
+  Gen.qtest ~count:60 "auto STGQ (exact path) = STGSelect" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let query = Gen.stgq_of_stg_case case in
+      let solution, plan = Auto.stgq ti query in
+      plan.Auto.choice = Auto.Exact
+      &&
+      match (solution, Stgselect.solve ti query) with
+      | None, None -> true
+      | Some a, Some b ->
+          Float.abs (a.Query.st_total_distance -. b.Query.st_total_distance) < 1e-6
+      | _ -> false)
+
+let test_log10_choose_sane () =
+  (* C(10,3) = 120 -> log10 ~ 2.079. *)
+  let g = Socgraph.Graph.of_edges 11 (List.init 10 (fun i -> (0, i + 1, 1.))) in
+  let instance = { Query.graph = g; initiator = 0 } in
+  let plan = Auto.plan_sgq instance { Query.p = 4; s = 1; k = 3 } in
+  Alcotest.check Alcotest.int "feasible size" 11 plan.Auto.feasible_size;
+  Alcotest.check Alcotest.bool "log10 C(10,3)" true
+    (Float.abs (plan.Auto.log10_groups -. log10 120.) < 1e-9)
+
+let test_budget_threshold () =
+  let g = Socgraph.Graph.of_edges 11 (List.init 10 (fun i -> (0, i + 1, 1.))) in
+  let instance = { Query.graph = g; initiator = 0 } in
+  let query = { Query.p = 4; s = 1; k = 3 } in
+  let exact = Auto.plan_sgq ~budget:121. instance query in
+  let beam = Auto.plan_sgq ~budget:119. instance query in
+  Alcotest.check Alcotest.bool "within budget -> exact" true
+    (exact.Auto.choice = Auto.Exact);
+  Alcotest.check Alcotest.bool "over budget -> beam" true (beam.Auto.choice = Auto.Beam)
+
+let suite =
+  [
+    Alcotest.test_case "log10 group estimate" `Quick test_log10_choose_sane;
+    Alcotest.test_case "budget threshold" `Quick test_budget_threshold;
+    prop_auto_exact_on_small;
+    prop_auto_beam_on_tiny_budget;
+    prop_auto_stgq_consistent;
+  ]

@@ -1,0 +1,126 @@
+(* Bitset unit and property tests: the list model is the oracle. *)
+
+let check = Alcotest.check
+let il = Alcotest.list Alcotest.int
+
+let test_basic () =
+  let b = Bitset.create 100 in
+  check Alcotest.int "empty count" 0 (Bitset.count b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 64;
+  Bitset.set b 99;
+  check Alcotest.int "count 4" 4 (Bitset.count b);
+  check Alcotest.bool "mem 63" true (Bitset.mem b 63);
+  check Alcotest.bool "mem 62" false (Bitset.mem b 62);
+  Bitset.clear b 63;
+  check Alcotest.bool "cleared" false (Bitset.mem b 63);
+  check il "to_list" [ 0; 64; 99 ] (Bitset.to_list b)
+
+let test_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "set out of range" (Invalid_argument "Bitset: index 10 out of [0,10)")
+    (fun () -> Bitset.set b 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index -1 out of [0,10)")
+    (fun () -> Bitset.mem b (-1) |> ignore)
+
+let test_ranges () =
+  let b = Bitset.create 40 in
+  Bitset.set_range b 5 20;
+  check Alcotest.int "range count" 16 (Bitset.count b);
+  Bitset.clear_range b 10 12;
+  check Alcotest.int "after clear" 13 (Bitset.count b);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "run at 6"
+    (Some (5, 9))
+    (Bitset.run_containing b 6);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "run at 15"
+    (Some (13, 20))
+    (Bitset.run_containing b 15);
+  check Alcotest.int "longest run in window" 8 (Bitset.longest_run_in b 0 39);
+  check Alcotest.bool "has run of 8" true (Bitset.has_run_of b ~len:8 ~lo:0 ~hi:39);
+  check Alcotest.bool "no run of 9" false (Bitset.has_run_of b ~len:9 ~lo:0 ~hi:39);
+  check Alcotest.bool "clipped window shortens runs" false
+    (Bitset.has_run_of b ~len:8 ~lo:14 ~hi:39)
+
+let test_fill () =
+  let b = Bitset.create 70 in
+  Bitset.fill b true;
+  check Alcotest.int "all set" 70 (Bitset.count b);
+  check Alcotest.int "next_clear hits the end" 70 (Bitset.next_clear b 0);
+  Bitset.fill b false;
+  check Alcotest.bool "emptied" true (Bitset.is_empty b)
+
+(* Property: set algebra agrees with sorted-list algebra. *)
+let pair_lists_gen =
+  QCheck.Gen.(
+    let n = 1 -- 120 in
+    n >>= fun cap ->
+    let idx = list_size (0 -- 40) (int_bound (cap - 1)) in
+    pair (return cap) (pair idx idx))
+
+let pair_lists =
+  QCheck.make
+    ~print:(fun (cap, (a, b)) ->
+      Printf.sprintf "cap=%d a=[%s] b=[%s]" cap
+        (String.concat ";" (List.map string_of_int a))
+        (String.concat ";" (List.map string_of_int b)))
+    pair_lists_gen
+
+let sorted l = List.sort_uniq compare l
+
+let prop_algebra =
+  Gen.qtest ~count:300 "inter/union/diff match list algebra" pair_lists
+    (fun (cap, (la, lb)) ->
+      let a = Bitset.of_list cap la and b = Bitset.of_list cap lb in
+      let sa = sorted la and sb = sorted lb in
+      Bitset.to_list (Bitset.inter a b) = List.filter (fun x -> List.mem x sb) sa
+      && Bitset.to_list (Bitset.union a b) = sorted (la @ lb)
+      && Bitset.to_list (Bitset.diff a b)
+         = List.filter (fun x -> not (List.mem x sb)) sa
+      && Bitset.inter_count a b = List.length (List.filter (fun x -> List.mem x sb) sa)
+      && Bitset.subset (Bitset.inter a b) a
+      && Bitset.count a = List.length sa)
+
+let prop_roundtrip =
+  Gen.qtest ~count:300 "of_list/to_list roundtrip" pair_lists
+    (fun (cap, (la, _)) -> Bitset.to_list (Bitset.of_list cap la) = sorted la)
+
+let prop_runs =
+  Gen.qtest ~count:300 "run_containing matches a naive scan" pair_lists
+    (fun (cap, (la, _)) ->
+      let b = Bitset.of_list cap la in
+      let naive i =
+        if not (Bitset.mem b i) then None
+        else begin
+          let lo = ref i and hi = ref i in
+          while !lo > 0 && Bitset.mem b (!lo - 1) do
+            decr lo
+          done;
+          while !hi < cap - 1 && Bitset.mem b (!hi + 1) do
+            incr hi
+          done;
+          Some (!lo, !hi)
+        end
+      in
+      List.for_all (fun i -> Bitset.run_containing b i = naive i)
+        (List.init cap Fun.id))
+
+let prop_inter_into =
+  Gen.qtest ~count:200 "inter_into equals inter" pair_lists
+    (fun (cap, (la, lb)) ->
+      let a = Bitset.of_list cap la and b = Bitset.of_list cap lb in
+      let dst = Bitset.copy a in
+      Bitset.inter_into ~dst b;
+      Bitset.equal dst (Bitset.inter a b))
+
+let suite =
+  [
+    Alcotest.test_case "basic set/clear/count" `Quick test_basic;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "ranges and runs" `Quick test_ranges;
+    Alcotest.test_case "fill and next_clear" `Quick test_fill;
+    prop_algebra;
+    prop_roundtrip;
+    prop_runs;
+    prop_inter_into;
+  ]

@@ -1,0 +1,82 @@
+(* Explanations: witness paths must realise the bounded distances and the
+   unacquaintance lists must match the graph. *)
+
+open Stgq_core
+
+let prop_explanations_consistent =
+  Gen.qtest ~count:150 "explanation paths realise distances" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      match Sgselect.solve instance case.Gen.query with
+      | None -> true
+      | Some solution ->
+          let ex = Explain.sg instance case.Gen.query solution in
+          let g = instance.Query.graph in
+          let path_ok m =
+            (* The witness path starts at q, ends at the member, uses at
+               most s edges, and its edge weights sum to the distance. *)
+            let rec walk total = function
+              | [ _ ] | [] -> Some total
+              | a :: (b :: _ as rest) -> (
+                  match Socgraph.Graph.edge_weight g a b with
+                  | Some w -> walk (total +. w) rest
+                  | None -> None)
+            in
+            List.hd m.Explain.path = instance.Query.initiator
+            && List.rev m.Explain.path |> List.hd = m.Explain.vertex
+            && List.length m.Explain.path - 1 <= case.Gen.query.Query.s
+            && (match walk 0. m.Explain.path with
+               | Some total -> Float.abs (total -. m.Explain.distance) < 1e-9
+               | None -> false)
+          in
+          let unacquainted_ok m =
+            List.for_all
+              (fun w -> not (Socgraph.Graph.adjacent g m.Explain.vertex w))
+              m.Explain.unacquainted
+          in
+          List.for_all (fun m -> path_ok m && unacquainted_ok m) ex.Explain.members
+          && ex.Explain.acquaintance_slack >= 0
+          && Float.abs (ex.Explain.total_distance -. solution.Query.total_distance)
+             < 1e-9)
+
+let prop_stg_explanations =
+  Gen.qtest ~count:80 "STGQ explanations carry the window" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let query = Gen.stgq_of_stg_case case in
+      match Stgselect.solve ti query with
+      | None -> true
+      | Some solution -> (
+          let ex = Explain.stg ti query solution in
+          match ex.Explain.window with
+          | Some (lo, hi) ->
+              lo = solution.Query.start_slot && hi - lo + 1 = query.Query.m
+          | None -> false))
+
+let test_rejects_invalid_solution () =
+  let g = Socgraph.Graph.of_edges 3 [ (0, 1, 1.) ] in
+  let instance = { Query.graph = g; initiator = 0 } in
+  let bogus = { Query.attendees = [ 0; 2 ]; total_distance = 1. } in
+  match Explain.sg instance { Query.p = 2; s = 1; k = 0 } bogus with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of an out-of-radius attendee"
+
+let test_pp_with_names () =
+  let g = Socgraph.Graph.of_edges 2 [ (0, 1, 7.) ] in
+  let instance = { Query.graph = g; initiator = 0 } in
+  match Sgselect.solve instance { Query.p = 2; s = 1; k = 0 } with
+  | None -> Alcotest.fail "solvable fixture"
+  | Some solution ->
+      let ex = Explain.sg instance { Query.p = 2; s = 1; k = 0 } solution in
+      let name = function 0 -> "alice" | 1 -> "bob" | v -> string_of_int v in
+      let text = Format.asprintf "%a" (Explain.pp ~name) ex in
+      Alcotest.check Alcotest.bool "mentions both names" true
+        (Astring_like.contains text "alice" && Astring_like.contains text "bob")
+
+let suite =
+  [
+    Alcotest.test_case "rejects invalid solutions" `Quick test_rejects_invalid_solution;
+    Alcotest.test_case "pretty printing with names" `Quick test_pp_with_names;
+    prop_explanations_consistent;
+    prop_stg_explanations;
+  ]

@@ -1,0 +1,90 @@
+(* End-to-end flows: generate -> persist -> reload -> query -> validate ->
+   explain, through temporary files — what the CLI does, minus argv. *)
+
+open Stgq_core
+
+let with_temp_files f =
+  let graph_path = Filename.temp_file "stgq_graph" ".txt" in
+  let sched_path = Filename.temp_file "stgq_sched" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove graph_path with Sys_error _ -> ());
+      try Sys.remove sched_path with Sys_error _ -> ())
+    (fun () -> f graph_path sched_path)
+
+let test_full_roundtrip () =
+  with_temp_files (fun graph_path sched_path ->
+      let ds = Workload.Coauthor.generate ~seed:77 ~days:2 ~n:120 () in
+      Socgraph.Gio.save ds.Workload.Coauthor.graph graph_path;
+      Timetable.Sio.save ds.Workload.Coauthor.schedules sched_path;
+      let graph = Socgraph.Gio.load graph_path in
+      let schedules = Timetable.Sio.load sched_path in
+      Alcotest.check Alcotest.bool "graph preserved" true
+        (Socgraph.Graph.edges graph = Socgraph.Graph.edges ds.Workload.Coauthor.graph);
+      let initiator = Workload.Scenario.pick_initiator graph in
+      let ti = Workload.Scenario.temporal_instance graph schedules ~initiator in
+      let query = { Query.p = 4; s = 1; k = 2; m = 3 } in
+      match Stgselect.solve ti query with
+      | None -> Alcotest.fail "expected a solution on the reloaded dataset"
+      | Some solution ->
+          Alcotest.check Alcotest.bool "valid" true (Validate.is_valid_stg ti query solution);
+          let direct = Stgselect.solve (Workload.Scenario.temporal_instance
+                                          ds.Workload.Coauthor.graph
+                                          ds.Workload.Coauthor.schedules ~initiator)
+                         query in
+          (match direct with
+          | Some d ->
+              Alcotest.check Alcotest.bool "same optimum as unpersisted" true
+                (Float.abs (d.Query.st_total_distance -. solution.Query.st_total_distance)
+                < 1e-9)
+          | None -> Alcotest.fail "direct run disagrees");
+          (* The explanation pipeline accepts the reloaded solution. *)
+          let ex = Explain.stg ti query solution in
+          Alcotest.check Alcotest.bool "explained" true
+            (List.length ex.Explain.members = query.Query.p))
+
+let test_all_solvers_agree_on_scenario () =
+  let ti = Workload.Scenario.people194 ~seed:3 ~days:2 () in
+  let query = { Query.p = 4; s = 1; k = 2; m = 4 } in
+  let distances =
+    List.filter_map
+      (fun f -> f ())
+      [
+        (fun () ->
+          Option.map (fun (s : Query.stg_solution) -> s.st_total_distance)
+            (Stgselect.solve ti query));
+        (fun () ->
+          Option.map (fun (s : Query.stg_solution) -> s.st_total_distance)
+            (Parallel.solve ~domains:2 ti query));
+        (fun () ->
+          Option.map (fun (s : Query.stg_solution) -> s.st_total_distance)
+            (Baseline.stgq_per_slot ti query).Baseline.st_solution);
+        (fun () ->
+          Option.map (fun (s : Query.stg_solution) -> s.st_total_distance)
+            (Ip_model.solve_stgq ti query).Ip_model.result);
+        (fun () ->
+          match Topk.stgq ~n:1 ti query with
+          | [ e ] -> Some e.Topk.total_distance
+          | _ -> None);
+        (fun () ->
+          Option.map (fun (s : Query.stg_solution) -> s.st_total_distance)
+            (Planner.solution (Planner.create ti query)));
+      ]
+  in
+  Alcotest.check Alcotest.int "all six solvers answered" 6 (List.length distances);
+  match distances with
+  | first :: rest ->
+      List.iteri
+        (fun i d ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "solver %d agrees" (i + 1))
+            true
+            (Float.abs (d -. first) < 1e-6))
+        rest
+  | [] -> Alcotest.fail "unreachable"
+
+let suite =
+  [
+    Alcotest.test_case "persist/reload/query/explain roundtrip" `Quick test_full_roundtrip;
+    Alcotest.test_case "six solvers, one optimum" `Quick test_all_solvers_agree_on_scenario;
+  ]

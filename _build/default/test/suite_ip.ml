@@ -1,0 +1,79 @@
+(* The Appendix-D Integer Programming formulations must agree with
+   SGSelect / STGSelect — both are exact, so distances must match. *)
+
+open Stgq_core
+
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let agree_sgq ~form case =
+  let instance = Gen.instance_of_sg_case case in
+  let select = Sgselect.solve instance case.Gen.query in
+  let ip = (Ip_model.solve_sgq ~form instance case.Gen.query).Ip_model.result in
+  match (select, ip) with
+  | None, None -> true
+  | Some a, Some b ->
+      close a.Query.total_distance b.Query.total_distance
+      && Validate.is_valid_sg instance case.Gen.query b
+  | Some _, None | None, Some _ -> false
+
+let prop_group_form_sgq =
+  Gen.qtest ~count:120 "group-form IP = SGSelect" (Gen.sg_case ~max_n:9 ~max_p:5 ())
+    (agree_sgq ~form:Ip_model.Group_form)
+
+let prop_full_form_sgq =
+  Gen.qtest ~count:25 "full Appendix-D IP = SGSelect (tiny graphs)"
+    (Gen.sg_case ~max_n:6 ~max_p:4 ())
+    (agree_sgq ~form:Ip_model.Full_form)
+
+let agree_stgq ~form case =
+  let ti = Gen.temporal_instance_of_stg_case case in
+  let query = Gen.stgq_of_stg_case case in
+  let select = Stgselect.solve ti query in
+  let ip = (Ip_model.solve_stgq ~form ti query).Ip_model.result in
+  match (select, ip) with
+  | None, None -> true
+  | Some a, Some b ->
+      close a.Query.st_total_distance b.Query.st_total_distance
+      && Validate.is_valid_stg ti query b
+  | Some _, None | None, Some _ -> false
+
+let prop_group_form_stgq =
+  Gen.qtest ~count:60 "group-form IP = STGSelect" (Gen.stg_case ~max_n:7 ~max_p:4 ())
+    (agree_stgq ~form:Ip_model.Group_form)
+
+let prop_full_form_stgq =
+  Gen.qtest ~count:10 "full Appendix-D IP = STGSelect (tiny instances)"
+    (Gen.stg_case ~max_n:5 ~max_p:3 ())
+    (agree_stgq ~form:Ip_model.Full_form)
+
+(* The full form must also reconstruct s-edge-bounded shortest paths: a
+   triangle where the 2-hop detour beats the direct edge. *)
+let test_full_form_detour () =
+  let g = Socgraph.Graph.of_edges 3 [ (0, 1, 10.); (0, 2, 1.); (2, 1, 1.) ] in
+  let instance = { Query.graph = g; initiator = 0 } in
+  let dist form s =
+    match (Ip_model.solve_sgq ~form instance { Query.p = 3; s; k = 0 }).Ip_model.result with
+    | Some { total_distance; _ } -> total_distance
+    | None -> Alcotest.fail "expected an IP solution"
+  in
+  Alcotest.check Alcotest.bool "s=1 pays 11" true (close (dist Ip_model.Full_form 1) 11.);
+  Alcotest.check Alcotest.bool "s=2 detours to 3" true (close (dist Ip_model.Full_form 2) 3.);
+  Alcotest.check Alcotest.bool "group form agrees at s=2" true
+    (close (dist Ip_model.Group_form 2) 3.)
+
+let test_node_limit_propagates () =
+  let case = Gen.sg_case_gen ~max_n:9 ~max_p:5 (Random.State.make [| 3 |]) in
+  let instance = Gen.instance_of_sg_case case in
+  match Ip_model.solve_sgq ~node_limit:0 instance case.Gen.query with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the node limit to trip"
+
+let suite =
+  [
+    Alcotest.test_case "full form reconstructs bounded paths" `Quick test_full_form_detour;
+    Alcotest.test_case "node limit propagates" `Quick test_node_limit_propagates;
+    prop_group_form_sgq;
+    prop_full_form_sgq;
+    prop_group_form_stgq;
+    prop_full_form_stgq;
+  ]

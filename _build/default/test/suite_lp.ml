@@ -1,0 +1,196 @@
+(* LP simplex and 0/1 branch-and-bound: fixtures plus an exhaustive
+   enumeration oracle for small binary programs. *)
+
+let check = Alcotest.check
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let solve_expect name problem expected =
+  match Lp.solve problem with
+  | Lp.Optimal { objective; solution } ->
+      check Alcotest.bool (name ^ " objective") true (close objective expected);
+      check Alcotest.bool (name ^ " feasible") true
+        (Lp.check_feasible problem solution = [])
+  | other -> Alcotest.failf "%s: unexpected %a" name Lp.pp_outcome other
+
+let test_lp_fixtures () =
+  solve_expect "max 3x+2y"
+    {
+      Lp.n_vars = 2;
+      sense = Lp.Maximize;
+      objective = [ (0, 3.); (1, 2.) ];
+      constraints =
+        [ Lp.constr [ (0, 1.); (1, 1.) ] Lp.Le 4.; Lp.constr [ (0, 1.); (1, 3.) ] Lp.Le 6. ];
+    }
+    12.;
+  solve_expect "min with >= and ="
+    {
+      Lp.n_vars = 2;
+      sense = Lp.Minimize;
+      objective = [ (0, 1.); (1, 1.) ];
+      constraints =
+        [ Lp.constr [ (0, 1.); (1, 1.) ] Lp.Ge 3.; Lp.constr [ (0, 1.); (1, -1.) ] Lp.Eq 1. ];
+    }
+    3.;
+  solve_expect "degenerate ties"
+    {
+      Lp.n_vars = 3;
+      sense = Lp.Maximize;
+      objective = [ (0, 1.); (1, 1.); (2, 1.) ];
+      constraints =
+        [
+          Lp.constr [ (0, 1.); (1, 1.) ] Lp.Le 1.;
+          Lp.constr [ (1, 1.); (2, 1.) ] Lp.Le 1.;
+          Lp.constr [ (0, 1.); (2, 1.) ] Lp.Le 1.;
+        ];
+    }
+    1.5
+
+let test_lp_infeasible_unbounded () =
+  let infeasible =
+    {
+      Lp.n_vars = 1;
+      sense = Lp.Minimize;
+      objective = [ (0, 1.) ];
+      constraints = [ Lp.constr [ (0, 1.) ] Lp.Le 1.; Lp.constr [ (0, 1.) ] Lp.Ge 2. ];
+    }
+  in
+  (match Lp.solve infeasible with
+  | Lp.Infeasible -> ()
+  | other -> Alcotest.failf "expected infeasible, got %a" Lp.pp_outcome other);
+  let unbounded =
+    { Lp.n_vars = 1; sense = Lp.Maximize; objective = [ (0, 1.) ]; constraints = [] }
+  in
+  match Lp.solve unbounded with
+  | Lp.Unbounded -> ()
+  | other -> Alcotest.failf "expected unbounded, got %a" Lp.pp_outcome other
+
+let test_lp_negative_rhs () =
+  (* x >= -2 written as -x <= 2; min x with x >= 1. *)
+  solve_expect "rhs normalisation"
+    {
+      Lp.n_vars = 1;
+      sense = Lp.Minimize;
+      objective = [ (0, 1.) ];
+      constraints = [ Lp.constr [ (0, -1.) ] Lp.Le (-1.) ];
+    }
+    1.
+
+(* Random small binary programs, solved both by branch & bound and by
+   exhaustive enumeration. *)
+let binary_program_gen st =
+  let open QCheck.Gen in
+  let n = (2 -- 8) st in
+  let coeff st = float_of_int ((-5) + int_bound 10 st) in
+  let objective = List.init n (fun i -> (i, coeff st)) in
+  let n_rows = (1 -- 4) st in
+  let row _ =
+    let coeffs = List.init n (fun i -> (i, coeff st)) in
+    let rel = match int_bound 2 st with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq in
+    let rhs = float_of_int ((-4) + int_bound 12 st) in
+    Lp.constr coeffs rel rhs
+  in
+  let constraints = List.init n_rows row in
+  (n, objective, constraints)
+
+let print_program (n, objective, constraints) =
+  let terms l = String.concat "+" (List.map (fun (i, c) -> Printf.sprintf "%gx%d" c i) l) in
+  Printf.sprintf "n=%d obj=%s rows=[%s]" n (terms objective)
+    (String.concat "; "
+       (List.map
+          (fun { Lp.coeffs; rel; rhs } ->
+            Printf.sprintf "%s %s %g" (terms coeffs)
+              (match rel with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "=")
+              rhs)
+          constraints))
+
+let binary_program = QCheck.make ~print:print_program binary_program_gen
+
+let enumerate_binary (n, objective, constraints) =
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1. else 0.) in
+    let ok =
+      List.for_all
+        (fun { Lp.coeffs; rel; rhs } ->
+          let v = List.fold_left (fun acc (i, c) -> acc +. (c *. x.(i))) 0. coeffs in
+          match rel with
+          | Lp.Le -> v <= rhs +. 1e-9
+          | Lp.Ge -> v >= rhs -. 1e-9
+          | Lp.Eq -> Float.abs (v -. rhs) <= 1e-9)
+        constraints
+    in
+    if ok then begin
+      let obj = List.fold_left (fun acc (i, c) -> acc +. (c *. x.(i))) 0. objective in
+      match !best with Some b when b <= obj -> () | _ -> best := Some obj
+    end
+  done;
+  !best
+
+let prop_ilp_matches_enumeration =
+  Gen.qtest ~count:200 "branch & bound = exhaustive enumeration" binary_program
+    (fun ((n, objective, constraints) as program) ->
+      let model = Ilp.binary_model ~n ~sense:Lp.Minimize ~objective ~constraints in
+      match (Ilp.solve model, enumerate_binary program) with
+      | Ilp.Optimal { objective = got; solution; _ }, Some want ->
+          close got want
+          && Array.for_all (fun x -> close x 0. || close x 1.) solution
+      | Ilp.Infeasible _, None -> true
+      | Ilp.Optimal { objective = got; _ }, None ->
+          Alcotest.failf "B&B found %g where enumeration says infeasible" got
+      | Ilp.Infeasible _, Some want ->
+          Alcotest.failf "B&B infeasible where enumeration finds %g" want
+      | Ilp.Unbounded, _ -> false)
+
+let prop_lp_solution_feasible =
+  Gen.qtest ~count:200 "LP optimum is feasible and consistent" binary_program
+    (fun (n, objective, constraints) ->
+      (* Relax to an LP with x in [0,1]. *)
+      let bounds = List.init n (fun i -> Lp.constr [ (i, 1.) ] Lp.Le 1.) in
+      let problem =
+        { Lp.n_vars = n; sense = Lp.Minimize; objective; constraints = constraints @ bounds }
+      in
+      match Lp.solve problem with
+      | Lp.Optimal { objective = obj; solution } ->
+          Lp.check_feasible problem solution = []
+          && close obj (Lp.eval_objective problem solution)
+      | Lp.Infeasible -> true
+      | Lp.Unbounded -> false)
+
+let prop_lp_relaxation_bounds_ilp =
+  Gen.qtest ~count:200 "LP relaxation lower-bounds the ILP" binary_program
+    (fun ((n, objective, constraints) as program) ->
+      let bounds = List.init n (fun i -> Lp.constr [ (i, 1.) ] Lp.Le 1.) in
+      let problem =
+        { Lp.n_vars = n; sense = Lp.Minimize; objective; constraints = constraints @ bounds }
+      in
+      match (Lp.solve problem, enumerate_binary program) with
+      | Lp.Optimal { objective = relax; _ }, Some integral -> relax <= integral +. 1e-6
+      | Lp.Infeasible, None -> true
+      | Lp.Infeasible, Some _ -> false
+      | _, None -> true
+      | Lp.Unbounded, _ -> false)
+
+let test_ilp_node_limit () =
+  let n = 14 in
+  let objective = List.init n (fun i -> (i, 1.)) in
+  let constraints =
+    [ Lp.constr (List.init n (fun i -> (i, 1.))) Lp.Ge (float_of_int (n / 2)) ]
+  in
+  let model = Ilp.binary_model ~n ~sense:Lp.Minimize ~objective ~constraints in
+  match Ilp.solve ~node_limit:1 model with
+  | exception Failure _ -> ()
+  | Ilp.Optimal _ ->
+      (* A single node can suffice when the relaxation is integral. *)
+      ()
+  | _ -> Alcotest.fail "unexpected outcome under node limit"
+
+let suite =
+  [
+    Alcotest.test_case "LP fixtures" `Quick test_lp_fixtures;
+    Alcotest.test_case "LP infeasible/unbounded" `Quick test_lp_infeasible_unbounded;
+    Alcotest.test_case "LP negative rhs" `Quick test_lp_negative_rhs;
+    Alcotest.test_case "ILP node limit" `Quick test_ilp_node_limit;
+    prop_ilp_matches_enumeration;
+    prop_lp_solution_feasible;
+    prop_lp_relaxation_bounds_ilp;
+  ]

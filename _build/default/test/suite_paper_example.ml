@@ -1,0 +1,153 @@
+(* The worked example of the paper's Appendix A (Examples 2 and 3),
+   re-encoded as a regression fixture.
+
+   The instance mirrors Figure 3's structure (the paper's own printed
+   numbers are internally inconsistent — footnote 3 admits "small
+   modifications"; we use a consistent assignment preserving every
+   narrative beat):
+
+     q  = v7, candidates v2, v3, v4, v6, v8 with distances
+          17, 18, 27, 20, 25;
+     candidate edges: v2-v4, v2-v6, v4-v6 (a triangle), v3-v4;
+          v8 knows nobody but q.
+
+   SGQ(p=4, s=1, k=1), as in Example 2:
+   - the greedy-first path finds {v2,v4,v6,v7} (distance 64) — the
+     "first feasible solution" of the narrative;
+   - backtracking discovers the optimum {v2,v3,v4,v7} (distance 62):
+     v3 is poorly connected (interior unfamiliarity defers it) but pairs
+     with v4 under k=1;
+   - v8 can never be extended (exterior expansibility removes it).
+
+   STGQ(m=3) over the 7-slot schedules of Figure 3(c):
+   - v3 has no 3-slot run anywhere, so the social optimum dies in the
+     temporal dimension;
+   - the answer is {v2,v4,v6,v7} in period [ts2,ts4] (0-indexed start 1),
+     exactly the paper's Example 3 conclusion. *)
+
+open Stgq_core
+
+let q = 0
+let v2 = 1
+let v3 = 2
+let v4 = 3
+let v6 = 4
+let v8 = 5
+
+let graph =
+  Socgraph.Graph.of_edges 6
+    [
+      (q, v2, 17.);
+      (q, v3, 18.);
+      (q, v4, 27.);
+      (q, v6, 20.);
+      (q, v8, 25.);
+      (v2, v4, 14.);
+      (v2, v6, 10.);
+      (v4, v6, 19.);
+      (v3, v4, 12.);
+    ]
+
+let instance = { Query.graph; initiator = q }
+
+let horizon = 7
+
+let avail bits =
+  let a = Timetable.Availability.create ~horizon in
+  List.iteri (fun slot b -> if b = 1 then Timetable.Availability.set_free a slot slot) bits;
+  a
+
+(* Figure 3(c), rows ts1..ts7 as 0-indexed slots. *)
+let schedules =
+  [|
+    avail [ 1; 1; 1; 1; 1; 1; 0 ] (* q  = v7 *);
+    avail [ 1; 1; 1; 1; 1; 1; 1 ] (* v2 *);
+    avail [ 0; 1; 1; 0; 1; 1; 0 ] (* v3: runs of 2, never 3 *);
+    avail [ 1; 1; 1; 1; 1; 0; 1 ] (* v4 *);
+    avail [ 0; 1; 1; 1; 1; 1; 1 ] (* v6 *);
+    avail [ 1; 0; 1; 0; 1; 1; 0 ] (* v8 *);
+  |]
+
+let ti = { Query.social = instance; schedules }
+let sgq = { Query.p = 4; s = 1; k = 1 }
+let stgq = { Query.p = 4; s = 1; k = 1; m = 3 }
+
+let check = Alcotest.check
+let close a b = Float.abs (a -. b) <= 1e-9
+
+let test_example2_optimum () =
+  match Sgselect.solve instance sgq with
+  | Some { attendees; total_distance } ->
+      check (Alcotest.list Alcotest.int) "the backtracked optimum {v2,v3,v4,v7}"
+        [ q; v2; v3; v4 ] attendees;
+      check Alcotest.bool "total distance 62" true (close total_distance 62.)
+  | None -> Alcotest.fail "Example 2 must be solvable"
+
+let test_example2_first_feasible_is_greedy_triangle () =
+  (* The triangle group of the narrative is feasible (it is even a clique
+     with q): the k=0 answer. *)
+  match Sgselect.solve instance { sgq with Query.k = 0 } with
+  | Some { attendees; total_distance } ->
+      check (Alcotest.list Alcotest.int) "{v2,v4,v6,v7}" [ q; v2; v4; v6 ] attendees;
+      check Alcotest.bool "distance 64" true (close total_distance 64.)
+  | None -> Alcotest.fail "the triangle group must qualify at k=0"
+
+let test_example2_v8_never_selected () =
+  (* v8 has no candidate edges: any group with v8 and two others gives v8
+     two non-neighbours > k=1.  Exterior expansibility (Lemma 1) removes
+     it; no optimal group may contain it for any k <= 1. *)
+  List.iter
+    (fun k ->
+      match Sgselect.solve instance { sgq with Query.k = k } with
+      | Some { attendees; _ } ->
+          check Alcotest.bool
+            (Printf.sprintf "v8 absent at k=%d" k)
+            false (List.mem v8 attendees)
+      | None -> ())
+    [ 0; 1 ]
+
+let test_example3_temporal_answer () =
+  match Stgselect.solve ti stgq with
+  | Some { st_attendees; st_total_distance; start_slot } ->
+      check (Alcotest.list Alcotest.int) "{v2,v4,v6,v7} as in Example 3"
+        [ q; v2; v4; v6 ] st_attendees;
+      check Alcotest.bool "distance 64" true (close st_total_distance 64.);
+      check Alcotest.int "period [ts2,ts4]" 1 start_slot
+  | None -> Alcotest.fail "Example 3 must be solvable"
+
+let test_example3_v3_has_no_run () =
+  (* Definition 4: v3 is never eligible — no 3 consecutive free slots. *)
+  check Alcotest.bool "no 3-run for v3" false
+    (Timetable.Availability.has_run_in schedules.(v3) ~len:3 ~lo:0 ~hi:(horizon - 1));
+  (* Hence the temporal optimum is strictly worse than the social one. *)
+  let social = Option.get (Sgselect.solve instance sgq) in
+  let temporal = Option.get (Stgselect.solve ti stgq) in
+  check Alcotest.bool "temporal optimum costs more" true
+    (temporal.Query.st_total_distance > social.Query.total_distance +. 1.)
+
+let test_example3_second_pivot_fruitless () =
+  (* Restricting the horizon to the second pivot's interval [3..6] leaves
+     too few common slots — mirroring the narrative's pruned pivot ts6. *)
+  let clipped =
+    Array.map
+      (fun a ->
+        let b = Timetable.Availability.copy a in
+        Timetable.Availability.set_busy b 0 2;
+        b)
+      schedules
+  in
+  check Alcotest.bool "no solution around the late pivot" true
+    (Stgselect.solve { ti with Query.schedules = clipped } stgq = None)
+
+let suite =
+  [
+    Alcotest.test_case "Example 2: backtracked optimum" `Quick test_example2_optimum;
+    Alcotest.test_case "Example 2: greedy triangle at k=0" `Quick
+      test_example2_first_feasible_is_greedy_triangle;
+    Alcotest.test_case "Example 2: v8 never selected" `Quick test_example2_v8_never_selected;
+    Alcotest.test_case "Example 3: temporal answer" `Quick test_example3_temporal_answer;
+    Alcotest.test_case "Example 3: v3 temporally excluded" `Quick
+      test_example3_v3_has_no_run;
+    Alcotest.test_case "Example 3: late pivot pruned" `Quick
+      test_example3_second_pivot_fruitless;
+  ]

@@ -1,0 +1,50 @@
+(* Multicore pivot fan-out must match the sequential optimum. *)
+
+open Stgq_core
+
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let prop_parallel_matches_sequential =
+  Gen.qtest ~count:60 "parallel STGSelect = sequential" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let q = Gen.stgq_of_stg_case case in
+      let seq = Stgselect.solve ti q in
+      let par = Parallel.solve ~domains:4 ti q in
+      match (seq, par) with
+      | None, None -> true
+      | Some a, Some b ->
+          close a.Query.st_total_distance b.Query.st_total_distance
+          && Validate.is_valid_stg ti q b
+      | _ -> false)
+
+let test_single_domain_degenerates () =
+  let case = Gen.stg_case_gen (Random.State.make [| 9 |]) in
+  let ti = Gen.temporal_instance_of_stg_case case in
+  let q = Gen.stgq_of_stg_case case in
+  let report = Parallel.solve_report ~domains:1 ti q in
+  Alcotest.check Alcotest.int "one domain" 1 report.Parallel.domains_used;
+  let seq = Stgselect.solve ti q in
+  Alcotest.check Alcotest.bool "same feasibility" true
+    ((seq = None) = (report.Parallel.solution = None))
+
+let test_domain_count_capped_by_pivots () =
+  let g = Socgraph.Graph.of_edges 2 [ (0, 1, 1.) ] in
+  let horizon = 8 in
+  let a () =
+    let x = Timetable.Availability.create ~horizon in
+    Timetable.Availability.set_free x 0 (horizon - 1);
+    x
+  in
+  let ti = { Query.social = { Query.graph = g; initiator = 0 }; schedules = [| a (); a () |] } in
+  (* m=4 over 8 slots -> exactly 2 pivots; ask for 16 domains. *)
+  let report = Parallel.solve_report ~domains:16 ti { Query.p = 2; s = 1; k = 0; m = 4 } in
+  Alcotest.check Alcotest.bool "capped" true (report.Parallel.domains_used <= 2);
+  Alcotest.check Alcotest.bool "solved" true (report.Parallel.solution <> None)
+
+let suite =
+  [
+    Alcotest.test_case "single domain" `Quick test_single_domain_degenerates;
+    Alcotest.test_case "domains capped by pivots" `Quick test_domain_count_capped_by_pivots;
+    prop_parallel_matches_sequential;
+  ]

@@ -1,0 +1,71 @@
+(* Heap and bounded-heap properties against list sorting. *)
+
+let int_lists =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+    QCheck.Gen.(list_size (0 -- 60) (int_bound 100))
+
+let prop_heap_sorts =
+  Gen.qtest ~count:300 "heap drains in sorted order" int_lists
+    (fun l ->
+      let h = Pqueue.Heap.create ~cmp:compare in
+      List.iter (Pqueue.Heap.add h) l;
+      Pqueue.Heap.to_sorted_list h = List.sort compare l)
+
+let prop_heap_pop_min =
+  Gen.qtest ~count:300 "pop always yields the minimum" int_lists
+    (fun l ->
+      let h = Pqueue.Heap.create ~cmp:compare in
+      let ok = ref true in
+      List.iteri
+        (fun i x ->
+          Pqueue.Heap.add h x;
+          let expect = List.fold_left min x (List.filteri (fun j _ -> j < i) l) in
+          if Pqueue.Heap.peek h <> expect then ok := false)
+        l;
+      !ok)
+
+let prop_bounded_keeps_best =
+  let arb =
+    QCheck.make
+      ~print:(fun (c, l) ->
+        Printf.sprintf "cap=%d [%s]" c (String.concat ";" (List.map string_of_int l)))
+      QCheck.Gen.(pair (0 -- 10) (list_size (0 -- 60) (int_bound 100)))
+  in
+  Gen.qtest ~count:300 "bounded heap = sorted prefix" arb
+    (fun (capacity, l) ->
+      let b = Pqueue.Bounded.create ~capacity ~cmp:compare in
+      List.iter (fun x -> ignore (Pqueue.Bounded.add b x)) l;
+      let expect =
+        List.filteri (fun i _ -> i < capacity) (List.sort compare l)
+      in
+      (* Ties may be kept in either identity, but values must match. *)
+      Pqueue.Bounded.to_sorted_list b = expect)
+
+let test_bounded_admission () =
+  let b = Pqueue.Bounded.create ~capacity:2 ~cmp:compare in
+  Alcotest.check Alcotest.bool "admit 5" true (Pqueue.Bounded.add b 5);
+  Alcotest.check Alcotest.bool "admit 3" true (Pqueue.Bounded.add b 3);
+  Alcotest.check Alcotest.bool "full" true (Pqueue.Bounded.is_full b);
+  Alcotest.check (Alcotest.option Alcotest.int) "worst" (Some 5) (Pqueue.Bounded.worst b);
+  Alcotest.check Alcotest.bool "reject 7" false (Pqueue.Bounded.add b 7);
+  Alcotest.check Alcotest.bool "reject tie with worst" false (Pqueue.Bounded.add b 5);
+  Alcotest.check Alcotest.bool "admit 1, evicting 5" true (Pqueue.Bounded.add b 1);
+  Alcotest.check (Alcotest.list Alcotest.int) "kept" [ 1; 3 ]
+    (Pqueue.Bounded.to_sorted_list b)
+
+let test_empty_heap () =
+  let h = Pqueue.Heap.create ~cmp:compare in
+  Alcotest.check Alcotest.bool "empty" true (Pqueue.Heap.is_empty h);
+  Alcotest.check_raises "peek raises" Not_found (fun () ->
+      ignore (Pqueue.Heap.peek h));
+  Alcotest.check_raises "pop raises" Not_found (fun () -> ignore (Pqueue.Heap.pop h))
+
+let suite =
+  [
+    Alcotest.test_case "bounded admission rules" `Quick test_bounded_admission;
+    Alcotest.test_case "empty heap" `Quick test_empty_heap;
+    prop_heap_sorts;
+    prop_heap_pop_min;
+    prop_bounded_keeps_best;
+  ]

@@ -1,0 +1,45 @@
+(* Report formatting helpers. *)
+
+let check = Alcotest.check
+
+let test_table_alignment () =
+  let out =
+    Report.table ~title:"t" ~header:[ "a"; "bb" ]
+      [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "title + sep + header + sep + 2 rows" 6 (List.length lines);
+  (* all data lines share the same width *)
+  match lines with
+  | _ :: sep :: rest ->
+      List.iter
+        (fun l ->
+          check Alcotest.bool "no line exceeds the separator" true
+            (String.length l <= String.length sep + 2))
+        rest
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_csv_quoting () =
+  let out = Report.csv ~header:[ "a"; "b" ] [ [ "x,y"; "he said \"hi\"" ] ] in
+  check Alcotest.string "quoted" "a,b\n\"x,y\",\"he said \"\"hi\"\"\"" out
+
+let test_ns_units () =
+  check Alcotest.string "ns" "850ns" (Report.ns 850.);
+  check Alcotest.string "us" "1.5us" (Report.ns 1500.);
+  check Alcotest.string "ms" "2.5ms" (Report.ns 2_500_000.);
+  check Alcotest.string "s" "1.25s" (Report.ns 1_250_000_000.)
+
+let test_time_measures () =
+  let (), dt = Report.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  check Alcotest.bool "positive duration" true (dt >= 0.);
+  let x, dt2 = Report.time_median ~runs:3 (fun () -> 21 * 2) in
+  check Alcotest.int "result" 42 x;
+  check Alcotest.bool "median positive" true (dt2 >= 0.)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "duration units" `Quick test_ns_units;
+    Alcotest.test_case "timing" `Quick test_time_measures;
+  ]

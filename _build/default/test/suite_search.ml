@@ -1,0 +1,392 @@
+(* Optimality and validity of SGSelect / STGSelect against brute-force
+   oracles — the core guarantee of the paper (Theorems 2 and 3). *)
+
+open Stgq_core
+
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let graph edges n = Socgraph.Graph.of_edges n edges
+let inst ?(q = 0) g = { Query.graph = g; initiator = q }
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked fixtures.                                              *)
+
+let star =
+  (* q=0 linked to 1,2,3 with distances 1,2,3; leaves mutually unlinked. *)
+  graph [ (0, 1, 1.); (0, 2, 2.); (0, 3, 3.) ] 4
+
+let test_star_k2 () =
+  match Sgselect.solve (inst star) { p = 3; s = 1; k = 2 } with
+  | Some { attendees; total_distance } ->
+      check (Alcotest.list Alcotest.int) "group" [ 0; 1; 2 ] attendees;
+      check bool_c "distance" true (close total_distance 3.)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_star_k0_infeasible () =
+  check bool_c "no clique of 3 in a star" true
+    (Sgselect.solve (inst star) { p = 3; s = 1; k = 0 } = None)
+
+let test_clique () =
+  let g =
+    graph [ (0, 1, 1.); (0, 2, 1.); (0, 3, 1.); (1, 2, 1.); (1, 3, 1.); (2, 3, 1.) ] 4
+  in
+  match Sgselect.solve (inst g) { p = 4; s = 1; k = 0 } with
+  | Some { total_distance; _ } -> check bool_c "distance 3" true (close total_distance 3.)
+  | None -> Alcotest.fail "clique should qualify"
+
+let test_two_triangles () =
+  let g =
+    graph
+      [ (0, 1, 1.); (0, 2, 2.); (1, 2, 3.); (0, 3, 10.); (0, 4, 10.); (3, 4, 1.) ]
+      5
+  in
+  match Sgselect.solve (inst g) { p = 3; s = 1; k = 0 } with
+  | Some { attendees; total_distance } ->
+      check (Alcotest.list Alcotest.int) "cheap triangle" [ 0; 1; 2 ] attendees;
+      check bool_c "distance 3" true (close total_distance 3.)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_lemma3_printed_bound_is_unsafe () =
+  (* Star with three leaves, p=4, k=2: {q,a,b,c} is feasible (each leaf has
+     exactly 2 unacquainted others), but the paper's printed Lemma 3 bound
+     prunes the root.  The safe correction must find it. *)
+  let q = { Query.p = 4; s = 1; k = 2 } in
+  (match Sgselect.solve (inst star) q with
+  | Some { total_distance; _ } -> check bool_c "safe finds 6" true (close total_distance 6.)
+  | None -> Alcotest.fail "safe bound must find the star group");
+  let unsafe =
+    { Search_core.default_config with Search_core.unsafe_lemma3 = true }
+  in
+  check bool_c "printed bound prunes the feasible star" true
+    (Sgselect.solve ~config:unsafe (inst star) q = None)
+
+let test_radius () =
+  let g = graph [ (0, 1, 1.); (1, 2, 2.) ] 3 in
+  check bool_c "s=1 cannot reach 2" true
+    (Sgselect.solve (inst g) { p = 3; s = 1; k = 2 } = None);
+  match Sgselect.solve (inst g) { p = 3; s = 2; k = 1 } with
+  | Some { total_distance; _ } -> check bool_c "s=2 distance 4" true (close total_distance 4.)
+  | None -> Alcotest.fail "expected a solution at s=2"
+
+let test_hop_bounded_distance () =
+  (* Definition 1: with s=1 the direct heavy edge counts; with s=2 the
+     2-hop detour is cheaper. *)
+  let g = graph [ (0, 1, 10.); (0, 2, 1.); (2, 1, 1.) ] 3 in
+  let dist s =
+    match Sgselect.solve (inst g) { p = 3; s; k = 0 } with
+    | Some { total_distance; _ } -> total_distance
+    | None -> Alcotest.fail "expected a solution"
+  in
+  check bool_c "s=1 pays the direct edge: 10+1" true (close (dist 1) 11.);
+  check bool_c "s=2 detours: 2+1" true (close (dist 2) 3.)
+
+let avail_of_runs horizon runs =
+  let a = Timetable.Availability.create ~horizon in
+  List.iter (fun (lo, hi) -> Timetable.Availability.set_free a lo hi) runs;
+  a
+
+let test_stg_disjoint_schedules () =
+  let g = graph [ (0, 1, 1.); (0, 2, 2.) ] 3 in
+  let horizon = 12 in
+  let schedules =
+    [|
+      avail_of_runs horizon [ (0, 11) ];
+      avail_of_runs horizon [ (0, 5) ];
+      avail_of_runs horizon [ (6, 11) ];
+    |]
+  in
+  let ti = { Query.social = inst g; schedules } in
+  (match Stgselect.solve ti { p = 2; s = 1; k = 1; m = 3 } with
+  | Some { st_attendees; st_total_distance; start_slot } ->
+      check (Alcotest.list Alcotest.int) "group" [ 0; 1 ] st_attendees;
+      check bool_c "distance 1" true (close st_total_distance 1.);
+      check bool_c "window inside v1's schedule" true (start_slot + 2 <= 5)
+  | None -> Alcotest.fail "expected a solution");
+  check bool_c "no common window for all three" true
+    (Stgselect.solve ti { p = 3; s = 1; k = 2; m = 3 } = None)
+
+let test_stg_example_shapes () =
+  (* A schedule where the only feasible window straddles a pivot but
+     starts off-pivot — exercises the pivot-interval scan. *)
+  let g = graph [ (0, 1, 1.) ] 2 in
+  let horizon = 12 in
+  let schedules =
+    [| avail_of_runs horizon [ (4, 7) ]; avail_of_runs horizon [ (4, 7) ] |]
+  in
+  let ti = { Query.social = inst g; schedules } in
+  match Stgselect.solve ti { p = 2; s = 1; k = 0; m = 3 } with
+  | Some { start_slot; _ } ->
+      check bool_c "start in [4,5]" true (start_slot >= 4 && start_slot <= 5)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_vacuous_k_is_pure_distance_selection () =
+  (* With k = p-1 the acquaintance constraint is vacuous: the optimum is
+     simply the p-1 nearest candidates. *)
+  let g =
+    graph [ (0, 1, 3.); (0, 2, 1.); (0, 3, 7.); (0, 4, 2.) ] 5
+  in
+  match Sgselect.solve (inst g) { p = 3; s = 1; k = 2 } with
+  | Some { attendees; total_distance } ->
+      check (Alcotest.list Alcotest.int) "two nearest" [ 0; 2; 4 ] attendees;
+      check bool_c "distance 3" true (close total_distance 3.)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_isolated_initiator () =
+  let g = graph [ (1, 2, 1.) ] 3 in
+  check bool_c "p=2 from an isolated q" true
+    (Sgselect.solve (inst g) { p = 2; s = 2; k = 1 } = None);
+  match Sgselect.solve (inst g) { p = 1; s = 1; k = 0 } with
+  | Some { attendees; _ } -> check (Alcotest.list Alcotest.int) "alone" [ 0 ] attendees
+  | None -> Alcotest.fail "p=1 is always feasible"
+
+let test_m_one_any_common_slot () =
+  let g = graph [ (0, 1, 1.) ] 2 in
+  let horizon = 9 in
+  let schedules =
+    [| avail_of_runs horizon [ (8, 8) ]; avail_of_runs horizon [ (8, 8) ] |]
+  in
+  let ti = { Query.social = inst g; schedules } in
+  match Stgselect.solve ti { p = 2; s = 1; k = 0; m = 1 } with
+  | Some { start_slot; _ } -> check Alcotest.int "slot 8" 8 start_slot
+  | None -> Alcotest.fail "a single shared slot suffices at m=1"
+
+let test_window_longer_than_horizon () =
+  let g = graph [ (0, 1, 1.) ] 2 in
+  let horizon = 4 in
+  let schedules =
+    [| avail_of_runs horizon [ (0, 3) ]; avail_of_runs horizon [ (0, 3) ] |]
+  in
+  let ti = { Query.social = inst g; schedules } in
+  check bool_c "m beyond horizon" true
+    (Stgselect.solve ti { p = 2; s = 1; k = 0; m = 5 } = None)
+
+let test_query_validation () =
+  let g = graph [ (0, 1, 1.) ] 2 in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Sgselect.solve (inst g) { p = 0; s = 1; k = 0 });
+  expect_invalid (fun () -> Sgselect.solve (inst g) { p = 2; s = 0; k = 0 });
+  expect_invalid (fun () -> Sgselect.solve (inst g) { p = 2; s = 1; k = -1 });
+  expect_invalid (fun () -> Sgselect.solve { Query.graph = g; initiator = 9 } { p = 2; s = 1; k = 0 });
+  let ti = { Query.social = inst g; schedules = [| avail_of_runs 4 [] |] } in
+  expect_invalid (fun () -> Stgselect.solve ti { p = 2; s = 1; k = 0; m = 2 })
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                         *)
+
+let agree_sg ?config case =
+  let instance = Gen.instance_of_sg_case case in
+  let fast = Sgselect.solve ?config instance case.Gen.query in
+  let brute = (Baseline.sgq_brute instance case.Gen.query).Baseline.solution in
+  match (fast, brute) with
+  | None, None -> true
+  | Some f, Some b ->
+      close f.Query.total_distance b.Query.total_distance
+      && Validate.is_valid_sg instance case.Gen.query f
+  | Some _, None | None, Some _ -> false
+
+let prop_sgselect_optimal = Gen.qtest ~count:300 "SGSelect = brute force" (Gen.sg_case ()) agree_sg
+
+let ablation_config ~ordering ~distance ~acquaintance =
+  {
+    Search_core.default_config with
+    Search_core.use_access_ordering = ordering;
+    use_distance_pruning = distance;
+    use_acquaintance_pruning = acquaintance;
+  }
+
+let prop_ablations_stay_optimal =
+  let configs =
+    [
+      ablation_config ~ordering:false ~distance:true ~acquaintance:true;
+      ablation_config ~ordering:true ~distance:false ~acquaintance:true;
+      ablation_config ~ordering:true ~distance:true ~acquaintance:false;
+      ablation_config ~ordering:false ~distance:false ~acquaintance:false;
+    ]
+  in
+  Gen.qtest ~count:100 "SGSelect optimal under every safe ablation" (Gen.sg_case ())
+    (fun case -> List.for_all (fun config -> agree_sg ~config case) configs)
+
+let prop_unsafe_lemma3_never_better =
+  let unsafe = { Search_core.default_config with Search_core.unsafe_lemma3 = true } in
+  Gen.qtest ~count:150 "printed Lemma 3 never beats the optimum" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let opt = Sgselect.solve instance case.Gen.query in
+      let u = Sgselect.solve ~config:unsafe instance case.Gen.query in
+      match (opt, u) with
+      | _, None -> true
+      | None, Some _ -> false
+      | Some o, Some x -> x.Query.total_distance >= o.Query.total_distance -. 1e-6)
+
+let agree_stg case =
+  let ti = Gen.temporal_instance_of_stg_case case in
+  let query = Gen.stgq_of_stg_case case in
+  let fast = Stgselect.solve ti query in
+  let brute = (Baseline.stgq_brute ti query).Baseline.st_solution in
+  match (fast, brute) with
+  | None, None -> true
+  | Some f, Some b ->
+      close f.Query.st_total_distance b.Query.st_total_distance
+      && Validate.is_valid_stg ti query f
+  | Some _, None | None, Some _ -> false
+
+let prop_stgselect_optimal =
+  Gen.qtest ~count:150 "STGSelect = per-window brute force" (Gen.stg_case ()) agree_stg
+
+let agree_stg_with config case =
+  let ti = Gen.temporal_instance_of_stg_case case in
+  let query = Gen.stgq_of_stg_case case in
+  let fast = Stgselect.solve ~config ti query in
+  let brute = (Baseline.stgq_brute ti query).Baseline.st_solution in
+  match (fast, brute) with
+  | None, None -> true
+  | Some f, Some b -> close f.Query.st_total_distance b.Query.st_total_distance
+  | Some _, None | None, Some _ -> false
+
+let prop_stg_ablations_stay_optimal =
+  let base = Search_core.default_config in
+  let configs =
+    [
+      { base with Search_core.use_availability_pruning = false };
+      { base with Search_core.use_access_ordering = false };
+      { base with Search_core.use_distance_pruning = false };
+      { base with Search_core.use_acquaintance_pruning = false };
+      { base with Search_core.theta0 = 0; phi0 = 0 };
+      { base with Search_core.theta0 = 5; phi0 = 5; phi_threshold = 12 };
+      {
+        base with
+        Search_core.use_availability_pruning = false;
+        use_access_ordering = false;
+        use_distance_pruning = false;
+        use_acquaintance_pruning = false;
+      };
+    ]
+  in
+  Gen.qtest ~count:60 "STGSelect optimal under every safe ablation"
+    (Gen.stg_case ~max_n:7 ())
+    (fun case -> List.for_all (fun config -> agree_stg_with config case) configs)
+
+let prop_stgselect_vs_per_slot =
+  Gen.qtest ~count:100 "STGSelect = per-slot SGSelect baseline" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let query = Gen.stgq_of_stg_case case in
+      let a = Stgselect.solve ti query in
+      let b = (Baseline.stgq_per_slot ti query).Baseline.st_solution in
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y -> close x.Query.st_total_distance y.Query.st_total_distance
+      | _ -> false)
+
+let prop_always_free_reduces_to_sgq =
+  Gen.qtest ~count:100 "STGQ over always-free schedules = SGQ" (Gen.sg_case ~max_n:9 ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let horizon = 24 in
+      let schedules =
+        Array.init case.Gen.n (fun _ -> avail_of_runs horizon [ (0, horizon - 1) ])
+      in
+      let ti = { Query.social = instance; schedules } in
+      let ({ p; s; k } : Query.sgq) = case.Gen.query in
+      let sg = Sgselect.solve instance case.Gen.query in
+      let stg = Stgselect.solve ti { p; s; k; m = 3 } in
+      match (sg, stg) with
+      | None, None -> true
+      | Some a, Some b -> close a.Query.total_distance b.Query.st_total_distance
+      | _ -> false)
+
+let prop_warm_start_exact =
+  Gen.qtest ~count:150 "warm-started solvers stay exact" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let cold = Sgselect.solve instance case.Gen.query in
+      let warm = Sgselect.solve_warm instance case.Gen.query in
+      match (cold, warm) with
+      | None, None -> true
+      | Some a, Some b -> close a.Query.total_distance b.Query.total_distance
+      | _ -> false)
+
+let prop_warm_start_stgq_exact =
+  Gen.qtest ~count:80 "warm-started STGSelect stays exact" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let query = Gen.stgq_of_stg_case case in
+      let cold = Stgselect.solve ti query in
+      let warm = Stgselect.solve_warm ti query in
+      match (cold, warm) with
+      | None, None -> true
+      | Some a, Some b -> close a.Query.st_total_distance b.Query.st_total_distance
+      | _ -> false)
+
+let prop_k_monotone =
+  Gen.qtest ~count:100 "looser k never worsens the optimum" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let ({ p; s; k } : Query.sgq) = case.Gen.query in
+      let d q =
+        Option.map (fun r -> r.Query.total_distance) (Sgselect.solve instance q)
+      in
+      match (d { Query.p; s; k }, d { Query.p; s; k = k + 1 }) with
+      | Some tight, Some loose -> loose <= tight +. 1e-6
+      | None, _ -> true
+      | Some _, None -> false)
+
+let prop_s_monotone =
+  Gen.qtest ~count:100 "larger radius never worsens the optimum" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      let ({ p; s; k } : Query.sgq) = case.Gen.query in
+      let d q =
+        Option.map (fun r -> r.Query.total_distance) (Sgselect.solve instance q)
+      in
+      match (d { Query.p; s; k }, d { Query.p; s = s + 1; k }) with
+      | Some tight, Some loose -> loose <= tight +. 1e-6
+      | None, _ -> true
+      | Some _, None -> false)
+
+let prop_p1_trivial =
+  Gen.qtest ~count:50 "p=1 always succeeds with distance 0" (Gen.sg_case ())
+    (fun case ->
+      let instance = Gen.instance_of_sg_case case in
+      match Sgselect.solve instance { Query.p = 1; s = 1; k = 0 } with
+      | Some { attendees; total_distance } -> attendees = [ 0 ] && close total_distance 0.
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "star p=3 k=2" `Quick test_star_k2;
+    Alcotest.test_case "star p=3 k=0 infeasible" `Quick test_star_k0_infeasible;
+    Alcotest.test_case "clique p=4 k=0" `Quick test_clique;
+    Alcotest.test_case "two triangles pick the cheap one" `Quick test_two_triangles;
+    Alcotest.test_case "printed Lemma 3 counterexample" `Quick
+      test_lemma3_printed_bound_is_unsafe;
+    Alcotest.test_case "radius constraint" `Quick test_radius;
+    Alcotest.test_case "hop-bounded distances" `Quick test_hop_bounded_distance;
+    Alcotest.test_case "STGQ disjoint schedules" `Quick test_stg_disjoint_schedules;
+    Alcotest.test_case "STGQ off-pivot window" `Quick test_stg_example_shapes;
+    Alcotest.test_case "vacuous k = nearest selection" `Quick
+      test_vacuous_k_is_pure_distance_selection;
+    Alcotest.test_case "isolated initiator" `Quick test_isolated_initiator;
+    Alcotest.test_case "m=1 single shared slot" `Quick test_m_one_any_common_slot;
+    Alcotest.test_case "m beyond horizon" `Quick test_window_longer_than_horizon;
+    Alcotest.test_case "query validation" `Quick test_query_validation;
+    prop_sgselect_optimal;
+    prop_ablations_stay_optimal;
+    prop_unsafe_lemma3_never_better;
+    prop_stgselect_optimal;
+    prop_stg_ablations_stay_optimal;
+    prop_stgselect_vs_per_slot;
+    prop_always_free_reduces_to_sgq;
+    prop_warm_start_exact;
+    prop_warm_start_stgq_exact;
+    prop_k_monotone;
+    prop_s_monotone;
+    prop_p1_trivial;
+  ]

@@ -1,0 +1,113 @@
+(* The service layer: cached answers must equal direct solver calls, and
+   the cache must behave. *)
+
+open Stgq_core
+
+let close a b = Float.abs (a -. b) <= 1e-6
+
+let prop_service_matches_direct =
+  Gen.qtest ~count:80 "service answers = direct solver answers" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let query = Gen.stgq_of_stg_case case in
+      let service = Service.create ti in
+      let ok = ref true in
+      (* Several initiators, repeated to exercise cache hits. *)
+      for initiator = 0 to min 3 (case.Gen.sg.Gen.n - 1) do
+        for _round = 1 to 2 do
+          let ti_q =
+            { ti with Query.social = { ti.Query.social with Query.initiator } }
+          in
+          let direct = Stgselect.solve ti_q query in
+          let via = Service.stgq service ~initiator query in
+          (match (direct, via) with
+          | None, None -> ()
+          | Some a, Some b
+            when close a.Query.st_total_distance b.Query.st_total_distance ->
+              ()
+          | _ -> ok := false);
+          let sg_direct = Sgselect.solve ti_q.Query.social (Query.sgq_of_stgq query) in
+          let sg_via = Service.sgq service ~initiator (Query.sgq_of_stgq query) in
+          match (sg_direct, sg_via) with
+          | None, None -> ()
+          | Some a, Some b when close a.Query.total_distance b.Query.total_distance ->
+              ()
+          | _ -> ok := false
+        done
+      done;
+      let stats = Service.cache_stats service in
+      !ok && stats.Service.hits > 0 && stats.Service.misses > 0)
+
+let fixture () =
+  let g =
+    Socgraph.Graph.of_edges 5
+      [ (0, 1, 1.); (0, 2, 2.); (1, 2, 1.); (3, 4, 1.); (0, 3, 5.) ]
+  in
+  let horizon = 12 in
+  let free () =
+    let a = Timetable.Availability.create ~horizon in
+    Timetable.Availability.set_free a 0 (horizon - 1);
+    a
+  in
+  {
+    Query.social = { Query.graph = g; initiator = 0 };
+    schedules = Array.init 5 (fun _ -> free ());
+  }
+
+let test_cache_hits_and_eviction () =
+  let service = Service.create ~cache_capacity:2 (fixture ()) in
+  let q = { Query.p = 2; s = 1; k = 1 } in
+  ignore (Service.sgq service ~initiator:0 q);
+  ignore (Service.sgq service ~initiator:0 q);
+  ignore (Service.sgq service ~initiator:1 q);
+  ignore (Service.sgq service ~initiator:2 q);
+  (* capacity 2: initiator 0's entry evicted *)
+  ignore (Service.sgq service ~initiator:0 q);
+  let stats = Service.cache_stats service in
+  Alcotest.check Alcotest.int "hits" 1 stats.Service.hits;
+  Alcotest.check Alcotest.int "misses" 4 stats.Service.misses;
+  Alcotest.check Alcotest.int "evictions" 2 stats.Service.evictions;
+  Alcotest.check Alcotest.int "entries" 2 stats.Service.entries
+
+let test_graph_update_invalidates () =
+  let ti = fixture () in
+  let service = Service.create ti in
+  let q = { Query.p = 2; s = 1; k = 1 } in
+  (match Service.sgq service ~initiator:0 q with
+  | Some { Query.total_distance; _ } ->
+      Alcotest.check Alcotest.bool "initially 1" true (close total_distance 1.)
+  | None -> Alcotest.fail "expected a solution");
+  (* Re-weight 0-1 to be expensive: the cheapest companion becomes 2. *)
+  let g' =
+    Socgraph.Graph.of_edges 5
+      [ (0, 1, 9.); (0, 2, 2.); (1, 2, 1.); (3, 4, 1.); (0, 3, 5.) ]
+  in
+  Service.update_graph service g';
+  (match Service.sgq service ~initiator:0 q with
+  | Some { Query.total_distance; _ } ->
+      Alcotest.check Alcotest.bool "now 2" true (close total_distance 2.)
+  | None -> Alcotest.fail "expected a solution after update");
+  Alcotest.check Alcotest.int "cache dropped" 1 (Service.cache_stats service).Service.entries
+
+let test_schedule_update_visible () =
+  let ti = fixture () in
+  let service = Service.create ti in
+  let q = { Query.p = 2; s = 1; k = 0; m = 4 } in
+  (match Service.stgq service ~initiator:0 q with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a window initially");
+  (* Make everyone but the initiator fully busy. *)
+  let busy = Timetable.Availability.create ~horizon:12 in
+  for v = 1 to 4 do
+    Service.update_schedule service ~vertex:v busy
+  done;
+  Alcotest.check Alcotest.bool "no window after busy-out" true
+    (Service.stgq service ~initiator:0 q = None)
+
+let suite =
+  [
+    Alcotest.test_case "cache hits and eviction" `Quick test_cache_hits_and_eviction;
+    Alcotest.test_case "graph update invalidates" `Quick test_graph_update_invalidates;
+    Alcotest.test_case "schedule update visible" `Quick test_schedule_update_visible;
+    prop_service_matches_direct;
+  ]

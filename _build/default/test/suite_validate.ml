@@ -1,0 +1,125 @@
+(* The validator must accept optimal solver output and flag every kind of
+   mutation. *)
+
+open Stgq_core
+
+let star4 =
+  Socgraph.Graph.of_edges 5 [ (0, 1, 1.); (0, 2, 2.); (0, 3, 3.); (1, 2, 1.) ]
+
+let instance = { Query.graph = star4; initiator = 0 }
+let query = { Query.p = 3; s = 1; k = 1 }
+
+let solution () =
+  match Sgselect.solve instance query with
+  | Some s -> s
+  | None -> Alcotest.fail "fixture should be solvable"
+
+let has pred violations = List.exists pred violations
+
+let test_accepts_solver_output () =
+  Alcotest.check Alcotest.bool "valid" true (Validate.is_valid_sg instance query (solution ()))
+
+let test_wrong_size () =
+  let s = solution () in
+  let mutated = { s with Query.attendees = [ 0; 1 ] } in
+  Alcotest.check Alcotest.bool "wrong size flagged" true
+    (has
+       (function Validate.Wrong_size _ -> true | _ -> false)
+       (Validate.check_sg instance query mutated))
+
+let test_missing_initiator () =
+  let mutated = { Query.attendees = [ 1; 2; 3 ]; total_distance = 6. } in
+  Alcotest.check Alcotest.bool "missing initiator flagged" true
+    (has
+       (function Validate.Missing_initiator -> true | _ -> false)
+       (Validate.check_sg instance query mutated))
+
+let test_duplicate () =
+  let mutated = { Query.attendees = [ 0; 1; 1 ]; total_distance = 2. } in
+  Alcotest.check Alcotest.bool "duplicate flagged" true
+    (has
+       (function Validate.Duplicate_attendee _ -> true | _ -> false)
+       (Validate.check_sg instance query mutated))
+
+let test_distance_mismatch () =
+  let s = solution () in
+  let mutated = { s with Query.total_distance = s.Query.total_distance +. 5. } in
+  Alcotest.check Alcotest.bool "distance mismatch flagged" true
+    (has
+       (function Validate.Distance_mismatch _ -> true | _ -> false)
+       (Validate.check_sg instance query mutated))
+
+let test_acquaintance_violation () =
+  (* {0,1,3} at k=0: 1-3 and q... 1-3 not adjacent. *)
+  let mutated = { Query.attendees = [ 0; 1; 3 ]; total_distance = 4. } in
+  Alcotest.check Alcotest.bool "acquaintance flagged" true
+    (has
+       (function Validate.Acquaintance_violation _ -> true | _ -> false)
+       (Validate.check_sg instance { query with Query.k = 0 } mutated))
+
+let test_radius_violation () =
+  let path = Socgraph.Graph.of_edges 3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  let inst = { Query.graph = path; initiator = 0 } in
+  let sol = { Query.attendees = [ 0; 1; 2 ]; total_distance = 3. } in
+  Alcotest.check Alcotest.bool "radius flagged at s=1" true
+    (has
+       (function Validate.Radius_violation 2 -> true | _ -> false)
+       (Validate.check_sg inst { Query.p = 3; s = 1; k = 2 } sol))
+
+let temporal_fixture () =
+  let horizon = 12 in
+  let free lo hi =
+    let a = Timetable.Availability.create ~horizon in
+    Timetable.Availability.set_free a lo hi;
+    a
+  in
+  let ti =
+    { Query.social = instance; schedules = Array.init 5 (fun _ -> free 2 9) }
+  in
+  let q = { Query.p = 3; s = 1; k = 1; m = 3 } in
+  (ti, q)
+
+let test_stg_accepts () =
+  let ti, q = temporal_fixture () in
+  match Stgselect.solve ti q with
+  | Some s -> Alcotest.check Alcotest.bool "valid" true (Validate.is_valid_stg ti q s)
+  | None -> Alcotest.fail "fixture should be solvable"
+
+let test_stg_window_violations () =
+  let ti, q = temporal_fixture () in
+  let s =
+    match Stgselect.solve ti q with Some s -> s | None -> Alcotest.fail "solvable"
+  in
+  let out_of_range = { s with Query.start_slot = 11 } in
+  Alcotest.check Alcotest.bool "window out of range" true
+    (has
+       (function Validate.Window_out_of_range -> true | _ -> false)
+       (Validate.check_stg ti q out_of_range));
+  let busy_start = { s with Query.start_slot = 0 } in
+  Alcotest.check Alcotest.bool "availability violation" true
+    (has
+       (function Validate.Availability_violation _ -> true | _ -> false)
+       (Validate.check_stg ti q busy_start))
+
+let prop_solver_output_always_valid =
+  Gen.qtest ~count:150 "STGSelect output always validates" (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let q = Gen.stgq_of_stg_case case in
+      match Stgselect.solve ti q with
+      | None -> true
+      | Some s -> Validate.check_stg ti q s = [])
+
+let suite =
+  [
+    Alcotest.test_case "accepts solver output" `Quick test_accepts_solver_output;
+    Alcotest.test_case "wrong size" `Quick test_wrong_size;
+    Alcotest.test_case "missing initiator" `Quick test_missing_initiator;
+    Alcotest.test_case "duplicate attendee" `Quick test_duplicate;
+    Alcotest.test_case "distance mismatch" `Quick test_distance_mismatch;
+    Alcotest.test_case "acquaintance violation" `Quick test_acquaintance_violation;
+    Alcotest.test_case "radius violation" `Quick test_radius_violation;
+    Alcotest.test_case "STG accepts solver output" `Quick test_stg_accepts;
+    Alcotest.test_case "STG window violations" `Quick test_stg_window_violations;
+    prop_solver_output_always_valid;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "stgq"
+    [
+      ("bitset", Suite_bitset.suite);
+      ("graph", Suite_graph.suite);
+      ("timetable", Suite_timetable.suite);
+      ("lp-ilp", Suite_lp.suite);
+      ("search", Suite_search.suite);
+      ("ip-model", Suite_ip.suite);
+      ("arrange", Suite_arrange.suite);
+      ("validate", Suite_validate.suite);
+      ("parallel", Suite_parallel.suite);
+      ("workload", Suite_workload.suite);
+      ("pqueue", Suite_pqueue.suite);
+      ("topk", Suite_topk.suite);
+      ("heuristics", Suite_heuristics.suite);
+      ("planner", Suite_planner.suite);
+      ("explain", Suite_explain.suite);
+      ("auto", Suite_auto.suite);
+      ("service", Suite_service.suite);
+      ("community", Suite_community.suite);
+      ("report", Suite_report.suite);
+      ("integration", Suite_integration.suite);
+      ("paper-example", Suite_paper_example.suite);
+      ("astar", Suite_astar.suite);
+    ]
