@@ -253,6 +253,8 @@ let explain_cmd =
     match Stgselect.solve ti query with
     | None -> Fmt.pr "No feasible group/time to explain.@."
     | Some solution ->
+        if not (Validate.is_valid_stg ti query solution) then
+          Fmt.epr "WARNING: solution failed validation!@.";
         let ex = Explain.stg ti query solution in
         Fmt.pr "%a" (Explain.pp ?name:None) ex
   in

@@ -1,0 +1,66 @@
+(* stgq_lint — static-analysis gate for the STGQ codebase.
+
+   Usage: stgq_lint [--format=human|json] [--no-certify]
+                    [--allow-state MODULE] [--list-rules] [PATH ...]
+
+   Lints every .ml under the given paths (default: lib bin) with the
+   rules in Lint.Rules plus the Lint.Certify solution-certificate
+   audit.  Exit status: 0 clean, 1 findings, 2 usage error. *)
+
+let usage = "stgq_lint [--format=human|json] [--no-certify] [--allow-state MODULE] [PATH ...]"
+
+let () =
+  let format = ref "human" in
+  let certify = ref true in
+  let allowed_state = ref [] in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol ([ "human"; "json" ], fun f -> format := f),
+        " report format (default human)" );
+      ("--no-certify", Arg.Clear certify, " skip the solution-certificate audit");
+      ( "--allow-state",
+        Arg.String (fun m -> allowed_state := m :: !allowed_state),
+        "MODULE exempt MODULE from the toplevel-state rule" );
+      ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+    ]
+  in
+  (match Arg.parse spec (fun p -> paths := p :: !paths) usage with
+  | () -> ()
+  | exception Arg.Bad msg ->
+      prerr_string msg;
+      exit 2);
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint.Rules.rule) ->
+        Printf.printf "%-18s %-7s %s\n" r.id
+          (Lint.Diag.severity_to_string r.severity)
+          r.summary)
+      (Lint.Rules.all ());
+    Printf.printf "%-18s %-7s %s\n" "missing-mli" "warning"
+      "lib/ module without a .mli interface";
+    Printf.printf "%-18s %-7s %s\n" "uncertified-solver" "error"
+      "solver answer with no Validate check reachable in the unit";
+    exit 0
+  end;
+  let paths = if !paths = [] then [ "lib"; "bin" ] else List.rev !paths in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "stgq_lint: no such path %S\n" p;
+        exit 2
+      end)
+    paths;
+  let options =
+    {
+      Lint.Engine.certify = !certify;
+      allowed_state_modules = !allowed_state;
+    }
+  in
+  let findings = Lint.Engine.lint_paths ~options paths in
+  (match !format with
+  | "json" -> print_endline (Lint.Diag.report_json findings)
+  | _ -> print_endline (Lint.Diag.report_human findings));
+  exit (if findings = [] then 0 else 1)

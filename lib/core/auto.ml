@@ -39,7 +39,8 @@ let sgq ?(budget = 1e8) ?beam_width instance (query : Query.sgq) =
     | Exact -> Sgselect.solve instance query
     | Beam -> Heuristics.beam_sgq ?width:beam_width instance query
   in
-  (solution, plan)
+  (* Exact or heuristic, the answer leaves with a validated certificate. *)
+  (Validate.certify_sg instance query solution, plan)
 
 let stgq ?(budget = 1e8) ?beam_width (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
@@ -51,4 +52,4 @@ let stgq ?(budget = 1e8) ?beam_width (ti : Query.temporal_instance) (query : Que
     | Exact -> Stgselect.solve ti query
     | Beam -> Heuristics.beam_stgq ?width:beam_width ti query
   in
-  (solution, plan)
+  (Validate.certify_stg ti query solution, plan)

@@ -27,7 +27,10 @@ type plan = {
     exact search. *)
 val plan_sgq : ?budget:float -> Query.instance -> Query.sgq -> plan
 
-(** [sgq ?budget ?beam_width instance query] plans, solves accordingly. *)
+(** [sgq ?budget ?beam_width instance query] plans, solves accordingly.
+    Exact or heuristic, the answer is re-checked by {!Validate} before
+    being returned ([@raise Validate.Certificate_failure] on a failed
+    re-check — a solver bug surfacing). *)
 val sgq :
   ?budget:float -> ?beam_width:int -> Query.instance -> Query.sgq ->
   Query.sg_solution option * plan

@@ -150,7 +150,8 @@ let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state =
                        td = node.td +. fg.Feasible.dist.(v);
                        next = i + 1;
                        state = state';
-                     })
+                     }
+                    : bool)
             | None -> ()
         done)
       !level;

@@ -235,7 +235,11 @@ let solve_stgq ?(form = Group_form) ?node_limit (ti : Query.temporal_instance)
     let start_arr = Array.of_list starts in
     let index_of_start = Hashtbl.create tau_count in
     Array.iteri (fun i t -> Hashtbl.replace index_of_start t i) start_arr;
-    let tau t = offset + Hashtbl.find index_of_start t in
+    let tau t =
+      match Hashtbl.find_opt index_of_start t with
+      | Some i -> offset + i
+      | None -> invalid_arg (Printf.sprintf "Ip_model: unknown window start %d" t)
+    in
     let constraints =
       social_constraints fg ~p:query.p ~k:query.k
       @ temporal_constraints fg ~m:query.m ~avail ~starts ~tau ~literal

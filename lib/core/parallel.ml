@@ -4,6 +4,10 @@ type report = {
   total_nodes : int;
 }
 
+let log = Logs.Src.create "stgq.parallel" ~doc:"Multicore STGSelect"
+
+module Log = (val Logs.src_log log)
+
 let round_robin chunks items =
   let buckets = Array.make chunks [] in
   List.iteri (fun i x -> buckets.(i mod chunks) <- x :: buckets.(i mod chunks)) items;
@@ -48,14 +52,16 @@ let solve_report ?(config = Search_core.default_config) ?domains
       None results
   in
   let solution =
-    Option.map
-      (fun { Search_core.group; distance; window_start } ->
-        {
-          Query.st_attendees = Feasible.originals fg group;
-          st_total_distance = distance;
-          start_slot = Option.get window_start;
-        })
-      best
+    match best with
+    | None -> None
+    | Some f -> (
+        match Search_core.temporal_solution fg f with
+        | Ok s -> Some s
+        | Error (Search_core.Missing_window _) ->
+            Log.err (fun m_ ->
+                m_ "temporal search delivered a group without a window start; \
+                    dropping the (invalid) answer");
+            None)
   in
   { solution; domains_used = n_domains; total_nodes }
 

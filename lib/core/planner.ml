@@ -3,6 +3,10 @@ type update_stats = {
   pivots_recomputed : int;
 }
 
+let log = Logs.Src.create "stgq.planner" ~doc:"Incremental STGQ planner"
+
+module Log = (val Logs.src_log log)
+
 type t = {
   config : Search_core.config;
   query : Query.stgq;
@@ -49,14 +53,16 @@ let solution t =
         | Some a, None -> Some a)
       None t.cache
   in
-  Option.map
-    (fun { Search_core.group; distance; window_start } ->
-      {
-        Query.st_attendees = Feasible.originals t.fg group;
-        st_total_distance = distance;
-        start_slot = Option.get window_start;
-      })
-    best
+  match best with
+  | None -> None
+  | Some f -> (
+      match Search_core.temporal_solution t.fg f with
+      | Ok s -> Some s
+      | Error (Search_core.Missing_window _) ->
+          Log.err (fun m_ ->
+              m_ "temporal search delivered a group without a window start; \
+                  dropping the (invalid) answer");
+          None)
 
 let update_schedule t ~vertex schedule =
   if vertex < 0 || vertex >= Array.length t.schedules then

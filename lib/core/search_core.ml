@@ -150,7 +150,8 @@ let add_to_vs st v =
 let remove_from_vs st v (saved_lo, saved_hi) =
   st.in_vs.(v) <- false;
   st.vs_size <- st.vs_size - 1;
-  st.vs_list <- List.tl st.vs_list;
+  (* [v] was pushed last, so it is the head. *)
+  st.vs_list <- (match st.vs_list with _ :: rest -> rest | [] -> assert false);
   st.td <- st.td -. st.fg.dist.(v);
   Bitset.iter (fun w -> st.nbr_vs.(w) <- st.nbr_vs.(w) - 1) st.fg.nbr.(v);
   (match st.temporal with
@@ -544,3 +545,16 @@ let solve_temporal ?bound_init fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stat
   solve_temporal_sink fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats
     ~sink:(best_sink ?bound_init cell);
   !cell
+
+type temporal_error = Missing_window of { group : int list; distance : float }
+
+let temporal_solution fg (f : found) =
+  match f.window_start with
+  | Some start ->
+      Ok
+        {
+          Query.st_attendees = Feasible.originals fg f.group;
+          st_total_distance = f.distance;
+          start_slot = start;
+        }
+  | None -> Error (Missing_window { group = f.group; distance = f.distance })

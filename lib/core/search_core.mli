@@ -106,3 +106,14 @@ val solve_temporal_sink :
   pivots:int list ->
   config:config -> stats:stats -> sink:sink ->
   unit
+
+(** Why a temporal {!found} could not become an STGQ solution: the
+    search delivered a group with no window start.  [solve_temporal]
+    always sets one, so this marks an internal invariant violation;
+    callers handle it as a typed error instead of raising. *)
+type temporal_error = Missing_window of { group : int list; distance : float }
+
+(** [temporal_solution fg found] converts a temporal search result to a
+    solution in original vertex ids. *)
+val temporal_solution :
+  Feasible.t -> found -> (Query.stg_solution, temporal_error) result

@@ -63,17 +63,22 @@ let feasible_for t ~initiator ~s =
       touch t key;
       fg
 
+(* Every answer leaves the service with a validated certificate: the
+   solution is re-checked against the raw instance by Validate (which
+   shares no code with the search) before a caller can see it. *)
+
 let sgq t ~initiator (query : Query.sgq) =
   let feasible = feasible_for t ~initiator ~s:query.s in
-  Sgselect.solve ~config:t.config ~feasible
-    { Query.graph = t.graph; initiator }
-    query
+  let instance = { Query.graph = t.graph; initiator } in
+  Validate.certify_sg instance query
+    (Sgselect.solve ~config:t.config ~feasible instance query)
 
 let stgq t ~initiator (query : Query.stgq) =
   let feasible = feasible_for t ~initiator ~s:query.s in
-  Stgselect.solve ~config:t.config ~feasible
+  let ti =
     { Query.social = { Query.graph = t.graph; initiator }; schedules = t.schedules }
-    query
+  in
+  Validate.certify_stg ti query (Stgselect.solve ~config:t.config ~feasible ti query)
 
 let cache_stats t =
   {

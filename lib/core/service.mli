@@ -24,10 +24,15 @@ val create :
   ?config:Search_core.config -> ?cache_capacity:int ->
   Query.temporal_instance -> t
 
-(** [sgq t ~initiator query] answers an SGQ for any member. *)
+(** [sgq t ~initiator query] answers an SGQ for any member.  The answer
+    carries a validated certificate: it was re-checked against the raw
+    instance by {!Validate} before being returned.
+    @raise Validate.Certificate_failure if the re-check fails (a solver
+    bug surfacing — never user error). *)
 val sgq : t -> initiator:int -> Query.sgq -> Query.sg_solution option
 
-(** [stgq t ~initiator query] answers an STGQ for any member. *)
+(** [stgq t ~initiator query] answers an STGQ for any member; certified
+    like {!sgq}. *)
 val stgq : t -> initiator:int -> Query.stgq -> Query.stg_solution option
 
 (** [cache_stats t] — cumulative cache behaviour. *)

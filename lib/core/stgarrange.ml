@@ -12,8 +12,10 @@ let run ?config ?k_max (ti : Query.temporal_instance) ~p ~s ~m ~target_distance 
         Stgselect.solve ?config ~initial_bound:(target_distance +. 1e-6) ti
           { Query.p; s; k; m }
       with
-      | Some solution when solution.Query.st_total_distance <= target_distance +. 1e-9 ->
-          Some { k_used = k; solution }
+      | Some solution when solution.Query.st_total_distance <= target_distance +. 1e-9 -> (
+          match Validate.check_stg ti { Query.p; s; k; m } solution with
+          | [] -> Some { k_used = k; solution }
+          | violations -> raise (Validate.Certificate_failure violations))
       | _ -> attempt (k + 1)
   in
   attempt 0

@@ -37,14 +37,16 @@ let solve_report ?(config = Search_core.default_config) ?feasible ?initial_bound
         | Some f -> Printf.sprintf "optimum %g" f.Search_core.distance
         | None -> "infeasible"));
   let solution =
-    Option.map
-      (fun { Search_core.group; distance; window_start } ->
-        {
-          Query.st_attendees = Feasible.originals fg group;
-          st_total_distance = distance;
-          start_slot = Option.get window_start;
-        })
-      found
+    match found with
+    | None -> None
+    | Some f -> (
+        match Search_core.temporal_solution fg f with
+        | Ok s -> Some s
+        | Error (Search_core.Missing_window _) ->
+            Log.err (fun m_ ->
+                m_ "temporal search delivered a group without a window start; \
+                    dropping the (invalid) answer");
+            None)
   in
   { solution; stats; feasible_size = Feasible.size fg; pivots_scanned = List.length pivots }
 

@@ -92,3 +92,30 @@ let check_stg (ti : Query.temporal_instance) (query : Query.stgq)
 
 let is_valid_sg instance query solution = check_sg instance query solution = []
 let is_valid_stg ti query solution = check_stg ti query solution = []
+
+exception Certificate_failure of violation list
+
+let () =
+  Printexc.register_printer (function
+    | Certificate_failure violations ->
+        Some
+          (Format.asprintf "Certificate_failure: %a"
+             (Format.pp_print_list
+                ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+                pp_violation)
+             violations)
+    | _ -> None)
+
+let certify_sg instance query = function
+  | None -> None
+  | Some solution -> (
+      match check_sg instance query solution with
+      | [] -> Some solution
+      | violations -> raise (Certificate_failure violations))
+
+let certify_stg ti query = function
+  | None -> None
+  | Some solution -> (
+      match check_stg ti query solution with
+      | [] -> Some solution
+      | violations -> raise (Certificate_failure violations))

@@ -31,3 +31,22 @@ val is_valid_sg : Query.instance -> Query.sgq -> Query.sg_solution -> bool
 
 val is_valid_stg :
   Query.temporal_instance -> Query.stgq -> Query.stg_solution -> bool
+
+(** Raised by the [certify_*] gates when a solver answer fails
+    re-checking — a solver bug surfacing, never user error.  A printer
+    is registered, so an escaped exception still names the violations. *)
+exception Certificate_failure of violation list
+
+(** [certify_sg instance query solution] passes a valid (or absent)
+    solution through unchanged and raises {!Certificate_failure}
+    otherwise.  Answer-serving layers ({!Service}, {!Auto},
+    {!Stgarrange}) route every solver result through these, so no
+    uncertified answer can reach a caller; the [stgq-lint]
+    [uncertified-solver] rule checks the routing statically. *)
+val certify_sg :
+  Query.instance -> Query.sgq -> Query.sg_solution option ->
+  Query.sg_solution option
+
+val certify_stg :
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution option ->
+  Query.stg_solution option

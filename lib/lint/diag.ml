@@ -1,0 +1,72 @@
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    severity;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let at ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let order a b =
+  compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message
+
+let report_human findings =
+  let body = List.map to_human findings in
+  let errors =
+    List.length (List.filter (fun f -> f.severity = Error) findings)
+  in
+  let summary =
+    Printf.sprintf "%d finding(s), %d error(s)" (List.length findings) errors
+  in
+  String.concat "\n" (body @ [ summary ])
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.message)
+
+let report_json findings =
+  "[" ^ String.concat ",\n " (List.map finding_to_json findings) ^ "]"

@@ -1,0 +1,42 @@
+(** Lint diagnostics: findings and the two reporters.
+
+    A finding pins a rule violation to a [file:line:col] so editors and
+    CI logs can jump straight to it.  Severity is informational — the
+    gate fails on {e any} finding; [Warning] marks rules whose static
+    approximation can have false positives (suppress with a
+    [(* lint: allow <rule> *)] comment when a use is deliberate). *)
+
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 0-based, as compilers print them *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+(** [make ~rule ~severity loc msg] — finding at the start of [loc]
+    (the parser recorded the file name when the lexbuf was created). *)
+val make : rule:string -> severity:severity -> Location.t -> string -> finding
+
+(** [at] — finding at an explicit position, for checks that have no
+    [Location.t] (e.g. the missing-[.mli] file check). *)
+val at :
+  rule:string -> severity:severity -> file:string -> line:int -> col:int ->
+  string -> finding
+
+(** Total order: file, then line, col, rule — stable report output. *)
+val order : finding -> finding -> int
+
+val to_human : finding -> string
+
+(** All findings, one per line, then a ["N finding(s), M error(s)"]
+    summary line. *)
+val report_human : finding list -> string
+
+(** A JSON array of [{rule, severity, file, line, col, message}]. *)
+val report_json : finding list -> string

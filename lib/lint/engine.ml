@@ -1,0 +1,103 @@
+type options = {
+  certify : bool;
+  allowed_state_modules : string list;
+}
+
+let default_options = { certify = true; allowed_state_modules = [] }
+
+let path_components file =
+  String.split_on_char '/' file
+  |> List.concat_map (String.split_on_char '\\')
+
+let is_lib_path file = List.mem "lib" (path_components file)
+
+let is_io_file file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  base = "io" || base = "sio" || base = "gio"
+  || (String.length base > 3
+     && String.sub base (String.length base - 3) 3 = "_io")
+
+let ctx_of_file file =
+  { Rules.file; is_lib = is_lib_path file; is_io = is_io_file file }
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception Syntaxerr.Error err ->
+      Error
+        (Diag.make ~rule:"parse-error" ~severity:Diag.Error
+           (Syntaxerr.location_of_error err)
+           "syntax error: the file does not parse, nothing else was checked")
+  | exception Lexer.Error (_, loc) ->
+      Error
+        (Diag.make ~rule:"parse-error" ~severity:Diag.Error loc
+           "lexical error: the file does not lex, nothing else was checked")
+
+let lint_source ?(options = default_options) ~file source =
+  let suppressions = Suppress.of_source source in
+  let findings =
+    match parse ~file source with
+    | Error finding -> [ finding ]
+    | Ok structure ->
+        let ctx = ctx_of_file file in
+        let rule_findings =
+          List.concat_map
+            (fun (r : Rules.rule) -> r.check ctx structure)
+            (Rules.all ~allowed_state_modules:options.allowed_state_modules ())
+        in
+        let certify_findings =
+          if options.certify then Certify.check ctx structure else []
+        in
+        rule_findings @ certify_findings
+  in
+  List.sort Diag.order (Suppress.filter suppressions findings)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let lint_file ?options path = lint_source ?options ~file:path (read_file path)
+
+(* Directory walk: every .ml, skipping dot- and underscore-prefixed
+   entries (.git, _build, .eobjs, ...); sorted for stable reports. *)
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "" || entry.[0] = '.' || entry.[0] = '_' then acc
+           else collect_ml acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+(* R7 — every lib/ module needs an interface: without one, the whole
+   implementation is the contract and partial helpers leak out. *)
+let missing_mli_finding path source =
+  let wants_mli =
+    is_lib_path path && not (Sys.file_exists (Filename.remove_extension path ^ ".mli"))
+  in
+  if not wants_mli then []
+  else
+    Suppress.filter (Suppress.of_source source)
+      [
+        Diag.at ~rule:"missing-mli" ~severity:Diag.Warning ~file:path ~line:1
+          ~col:0
+          "lib/ module has no .mli; without an interface every partial \
+           helper is exported";
+      ]
+
+let lint_paths ?options paths =
+  let files =
+    List.fold_left collect_ml [] paths |> List.sort_uniq String.compare
+  in
+  let findings =
+    List.concat_map
+      (fun path ->
+        let source = read_file path in
+        lint_source ?options ~file:path source
+        @ missing_mli_finding path source)
+      files
+  in
+  List.sort Diag.order findings

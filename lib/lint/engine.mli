@@ -1,0 +1,30 @@
+(** The lint driver: parse, run the registry, apply suppressions.
+
+    Files are parsed with [Parse.implementation] (compiler-libs), so
+    the analysis sees exactly what the compiler sees.  A file that does
+    not parse yields a single [parse-error] finding.  All entry points
+    return findings sorted by file/line/col. *)
+
+type options = {
+  certify : bool;  (** run the {!Certify} solution-certificate audit *)
+  allowed_state_modules : string list;
+      (** module names exempt from [toplevel-state] *)
+}
+
+val default_options : options
+(** [{ certify = true; allowed_state_modules = [] }] *)
+
+(** [lint_source ~file src] lints one unit held in memory; [file] is
+    used for diagnostics and for the path-sensitive rules (lib-only
+    rules key on a [lib] path component, the I/O-failwith check on an
+    [io]-module basename). *)
+val lint_source :
+  ?options:options -> file:string -> string -> Diag.finding list
+
+val lint_file : ?options:options -> string -> Diag.finding list
+
+(** [lint_paths paths] walks directories (and accepts plain files),
+    linting every [*.ml] — dot- and underscore-prefixed entries
+    ([.git], [_build], [.eobjs]) are skipped — and additionally checks
+    that every [lib/] module has a [.mli] (rule [missing-mli]). *)
+val lint_paths : ?options:options -> string list -> Diag.finding list

@@ -1,0 +1,37 @@
+(** The pluggable rule registry.
+
+    A rule is a pure function from one parsed compilation unit to
+    findings.  Rules R1–R6 live here; R7 (missing [.mli]) is a
+    file-system check in {!Engine}, and the solution-certificate audit
+    is the separate {!Certify} pass — both report through the same
+    {!Diag.finding} type.  To add a rule, write a [check] function over
+    [Parsetree.structure] and append it to {!all}; see docs/LINT.md. *)
+
+(** What the rule may know about the unit under analysis. *)
+type ctx = {
+  file : string;  (** path as given to the engine; used in findings *)
+  is_lib : bool;  (** has a [lib] path component — library-only rules *)
+  is_io : bool;   (** an I/O module ([io.ml], [*_io.ml], [sio.ml], [gio.ml]) *)
+}
+
+type rule = {
+  id : string;        (** the name used in reports and suppressions *)
+  severity : Diag.severity;
+  summary : string;   (** one line for [--list-rules] and the docs *)
+  check : ctx -> Parsetree.structure -> Diag.finding list;
+}
+
+(** [all ?allowed_state_modules ()] — the registry.
+    [allowed_state_modules] (capitalized module names) are exempt from
+    the [toplevel-state] rule. *)
+val all : ?allowed_state_modules:string list -> unit -> rule list
+
+(** Exposed for {!Certify}: render a [Longident.t] as a dotted path. *)
+val lid_to_string : Longident.t -> string
+
+(** Strip a leading ["Stdlib."] so both spellings of a call match. *)
+val normalize : string -> string
+
+(** [iter_idents f e] calls [f name loc] for every value identifier
+    referenced anywhere under [e] (normalized). *)
+val iter_idents : (string -> Location.t -> unit) -> Parsetree.expression -> unit

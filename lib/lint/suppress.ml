@@ -1,0 +1,76 @@
+type t = {
+  file_rules : string list;
+  line_rules : (int * string) list;
+}
+
+let empty = { file_rules = []; line_rules = [] }
+
+let marker = "(* lint: allow"
+
+(* Index of [sub] in [s] at or after [from], if any. *)
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec scan i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else scan (i + 1)
+  in
+  if m = 0 then None else scan from
+
+(* The rule names between the marker and the closing "*)". *)
+let directive_rules line start =
+  let stop =
+    match find_sub line "*)" start with
+    | Some i -> i
+    | None -> String.length line
+  in
+  String.sub line start (stop - start)
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun s -> s <> "")
+
+let of_source source =
+  let lines = String.split_on_char '\n' source in
+  let add acc lineno line =
+    let rec scan acc from =
+      match find_sub line marker from with
+      | None -> acc
+      | Some i ->
+          let after = i + String.length marker in
+          let is_file =
+            after + 5 <= String.length line
+            && String.sub line after 5 = "-file"
+          in
+          let names_at = if is_file then after + 5 else after in
+          let rules = directive_rules line names_at in
+          let acc =
+            if is_file then
+              { acc with file_rules = rules @ acc.file_rules }
+            else
+              {
+                acc with
+                line_rules =
+                  List.map (fun r -> (lineno, r)) rules @ acc.line_rules;
+              }
+          in
+          scan acc (after + 1)
+    in
+    scan acc 0
+  in
+  List.fold_left
+    (fun (acc, lineno) line -> (add acc lineno line, lineno + 1))
+    (empty, 1) lines
+  |> fst
+
+let matches directive rule = directive = rule || directive = "all"
+
+let active t ~rule ~line =
+  List.exists (fun d -> matches d rule) t.file_rules
+  || List.exists
+       (fun (l, d) -> (l = line || l = line - 1) && matches d rule)
+       t.line_rules
+
+let filter t findings =
+  List.filter
+    (fun (f : Diag.finding) -> not (active t ~rule:f.rule ~line:f.line))
+    findings

@@ -1,0 +1,22 @@
+(** Suppression comments.
+
+    [(* lint: allow <rule> ... *)] on a line silences the named rules on
+    that line {e and the next one} (so the comment can sit on its own
+    line above the flagged expression).  [(* lint: allow-file <rule> *)]
+    anywhere in a file silences the rules for the whole file.  The rule
+    name [all] matches every rule.  Several names may be given,
+    separated by spaces or commas. *)
+
+type t
+
+val empty : t
+
+(** [of_source src] scans raw source text for directives; the parser
+    drops comments, so this works on the text, not the AST. *)
+val of_source : string -> t
+
+(** [active t ~rule ~line] — is [rule] suppressed at [line]? *)
+val active : t -> rule:string -> line:int -> bool
+
+(** [filter t findings] drops the suppressed findings. *)
+val filter : t -> Diag.finding list -> Diag.finding list

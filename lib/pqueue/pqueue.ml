@@ -91,7 +91,7 @@ module Bounded = struct
       true
     end
     else if t.cmp x (Heap.peek t.heap) < 0 then begin
-      ignore (Heap.pop t.heap);
+      let _evicted = Heap.pop t.heap in
       Heap.add t.heap x;
       true
     end

@@ -1,16 +1,18 @@
+(* Rows may be ragged; a missing cell renders as empty.  Total by
+   construction — no exception handling that could swallow asserts. *)
+let cell_at row c = Option.value (List.nth_opt row c) ~default:""
+
 let table ~title ~header rows =
   let all = header :: rows in
   let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let width c =
-    List.fold_left
-      (fun acc row -> max acc (try String.length (List.nth row c) with _ -> 0))
-      0 all
+    List.fold_left (fun acc row -> max acc (String.length (cell_at row c))) 0 all
   in
   let widths = List.init cols width in
   let render_row row =
     List.mapi
       (fun c w ->
-        let cell = try List.nth row c with _ -> "" in
+        let cell = cell_at row c in
         cell ^ String.make (w - String.length cell) ' ')
       widths
     |> String.concat "  "
@@ -49,4 +51,9 @@ let time_median ?(runs = 3) f =
     times := t :: !times
   done;
   let sorted = List.sort compare !times in
-  (result, List.nth sorted (List.length sorted / 2))
+  let median =
+    match List.nth_opt sorted (List.length sorted / 2) with
+    | Some t -> t
+    | None -> first
+  in
+  (result, median)

@@ -6,7 +6,7 @@ let to_string g =
     (Graph.edges g);
   Buffer.contents buf
 
-let of_string s =
+let of_string ?(file = "<string>") s =
   let lines = String.split_on_char '\n' s in
   let n = ref (-1) in
   let edges = ref [] in
@@ -18,7 +18,8 @@ let of_string s =
       | [ "#"; "vertices"; count ] -> (
           match int_of_string_opt count with
           | Some c when c >= 0 -> n := c
-          | _ -> failwith (Printf.sprintf "Gio: bad vertex count at line %d" idx))
+          | _ ->
+              failwith (Printf.sprintf "Gio: %s:%d: bad vertex count" file idx))
       | _ -> ()
     end
     else
@@ -26,11 +27,13 @@ let of_string s =
       | [ u; v; w ] -> (
           match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w) with
           | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
-          | _ -> failwith (Printf.sprintf "Gio: malformed edge at line %d" idx))
-      | _ -> failwith (Printf.sprintf "Gio: malformed line %d" idx)
+          | _ -> failwith (Printf.sprintf "Gio: %s:%d: malformed edge" file idx))
+      | _ -> failwith (Printf.sprintf "Gio: %s:%d: malformed line" file idx)
   in
   List.iteri (fun i line -> parse_line (i + 1) line) lines;
-  if !n < 0 then failwith "Gio: missing '# vertices <n>' header";
+  if !n < 0 then
+    failwith
+      (Printf.sprintf "Gio: %s: missing '# vertices <n>' header" file);
   Graph.of_edges !n !edges
 
 let save g path =
@@ -43,4 +46,4 @@ let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () -> of_string ~file:path (In_channel.input_all ic))

@@ -8,8 +8,10 @@
 (** [to_string g] serialises [g]. *)
 val to_string : Graph.t -> string
 
-(** [of_string s] parses a graph.  @raise Failure on malformed input. *)
-val of_string : string -> Graph.t
+(** [of_string ?file s] parses a graph; [file] (default ["<string>"])
+    names the source in error messages.
+    @raise Failure on malformed input, as ["Gio: <file>:<line>: <msg>"]. *)
+val of_string : ?file:string -> string -> Graph.t
 
 (** [save g path] writes [to_string g] to [path]. *)
 val save : Graph.t -> string -> unit

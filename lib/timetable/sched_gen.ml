@@ -77,8 +77,8 @@ let shift_day rng t ~day ~night_shift =
   else free t ~day ~from_h:18 ~to_h:22
 
 let freelancer_day rng t ~day =
-  ignore (is_weekend day);
-  (* One random 3-hour block between 9 and 22. *)
+  (* Freelancers work weekends too: one random 3-hour block between 9
+     and 22, whatever the day. *)
   let from_h = 9 + Random.State.int rng 11 in
   free t ~day ~from_h ~to_h:(min 22 (from_h + 3))
 

@@ -1,3 +1,14 @@
+exception Parse_error of { file : string; line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; msg } ->
+        Some (Printf.sprintf "Sio.Parse_error: %s:%d: %s" file line msg)
+    | _ -> None)
+
+let fail ~file ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { file; line; msg })) fmt
+
 let to_string schedules =
   let buf = Buffer.create 4096 in
   let horizon =
@@ -17,7 +28,7 @@ let to_string schedules =
     schedules;
   Buffer.contents buf
 
-let of_string s =
+let of_string ?(file = "<string>") s =
   let lines = String.split_on_char '\n' s in
   let horizon = ref (-1) in
   let rows = ref [] in
@@ -29,43 +40,47 @@ let of_string s =
       | [ "#"; "horizon"; h ] -> (
           match int_of_string_opt h with
           | Some h when h >= 0 -> horizon := h
-          | _ -> failwith (Printf.sprintf "Sio: bad horizon at line %d" idx))
+          | _ -> fail ~file ~line:idx "bad horizon value %S" h)
       | _ -> ()
     end
     else
       match String.index_opt line ':' with
-      | None -> failwith (Printf.sprintf "Sio: missing ':' at line %d" idx)
+      | None -> fail ~file ~line:idx "missing ':' between id and bits"
       | Some colon -> (
           let id = String.trim (String.sub line 0 colon) in
           let bits =
             String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
           in
           match int_of_string_opt id with
-          | None -> failwith (Printf.sprintf "Sio: bad id at line %d" idx)
+          | None -> fail ~file ~line:idx "bad schedule id %S" id
           | Some id ->
               if !horizon < 0 then
-                failwith "Sio: missing '# horizon <n>' header before rows";
+                fail ~file ~line:idx
+                  "missing '# horizon <n>' header before the first row";
               if String.length bits <> !horizon then
-                failwith (Printf.sprintf "Sio: row %d has %d bits, expected %d" id
-                            (String.length bits) !horizon);
+                fail ~file ~line:idx "row %d has %d bits, expected %d" id
+                  (String.length bits) !horizon;
               let a = Availability.create ~horizon:!horizon in
               String.iteri
                 (fun slot c ->
                   match c with
                   | '1' -> Availability.set_free a slot slot
                   | '0' -> ()
-                  | _ -> failwith (Printf.sprintf "Sio: bad bit at line %d" idx))
+                  | _ -> fail ~file ~line:idx "bad bit %C at slot %d" c slot)
                 bits;
-              rows := (id, a) :: !rows)
+              rows := (id, idx, a) :: !rows)
   in
   List.iteri (fun i line -> parse (i + 1) line) lines;
-  if !horizon < 0 then failwith "Sio: missing '# horizon <n>' header";
+  if !horizon < 0 then
+    fail ~file ~line:(List.length lines) "missing '# horizon <n>' header";
   let rows = List.sort compare !rows in
   List.iteri
-    (fun expect (id, _) ->
-      if id <> expect then failwith (Printf.sprintf "Sio: ids not contiguous at %d" id))
+    (fun expect (id, line, _) ->
+      if id <> expect then
+        fail ~file ~line "schedule ids not contiguous: expected %d, got %d"
+          expect id)
     rows;
-  Array.of_list (List.map snd rows)
+  Array.of_list (List.map (fun (_, _, a) -> a) rows)
 
 let save schedules path =
   let oc = open_out path in
@@ -77,4 +92,4 @@ let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () -> of_string ~file:path (In_channel.input_all ic))

@@ -4,12 +4,21 @@
     per person where [<bits>] is a 0/1 string, slot 0 leftmost.  Blank
     lines and other ['#'] comments are ignored. *)
 
+(** Raised on malformed input.  [file] is the path given to {!load}
+    (or ["<string>"], or the [?file] passed to {!of_string}); [line] is
+    1-based.  A [Printexc] printer is registered, so an uncaught error
+    still prints as [file:line: message]. *)
+exception Parse_error of { file : string; line : int; msg : string }
+
 (** [to_string schedules] serialises the array. *)
 val to_string : Availability.t array -> string
 
-(** [of_string s] parses a schedule set.
-    @raise Failure on malformed input or mismatched horizons. *)
-val of_string : string -> Availability.t array
+(** [of_string ?file s] parses a schedule set.
+    @raise Parse_error on malformed input or mismatched horizons. *)
+val of_string : ?file:string -> string -> Availability.t array
 
 val save : Availability.t array -> string -> unit
+
+(** [load path] reads and parses [path].
+    @raise Parse_error with [file = path] on malformed input. *)
 val load : string -> Availability.t array

@@ -103,8 +103,11 @@ let generate ?(seed = 194) ?(days = 7) () =
         in
         if target_community <> communities.(x) then begin
           let pool = members_of.(target_community) in
-          let y = List.nth pool (Random.State.int rng (List.length pool)) in
-          add x y (strong_cross_distance rng)
+          (* Same RNG draw as before; an (impossible) empty pool now
+             skips the tie instead of raising. *)
+          match List.nth_opt pool (Random.State.int rng (max 1 (List.length pool))) with
+          | Some y -> add x y (strong_cross_distance rng)
+          | None -> ()
         end
       done
     end

@@ -1,6 +1,7 @@
 let pick_initiator ?(rank = 3) graph =
   let n = Socgraph.Graph.n_vertices graph in
   if n = 0 then invalid_arg "Scenario.pick_initiator: empty graph";
+  if rank < 0 then invalid_arg "Scenario.pick_initiator: negative rank";
   let by_degree =
     List.init n Fun.id
     |> List.sort (fun a b ->
@@ -8,7 +9,9 @@ let pick_initiator ?(rank = 3) graph =
              (-Socgraph.Graph.degree graph a, a)
              (-Socgraph.Graph.degree graph b, b))
   in
-  List.nth by_degree (min rank (n - 1))
+  match List.nth_opt by_degree (min rank (n - 1)) with
+  | Some v -> v
+  | None -> 0 (* unreachable: the index is clamped to [0, n-1] *)
 
 let social_instance graph ~initiator = { Stgq_core.Query.graph; initiator }
 

@@ -123,7 +123,7 @@ let test_sio_roundtrip () =
 let test_sio_rejects_malformed () =
   let expect_failure s =
     match Timetable.Sio.of_string s with
-    | exception Failure _ -> ()
+    | exception Timetable.Sio.Parse_error _ -> ()
     | _ -> Alcotest.fail "expected parse failure"
   in
   expect_failure "0: 101";

@@ -20,6 +20,7 @@ let () =
       ("service", Suite_service.suite);
       ("community", Suite_community.suite);
       ("report", Suite_report.suite);
+      ("lint", Suite_lint.suite);
       ("integration", Suite_integration.suite);
       ("paper-example", Suite_paper_example.suite);
       ("astar", Suite_astar.suite);
