@@ -7,7 +7,12 @@
    see EXPERIMENTS.md for recorded output and commentary.
 
    Usage: dune exec bench/main.exe -- [--fast] [--only=fig1a,fig1e,...]
-                                      [--skip-bechamel] *)
+                                      [--skip-bechamel] [--domains=N]
+                                      [--smoke] [--json-out=FILE]
+
+   --smoke runs only the engine replay comparison at tiny sizes and
+   writes its result as JSON (default BENCH_engine.json) — the CI
+   baseline behind the root @bench-smoke alias. *)
 
 open Stgq_core
 
@@ -18,10 +23,14 @@ type settings = {
   fast : bool;
   group_cap : int;      (* brute-force enumeration cap *)
   ip_node_cap : int;    (* branch-and-bound node cap *)
+  domains : int option; (* --domains / STGQ_DOMAINS override *)
 }
 
-let full_settings = { fast = false; group_cap = 4_000_000; ip_node_cap = 40_000 }
-let fast_settings = { fast = true; group_cap = 200_000; ip_node_cap = 4_000 }
+let full_settings =
+  { fast = false; group_cap = 4_000_000; ip_node_cap = 40_000; domains = None }
+
+let fast_settings =
+  { fast = true; group_cap = 200_000; ip_node_cap = 4_000; domains = None }
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers.  A capped run reports the elapsed time at the cap,
@@ -331,19 +340,23 @@ let ablation_stg st () =
        [ "no availability pruning"; ns_cell t; detail_cell t ]);
       (let t = timed (run_stg_baseline ti query) in
        [ "per-slot scan (no pivots)"; ns_cell t; detail_cell t ]);
-      (let t =
+      (let pool = Engine.Pool.create ?size:st.domains () in
+       let t =
          timed (fun () ->
              dist_of
                (Option.map
                   (fun r -> r.Query.st_total_distance)
-                  (Parallel.solve ti query)))
+                  (Parallel.solve ~pool ti query)))
        in
-       [
-         Printf.sprintf "parallel pivots (%d domains)"
-           (Domain.recommended_domain_count ());
-         ns_cell t;
-         detail_cell t;
-       ]);
+       let row =
+         [
+           Printf.sprintf "parallel pivots (%d domains)" (Engine.Pool.size pool);
+           ns_cell t;
+           detail_cell t;
+         ]
+       in
+       Engine.Pool.shutdown pool;
+       row);
     ]
   in
   print_table
@@ -656,6 +669,156 @@ let bechamel_suite () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Extension E7: engine replay — the repeated-query serving workload.
+   Four paths answer the same query stream: the seed per-query paths
+   (fresh context per call; sequential, or a Domain.spawn/join per
+   bucket) against the engine paths (one cached context per (q, s),
+   sequential kernel or the persistent pool).                          *)
+
+type replay_outcome = {
+  workload : string;
+  rp_rounds : int;
+  queries_per_round : int;
+  rp_domains : int;
+  rebuild_seq_ns : float;
+  rebuild_spawn_ns : float;
+  cached_seq_ns : float;
+  cached_pool_ns : float;
+  mismatches : int;
+}
+
+let engine_replay ~n ~days ~rounds ~domains () =
+  let ti = Workload.Scenario.coauthor ~seed:11 ~days ~n () in
+  let graph = ti.Query.social.Query.graph in
+  let initiator = Workload.Scenario.pick_initiator ~rank:10 graph in
+  let ti = { ti with Query.social = { ti.Query.social with Query.initiator } } in
+  let queries =
+    [
+      { Query.p = 3; s = 2; k = 1; m = 4 };
+      { Query.p = 4; s = 2; k = 2; m = 4 };
+      { Query.p = 3; s = 2; k = 1; m = 6 };
+      { Query.p = 4; s = 2; k = 2; m = 6 };
+    ]
+  in
+  let pool = Engine.Pool.create ?size:domains () in
+  let n_domains = Engine.Pool.size pool in
+  let run_path path =
+    let out = ref [] in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      List.iter (fun q -> out := path q :: !out) queries
+    done;
+    ((Unix.gettimeofday () -. t0) *. 1e9, List.rev !out)
+  in
+  (* Seed paths: a fresh context inside every call. *)
+  let rebuild_seq q = Stgselect.solve ti q in
+  let rebuild_spawn q =
+    (Parallel.solve_report_unpooled ~domains:n_domains ti q).Parallel.solution
+  in
+  (* Engine paths: contexts come from the cache, keyed by (q, s). *)
+  let cache = Engine.Cache.create ~schedules:ti.Query.schedules graph in
+  let ctx_for q = Engine.Cache.context cache ~initiator ~s:q.Query.s in
+  let cached_seq q = Stgselect.solve ~ctx:(ctx_for q) ti q in
+  let cached_pool q = Parallel.solve ~pool ~ctx:(ctx_for q) ti q in
+  (* Warm-up outside the clocks: code, allocator, pool domains. *)
+  List.iter (fun q -> ignore (cached_pool q)) queries;
+  let rebuild_spawn_ns, a_spawn = run_path rebuild_spawn in
+  let rebuild_seq_ns, a_seq = run_path rebuild_seq in
+  let cached_seq_ns, a_cseq = run_path cached_seq in
+  let cached_pool_ns, a_cpool = run_path cached_pool in
+  Engine.Pool.shutdown pool;
+  let agree a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y ->
+        Float.abs (x.Query.st_total_distance -. y.Query.st_total_distance) <= 1e-6
+        && x.Query.start_slot = y.Query.start_slot
+    | _ -> false
+  in
+  let mismatches =
+    List.fold_left2
+      (fun acc (a, b) (c, d) ->
+        if agree a b && agree a c && agree a d then acc else acc + 1)
+      0
+      (List.combine a_seq a_spawn)
+      (List.combine a_cseq a_cpool)
+  in
+  {
+    workload = Printf.sprintf "coauthor n=%d days=%d q=%d" n days initiator;
+    rp_rounds = rounds;
+    queries_per_round = List.length queries;
+    rp_domains = n_domains;
+    rebuild_seq_ns;
+    rebuild_spawn_ns;
+    cached_seq_ns;
+    cached_pool_ns;
+    mismatches;
+  }
+
+let replay_speedup r = r.rebuild_spawn_ns /. r.cached_pool_ns
+
+let ext_engine st () =
+  let n = if st.fast then 600 else 2000 in
+  let days = if st.fast then 2 else 7 in
+  let rounds = if st.fast then 3 else 8 in
+  let r = engine_replay ~n ~days ~rounds ~domains:st.domains () in
+  let per path_ns = path_ns /. float_of_int (r.rp_rounds * r.queries_per_round) in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "Extension E7  engine replay   (%s, %d rounds x %d queries, %d domains, \
+          %d mismatches)"
+         r.workload r.rp_rounds r.queries_per_round r.rp_domains r.mismatches)
+    ~header:[ "serving path"; "total"; "per query" ]
+    [
+      [ "rebuild + sequential (seed)"; Report.ns r.rebuild_seq_ns;
+        Report.ns (per r.rebuild_seq_ns) ];
+      [ "rebuild + spawn/join (seed)"; Report.ns r.rebuild_spawn_ns;
+        Report.ns (per r.rebuild_spawn_ns) ];
+      [ "cached ctx + sequential"; Report.ns r.cached_seq_ns;
+        Report.ns (per r.cached_seq_ns) ];
+      [ Printf.sprintf "cached ctx + pool (%.1fx)" (replay_speedup r);
+        Report.ns r.cached_pool_ns; Report.ns (per r.cached_pool_ns) ];
+    ]
+
+let replay_json r =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"workload\": %S," r.workload;
+      Printf.sprintf "  \"rounds\": %d," r.rp_rounds;
+      Printf.sprintf "  \"queries_per_round\": %d," r.queries_per_round;
+      Printf.sprintf "  \"domains\": %d," r.rp_domains;
+      Printf.sprintf "  \"rebuild_sequential_ns\": %.0f," r.rebuild_seq_ns;
+      Printf.sprintf "  \"rebuild_spawn_ns\": %.0f," r.rebuild_spawn_ns;
+      Printf.sprintf "  \"cached_sequential_ns\": %.0f," r.cached_seq_ns;
+      Printf.sprintf "  \"cached_pool_ns\": %.0f," r.cached_pool_ns;
+      Printf.sprintf "  \"speedup_sequential\": %.2f,"
+        (r.rebuild_seq_ns /. r.cached_seq_ns);
+      Printf.sprintf "  \"speedup\": %.2f," (replay_speedup r);
+      Printf.sprintf "  \"mismatches\": %d" r.mismatches;
+      "}";
+      "";
+    ]
+
+(* The CI baseline: tiny sizes, one JSON artefact. *)
+let smoke ~json_out ~domains =
+  let r = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
+  let oc = open_out json_out in
+  output_string oc (replay_json r);
+  close_out oc;
+  Printf.printf
+    "bench-smoke: %s — %d x %d queries, %d domains, speedup %.2fx (seq %.2fx), \
+     %d mismatches -> %s\n"
+    r.workload r.rp_rounds r.queries_per_round r.rp_domains (replay_speedup r)
+    (r.rebuild_seq_ns /. r.cached_seq_ns)
+    r.mismatches json_out;
+  if r.mismatches > 0 then begin
+    print_endline "bench-smoke: FAILED — engine answers diverge from seed paths";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 
 let experiments =
@@ -675,21 +838,47 @@ let experiments =
     ("ext_community", ext_community);
     ("ext_scale", ext_scale);
     ("ext_astar", ext_astar);
+    ("ext_engine", ext_engine);
   ]
+
+let keyed_arg key args =
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  List.find_map
+    (fun a ->
+      if String.length a > plen && String.sub a 0 plen = prefix then
+        Some (String.sub a plen (String.length a - plen))
+      else None)
+    args
 
 let () =
   let args = Array.to_list Sys.argv in
   let fast = List.mem "--fast" args in
   let skip_bechamel = List.mem "--skip-bechamel" args in
-  let only =
-    List.find_map
-      (fun a ->
-        if String.length a > 7 && String.sub a 0 7 = "--only=" then
-          Some (String.split_on_char ',' (String.sub a 7 (String.length a - 7)))
-        else None)
-      args
+  let only = Option.map (String.split_on_char ',') (keyed_arg "--only" args) in
+  let domains =
+    match keyed_arg "--domains" args with
+    | Some raw -> (
+        match int_of_string_opt raw with
+        | Some d when d >= 1 -> Some d
+        | Some _ | None ->
+            Printf.eprintf "ignoring --domains=%s: expected a positive integer\n" raw;
+            None)
+    | None -> (
+        match Sys.getenv_opt "STGQ_DOMAINS" with
+        | Some raw -> int_of_string_opt (String.trim raw)
+        | None -> None)
   in
-  let st = if fast then fast_settings else full_settings in
+  if List.mem "--smoke" args then begin
+    let json_out =
+      Option.value (keyed_arg "--json-out" args) ~default:"BENCH_engine.json"
+    in
+    smoke ~json_out ~domains;
+    exit 0
+  end;
+  let st =
+    if fast then { fast_settings with domains } else { full_settings with domains }
+  in
   let wanted name = match only with None -> true | Some l -> List.mem name l in
   Printf.printf
     "STGQ experiment harness (%s mode; enumeration cap %d groups, IP cap %d nodes)\n"

@@ -162,8 +162,15 @@ let sgq_cmd =
 
 type stg_algo = St_select | St_baseline | St_parallel | St_ip
 
+let domains_term =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"N"
+           ~env:(Cmd.Env.info "STGQ_DOMAINS")
+           ~doc:"Worker domains for --algo parallel (default: \
+                 $(b,STGQ_DOMAINS) or the recommended domain count).")
+
 let stgq_cmd =
-  let run src initiator p s k m algo =
+  let run src initiator p s k m algo domains =
     let graph, schedules = load_dataset src in
     let ti =
       { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
@@ -184,7 +191,9 @@ let stgq_cmd =
             r.Baseline.st_solution,
             Printf.sprintf "%d windows" r.Baseline.windows_scanned )
       | St_parallel ->
-          let r = Parallel.solve_report ti query in
+          let pool = Engine.Pool.create ?size:domains () in
+          let r = Parallel.solve_report ~pool ti query in
+          Engine.Pool.shutdown pool;
           ( "STGSelect (parallel)",
             r.Parallel.solution,
             Printf.sprintf "%d domains, %d nodes" r.Parallel.domains_used
@@ -215,7 +224,8 @@ let stgq_cmd =
   Cmd.v
     (Cmd.info "stgq" ~doc:"Answer a Social-Temporal Group Query.")
     Term.(
-      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term $ algo)
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term
+      $ algo $ domains_term)
 
 (* ------------------------------------------------------------------ *)
 (* arrange.                                                            *)

@@ -29,27 +29,29 @@ let make_plan ~budget fg (p : int) =
 
 let plan_sgq ?(budget = 1e8) instance (query : Query.sgq) =
   Query.check_sgq query;
-  Query.check_instance instance;
-  make_plan ~budget (Feasible.extract instance ~s:query.s) query.p
+  let ctx = Feasible.context_of_instance instance ~s:query.s in
+  make_plan ~budget ctx.Engine.Context.fg query.p
 
 let sgq ?(budget = 1e8) ?beam_width instance (query : Query.sgq) =
-  let plan = plan_sgq ~budget instance query in
+  Query.check_sgq query;
+  (* One context serves the planning estimate and the chosen solver. *)
+  let ctx = Feasible.context_of_instance instance ~s:query.s in
+  let plan = make_plan ~budget ctx.Engine.Context.fg query.p in
   let solution =
     match plan.choice with
-    | Exact -> Sgselect.solve instance query
-    | Beam -> Heuristics.beam_sgq ?width:beam_width instance query
+    | Exact -> Sgselect.solve ~ctx instance query
+    | Beam -> Heuristics.beam_sgq ?width:beam_width ~ctx instance query
   in
   (* Exact or heuristic, the answer leaves with a validated certificate. *)
   (Validate.certify_sg instance query solution, plan)
 
 let stgq ?(budget = 1e8) ?beam_width (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
-  Query.check_temporal_instance ti;
-  let fg = Feasible.extract ti.social ~s:query.s in
-  let plan = make_plan ~budget fg query.p in
+  let ctx = Feasible.context_of_temporal ti ~s:query.s in
+  let plan = make_plan ~budget ctx.Engine.Context.fg query.p in
   let solution =
     match plan.choice with
-    | Exact -> Stgselect.solve ti query
-    | Beam -> Heuristics.beam_stgq ?width:beam_width ti query
+    | Exact -> Stgselect.solve ~ctx ti query
+    | Beam -> Heuristics.beam_stgq ?width:beam_width ~ctx ti query
   in
   (Validate.certify_stg ti query solution, plan)

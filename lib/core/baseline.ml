@@ -129,9 +129,11 @@ let stgq_per_slot ?(config = Search_core.default_config) ti (query : Query.stgq)
   let best = ref None in
   for start = 0 to horizon - query.m do
     incr windows;
-    (* A full SGQ from scratch for this period: radius extraction, then a
-       slot-by-slot availability scan over every candidate. *)
-    let fg = Feasible.extract ti.social ~s:query.s in
+    (* A full SGQ from scratch for this period: a throwaway context
+       (radius extraction and all), then a slot-by-slot availability
+       scan over every candidate. *)
+    let ctx = Feasible.context_of_instance ti.social ~s:query.s in
+    let fg = ctx.Engine.Context.fg in
     let available =
       Array.init (Feasible.size fg) (fun v ->
           naive_window_free ti.schedules.(fg.Feasible.of_sub.(v)) start)
@@ -140,7 +142,7 @@ let stgq_per_slot ?(config = Search_core.default_config) ti (query : Query.stgq)
       match
         Search_core.solve_social
           ~eligible:(fun v -> available.(v))
-          fg ~p:query.p ~k:query.k ~config ~stats
+          ctx ~p:query.p ~k:query.k ~config ~stats
       with
       | None -> ()
       | Some { Search_core.group; distance; _ } -> (

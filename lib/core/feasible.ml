@@ -1,30 +1,14 @@
-type t = {
-  sub : Socgraph.Graph.t;
-  of_sub : int array;
-  to_sub : int array;
-  q : int;
-  dist : float array;
-  nbr : Bitset.t array;
-}
+include Engine.Feasible
 
 let extract (instance : Query.instance) ~s =
   Query.check_instance instance;
-  if s < 1 then invalid_arg "Feasible.extract: s must be >= 1";
-  let g = instance.graph and q0 = instance.initiator in
-  let d = Socgraph.Bounded_dist.distances g ~src:q0 ~max_edges:s in
-  let kept = ref [] in
-  for v = Socgraph.Graph.n_vertices g - 1 downto 0 do
-    if Float.is_finite d.(v) then kept := v :: !kept
-  done;
-  let sub, to_sub, of_sub = Socgraph.Graph.induced g !kept in
-  let size = Array.length of_sub in
-  let dist = Array.init size (fun i -> d.(of_sub.(i))) in
-  let nbr = Array.init size (fun i -> Socgraph.Graph.neighbor_bitset sub i) in
-  { sub; of_sub; to_sub; q = to_sub.(q0); dist; nbr }
+  Engine.Feasible.extract instance.graph ~initiator:instance.initiator ~s
 
-let size t = Array.length t.of_sub
-let adjacent t u v = u <> v && Bitset.mem t.nbr.(u) v
+let context_of_instance (instance : Query.instance) ~s =
+  Query.check_instance instance;
+  Engine.Context.build instance.graph ~initiator:instance.initiator ~s
 
-let total_distance t subs = List.fold_left (fun acc v -> acc +. t.dist.(v)) 0. subs
-
-let originals t subs = List.sort compare (List.map (fun v -> t.of_sub.(v)) subs)
+let context_of_temporal (ti : Query.temporal_instance) ~s =
+  Query.check_temporal_instance ti;
+  Engine.Context.build ~schedules:ti.schedules ti.social.Query.graph
+    ~initiator:ti.social.Query.initiator ~s

@@ -1,12 +1,12 @@
-(** Radius-graph extraction (§3.2.1).
+(** Radius-graph extraction (§3.2.1) — query-typed facade over
+    {!Engine.Feasible}.
 
-    Runs the Definition-1 dynamic program from the initiator and keeps the
-    vertices with finite [s]-edge minimum distance, yielding the feasible
-    graph [G_F] every query algorithm works on.  Vertices are re-indexed
-    to the compact range [0 .. size-1]; all search code operates on
-    sub-ids and translates back at the boundary. *)
+    The extraction itself lives in the engine layer; this module adapts
+    it to the [Query] record types and adds the {!Engine.Context}
+    constructors solvers route through.  The type equation below keeps
+    the record fields usable from both sides. *)
 
-type t = {
+type t = Engine.Feasible.t = {
   sub : Socgraph.Graph.t;   (** induced feasible graph over sub-ids *)
   of_sub : int array;       (** sub-id -> original vertex *)
   to_sub : int array;       (** original vertex -> sub-id or [-1] *)
@@ -28,3 +28,11 @@ val total_distance : t -> int list -> float
 
 (** [originals fg subs] maps sub-ids back to sorted original ids. *)
 val originals : t -> int list -> int list
+
+(** [context_of_instance instance ~s] builds a social-only engine
+    context (validating the instance first). *)
+val context_of_instance : Query.instance -> s:int -> Engine.Context.t
+
+(** [context_of_temporal ti ~s] builds an STGQ-capable engine context
+    whose availability slab aliases [ti.schedules]. *)
+val context_of_temporal : Query.temporal_instance -> s:int -> Engine.Context.t

@@ -163,11 +163,18 @@ let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state =
   done;
   !result
 
-let beam_sgq ?(width = 32) (instance : Query.instance) (query : Query.sgq) =
+let beam_sgq ?(width = 32) ?ctx (instance : Query.instance) (query : Query.sgq) =
   Query.check_sgq query;
   Query.check_instance instance;
   if width < 1 then invalid_arg "Heuristics.beam_sgq: width must be >= 1";
-  let fg = Feasible.extract instance ~s:query.s in
+  let ctx =
+    match ctx with
+    | Some c ->
+        Engine.Context.ensure_for c ~initiator:instance.Query.initiator ~s:query.s;
+        c
+    | None -> Feasible.context_of_instance instance ~s:query.s
+  in
+  let fg = ctx.Engine.Context.fg in
   if query.p = 1 then Some { Query.attendees = [ instance.initiator ]; total_distance = 0. }
   else
     beam_social fg ~p:query.p ~k:query.k ~width ~eligible:(fun _ -> true)
@@ -179,13 +186,19 @@ let beam_sgq ?(width = 32) (instance : Query.instance) (query : Query.sgq) =
              total_distance = node.td;
            })
 
-let beam_stgq ?(width = 32) (ti : Query.temporal_instance) (query : Query.stgq) =
+let beam_stgq ?(width = 32) ?ctx (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   if width < 1 then invalid_arg "Heuristics.beam_stgq: width must be >= 1";
-  let fg = Feasible.extract ti.social ~s:query.s in
-  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
-  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
+  let ctx =
+    match ctx with
+    | Some c ->
+        Engine.Context.ensure_for c ~initiator:ti.social.Query.initiator ~s:query.s;
+        c
+    | None -> Feasible.context_of_temporal ti ~s:query.s
+  in
+  let fg = ctx.Engine.Context.fg in
+  let avail = ctx.Engine.Context.avail in
   let best = ref None in
   List.iter
     (fun pivot ->
@@ -220,7 +233,7 @@ let beam_stgq ?(width = 32) (ti : Query.temporal_instance) (query : Query.stgq) 
             | _ -> best := Some (node.td, node.group, lo))
         | None -> ()
       end)
-    (Timetable.Window.pivots ~horizon ~m:query.m);
+    (Engine.Context.pivots ctx ~m:query.m);
   Option.map
     (fun (td, group, start) ->
       {

@@ -25,10 +25,15 @@ val greedy_sgq : Query.instance -> Query.sgq -> Query.sg_solution option
     members available there; best pivot wins. *)
 val greedy_stgq : Query.temporal_instance -> Query.stgq -> Query.stg_solution option
 
-(** [beam_sgq ?width instance query] — beam-search SGQ ([width] default
-    32). *)
-val beam_sgq : ?width:int -> Query.instance -> Query.sgq -> Query.sg_solution option
+(** [beam_sgq ?width ?ctx instance query] — beam-search SGQ ([width]
+    default 32).  [ctx] supplies a pre-built engine context matching
+    [instance] and [query.s]. *)
+val beam_sgq :
+  ?width:int -> ?ctx:Engine.Context.t ->
+  Query.instance -> Query.sgq -> Query.sg_solution option
 
-(** [beam_stgq ?width ti query] — beam-search STGQ over pivot slots. *)
+(** [beam_stgq ?width ?ctx ti query] — beam-search STGQ over pivot
+    slots; [ctx] as in {!beam_sgq}. *)
 val beam_stgq :
-  ?width:int -> Query.temporal_instance -> Query.stgq -> Query.stg_solution option
+  ?width:int -> ?ctx:Engine.Context.t ->
+  Query.temporal_instance -> Query.stgq -> Query.stg_solution option

@@ -13,37 +13,33 @@ let round_robin chunks items =
   List.iteri (fun i x -> buckets.(i mod chunks) <- x :: buckets.(i mod chunks)) items;
   Array.map List.rev buckets
 
-let solve_report ?(config = Search_core.default_config) ?domains
-    (ti : Query.temporal_instance) (query : Query.stgq) =
+let prepare ?ctx (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
-  let fg = Feasible.extract ti.social ~s:query.s in
-  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
-  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
-  let pivots = Timetable.Window.pivots ~horizon ~m:query.m in
-  let wanted =
-    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
+  let ctx =
+    match ctx with
+    | Some c ->
+        Engine.Context.ensure_for c ~initiator:ti.social.Query.initiator ~s:query.s;
+        c
+    | None -> Feasible.context_of_temporal ti ~s:query.s
   in
-  let n_domains = max 1 (min wanted (List.length pivots)) in
-  let buckets = round_robin n_domains pivots in
-  let run bucket =
-    let stats = Search_core.fresh_stats () in
-    let found =
-      Search_core.solve_temporal fg ~p:query.p ~k:query.k ~m:query.m ~horizon ~avail
-        ~pivots:bucket ~config ~stats
-    in
-    (found, stats.Search_core.nodes)
+  (ctx, Engine.Context.pivots ctx ~m:query.m)
+
+let bucket_job ~config ctx (query : Query.stgq) bucket () =
+  let stats = Search_core.fresh_stats () in
+  let found =
+    Search_core.solve_temporal ctx ~p:query.p ~k:query.k ~m:query.m ~pivots:bucket
+      ~config ~stats
   in
-  let handles =
-    Array.map (fun bucket -> Domain.spawn (fun () -> run bucket)) buckets
-  in
-  let results = Array.map Domain.join handles in
-  let total_nodes = Array.fold_left (fun acc (_, n) -> acc + n) 0 results in
+  (found, stats.Search_core.nodes)
+
+let finish ctx ~n_domains results =
+  let total_nodes = List.fold_left (fun acc (_, n) -> acc + n) 0 results in
   let key (f : Search_core.found) =
     (f.distance, f.window_start, List.sort compare f.group)
   in
   let best =
-    Array.fold_left
+    List.fold_left
       (fun acc (found, _) ->
         match (acc, found) with
         | None, f -> f
@@ -55,7 +51,7 @@ let solve_report ?(config = Search_core.default_config) ?domains
     match best with
     | None -> None
     | Some f -> (
-        match Search_core.temporal_solution fg f with
+        match Search_core.temporal_solution ctx.Engine.Context.fg f with
         | Ok s -> Some s
         | Error (Search_core.Missing_window _) ->
             Log.err (fun m_ ->
@@ -65,4 +61,35 @@ let solve_report ?(config = Search_core.default_config) ?domains
   in
   { solution; domains_used = n_domains; total_nodes }
 
-let solve ?config ?domains ti query = (solve_report ?config ?domains ti query).solution
+let solve_report ?(config = Search_core.default_config) ?domains ?pool ?ctx
+    (ti : Query.temporal_instance) (query : Query.stgq) =
+  let ctx, pivots = prepare ?ctx ti query in
+  let pool = match pool with Some p -> p | None -> Engine.Pool.default () in
+  let wanted =
+    match domains with Some d -> max 1 d | None -> Engine.Pool.size pool
+  in
+  let n_domains = max 1 (min wanted (List.length pivots)) in
+  let buckets = round_robin n_domains pivots in
+  let jobs =
+    Array.to_list (Array.map (fun bucket -> bucket_job ~config ctx query bucket) buckets)
+  in
+  finish ctx ~n_domains (Engine.Pool.run pool jobs)
+
+let solve ?config ?domains ?pool ?ctx ti query =
+  (solve_report ?config ?domains ?pool ?ctx ti query).solution
+
+(* The seed's serving path, kept as the benchmark baseline: extract the
+   feasible graph afresh unless a context is supplied, and spawn/join a
+   fresh domain per bucket on every call. *)
+let solve_report_unpooled ?(config = Search_core.default_config) ?domains ?ctx
+    (ti : Query.temporal_instance) (query : Query.stgq) =
+  let ctx, pivots = prepare ?ctx ti query in
+  let wanted =
+    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
+  in
+  let n_domains = max 1 (min wanted (List.length pivots)) in
+  let buckets = round_robin n_domains pivots in
+  let handles =
+    Array.map (fun bucket -> Domain.spawn (bucket_job ~config ctx query bucket)) buckets
+  in
+  finish ctx ~n_domains (Array.to_list (Array.map Domain.join handles))

@@ -2,12 +2,16 @@
 
     The paper observes (§5.2) that CPLEX exploits its 8 cores while
     SGSelect/STGSelect are single-threaded; pivot slots are embarrassingly
-    parallel, so this extension closes that gap.  Each domain owns a full
+    parallel, so this extension closes that gap.  Each task owns a full
     search state over a disjoint pivot subset (round-robin, so busy
-    regions spread out); the feasible graph and schedules are shared
-    read-only.  The incumbent bound is not shared across domains — each
-    explores slightly more than the sequential run, the classic
-    work-vs-parallelism trade measured by ablation A6. *)
+    regions spread out); the engine context is shared read-only.  The
+    incumbent bound is not shared across tasks — each explores slightly
+    more than the sequential run, the classic work-vs-parallelism trade
+    measured by ablation A6.
+
+    Buckets run on a persistent {!Engine.Pool} (the process-wide default
+    pool unless one is passed), so repeated queries reuse warm domains
+    instead of paying spawn/join per call. *)
 
 type report = {
   solution : Query.stg_solution option;
@@ -15,14 +19,27 @@ type report = {
   total_nodes : int;  (** summed across domains *)
 }
 
-(** [solve ?config ?domains ti query] — [domains] defaults to
-    [Domain.recommended_domain_count ()], capped by the pivot count.
-    Result ties are broken by (distance, start slot, attendees), making
-    the outcome deterministic and equal in distance to {!Stgselect}. *)
+(** [solve ?config ?domains ?pool ?ctx ti query] — the bucket count
+    defaults to the pool's size (itself defaulting to
+    [Domain.recommended_domain_count ()]), capped by the pivot count;
+    [domains] overrides it.  [ctx] supplies a pre-built engine context
+    (see {!Stgselect.solve}).  Result ties are broken by (distance,
+    start slot, attendees), making the outcome deterministic and equal
+    in distance to {!Stgselect}. *)
 val solve :
-  ?config:Search_core.config -> ?domains:int ->
+  ?config:Search_core.config -> ?domains:int -> ?pool:Engine.Pool.t ->
+  ?ctx:Engine.Context.t ->
   Query.temporal_instance -> Query.stgq -> Query.stg_solution option
 
 val solve_report :
-  ?config:Search_core.config -> ?domains:int ->
+  ?config:Search_core.config -> ?domains:int -> ?pool:Engine.Pool.t ->
+  ?ctx:Engine.Context.t ->
+  Query.temporal_instance -> Query.stgq -> report
+
+(** [solve_report_unpooled ?config ?domains ?ctx ti query] is the seed
+    serving path — a fresh [Domain.spawn]/[Domain.join] per bucket on
+    every call — kept as the baseline the bench harness compares the
+    pooled path against.  Same answers, same tie-breaking. *)
+val solve_report_unpooled :
+  ?config:Search_core.config -> ?domains:int -> ?ctx:Engine.Context.t ->
   Query.temporal_instance -> Query.stgq -> report

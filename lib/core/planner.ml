@@ -10,31 +10,30 @@ module Log = (val Logs.src_log log)
 type t = {
   config : Search_core.config;
   query : Query.stgq;
-  fg : Feasible.t;
-  horizon : int;
-  schedules : Timetable.Availability.t array;  (* by original vertex id *)
-  avail : Timetable.Availability.t array;      (* by sub-id, aliases schedules *)
+  ctx : Engine.Context.t;
+  schedules : Timetable.Availability.t array;
+      (* by original vertex id; the context's avail slab aliases these *)
   pivots : int array;
   cache : Search_core.found option array;      (* per-pivot optimum *)
 }
 
 let solve_pivot t pivot =
   let stats = Search_core.fresh_stats () in
-  Search_core.solve_temporal t.fg ~p:t.query.Query.p ~k:t.query.Query.k
-    ~m:t.query.Query.m ~horizon:t.horizon ~avail:t.avail ~pivots:[ pivot ]
-    ~config:t.config ~stats
+  Search_core.solve_temporal t.ctx ~p:t.query.Query.p ~k:t.query.Query.k
+    ~m:t.query.Query.m ~pivots:[ pivot ] ~config:t.config ~stats
 
 let create ?(config = Search_core.default_config) (ti : Query.temporal_instance)
     (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
-  let fg = Feasible.extract ti.social ~s:query.s in
-  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
   let schedules = Array.map Timetable.Availability.copy ti.schedules in
-  let avail = Array.map (fun orig -> schedules.(orig)) fg.Feasible.of_sub in
-  let pivots = Array.of_list (Timetable.Window.pivots ~horizon ~m:query.m) in
+  let ctx =
+    Engine.Context.build ~schedules ti.social.Query.graph
+      ~initiator:ti.social.Query.initiator ~s:query.s
+  in
+  let pivots = Array.of_list (Engine.Context.pivots ctx ~m:query.m) in
   let t =
-    { config; query; fg; horizon; schedules; avail; pivots; cache = Array.map (fun _ -> None) pivots }
+    { config; query; ctx; schedules; pivots; cache = Array.map (fun _ -> None) pivots }
   in
   Array.iteri (fun i pivot -> t.cache.(i) <- solve_pivot t pivot) pivots;
   t
@@ -56,7 +55,7 @@ let solution t =
   match best with
   | None -> None
   | Some f -> (
-      match Search_core.temporal_solution t.fg f with
+      match Search_core.temporal_solution t.ctx.Engine.Context.fg f with
       | Ok s -> Some s
       | Error (Search_core.Missing_window _) ->
           Log.err (fun m_ ->
@@ -67,7 +66,8 @@ let solution t =
 let update_schedule t ~vertex schedule =
   if vertex < 0 || vertex >= Array.length t.schedules then
     invalid_arg "Planner.update_schedule: vertex out of range";
-  if Timetable.Availability.horizon schedule <> t.horizon then
+  let horizon = t.ctx.Engine.Context.horizon in
+  if Timetable.Availability.horizon schedule <> horizon then
     invalid_arg "Planner.update_schedule: horizon mismatch";
   let old_schedule = t.schedules.(vertex) in
   let changed slot =
@@ -75,14 +75,14 @@ let update_schedule t ~vertex schedule =
     <> Timetable.Availability.available schedule slot
   in
   let dirty_pivot pivot =
-    let lo, hi = Timetable.Window.interval ~horizon:t.horizon ~m:t.query.Query.m pivot in
+    let lo, hi = Timetable.Window.interval ~horizon ~m:t.query.Query.m pivot in
     let rec scan slot = slot <= hi && (changed slot || scan (slot + 1)) in
     scan lo
   in
   let dirty =
     (* Only members of the feasible graph influence results, but the
        schedule copy is refreshed regardless. *)
-    if t.fg.Feasible.to_sub.(vertex) < 0 then [||]
+    if t.ctx.Engine.Context.fg.Feasible.to_sub.(vertex) < 0 then [||]
     else Array.map dirty_pivot t.pivots
   in
   (* Install the new calendar in place so the sub-id aliases see it. *)

@@ -482,7 +482,9 @@ let best_sink ?(bound_init = infinity) cell =
         | None -> bound_init);
   }
 
-let solve_social_sink ?(eligible = fun _ -> true) fg ~p ~k ~config ~stats ~sink =
+let solve_social_sink ?(eligible = fun _ -> true) (ctx : Engine.Context.t) ~p ~k
+    ~config ~stats ~sink =
+  let fg = ctx.Engine.Context.fg in
   if p = 1 then sink.offer { group = [ fg.Feasible.q ]; distance = 0.; window_start = None }
   else if Feasible.size fg < p then ()
   else begin
@@ -490,13 +492,16 @@ let solve_social_sink ?(eligible = fun _ -> true) fg ~p ~k ~config ~stats ~sink 
     if st.vs_size + st.va_size >= p then node st
   end
 
-let solve_social ?eligible ?bound_init fg ~p ~k ~config ~stats =
+let solve_social ?eligible ?bound_init ctx ~p ~k ~config ~stats =
   let cell = ref None in
-  solve_social_sink ?eligible fg ~p ~k ~config ~stats ~sink:(best_sink ?bound_init cell);
+  solve_social_sink ?eligible ctx ~p ~k ~config ~stats ~sink:(best_sink ?bound_init cell);
   !cell
 
-let solve_temporal_sink fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats ~sink =
-  ignore horizon;
+let solve_temporal_sink (ctx : Engine.Context.t) ~p ~k ~m ~pivots ~config ~stats ~sink =
+  if not (Engine.Context.has_schedules ctx) then
+    invalid_arg "Search_core.solve_temporal: context was built without schedules";
+  let fg = ctx.Engine.Context.fg in
+  let avail = ctx.Engine.Context.avail in
   let size = Feasible.size fg in
   let explore_pivot pivot =
     let h = Timetable.Availability.horizon avail.(fg.Feasible.q) in
@@ -540,9 +545,9 @@ let solve_temporal_sink fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats ~sink
   in
   List.iter explore_pivot pivots
 
-let solve_temporal ?bound_init fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats =
+let solve_temporal ?bound_init ctx ~p ~k ~m ~pivots ~config ~stats =
   let cell = ref None in
-  solve_temporal_sink fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats
+  solve_temporal_sink ctx ~p ~k ~m ~pivots ~config ~stats
     ~sink:(best_sink ?bound_init cell);
   !cell
 

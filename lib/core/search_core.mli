@@ -68,27 +68,26 @@ type sink = {
     and must be re-checked by the caller. *)
 val best_sink : ?bound_init:float -> found option ref -> sink
 
-(** [solve_social fg ~p ~k ~config ~stats] runs SGSelect's search on a
-    feasible graph: optimal group of [p] sub-ids containing [fg.q]
-    minimising total distance under the acquaintance bound [k].
-    [eligible] (default: everyone) restricts the candidate set — the
-    per-slot STGQ baseline uses it to keep only the attendees available
-    during a window. *)
+(** [solve_social ctx ~p ~k ~config ~stats] runs SGSelect's search on an
+    engine context: optimal group of [p] sub-ids containing the
+    initiator minimising total distance under the acquaintance bound
+    [k].  [eligible] (default: everyone) restricts the candidate set —
+    the per-slot STGQ baseline uses it to keep only the attendees
+    available during a window. *)
 val solve_social :
   ?eligible:(int -> bool) -> ?bound_init:float ->
-  Feasible.t -> p:int -> k:int -> config:config -> stats:stats -> found option
+  Engine.Context.t -> p:int -> k:int -> config:config -> stats:stats -> found option
 
-(** [solve_temporal fg ~p ~k ~m ~horizon ~avail ~pivots ~config ~stats]
-    runs STGSelect's search: [avail.(sub_id)] is the member's
-    availability; only the given pivot slots are explored (Lemma 4).
-    The best solution across all pivots is returned; the incumbent bound
-    is shared between pivots for extra pruning (sound: it only tightens
-    Lemma 2). *)
+(** [solve_temporal ctx ~p ~k ~m ~pivots ~config ~stats] runs
+    STGSelect's search over the context's availability slab; only the
+    given pivot slots are explored (Lemma 4).  The best solution across
+    all pivots is returned; the incumbent bound is shared between pivots
+    for extra pruning (sound: it only tightens Lemma 2).
+    @raise Invalid_argument on a social-only context. *)
 val solve_temporal :
   ?bound_init:float ->
-  Feasible.t ->
-  p:int -> k:int -> m:int -> horizon:int ->
-  avail:Timetable.Availability.t array ->
+  Engine.Context.t ->
+  p:int -> k:int -> m:int ->
   pivots:int list ->
   config:config -> stats:stats ->
   found option
@@ -97,12 +96,11 @@ val solve_temporal :
     pruning, custom solution collection. *)
 val solve_social_sink :
   ?eligible:(int -> bool) ->
-  Feasible.t -> p:int -> k:int -> config:config -> stats:stats -> sink:sink -> unit
+  Engine.Context.t -> p:int -> k:int -> config:config -> stats:stats -> sink:sink -> unit
 
 val solve_temporal_sink :
-  Feasible.t ->
-  p:int -> k:int -> m:int -> horizon:int ->
-  avail:Timetable.Availability.t array ->
+  Engine.Context.t ->
+  p:int -> k:int -> m:int ->
   pivots:int list ->
   config:config -> stats:stats -> sink:sink ->
   unit

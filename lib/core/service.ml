@@ -5,95 +5,65 @@ type cache_stats = {
   entries : int;
 }
 
-let log = Logs.Src.create "stgq.service" ~doc:"STGQ query service"
-
-module Log = (val Logs.src_log log)
-
 type t = {
   config : Search_core.config;
-  capacity : int;
-  mutable graph : Socgraph.Graph.t;
-  schedules : Timetable.Availability.t array;
-  cache : (int * int, Feasible.t) Hashtbl.t;  (* (initiator, s) -> fg *)
-  mutable order : (int * int) list;           (* most recent first *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  engine : Engine.Cache.t;
+  schedules : Timetable.Availability.t array;  (* the array the cache adopted *)
+  pool : Engine.Pool.t option;
 }
 
-let create ?(config = Search_core.default_config) ?(cache_capacity = 64)
+let create ?(config = Search_core.default_config) ?(cache_capacity = 64) ?pool
     (ti : Query.temporal_instance) =
   Query.check_temporal_instance ti;
   if cache_capacity < 1 then invalid_arg "Service.create: capacity must be >= 1";
-  {
-    config;
-    capacity = cache_capacity;
-    graph = ti.social.Query.graph;
-    schedules = Array.map Timetable.Availability.copy ti.schedules;
-    cache = Hashtbl.create 64;
-    order = [];
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-  }
-
-let touch t key = t.order <- key :: List.filter (fun k -> k <> key) t.order
-
-let feasible_for t ~initiator ~s =
-  let key = (initiator, s) in
-  match Hashtbl.find_opt t.cache key with
-  | Some fg ->
-      t.hits <- t.hits + 1;
-      touch t key;
-      Log.debug (fun m -> m "feasible-graph cache hit for (q=%d, s=%d)" initiator s);
-      fg
-  | None ->
-      t.misses <- t.misses + 1;
-      Log.debug (fun m -> m "feasible-graph cache miss for (q=%d, s=%d)" initiator s);
-      let fg = Feasible.extract { Query.graph = t.graph; initiator } ~s in
-      if Hashtbl.length t.cache >= t.capacity then begin
-        match List.rev t.order with
-        | oldest :: _ ->
-            Hashtbl.remove t.cache oldest;
-            t.order <- List.filter (fun k -> k <> oldest) t.order;
-            t.evictions <- t.evictions + 1
-        | [] -> ()
-      end;
-      Hashtbl.replace t.cache key fg;
-      touch t key;
-      fg
+  let schedules = Array.map Timetable.Availability.copy ti.schedules in
+  let engine =
+    Engine.Cache.create ~capacity:cache_capacity ~schedules ti.social.Query.graph
+  in
+  { config; engine; schedules; pool }
 
 (* Every answer leaves the service with a validated certificate: the
    solution is re-checked against the raw instance by Validate (which
    shares no code with the search) before a caller can see it. *)
 
 let sgq t ~initiator (query : Query.sgq) =
-  let feasible = feasible_for t ~initiator ~s:query.s in
-  let instance = { Query.graph = t.graph; initiator } in
+  Query.check_sgq query;
+  let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
+  let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
   Validate.certify_sg instance query
-    (Sgselect.solve ~config:t.config ~feasible instance query)
+    (Sgselect.solve ~config:t.config ~ctx instance query)
 
 let stgq t ~initiator (query : Query.stgq) =
-  let feasible = feasible_for t ~initiator ~s:query.s in
+  Query.check_stgq query;
+  let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
   let ti =
-    { Query.social = { Query.graph = t.graph; initiator }; schedules = t.schedules }
+    {
+      Query.social = { Query.graph = Engine.Cache.graph t.engine; initiator };
+      schedules = t.schedules;
+    }
   in
-  Validate.certify_stg ti query (Stgselect.solve ~config:t.config ~feasible ti query)
+  let solution =
+    match t.pool with
+    | Some pool -> Parallel.solve ~config:t.config ~pool ~ctx ti query
+    | None -> Stgselect.solve ~config:t.config ~ctx ti query
+  in
+  Validate.certify_stg ti query solution
 
 let cache_stats t =
+  let s = Engine.Cache.stats t.engine in
   {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.cache;
+    hits = s.Engine.Cache.hits;
+    misses = s.Engine.Cache.misses;
+    evictions = s.Engine.Cache.evictions;
+    entries = s.Engine.Cache.entries;
   }
 
 let update_graph t graph =
-  if Socgraph.Graph.n_vertices graph <> Socgraph.Graph.n_vertices t.graph then
-    invalid_arg "Service.update_graph: vertex count changed";
-  t.graph <- graph;
-  Hashtbl.reset t.cache;
-  t.order <- []
+  if
+    Socgraph.Graph.n_vertices graph
+    <> Socgraph.Graph.n_vertices (Engine.Cache.graph t.engine)
+  then invalid_arg "Service.update_graph: vertex count changed";
+  Engine.Cache.set_graph t.engine graph
 
 let update_schedule t ~vertex schedule =
   if vertex < 0 || vertex >= Array.length t.schedules then
@@ -102,4 +72,4 @@ let update_schedule t ~vertex schedule =
     Timetable.Availability.horizon schedule
     <> Timetable.Availability.horizon t.schedules.(vertex)
   then invalid_arg "Service.update_schedule: horizon mismatch";
-  t.schedules.(vertex) <- Timetable.Availability.copy schedule
+  Engine.Cache.set_schedule t.engine ~vertex schedule

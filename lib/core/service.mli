@@ -2,12 +2,14 @@
     with ("we are now implementing the proposed algorithms in Facebook",
     §6).
 
-    Any member of the dataset may pose queries.  Radius-graph extraction
-    (§3.2.1) is the shared prefix of every query an initiator poses, so
-    the service memoises feasible graphs per [(initiator, s)] in a
-    bounded LRU cache; schedules are read at query time, so calendar
-    changes need no invalidation — only social-graph changes do
-    (see {!update_graph}). *)
+    Any member of the dataset may pose queries.  Context construction
+    (radius extraction, availability slab, pivot index) is the shared
+    prefix of every query an initiator poses, so the service memoises
+    full {!Engine.Context}s per [(initiator, s)] in {!Engine.Cache}'s
+    O(1) LRU.  Calendar changes are applied in place and seen by every
+    cached context immediately — only social-graph changes invalidate
+    (see {!update_graph}).  With a {!Engine.Pool} attached, STGQ answers
+    are computed by the pooled parallel solver. *)
 
 type t
 
@@ -18,10 +20,12 @@ type cache_stats = {
   entries : int;
 }
 
-(** [create ?config ?cache_capacity ti] — [cache_capacity] (default 64)
-    bounds the number of cached feasible graphs. *)
+(** [create ?config ?cache_capacity ?pool ti] — [cache_capacity]
+    (default 64) bounds the number of cached contexts; [pool] (default:
+    none, i.e. sequential STGQ solving) routes STGQ pivot buckets
+    through a persistent domain pool. *)
 val create :
-  ?config:Search_core.config -> ?cache_capacity:int ->
+  ?config:Search_core.config -> ?cache_capacity:int -> ?pool:Engine.Pool.t ->
   Query.temporal_instance -> t
 
 (** [sgq t ~initiator query] answers an SGQ for any member.  The answer
@@ -35,13 +39,13 @@ val sgq : t -> initiator:int -> Query.sgq -> Query.sg_solution option
     like {!sgq}. *)
 val stgq : t -> initiator:int -> Query.stgq -> Query.stg_solution option
 
-(** [cache_stats t] — cumulative cache behaviour. *)
+(** [cache_stats t] — cumulative context-cache behaviour. *)
 val cache_stats : t -> cache_stats
 
 (** [update_graph t graph] replaces the social graph (same vertex count
-    required) and drops every cached feasible graph. *)
+    required) and drops every cached context. *)
 val update_graph : t -> Socgraph.Graph.t -> unit
 
 (** [update_schedule t ~vertex schedule] replaces one calendar (same
-    horizon required); feasible-graph caches are unaffected. *)
+    horizon required); cached contexts observe the change immediately. *)
 val update_schedule : t -> vertex:int -> Timetable.Availability.t -> unit

@@ -8,21 +8,21 @@ let log = Logs.Src.create "stgq.sgselect" ~doc:"SGSelect query processing"
 
 module Log = (val Logs.src_log log)
 
-let solve_report ?(config = Search_core.default_config) ?feasible ?initial_bound
+let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     (instance : Query.instance) (query : Query.sgq) =
   Query.check_sgq query;
   Query.check_instance instance;
-  let fg =
-    match feasible with
-    | Some fg ->
-        if fg.Feasible.of_sub.(fg.Feasible.q) <> instance.Query.initiator then
-          invalid_arg "Sgselect: cached feasible graph is for another initiator";
-        fg
-    | None -> Feasible.extract instance ~s:query.s
+  let ctx =
+    match ctx with
+    | Some c ->
+        Engine.Context.ensure_for c ~initiator:instance.Query.initiator ~s:query.s;
+        c
+    | None -> Feasible.context_of_instance instance ~s:query.s
   in
+  let fg = ctx.Engine.Context.fg in
   let stats = Search_core.fresh_stats () in
   let found =
-    Search_core.solve_social ?bound_init:initial_bound fg ~p:query.p ~k:query.k
+    Search_core.solve_social ?bound_init:initial_bound ctx ~p:query.p ~k:query.k
       ~config ~stats
   in
   Log.debug (fun m ->
@@ -39,16 +39,19 @@ let solve_report ?(config = Search_core.default_config) ?feasible ?initial_bound
   in
   { solution; stats; feasible_size = Feasible.size fg }
 
-let solve ?config ?feasible ?initial_bound instance query =
-  (solve_report ?config ?feasible ?initial_bound instance query).solution
+let solve ?config ?ctx ?initial_bound instance query =
+  (solve_report ?config ?ctx ?initial_bound instance query).solution
 
 (* A cheap beam pass seeds the incumbent bound: Lemma-2 pruning is active
    from the first node instead of waiting for the first feasible leaf.
    The +eps keeps solutions equal to the seed reachable, so the result is
-   still the exact optimum (and never worse than the seed). *)
-let solve_warm ?config ?(beam_width = 16) instance query =
-  let seed = Heuristics.beam_sgq ~width:beam_width instance query in
+   still the exact optimum (and never worse than the seed).  One context
+   serves both passes. *)
+let solve_warm ?config ?(beam_width = 16) instance (query : Query.sgq) =
+  Query.check_sgq query;
+  let ctx = Feasible.context_of_instance instance ~s:query.s in
+  let seed = Heuristics.beam_sgq ~width:beam_width ~ctx instance query in
   let initial_bound =
     Option.map (fun (s : Query.sg_solution) -> s.total_distance +. 1e-6) seed
   in
-  solve ?config ?initial_bound instance query
+  solve ?config ~ctx ?initial_bound instance query

@@ -1,9 +1,9 @@
 (** Algorithm SGSelect (§3.2): optimal Social Group Query processing.
 
-    Extracts the feasible graph, then explores groups by access ordering
-    with distance and acquaintance pruning; guaranteed to return a group
-    of minimum total social distance satisfying all SGQ constraints
-    (Theorem 2, with the Lemma-3 correction of DESIGN.md). *)
+    Builds (or reuses) an engine context, then explores groups by access
+    ordering with distance and acquaintance pruning; guaranteed to
+    return a group of minimum total social distance satisfying all SGQ
+    constraints (Theorem 2, with the Lemma-3 correction of DESIGN.md). *)
 
 type report = {
   solution : Query.sg_solution option;
@@ -11,27 +11,28 @@ type report = {
   feasible_size : int;  (** |V_F| after radius extraction *)
 }
 
-(** [solve ?config ?feasible instance query] is the optimal group, or
-    [None] when no group of [query.p] attendees satisfies the
-    constraints.  [feasible] supplies a pre-extracted feasible graph
-    (e.g. from {!Service}'s cache); it must have been extracted from
-    [instance] with [query.s].
-    @raise Invalid_argument if [feasible]'s initiator differs. *)
+(** [solve ?config ?ctx instance query] is the optimal group, or [None]
+    when no group of [query.p] attendees satisfies the constraints.
+    [ctx] supplies a pre-built engine context (e.g. from
+    {!Engine.Cache}); it must have been built from [instance] with
+    [query.s].
+    @raise Invalid_argument if [ctx]'s initiator or [s] differs. *)
 val solve :
-  ?config:Search_core.config -> ?feasible:Feasible.t -> ?initial_bound:float ->
+  ?config:Search_core.config -> ?ctx:Engine.Context.t -> ?initial_bound:float ->
   Query.instance -> Query.sgq -> Query.sg_solution option
 
 (** [solve_warm ?config ?beam_width instance query] runs a cheap beam
     pass first and seeds the exact search's distance pruning with its
     result — the answer is still the exact optimum, but tightly-
     constrained instances (small [k]) prune from the first node instead
-    of waiting for a first feasible leaf.  [beam_width] defaults to 16. *)
+    of waiting for a first feasible leaf.  [beam_width] defaults to 16.
+    Both passes share one context. *)
 val solve_warm :
   ?config:Search_core.config -> ?beam_width:int ->
   Query.instance -> Query.sgq -> Query.sg_solution option
 
-(** [solve_report ?config ?feasible instance query] also exposes
+(** [solve_report ?config ?ctx instance query] also exposes
     search-effort counters for the experiment harness. *)
 val solve_report :
-  ?config:Search_core.config -> ?feasible:Feasible.t -> ?initial_bound:float ->
+  ?config:Search_core.config -> ?ctx:Engine.Context.t -> ?initial_bound:float ->
   Query.instance -> Query.sgq -> report

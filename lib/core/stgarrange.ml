@@ -5,11 +5,14 @@ type result = {
 
 let run ?config ?k_max (ti : Query.temporal_instance) ~p ~s ~m ~target_distance =
   let k_max = Option.value k_max ~default:(p - 1) in
+  (* One context is shared across the whole k-relaxation ladder: only
+     the acquaintance bound changes between attempts, never (q, s). *)
+  let ctx = Feasible.context_of_temporal ti ~s in
   let rec attempt k =
     if k > k_max then None
     else
       match
-        Stgselect.solve ?config ~initial_bound:(target_distance +. 1e-6) ti
+        Stgselect.solve ?config ~ctx ~initial_bound:(target_distance +. 1e-6) ti
           { Query.p; s; k; m }
       with
       | Some solution when solution.Query.st_total_distance <= target_distance +. 1e-9 -> (

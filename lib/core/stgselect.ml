@@ -9,25 +9,25 @@ let log = Logs.Src.create "stgq.stgselect" ~doc:"STGSelect query processing"
 
 module Log = (val Logs.src_log log)
 
-let solve_report ?(config = Search_core.default_config) ?feasible ?initial_bound
+let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
-  let fg =
-    match feasible with
-    | Some fg ->
-        if fg.Feasible.of_sub.(fg.Feasible.q) <> ti.social.Query.initiator then
-          invalid_arg "Stgselect: cached feasible graph is for another initiator";
-        fg
-    | None -> Feasible.extract ti.social ~s:query.s
+  let ctx =
+    match ctx with
+    | Some c ->
+        Engine.Context.ensure_for c ~initiator:ti.social.Query.initiator ~s:query.s;
+        if not (Engine.Context.has_schedules c) then
+          invalid_arg "Stgselect: context was built without schedules";
+        c
+    | None -> Feasible.context_of_temporal ti ~s:query.s
   in
-  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
-  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
-  let pivots = Timetable.Window.pivots ~horizon ~m:query.m in
+  let fg = ctx.Engine.Context.fg in
+  let pivots = Engine.Context.pivots ctx ~m:query.m in
   let stats = Search_core.fresh_stats () in
   let found =
-    Search_core.solve_temporal ?bound_init:initial_bound fg ~p:query.p ~k:query.k
-      ~m:query.m ~horizon ~avail ~pivots ~config ~stats
+    Search_core.solve_temporal ?bound_init:initial_bound ctx ~p:query.p ~k:query.k
+      ~m:query.m ~pivots ~config ~stats
   in
   Log.debug (fun m_ ->
       m_ "STGQ(p=%d,s=%d,k=%d,m=%d): |V_F|=%d, %d pivots, %d nodes, %s" query.p
@@ -50,13 +50,16 @@ let solve_report ?(config = Search_core.default_config) ?feasible ?initial_bound
   in
   { solution; stats; feasible_size = Feasible.size fg; pivots_scanned = List.length pivots }
 
-let solve ?config ?feasible ?initial_bound ti query =
-  (solve_report ?config ?feasible ?initial_bound ti query).solution
+let solve ?config ?ctx ?initial_bound ti query =
+  (solve_report ?config ?ctx ?initial_bound ti query).solution
 
-(* Beam-seeded exact search; see Sgselect.solve_warm. *)
-let solve_warm ?config ?(beam_width = 16) ti query =
-  let seed = Heuristics.beam_stgq ~width:beam_width ti query in
+(* Beam-seeded exact search; see Sgselect.solve_warm.  One context serves
+   both passes. *)
+let solve_warm ?config ?(beam_width = 16) ti (query : Query.stgq) =
+  Query.check_stgq query;
+  let ctx = Feasible.context_of_temporal ti ~s:query.s in
+  let seed = Heuristics.beam_stgq ~width:beam_width ~ctx ti query in
   let initial_bound =
     Option.map (fun (s : Query.stg_solution) -> s.st_total_distance +. 1e-6) seed
   in
-  solve ?config ?initial_bound ti query
+  solve ?config ~ctx ?initial_bound ti query

@@ -13,12 +13,12 @@ type report = {
   pivots_scanned : int;
 }
 
-(** [solve ?config ?feasible instance query] is the optimal group and
+(** [solve ?config ?ctx instance query] is the optimal group and
     earliest start slot of a shared [query.m]-slot window, or [None].
-    [feasible] supplies a pre-extracted feasible graph (see
-    {!Sgselect.solve}). *)
+    [ctx] supplies a pre-built engine context (see {!Sgselect.solve});
+    it must be STGQ-capable (built with schedules). *)
 val solve :
-  ?config:Search_core.config -> ?feasible:Feasible.t -> ?initial_bound:float ->
+  ?config:Search_core.config -> ?ctx:Engine.Context.t -> ?initial_bound:float ->
   Query.temporal_instance -> Query.stgq -> Query.stg_solution option
 
 (** [initial_bound] seeds distance pruning before the first incumbent —
@@ -27,7 +27,7 @@ val solve :
     too-small [k].  The returned solution can still exceed the bound and
     must be re-checked. *)
 val solve_report :
-  ?config:Search_core.config -> ?feasible:Feasible.t -> ?initial_bound:float ->
+  ?config:Search_core.config -> ?ctx:Engine.Context.t -> ?initial_bound:float ->
   Query.temporal_instance -> Query.stgq -> report
 
 (** [solve_warm ?config ?beam_width ti query] — beam-seeded exact search;

@@ -46,25 +46,21 @@ let entries_of fg kept =
 
 let sgq ?(config = Search_core.default_config) ~n instance (query : Query.sgq) =
   Query.check_sgq query;
-  Query.check_instance instance;
   if n < 0 then invalid_arg "Topk.sgq: negative n";
-  let fg = Feasible.extract instance ~s:query.s in
+  let ctx = Feasible.context_of_instance instance ~s:query.s in
   let kept, sink = make_sink ~n in
   let stats = Search_core.fresh_stats () in
-  Search_core.solve_social_sink fg ~p:query.p ~k:query.k ~config ~stats ~sink;
-  entries_of fg kept
+  Search_core.solve_social_sink ctx ~p:query.p ~k:query.k ~config ~stats ~sink;
+  entries_of ctx.Engine.Context.fg kept
 
 let stgq ?(config = Search_core.default_config) ~n (ti : Query.temporal_instance)
     (query : Query.stgq) =
   Query.check_stgq query;
-  Query.check_temporal_instance ti;
   if n < 0 then invalid_arg "Topk.stgq: negative n";
-  let fg = Feasible.extract ti.social ~s:query.s in
-  let horizon = Timetable.Availability.horizon ti.schedules.(0) in
-  let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
-  let pivots = Timetable.Window.pivots ~horizon ~m:query.m in
+  let ctx = Feasible.context_of_temporal ti ~s:query.s in
+  let pivots = Engine.Context.pivots ctx ~m:query.m in
   let kept, sink = make_sink ~n in
   let stats = Search_core.fresh_stats () in
-  Search_core.solve_temporal_sink fg ~p:query.p ~k:query.k ~m:query.m ~horizon ~avail
+  Search_core.solve_temporal_sink ctx ~p:query.p ~k:query.k ~m:query.m
     ~pivots ~config ~stats ~sink;
-  entries_of fg kept
+  entries_of ctx.Engine.Context.fg kept

@@ -1,0 +1,132 @@
+let log = Logs.Src.create "stgq.engine.cache" ~doc:"Keyed context cache"
+
+module Log = (val Logs.src_log log)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+(* Intrusive doubly-linked recency list: most recent at [head], eviction
+   victim at [tail].  Every operation is O(1), unlike the seed service's
+   [List.filter]-per-access ordering. *)
+type node = {
+  key : int * int;
+  ctx : Context.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  schedules : Timetable.Availability.t array option;
+  mutable graph : Socgraph.Graph.t;
+  table : (int * int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 64) ?schedules graph =
+  if capacity < 1 then invalid_arg "Engine.Cache.create: capacity must be >= 1";
+  (match schedules with
+  | Some a when Array.length a <> Socgraph.Graph.n_vertices graph ->
+      invalid_arg "Engine.Cache.create: need one schedule per vertex"
+  | Some _ | None -> ());
+  {
+    capacity;
+    schedules;
+    graph;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let graph t = t.graph
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some q -> q.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.key;
+      t.evictions <- t.evictions + 1;
+      Log.debug (fun m ->
+          let q, s = victim.key in
+          m "evicted context (q=%d, s=%d)" q s)
+
+let context t ~initiator ~s =
+  let key = (initiator, s) in
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Log.debug (fun m -> m "context cache hit for (q=%d, s=%d)" initiator s);
+      n.ctx
+  | None ->
+      t.misses <- t.misses + 1;
+      Log.debug (fun m -> m "context cache miss for (q=%d, s=%d)" initiator s);
+      let ctx = Context.build ?schedules:t.schedules t.graph ~initiator ~s in
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let n = { key; ctx; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      ctx
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+  }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let set_graph t graph =
+  if Socgraph.Graph.n_vertices graph <> Socgraph.Graph.n_vertices t.graph then
+    invalid_arg "Engine.Cache.set_graph: vertex count changed";
+  t.graph <- graph;
+  clear t
+
+let set_schedule t ~vertex schedule =
+  match t.schedules with
+  | None -> invalid_arg "Engine.Cache.set_schedule: cache has no schedules"
+  | Some schedules ->
+      if vertex < 0 || vertex >= Array.length schedules then
+        invalid_arg "Engine.Cache.set_schedule: vertex out of range";
+      let installed = schedules.(vertex) in
+      if
+        Timetable.Availability.horizon schedule
+        <> Timetable.Availability.horizon installed
+      then invalid_arg "Engine.Cache.set_schedule: horizon mismatch";
+      (* Rewrite the installed calendar's bits in place: cached contexts
+         alias the Availability objects, so they observe the update
+         without any invalidation.  Snapshot first in case the caller
+         passed the installed object itself. *)
+      let bits_old = Timetable.Availability.bits installed in
+      let snapshot = Bitset.copy (Timetable.Availability.bits schedule) in
+      Bitset.fill bits_old false;
+      Bitset.iter (fun slot -> Bitset.set bits_old slot) snapshot

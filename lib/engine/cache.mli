@@ -1,0 +1,57 @@
+(** Keyed {!Context} cache with an O(1) LRU.
+
+    Radius-graph extraction is the shared prefix of every query an
+    initiator poses, so the cache memoises full contexts per
+    [(initiator, s)].  Recency is an intrusive doubly-linked list —
+    lookup, touch and eviction are all O(1) (the seed service re-filtered
+    an order list on every access).
+
+    Mutation model: social-graph swaps ({!set_graph}) drop every cached
+    context; calendar edits ({!set_schedule}) rewrite the installed
+    schedule's bitset in place, which every cached context aliases, so
+    they need no invalidation at all. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+(** [create ?capacity ?schedules graph] — [capacity] (default 64) bounds
+    the number of live contexts.  The [schedules] array is adopted, not
+    copied: pass copies if the caller retains mutable access.  Omit it
+    for a social-only (SGQ) cache.
+    @raise Invalid_argument if [capacity < 1] or [schedules] has a
+    length other than the vertex count. *)
+val create :
+  ?capacity:int ->
+  ?schedules:Timetable.Availability.t array ->
+  Socgraph.Graph.t ->
+  t
+
+(** The graph contexts are currently built from. *)
+val graph : t -> Socgraph.Graph.t
+
+(** [context t ~initiator ~s] returns the cached context for the key,
+    building (and possibly evicting the least-recently-used entry)
+    on a miss. *)
+val context : t -> initiator:int -> s:int -> Context.t
+
+(** Cumulative cache behaviour. *)
+val stats : t -> stats
+
+(** Drop every cached context (counters are kept). *)
+val clear : t -> unit
+
+(** [set_graph t g] swaps the social graph (same vertex count required)
+    and drops every cached context. *)
+val set_graph : t -> Socgraph.Graph.t -> unit
+
+(** [set_schedule t ~vertex schedule] rewrites one calendar in place
+    (same horizon required); cached contexts see the change immediately.
+    @raise Invalid_argument on a social-only cache, an out-of-range
+    vertex, or a horizon mismatch. *)
+val set_schedule : t -> vertex:int -> Timetable.Availability.t -> unit

@@ -1,0 +1,46 @@
+type t = {
+  graph : Socgraph.Graph.t;
+  initiator : int;
+  s : int;
+  fg : Feasible.t;
+  horizon : int;
+  avail : Timetable.Availability.t array;
+  mutable pivot_memo : (int * int list) list;
+}
+
+let build ?schedules graph ~initiator ~s =
+  let fg = Feasible.extract graph ~initiator ~s in
+  let horizon, avail =
+    match schedules with
+    | None -> (0, [||])
+    | Some schedules ->
+        if Array.length schedules <> Socgraph.Graph.n_vertices graph then
+          invalid_arg "Engine.Context.build: need one schedule per vertex";
+        let horizon = Timetable.Availability.horizon schedules.(0) in
+        Array.iter
+          (fun a ->
+            if Timetable.Availability.horizon a <> horizon then
+              invalid_arg "Engine.Context.build: schedules disagree on horizon")
+          schedules;
+        (horizon, Array.map (fun orig -> schedules.(orig)) fg.Feasible.of_sub)
+  in
+  { graph; initiator; s; fg; horizon; avail; pivot_memo = [] }
+
+let has_schedules t = Array.length t.avail > 0
+
+let pivots t ~m =
+  if not (has_schedules t) then
+    invalid_arg "Engine.Context.pivots: social-only context has no time axis";
+  if m < 1 then invalid_arg "Engine.Context.pivots: m must be >= 1";
+  match List.assoc_opt m t.pivot_memo with
+  | Some ps -> ps
+  | None ->
+      let ps = Timetable.Window.pivots ~horizon:t.horizon ~m in
+      t.pivot_memo <- (m, ps) :: t.pivot_memo;
+      ps
+
+let ensure_for t ~initiator ~s =
+  if t.initiator <> initiator then
+    invalid_arg "Engine.Context: cached context belongs to another initiator";
+  if t.s <> s then
+    invalid_arg "Engine.Context: cached context was built for another s"

@@ -1,0 +1,30 @@
+type t = {
+  sub : Socgraph.Graph.t;
+  of_sub : int array;
+  to_sub : int array;
+  q : int;
+  dist : float array;
+  nbr : Bitset.t array;
+}
+
+let extract g ~initiator ~s =
+  if initiator < 0 || initiator >= Socgraph.Graph.n_vertices g then
+    invalid_arg "Engine.Feasible.extract: initiator out of range";
+  if s < 1 then invalid_arg "Engine.Feasible.extract: s must be >= 1";
+  let d = Socgraph.Bounded_dist.distances g ~src:initiator ~max_edges:s in
+  let kept = ref [] in
+  for v = Socgraph.Graph.n_vertices g - 1 downto 0 do
+    if Float.is_finite d.(v) then kept := v :: !kept
+  done;
+  let sub, to_sub, of_sub = Socgraph.Graph.induced g !kept in
+  let size = Array.length of_sub in
+  let dist = Array.init size (fun i -> d.(of_sub.(i))) in
+  let nbr = Array.init size (fun i -> Socgraph.Graph.neighbor_bitset sub i) in
+  { sub; of_sub; to_sub; q = to_sub.(initiator); dist; nbr }
+
+let size t = Array.length t.of_sub
+let adjacent t u v = u <> v && Bitset.mem t.nbr.(u) v
+
+let total_distance t subs = List.fold_left (fun acc v -> acc +. t.dist.(v)) 0. subs
+
+let originals t subs = List.sort compare (List.map (fun v -> t.of_sub.(v)) subs)

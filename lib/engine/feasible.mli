@@ -1,0 +1,34 @@
+(** Radius-graph extraction (§3.2.1 of the paper).
+
+    Runs the Definition-1 dynamic program from the initiator and keeps the
+    vertices with finite [s]-edge minimum distance, yielding the feasible
+    graph [G_F] every query algorithm works on.  Vertices are re-indexed
+    to the compact range [0 .. size-1]; all search code operates on
+    sub-ids and translates back at the boundary.
+
+    This is the engine-level (graph, initiator) API; [Stgq_core.Feasible]
+    re-exports it behind the [Query.instance] interface. *)
+
+type t = {
+  sub : Socgraph.Graph.t;   (** induced feasible graph over sub-ids *)
+  of_sub : int array;       (** sub-id -> original vertex *)
+  to_sub : int array;       (** original vertex -> sub-id or [-1] *)
+  q : int;                  (** the initiator's sub-id *)
+  dist : float array;       (** sub-id -> s-edge minimum distance to q *)
+  nbr : Bitset.t array;     (** sub-id -> neighbour bitset in [sub] *)
+}
+
+(** [extract g ~initiator ~s] builds the feasible graph.
+    @raise Invalid_argument if [initiator] is out of range or [s < 1]. *)
+val extract : Socgraph.Graph.t -> initiator:int -> s:int -> t
+
+val size : t -> int
+
+(** [adjacent fg u v] is adjacency between sub-ids, O(1) via bitsets. *)
+val adjacent : t -> int -> int -> bool
+
+(** [total_distance fg subs] sums [dist] over a sub-id list. *)
+val total_distance : t -> int list -> float
+
+(** [originals fg subs] maps sub-ids back to sorted original ids. *)
+val originals : t -> int list -> int list

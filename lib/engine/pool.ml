@@ -1,0 +1,132 @@
+let log = Logs.Src.create "stgq.engine.pool" ~doc:"Persistent domain pool"
+
+module Log = (val Logs.src_log log)
+
+type job = unit -> unit
+
+type t = {
+  size : int;
+  jobs : job Queue.t;
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let env_size () =
+  match Sys.getenv_opt "STGQ_DOMAINS" with
+  | None -> None
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          Log.warn (fun m ->
+              m "ignoring STGQ_DOMAINS=%S: expected a positive integer" raw);
+          None)
+
+let resolve_size requested =
+  match requested with
+  | Some n when n >= 1 -> n
+  | Some n -> invalid_arg (Printf.sprintf "Engine.Pool: size %d < 1" n)
+  | None -> (
+      match env_size () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec next () =
+      match Queue.take_opt t.jobs with
+      | Some job -> Some job
+      | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.wake t.lock;
+            next ()
+          end
+    in
+    let job = next () in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+        job ();
+        loop ()
+  in
+  loop ()
+
+let create ?size () =
+  let size = resolve_size size in
+  let t =
+    {
+      size;
+      jobs = Queue.create ();
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init size (fun _ -> Domain.spawn (worker t));
+  Log.debug (fun m -> m "spawned %d worker domains" size);
+  t
+
+let size t = t.size
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Engine.Pool.run: pool is shut down"
+  end;
+  Queue.add job t.jobs;
+  Condition.signal t.wake;
+  Mutex.unlock t.lock
+
+let run t thunks =
+  let n = List.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let pending = ref n in
+    let finished = Condition.create () in
+    let record i outcome =
+      Mutex.lock t.lock;
+      results.(i) <- Some outcome;
+      decr pending;
+      if !pending = 0 then Condition.broadcast finished;
+      Mutex.unlock t.lock
+    in
+    List.iteri
+      (fun i thunk ->
+        submit t (fun () ->
+            (* [match ... with exception] keeps worker domains alive on task
+               failure; the error is re-raised on the caller below. *)
+            match thunk () with
+            | v -> record i (Ok v)
+            | exception e -> record i (Error e)))
+      thunks;
+    Mutex.lock t.lock;
+    while !pending > 0 do
+      Condition.wait finished t.lock
+    done;
+    Mutex.unlock t.lock;
+    Array.iter (function Some (Error e) -> raise e | Some (Ok _) | None -> ()) results;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  if not was_closed then Array.iter Domain.join t.workers
+
+let default_cell = lazy (create ())
+
+let default () = Lazy.force default_cell

@@ -1,0 +1,37 @@
+(** Persistent domain worker pool.
+
+    The seed code spawned (and joined) fresh domains on every
+    [Parallel.solve_report] call, paying domain start-up per query.  A
+    pool spawns its workers once and feeds them thunks through a queue,
+    so repeated queries reuse warm domains.
+
+    Tasks must not call {!run} on the pool that executes them: workers
+    draining the queue are the only consumers, so a nested [run] from a
+    worker can deadlock once all workers block on it. *)
+
+type t
+
+(** [create ?size ()] spawns the worker domains.  The size is resolved
+    as: explicit [size] argument, else the [STGQ_DOMAINS] environment
+    variable (positive integer; malformed values are logged and
+    ignored), else [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [size < 1]. *)
+val create : ?size:int -> unit -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** [run t thunks] executes the thunks on the pool and waits for all of
+    them, returning results in input order.  If any thunk raises, the
+    first (lowest-index) exception is re-raised on the caller after all
+    thunks finish; worker domains survive task failures.
+    @raise Invalid_argument if the pool has been {!shutdown}. *)
+val run : t -> (unit -> 'a) list -> 'a list
+
+(** [shutdown t] drains outstanding work, stops the workers and joins
+    them.  Idempotent; subsequent {!run} calls raise. *)
+val shutdown : t -> unit
+
+(** A process-wide shared pool, spawned lazily on first use and never
+    shut down (blocked worker domains do not prevent process exit). *)
+val default : unit -> t

@@ -5,12 +5,21 @@ let distances g ~src ~max_edges =
   let prev = Array.make n infinity in
   prev.(src) <- 0.;
   let next = Array.copy prev in
-  for _round = 1 to max_edges do
+  let round = ref 0 in
+  let changed = ref true in
+  (* Once a round improves nothing the DP has reached its fixpoint, so
+     the remaining rounds would only copy buffers back and forth. *)
+  while !changed && !round < max_edges do
+    incr round;
+    changed := false;
     Array.blit prev 0 next 0 n;
     for v = 0 to n - 1 do
       Graph.iter_neighbors g v (fun u w ->
           let through = prev.(u) +. w in
-          if through < next.(v) then next.(v) <- through)
+          if through < next.(v) then begin
+            next.(v) <- through;
+            changed := true
+          end)
     done;
     Array.blit next 0 prev 0 n
   done;

@@ -9,9 +9,11 @@
 (** [distances g ~src ~max_edges] is the array [d] with [d.(v)] the
     [max_edges]-edge minimum distance from [src] to [v]; [infinity] when no
     path of at most [max_edges] edges exists.  [d.(src) = 0].
-    Runs the dynamic program of Definition 1: [max_edges] synchronous
-    relaxation rounds over two buffers (in-place relaxation would let paths
-    exceed the hop bound).
+    Runs the dynamic program of Definition 1: up to [max_edges]
+    synchronous relaxation rounds over two buffers (in-place relaxation
+    would let paths exceed the hop bound), stopping early once a round
+    improves no distance — [max_edges] beyond the graph's hop diameter
+    costs nothing extra.
     @raise Invalid_argument if [src] is out of range or [max_edges < 0]. *)
 val distances : Graph.t -> src:int -> max_edges:int -> float array
 

@@ -18,6 +18,7 @@ let () =
       ("explain", Suite_explain.suite);
       ("auto", Suite_auto.suite);
       ("service", Suite_service.suite);
+      ("engine", Suite_engine.suite);
       ("community", Suite_community.suite);
       ("report", Suite_report.suite);
       ("lint", Suite_lint.suite);
