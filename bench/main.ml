@@ -801,11 +801,58 @@ let replay_json r =
       "";
     ]
 
-(* The CI baseline: tiny sizes, one JSON artefact. *)
-let smoke ~json_out ~domains =
+(* Metric names the obs snapshot must carry for the perf trajectory to
+   stay interpretable; @bench-smoke fails when any goes missing. *)
+let obs_required_keys =
+  [
+    "\"counters\"";
+    "\"histograms\"";
+    "engine.cache.lookups";
+    "engine.cache.hits";
+    "engine.cache.misses";
+    "engine.pool.jobs_submitted";
+    "engine.pool.jobs_completed";
+    "engine.pool.queue_depth_hwm";
+    "engine.context.builds";
+    "search.nodes";
+    "search.pruned.distance";
+  ]
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let obs_smoke_json ~baseline ~instrumented snapshot_json =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"workload\": %S," instrumented.workload;
+      Printf.sprintf "  \"obs_overhead_cached_seq\": %.3f,"
+        (instrumented.cached_seq_ns /. baseline.cached_seq_ns);
+      Printf.sprintf "  \"obs_overhead_cached_pool\": %.3f,"
+        (instrumented.cached_pool_ns /. baseline.cached_pool_ns);
+      Printf.sprintf "  \"snapshot\": %s" snapshot_json;
+      "}";
+      "";
+    ]
+
+(* The CI baseline: tiny sizes, two JSON artefacts — the engine replay
+   comparison (instrumentation off) and the same workload rerun with
+   instrumentation on, whose metrics snapshot lands in [obs_out]. *)
+let smoke ~json_out ~obs_out ~domains =
   let r = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
   let oc = open_out json_out in
   output_string oc (replay_json r);
+  close_out oc;
+  Obs.set_enabled true;
+  Obs.reset ();
+  let r_obs = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
+  Obs.set_enabled false;
+  let snap = Obs.snapshot () in
+  let obs_json = obs_smoke_json ~baseline:r ~instrumented:r_obs (Obs.json snap) in
+  let oc = open_out obs_out in
+  output_string oc obs_json;
   close_out oc;
   Printf.printf
     "bench-smoke: %s — %d x %d queries, %d domains, speedup %.2fx (seq %.2fx), \
@@ -813,7 +860,19 @@ let smoke ~json_out ~domains =
     r.workload r.rp_rounds r.queries_per_round r.rp_domains (replay_speedup r)
     (r.rebuild_seq_ns /. r.cached_seq_ns)
     r.mismatches json_out;
-  if r.mismatches > 0 then begin
+  Printf.printf "bench-smoke: obs overhead %.3fx (seq) %.3fx (pool) -> %s\n"
+    (r_obs.cached_seq_ns /. r.cached_seq_ns)
+    (r_obs.cached_pool_ns /. r.cached_pool_ns)
+    obs_out;
+  let missing =
+    List.filter (fun k -> not (contains_substring obs_json k)) obs_required_keys
+  in
+  if missing <> [] then begin
+    Printf.printf "bench-smoke: FAILED — %s lacks required keys: %s\n" obs_out
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if r.mismatches > 0 || r_obs.mismatches > 0 then begin
     print_endline "bench-smoke: FAILED — engine answers diverge from seed paths";
     exit 1
   end
@@ -873,7 +932,10 @@ let () =
     let json_out =
       Option.value (keyed_arg "--json-out" args) ~default:"BENCH_engine.json"
     in
-    smoke ~json_out ~domains;
+    let obs_out =
+      Option.value (keyed_arg "--obs-out" args) ~default:"BENCH_obs.json"
+    in
+    smoke ~json_out ~obs_out ~domains;
     exit 0
   end;
   let st =

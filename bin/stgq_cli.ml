@@ -78,6 +78,23 @@ let pick_initiator graph = function
   | Some q -> q
   | None -> Workload.Scenario.pick_initiator graph
 
+let stats_term =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Enable instrumentation and print the metrics snapshot \
+                 (see docs/OBSERVABILITY.md) after answering.")
+
+(* [with_stats enabled run] brackets [run] with instrumentation and, when
+   requested, prints the collected snapshot afterwards. *)
+let with_stats stats run =
+  if not stats then run ()
+  else begin
+    Obs.set_enabled true;
+    Obs.reset ();
+    run ();
+    Fmt.pr "@.%s@." (Obs.table (Obs.snapshot ()))
+  end
+
 (* ------------------------------------------------------------------ *)
 (* generate.                                                           *)
 
@@ -119,7 +136,8 @@ let algo_term choices default =
 type sg_algo = Sg_select | Sg_baseline | Sg_ip
 
 let sgq_cmd =
-  let run src initiator p s k algo =
+  let run src initiator p s k algo stats =
+    with_stats stats @@ fun () ->
     let graph, _ = load_dataset src in
     let instance = { Query.graph; initiator = pick_initiator graph initiator } in
     let query = { Query.p; s; k } in
@@ -155,7 +173,9 @@ let sgq_cmd =
   in
   Cmd.v
     (Cmd.info "sgq" ~doc:"Answer a Social Group Query.")
-    Term.(const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ algo)
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ algo
+      $ stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* stgq.                                                               *)
@@ -170,7 +190,8 @@ let domains_term =
                  $(b,STGQ_DOMAINS) or the recommended domain count).")
 
 let stgq_cmd =
-  let run src initiator p s k m algo domains =
+  let run src initiator p s k m algo domains stats =
+    with_stats stats @@ fun () ->
     let graph, schedules = load_dataset src in
     let ti =
       { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
@@ -225,7 +246,7 @@ let stgq_cmd =
     (Cmd.info "stgq" ~doc:"Answer a Social-Temporal Group Query.")
     Term.(
       const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term
-      $ algo $ domains_term)
+      $ algo $ domains_term $ stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* arrange.                                                            *)
@@ -367,6 +388,58 @@ let kplex_cmd =
        ~doc:"Enumerate maximal acquaintance-bounded subgroups around an initiator.")
     Term.(const run $ source_term $ initiator_term $ s_term $ k_term $ min_size)
 
+(* ------------------------------------------------------------------ *)
+(* stats: run an instrumented serving workload and dump the metrics.   *)
+
+let stats_cmd =
+  let rounds =
+    Arg.(value & opt int 3
+         & info [ "rounds" ] ~docv:"N"
+             ~doc:"Rounds over the same initiators (later rounds hit the \
+                   context cache).")
+  in
+  let initiators =
+    Arg.(value & opt int 4
+         & info [ "initiators" ] ~docv:"N" ~doc:"Distinct initiators to query.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the snapshot as JSON instead of tables.")
+  in
+  let run src p s k m rounds initiators domains json =
+    Obs.set_enabled true;
+    Obs.reset ();
+    let graph, schedules = load_dataset src in
+    let ti = { Query.social = { Query.graph; initiator = 0 }; schedules } in
+    let pool = Engine.Pool.create ?size:domains () in
+    let service = Service.create ~pool ti in
+    let queries = ref 0 in
+    for _round = 1 to rounds do
+      for rank = 0 to initiators - 1 do
+        let initiator = Workload.Scenario.pick_initiator ~rank graph in
+        (match Service.sgq service ~initiator { Query.p; s; k } with
+        | Some _ | None -> incr queries);
+        match Service.stgq service ~initiator { Query.p; s; k; m } with
+        | Some _ | None -> incr queries
+      done
+    done;
+    Engine.Pool.shutdown pool;
+    let snap = Obs.snapshot () in
+    if json then Fmt.pr "%s@." (Obs.json snap)
+    else begin
+      Fmt.pr "%d queries (%d rounds x %d initiators x {sgq, stgq})@.@." !queries
+        rounds initiators;
+      Fmt.pr "%s@." (Obs.table snap)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run an instrumented example workload through the service layer \
+             and print the metrics snapshot.")
+    Term.(
+      const run $ source_term $ p_term $ s_term $ k_term $ m_term $ rounds
+      $ initiators $ domains_term $ json)
+
 let () =
   let info =
     Cmd.info "stgq" ~version:"1.0.0"
@@ -384,4 +457,5 @@ let () =
             topk_cmd;
             auto_cmd;
             kplex_cmd;
+            stats_cmd;
           ]))

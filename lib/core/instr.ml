@@ -1,0 +1,44 @@
+(* Metric handles for the search and serving layers.  Handles are
+   interned once at module init; recording is gated by [Obs.enabled]
+   inside Obs itself, so referencing these is free while disabled. *)
+
+let search_solves = Obs.counter "search.solves"
+
+let search_nodes = Obs.counter "search.nodes"
+
+let search_includes = Obs.counter "search.includes"
+
+let pruned_distance = Obs.counter "search.pruned.distance"
+
+let pruned_acquaintance = Obs.counter "search.pruned.acquaintance"
+
+let pruned_availability = Obs.counter "search.pruned.availability"
+
+let removed_exterior = Obs.counter "search.removed.exterior"
+
+let removed_interior = Obs.counter "search.removed.interior"
+
+let removed_temporal = Obs.counter "search.removed.temporal"
+
+let sgq_latency = Obs.histogram "service.sgq.latency_ns"
+
+let stgq_latency = Obs.histogram "service.stgq.latency_ns"
+
+let certify_latency = Obs.histogram "service.certify.latency_ns"
+
+(* Bridge one solve's per-call [Search_core.stats] record into the
+   registry.  The hot search loop keeps mutating its private record;
+   only this one batched publish pays for atomics, keeping
+   instrumentation overhead off the per-node path. *)
+let record_search (st : Search_core.stats) =
+  if Obs.enabled () then begin
+    Obs.Counter.incr search_solves;
+    Obs.Counter.add search_nodes st.Search_core.nodes;
+    Obs.Counter.add search_includes st.Search_core.includes;
+    Obs.Counter.add pruned_distance st.Search_core.pruned_distance;
+    Obs.Counter.add pruned_acquaintance st.Search_core.pruned_acquaintance;
+    Obs.Counter.add pruned_availability st.Search_core.pruned_availability;
+    Obs.Counter.add removed_exterior st.Search_core.removed_exterior;
+    Obs.Counter.add removed_interior st.Search_core.removed_interior;
+    Obs.Counter.add removed_temporal st.Search_core.removed_temporal
+  end

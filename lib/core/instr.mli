@@ -1,0 +1,36 @@
+(** Registered metric handles for the search and serving layers.
+
+    Naming scheme (see docs/OBSERVABILITY.md):
+    - [search.*] — branch-and-bound work and pruning-rule savings,
+      published once per solve by {!record_search};
+    - [service.*.latency_ns] — per-query latency histograms, observed
+      by [Service] via {!Obs.time_hist}. *)
+
+val search_solves : Obs.Counter.t
+
+val search_nodes : Obs.Counter.t
+
+val search_includes : Obs.Counter.t
+
+val pruned_distance : Obs.Counter.t
+
+val pruned_acquaintance : Obs.Counter.t
+
+val pruned_availability : Obs.Counter.t
+
+val removed_exterior : Obs.Counter.t
+
+val removed_interior : Obs.Counter.t
+
+val removed_temporal : Obs.Counter.t
+
+val sgq_latency : Obs.Histogram.t
+
+val stgq_latency : Obs.Histogram.t
+
+val certify_latency : Obs.Histogram.t
+
+(** [record_search st] adds one solve's [Search_core.stats] to the
+    [search.*] counters (no-op while instrumentation is disabled).
+    Call it once per completed solve, on whichever domain ran it. *)
+val record_search : Search_core.stats -> unit

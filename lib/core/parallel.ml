@@ -31,6 +31,9 @@ let bucket_job ~config ctx (query : Query.stgq) bucket () =
     Search_core.solve_temporal ctx ~p:query.p ~k:query.k ~m:query.m ~pivots:bucket
       ~config ~stats
   in
+  (* Runs on a worker domain; counters are per-domain sharded, so this
+     publish never contends with sibling buckets. *)
+  Instr.record_search stats;
   (found, stats.Search_core.nodes)
 
 let finish ctx ~n_domains results =

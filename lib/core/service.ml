@@ -27,13 +27,16 @@ let create ?(config = Search_core.default_config) ?(cache_capacity = 64) ?pool
    shares no code with the search) before a caller can see it. *)
 
 let sgq t ~initiator (query : Query.sgq) =
+  Obs.time_hist Instr.sgq_latency @@ fun () ->
   Query.check_sgq query;
   let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
   let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
-  Validate.certify_sg instance query
-    (Sgselect.solve ~config:t.config ~ctx instance query)
+  let solution = Sgselect.solve ~config:t.config ~ctx instance query in
+  Obs.time_hist Instr.certify_latency @@ fun () ->
+  Validate.certify_sg instance query solution
 
 let stgq t ~initiator (query : Query.stgq) =
+  Obs.time_hist Instr.stgq_latency @@ fun () ->
   Query.check_stgq query;
   let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
   let ti =
@@ -47,6 +50,7 @@ let stgq t ~initiator (query : Query.stgq) =
     | Some pool -> Parallel.solve ~config:t.config ~pool ~ctx ti query
     | None -> Stgselect.solve ~config:t.config ~ctx ti query
   in
+  Obs.time_hist Instr.certify_latency @@ fun () ->
   Validate.certify_stg ti query solution
 
 let cache_stats t =

@@ -25,6 +25,7 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     Search_core.solve_social ?bound_init:initial_bound ctx ~p:query.p ~k:query.k
       ~config ~stats
   in
+  Instr.record_search stats;
   Log.debug (fun m ->
       m "SGQ(p=%d,s=%d,k=%d): |V_F|=%d, %d nodes, %s" query.p query.s query.k
         (Feasible.size fg) stats.Search_core.nodes

@@ -29,6 +29,7 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     Search_core.solve_temporal ?bound_init:initial_bound ctx ~p:query.p ~k:query.k
       ~m:query.m ~pivots ~config ~stats
   in
+  Instr.record_search stats;
   Log.debug (fun m_ ->
       m_ "STGQ(p=%d,s=%d,k=%d,m=%d): |V_F|=%d, %d pivots, %d nodes, %s" query.p
         query.s query.k query.m (Feasible.size fg) (List.length pivots)

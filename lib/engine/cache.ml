@@ -9,6 +9,18 @@ type stats = {
   entries : int;
 }
 
+(* Registered metrics mirror the per-cache [stats] record so fleet-wide
+   totals are readable without a handle on any particular cache. *)
+let m_lookups = Obs.counter "engine.cache.lookups"
+
+let m_hits = Obs.counter "engine.cache.hits"
+
+let m_misses = Obs.counter "engine.cache.misses"
+
+let m_evictions = Obs.counter "engine.cache.evictions"
+
+let m_entries = Obs.gauge "engine.cache.entries"
+
 (* Intrusive doubly-linked recency list: most recent at [head], eviction
    victim at [tail].  Every operation is O(1), unlike the seed service's
    [List.filter]-per-access ordering. *)
@@ -69,27 +81,32 @@ let evict_lru t =
       unlink t victim;
       Hashtbl.remove t.table victim.key;
       t.evictions <- t.evictions + 1;
+      Obs.Counter.incr m_evictions;
       Log.debug (fun m ->
           let q, s = victim.key in
           m "evicted context (q=%d, s=%d)" q s)
 
 let context t ~initiator ~s =
   let key = (initiator, s) in
+  Obs.Counter.incr m_lookups;
   match Hashtbl.find_opt t.table key with
   | Some n ->
       t.hits <- t.hits + 1;
+      Obs.Counter.incr m_hits;
       unlink t n;
       push_front t n;
       Log.debug (fun m -> m "context cache hit for (q=%d, s=%d)" initiator s);
       n.ctx
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Counter.incr m_misses;
       Log.debug (fun m -> m "context cache miss for (q=%d, s=%d)" initiator s);
       let ctx = Context.build ?schedules:t.schedules t.graph ~initiator ~s in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       let n = { key; ctx; prev = None; next = None } in
       Hashtbl.replace t.table key n;
       push_front t n;
+      Obs.Gauge.set m_entries (Hashtbl.length t.table);
       ctx
 
 let stats t =

@@ -8,7 +8,11 @@ type t = {
   mutable pivot_memo : (int * int list) list;
 }
 
+let m_builds = Obs.counter "engine.context.builds"
+
 let build ?schedules graph ~initiator ~s =
+  Obs.Counter.incr m_builds;
+  Obs.Span.with_ "context.build" @@ fun () ->
   let fg = Feasible.extract graph ~initiator ~s in
   let horizon, avail =
     match schedules with

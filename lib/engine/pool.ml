@@ -4,6 +4,14 @@ module Log = (val Logs.src_log log)
 
 type job = unit -> unit
 
+let m_submitted = Obs.counter "engine.pool.jobs_submitted"
+
+let m_completed = Obs.counter "engine.pool.jobs_completed"
+
+let m_busy_ns = Obs.counter "engine.pool.worker_busy_ns"
+
+let m_queue_depth = Obs.gauge "engine.pool.queue_depth_hwm"
+
 type t = {
   size : int;
   jobs : job Queue.t;
@@ -51,7 +59,16 @@ let worker t () =
     match job with
     | None -> ()
     | Some job ->
-        job ();
+        if Obs.enabled () then begin
+          let t0 = Obs.now_ns () in
+          (* Crashing jobs are [run]'s concern (thunks are wrapped
+             there); an escaping exception would kill the worker domain
+             regardless of metrics, so only the return path records. *)
+          job ();
+          Obs.Counter.add m_busy_ns (int_of_float (Obs.now_ns () -. t0));
+          Obs.Counter.incr m_completed
+        end
+        else job ();
         loop ()
   in
   loop ()
@@ -81,6 +98,10 @@ let submit t job =
     invalid_arg "Engine.Pool.run: pool is shut down"
   end;
   Queue.add job t.jobs;
+  Obs.Counter.incr m_submitted;
+  (* Depth is sampled under the pool lock, so the high-water mark is an
+     exact maximum over post-enqueue depths. *)
+  Obs.Gauge.set m_queue_depth (Queue.length t.jobs);
   Condition.signal t.wake;
   Mutex.unlock t.lock
 

@@ -1,7 +1,25 @@
 (* Shared random-case generation for the property suites.  All cases are
-   small enough for the brute-force oracles to stay fast. *)
+   small enough for the brute-force oracles to stay fast.
+
+   Determinism and scale knobs (documented in docs/OBSERVABILITY.md):
+   - STGQ_TEST_SEED   seeds every QCheck run (default 1105), so tier-1
+     failures reproduce exactly;
+   - STGQ_PROP_ITERS  multiplies each property's iteration count — the
+     root @props alias sets it to 8 for the long soak. *)
 
 module G = QCheck.Gen
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some v when v >= 1 -> v
+      | Some _ | None -> default)
+
+let test_seed = env_int "STGQ_TEST_SEED" 1105
+
+let iters = env_int "STGQ_PROP_ITERS" 1
 
 let graph_edges ~n ~density st =
   let edges = ref [] in
@@ -61,10 +79,10 @@ type stg_case = {
   m : int;
 }
 
-let stg_case_gen ?(max_n = 8) ?(max_p = 5) st =
+let stg_case_gen ?(max_n = 8) ?(max_p = 5) ?(max_m = 4) st =
   let sg = sg_case_gen ~max_n ~max_p st in
   let horizon = 16 + G.int_bound 16 st in
-  let m = 2 + G.int_bound 2 st in
+  let m = 2 + G.int_bound (Stdlib.max 0 (max_m - 2)) st in
   let free_runs =
     Array.init sg.n (fun _ ->
         let a = availability_gen ~horizon st in
@@ -96,8 +114,8 @@ let print_stg_case { sg; horizon; free_runs; m } =
   in
   Printf.sprintf "%s horizon=%d m=%d sched=[%s]" (print_sg_case sg) horizon m sched
 
-let stg_case ?max_n ?max_p () =
-  QCheck.make ~print:print_stg_case (stg_case_gen ?max_n ?max_p)
+let stg_case ?max_n ?max_p ?max_m () =
+  QCheck.make ~print:print_stg_case (stg_case_gen ?max_n ?max_p ?max_m)
 
 let temporal_instance_of_stg_case { sg; horizon; free_runs; m = _ } =
   let schedules =
@@ -114,6 +132,109 @@ let stgq_of_stg_case { sg; m; _ } =
   let ({ p; s; k } : Stgq_core.Query.sgq) = sg.query in
   { Stgq_core.Query.p; s; k; m }
 
-(* Alcotest adapter. *)
+(* ------------------------------------------------------------------ *)
+(* Regression corpus: shrunk counterexamples serialised one per file in
+   test/cases/*.case, replayed by suite_regression.  Line-based format:
+
+     kind stg                 (or sg)
+     n 6
+     p 3
+     s 1
+     k 2
+     m 2                      (stg only)
+     horizon 20               (stg only)
+     edge 0 1 3               (one per edge: u v weight)
+     sched 0 2-5 11-14        (stg only, one per vertex: free runs)
+
+   [case_to_string] and [case_of_string] round-trip exactly. *)
+
+type corpus_case = Sg of sg_case | Stg of stg_case
+
+let case_to_string case =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let sg, tail =
+    match case with Sg sg -> (sg, None) | Stg stg -> (stg.sg, Some stg)
+  in
+  let ({ p; s; k } : Stgq_core.Query.sgq) = sg.query in
+  line "kind %s" (match case with Sg _ -> "sg" | Stg _ -> "stg");
+  line "n %d" sg.n;
+  line "p %d" p;
+  line "s %d" s;
+  line "k %d" k;
+  (match tail with
+  | None -> ()
+  | Some stg ->
+      line "m %d" stg.m;
+      line "horizon %d" stg.horizon);
+  List.iter (fun (u, v, w) -> line "edge %d %d %g" u v w) sg.edges;
+  (match tail with
+  | None -> ()
+  | Some stg ->
+      Array.iteri
+        (fun v runs ->
+          line "sched %d%s" v
+            (String.concat ""
+               (List.map (fun (lo, hi) -> Printf.sprintf " %d-%d" lo hi) runs)))
+        stg.free_runs);
+  Buffer.contents b
+
+let case_of_string text =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let fields = Hashtbl.create 8 in
+  let edges = ref [] in
+  let scheds = ref [] in
+  let words l = List.filter (fun w -> w <> "") (String.split_on_char ' ' l) in
+  let int_of w = match int_of_string_opt w with
+    | Some v -> v
+    | None -> fail "corpus case: bad integer %S" w
+  in
+  let run_of w =
+    match String.split_on_char '-' w with
+    | [ lo; hi ] -> (int_of lo, int_of hi)
+    | _ -> fail "corpus case: bad free run %S" w
+  in
+  List.iter
+    (fun l ->
+      match words l with
+      | [] -> ()
+      | [ "edge"; u; v; w ] -> (
+          match float_of_string_opt w with
+          | Some w -> edges := (int_of u, int_of v, w) :: !edges
+          | None -> fail "corpus case: bad edge weight %S" w)
+      | "sched" :: v :: runs -> scheds := (int_of v, List.map run_of runs) :: !scheds
+      | [ key; value ] -> Hashtbl.replace fields key value
+      | _ -> fail "corpus case: unparsable line %S" l)
+    (String.split_on_char '\n' text);
+  let field key =
+    match Hashtbl.find_opt fields key with
+    | Some v -> v
+    | None -> fail "corpus case: missing field %S" key
+  in
+  let int_field key = int_of (field key) in
+  let n = int_field "n" in
+  let query =
+    { Stgq_core.Query.p = int_field "p"; s = int_field "s"; k = int_field "k" }
+  in
+  let sg = { n; edges = List.rev !edges; query } in
+  match field "kind" with
+  | "sg" -> Sg sg
+  | "stg" ->
+      let free_runs = Array.make n [] in
+      List.iter
+        (fun (v, runs) ->
+          if v < 0 || v >= n then fail "corpus case: sched vertex %d out of range" v;
+          free_runs.(v) <- runs)
+        !scheds;
+      Stg { sg; horizon = int_field "horizon"; free_runs; m = int_field "m" }
+  | other -> fail "corpus case: unknown kind %S" other
+
+let print_corpus_case = function
+  | Sg sg -> print_sg_case sg
+  | Stg stg -> print_stg_case stg
+
+(* Alcotest adapter: deterministic seed, env-scaled iteration count. *)
 let qtest ?(count = 200) name arbitrary prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)
+  let rand = Random.State.make [| test_seed |] in
+  QCheck_alcotest.to_alcotest ~rand
+    (QCheck.Test.make ~count:(count * iters) ~name arbitrary prop)

@@ -18,6 +18,70 @@ let prop_parallel_matches_sequential =
           && Validate.is_valid_stg ti q b
       | _ -> false)
 
+(* One pool shared by every iteration of the stress property: queues
+   from consecutive cases overlap, exercising saturation and reuse. *)
+let stress_pool = lazy (Engine.Pool.create ~size:3 ())
+
+let prop_pooled_matches_unpooled =
+  Gen.qtest ~count:60 "pooled serving path = spawn-per-bucket path"
+    (Gen.stg_case ())
+    (fun case ->
+      let ti = Gen.temporal_instance_of_stg_case case in
+      let q = Gen.stgq_of_stg_case case in
+      let pool = Lazy.force stress_pool in
+      let pooled = Parallel.solve_report ~pool ti q in
+      let unpooled =
+        Parallel.solve_report_unpooled ~domains:(Engine.Pool.size pool) ti q
+      in
+      match (pooled.Parallel.solution, unpooled.Parallel.solution) with
+      | None, None -> true
+      | Some a, Some b ->
+          (* Same bucket partitioning, deterministic tie-breaking: the
+             two paths must agree exactly, not just on distance. *)
+          a.Query.st_attendees = b.Query.st_attendees
+          && a.Query.start_slot = b.Query.start_slot
+          && close a.Query.st_total_distance b.Query.st_total_distance
+          && Validate.is_valid_stg ti q a
+      | _ -> false)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let pool = Engine.Pool.create ~size:2 () in
+  (* 40 jobs on 2 workers keep the queue saturated; two of them fail. *)
+  let thunks =
+    List.init 40 (fun i () -> if i = 7 || i = 23 then raise (Boom i) else i)
+  in
+  (match Engine.Pool.run pool thunks with
+  | _ -> Alcotest.fail "expected the batch to raise"
+  | exception Boom i ->
+      Alcotest.check Alcotest.int "lowest-index failure wins" 7 i);
+  (* Worker domains must survive a failing batch. *)
+  let squares = Engine.Pool.run pool (List.init 6 (fun i () -> i * i)) in
+  Alcotest.check (Alcotest.list Alcotest.int) "pool alive after failure"
+    [ 0; 1; 4; 9; 16; 25 ] squares;
+  Engine.Pool.shutdown pool
+
+let test_submission_order_saturated () =
+  (* A single worker drains a saturated queue strictly in FIFO order,
+     and [run] reassembles results positionally regardless. *)
+  let pool = Engine.Pool.create ~size:1 () in
+  let order = ref [] in
+  let lock = Mutex.create () in
+  let results =
+    Engine.Pool.run pool
+      (List.init 100 (fun i () ->
+           Mutex.lock lock;
+           order := i :: !order;
+           Mutex.unlock lock;
+           i))
+  in
+  Engine.Pool.shutdown pool;
+  let expected = List.init 100 Fun.id in
+  Alcotest.check (Alcotest.list Alcotest.int) "positional results" expected results;
+  Alcotest.check (Alcotest.list Alcotest.int) "FIFO execution order" expected
+    (List.rev !order)
+
 let test_single_domain_degenerates () =
   let case = Gen.stg_case_gen (Random.State.make [| 9 |]) in
   let ti = Gen.temporal_instance_of_stg_case case in
@@ -46,5 +110,10 @@ let suite =
   [
     Alcotest.test_case "single domain" `Quick test_single_domain_degenerates;
     Alcotest.test_case "domains capped by pivots" `Quick test_domain_count_capped_by_pivots;
+    Alcotest.test_case "exception propagation under load" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "submission order on a saturated queue" `Quick
+      test_submission_order_saturated;
     prop_parallel_matches_sequential;
+    prop_pooled_matches_unpooled;
   ]

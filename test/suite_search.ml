@@ -240,6 +240,14 @@ let agree_stg case =
 let prop_stgselect_optimal =
   Gen.qtest ~count:150 "STGSelect = per-window brute force" (Gen.stg_case ()) agree_stg
 
+(* Wide activity windows drive the pivot count down and make the
+   interval scan straddle run boundaries — a regime the default
+   generator (m <= 4) rarely reaches. *)
+let prop_stgselect_optimal_wide_m =
+  Gen.qtest ~count:80 "STGSelect = brute force at wide m"
+    (Gen.stg_case ~max_n:7 ~max_m:8 ())
+    agree_stg
+
 let agree_stg_with config case =
   let ti = Gen.temporal_instance_of_stg_case case in
   let query = Gen.stgq_of_stg_case case in
@@ -381,6 +389,7 @@ let suite =
     prop_ablations_stay_optimal;
     prop_unsafe_lemma3_never_better;
     prop_stgselect_optimal;
+    prop_stgselect_optimal_wide_m;
     prop_stg_ablations_stay_optimal;
     prop_stgselect_vs_per_slot;
     prop_always_free_reduces_to_sgq;

@@ -19,6 +19,8 @@ let () =
       ("auto", Suite_auto.suite);
       ("service", Suite_service.suite);
       ("engine", Suite_engine.suite);
+      ("obs", Suite_obs.suite);
+      ("regression", Suite_regression.suite);
       ("community", Suite_community.suite);
       ("report", Suite_report.suite);
       ("lint", Suite_lint.suite);
