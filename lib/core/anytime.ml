@@ -1,0 +1,45 @@
+type 'a outcome =
+  | Optimal of 'a option
+  | Feasible_best of { best : 'a; gap : float; reason : Budget.reason }
+  | Exhausted of Budget.reason
+
+let solution = function
+  | Optimal s -> s
+  | Feasible_best { best; _ } -> Some best
+  | Exhausted _ -> None
+
+let complete = function
+  | Optimal _ -> true
+  | Feasible_best _ | Exhausted _ -> false
+
+let reason = function
+  | Optimal _ -> None
+  | Feasible_best { reason; _ } | Exhausted reason -> Some reason
+
+let gap = function
+  | Optimal _ -> Some 0.
+  | Feasible_best { gap; _ } -> Some gap
+  | Exhausted _ -> None
+
+let map f = function
+  | Optimal s -> Optimal (Option.map f s)
+  | Feasible_best { best; gap; reason } -> Feasible_best { best = f best; gap; reason }
+  | Exhausted reason -> Exhausted reason
+
+(* [make ~completion ~gap_of found] assembles an outcome from a solver's
+   completion status and incumbent; [gap_of] is only called on a
+   truncated run that still holds a feasible answer. *)
+let make ~completion ~gap_of found =
+  match (completion, found) with
+  | None, _ -> Optimal found
+  | Some reason, None -> Exhausted reason
+  | Some reason, Some best -> Feasible_best { best; gap = gap_of best; reason }
+
+let pp pp_a ppf = function
+  | Optimal None -> Format.pp_print_string ppf "optimal: infeasible"
+  | Optimal (Some a) -> Format.fprintf ppf "optimal: %a" pp_a a
+  | Feasible_best { best; gap; reason } ->
+      Format.fprintf ppf "feasible (gap <= %g, stopped: %a): %a" gap
+        Budget.pp_reason reason pp_a best
+  | Exhausted reason ->
+      Format.fprintf ppf "exhausted (%a): no answer" Budget.pp_reason reason

@@ -1,0 +1,47 @@
+(** Typed results for budgeted (anytime) solves.
+
+    A budgeted solver never raises on exhaustion: it reports how far it
+    got.  [Optimal] is the exact answer ([None] = proven infeasible).
+    [Feasible_best] is the incumbent at the moment the budget tripped,
+    with an optimality {e gap bound}: the answer's distance exceeds the
+    true optimum by at most [gap] (derived from the best outstanding
+    admissible lower bound over the abandoned search regions — coarse
+    but sound; see docs/ROBUSTNESS.md).  [Exhausted] means the budget
+    tripped before any feasible answer was found — which does {e not}
+    imply infeasibility.
+
+    {!Validate} certifies the {e feasibility} of a [Feasible_best]
+    answer exactly as it does an optimal one; optimality is only claimed
+    by [Optimal]. *)
+
+type 'a outcome =
+  | Optimal of 'a option  (** exact; [None] = proven infeasible *)
+  | Feasible_best of { best : 'a; gap : float; reason : Budget.reason }
+      (** best incumbent when the budget tripped; true optimum is within
+          [gap] below [best]'s distance *)
+  | Exhausted of Budget.reason
+      (** budget tripped with no incumbent (feasibility unknown) *)
+
+(** The carried answer, if any. *)
+val solution : 'a outcome -> 'a option
+
+(** [true] only for [Optimal] — the search ran to completion. *)
+val complete : 'a outcome -> bool
+
+(** The trip reason of a truncated outcome. *)
+val reason : 'a outcome -> Budget.reason option
+
+(** [Some 0.] for [Optimal], the gap bound for [Feasible_best], [None]
+    for [Exhausted]. *)
+val gap : 'a outcome -> float option
+
+val map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+(** [make ~completion ~gap_of found] — [completion] is the solver's trip
+    reason (if any), [found] its incumbent; [gap_of] computes the gap
+    bound and is only called for a truncated run with an incumbent. *)
+val make :
+  completion:Budget.reason option -> gap_of:('a -> float) -> 'a option -> 'a outcome
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit

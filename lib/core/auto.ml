@@ -55,3 +55,60 @@ let stgq ?(budget = 1e8) ?beam_width (ti : Query.temporal_instance) (query : Que
     | Beam -> Heuristics.beam_stgq ?width:beam_width ~ctx ti query
   in
   (Validate.certify_stg ti query solution, plan)
+
+(* Resilient variants: planning happens under [Resilience.protect] (so a
+   transient fault during context build retries instead of escaping
+   raw), then the plan routes into the ladder — a [Beam] plan enters at
+   the heuristic rung directly. *)
+
+let sgq_r ?(budget = 1e8) ?beam_width ?policy ?cancel instance
+    (query : Query.sgq) =
+  Query.check_sgq query;
+  match
+    Resilience.protect ?policy (fun () ->
+        let ctx = Feasible.context_of_instance instance ~s:query.s in
+        (ctx, make_plan ~budget ctx.Engine.Context.fg query.p))
+  with
+  | Error e -> (Error e, None)
+  | Ok (ctx, plan) ->
+      let certify solution = Validate.certify_sg instance query solution in
+      let heuristic b =
+        certify (Heuristics.beam_sgq ?width:beam_width ~ctx ~budget:b instance query)
+      in
+      let result =
+        match plan.choice with
+        | Exact ->
+            Resilience.run ?policy ?cancel
+              ~exact:(fun b ->
+                let report = Sgselect.solve_report ~ctx ~budget:b instance query in
+                Resilience.certify_outcome ~certify report.Sgselect.outcome)
+              ~heuristic ()
+        | Beam -> Resilience.run_heuristic ?policy ?cancel ~heuristic ()
+      in
+      (result, Some plan)
+
+let stgq_r ?(budget = 1e8) ?beam_width ?policy ?cancel
+    (ti : Query.temporal_instance) (query : Query.stgq) =
+  Query.check_stgq query;
+  match
+    Resilience.protect ?policy (fun () ->
+        let ctx = Feasible.context_of_temporal ti ~s:query.s in
+        (ctx, make_plan ~budget ctx.Engine.Context.fg query.p))
+  with
+  | Error e -> (Error e, None)
+  | Ok (ctx, plan) ->
+      let certify solution = Validate.certify_stg ti query solution in
+      let heuristic b =
+        certify (Heuristics.beam_stgq ?width:beam_width ~ctx ~budget:b ti query)
+      in
+      let result =
+        match plan.choice with
+        | Exact ->
+            Resilience.run ?policy ?cancel
+              ~exact:(fun b ->
+                let report = Stgselect.solve_report ~ctx ~budget:b ti query in
+                Resilience.certify_outcome ~certify report.Stgselect.outcome)
+              ~heuristic ()
+        | Beam -> Resilience.run_heuristic ?policy ?cancel ~heuristic ()
+      in
+      (result, Some plan)

@@ -40,3 +40,20 @@ val sgq :
 val stgq :
   ?budget:float -> ?beam_width:int -> Query.temporal_instance -> Query.stgq ->
   Query.stg_solution option * plan
+
+(** [sgq_r ?budget ?beam_width ?policy ?cancel instance query] — the
+    resilient variant: planning runs under {!Resilience.protect} (the
+    plan is [None] when planning itself was unavailable), an [Exact]
+    plan walks the full {!Resilience} ladder, a [Beam] plan enters at
+    the heuristic rung.  Answers on every rung are certified. *)
+val sgq_r :
+  ?budget:float -> ?beam_width:int -> ?policy:Resilience.policy ->
+  ?cancel:bool Atomic.t -> Query.instance -> Query.sgq ->
+  (Query.sg_solution Resilience.answer, Resilience.error) result * plan option
+
+(** [stgq_r ?budget ?beam_width ?policy ?cancel ti query] — the temporal
+    analogue of {!sgq_r}. *)
+val stgq_r :
+  ?budget:float -> ?beam_width:int -> ?policy:Resilience.policy ->
+  ?cancel:bool Atomic.t -> Query.temporal_instance -> Query.stgq ->
+  (Query.stg_solution Resilience.answer, Resilience.error) result * plan option

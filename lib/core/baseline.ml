@@ -1,10 +1,13 @@
-exception Limit_exceeded
-
 type sg_report = {
   solution : Query.sg_solution option;
+  outcome : Query.sg_solution Anytime.outcome;
   groups_examined : int;
   feasible_size : int;
 }
+
+(* Internal, no-trace: unwinds the enumeration when a cap or budget
+   trips; the trip reason is recorded before raising. *)
+exception Stop
 
 (* Acquaintance check over sub-ids: every member may have at most [k]
    non-neighbours among the other members. *)
@@ -21,15 +24,28 @@ let acquaintance_ok fg ~k group =
     group
 
 (* Enumerate all (p-1)-subsets of [candidates] joined with q, tracking the
-   best qualified group.  [candidates] is an int array of sub-ids. *)
-let enumerate fg ~p ~k ~candidates ~max_groups ~examined ~consider =
+   best qualified group.  [candidates] is an int array of sub-ids.
+   Total: a [max_groups] cap or a budget trip ends the enumeration and is
+   reported as the returned reason ([None] = ran to completion); the cap
+   maps to [Budget.Node_limit] (one "node" = one examined group). *)
+let enumerate fg ~p ~k ~candidates ~budget ~max_groups ~examined ~consider =
   let q = fg.Feasible.q in
   let n = Array.length candidates in
-  let chosen = Array.make (p - 1) 0 in
+  let chosen = Array.make (max 0 (p - 1)) 0 in
+  let stopped = ref None in
+  let halt reason =
+    stopped := Some reason;
+    raise_notrace Stop
+  in
   let rec go depth first td =
     if depth = p - 1 then begin
       incr examined;
-      if !examined > max_groups then raise Limit_exceeded;
+      if !examined > max_groups then halt Budget.Node_limit;
+      if !examined land (Budget.check_interval - 1) = 0 then begin
+        match Budget.charge budget Budget.check_interval with
+        | Some reason -> halt reason
+        | None -> ()
+      end;
       let group = q :: Array.to_list chosen in
       if acquaintance_ok fg ~k group then consider group td
     end
@@ -40,9 +56,15 @@ let enumerate fg ~p ~k ~candidates ~max_groups ~examined ~consider =
         go (depth + 1) (i + 1) (td +. fg.Feasible.dist.(v))
       done
   in
-  if p - 1 <= n then go 0 0 0.
+  (try if p - 1 <= n then go 0 0 0. with Stop -> ());
+  !stopped
 
-let sgq_brute ?(max_groups = max_int) instance (query : Query.sgq) =
+let sg_gap fg ~p (s : Query.sg_solution) =
+  let lb = Search_core.completion_lower_bound fg ~p ~eligible:(fun _ -> true) in
+  Float.max 0. (s.total_distance -. lb)
+
+let sgq_brute ?(max_groups = max_int) ?(budget = Budget.unlimited) instance
+    (query : Query.sgq) =
   Query.check_sgq query;
   Query.check_instance instance;
   let fg = Feasible.extract instance ~s:query.s in
@@ -57,25 +79,37 @@ let sgq_brute ?(max_groups = max_int) instance (query : Query.sgq) =
     | Some (btd, _) when td >= btd -. 1e-12 -> ()
     | _ -> best := Some (td, group)
   in
-  enumerate fg ~p:query.p ~k:query.k ~candidates ~max_groups ~examined ~consider;
+  let completion =
+    enumerate fg ~p:query.p ~k:query.k ~candidates ~budget ~max_groups ~examined
+      ~consider
+  in
   let solution =
     Option.map
       (fun (td, group) ->
         { Query.attendees = Feasible.originals fg group; total_distance = td })
       !best
   in
-  { solution; groups_examined = !examined; feasible_size = size }
+  let outcome = Anytime.make ~completion ~gap_of:(sg_gap fg ~p:query.p) solution in
+  { solution; outcome; groups_examined = !examined; feasible_size = size }
 
 type stg_report = {
   st_solution : Query.stg_solution option;
+  st_outcome : Query.stg_solution Anytime.outcome;
   windows_scanned : int;
   groups_examined : int;
 }
 
+let stg_gap fg ~p (s : Query.stg_solution) =
+  let lb = Search_core.completion_lower_bound fg ~p ~eligible:(fun _ -> true) in
+  Float.max 0. (s.st_total_distance -. lb)
+
 (* Shared scaffolding of the per-period baselines: scan every start slot,
    restrict candidates to members available throughout the window, solve
-   the social subproblem with [solve_window]. *)
-let per_window (ti : Query.temporal_instance) (query : Query.stgq) ~solve_window =
+   the social subproblem with [solve_window] (which reports its own trip,
+   if any).  The scan stops at the first trip but keeps the best answer
+   found so far. *)
+let per_window (ti : Query.temporal_instance) (query : Query.stgq) ~budget
+    ~solve_window =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   let fg = Feasible.extract ti.social ~s:query.s in
@@ -83,39 +117,52 @@ let per_window (ti : Query.temporal_instance) (query : Query.stgq) ~solve_window
   let avail = Array.map (fun orig -> ti.schedules.(orig)) fg.Feasible.of_sub in
   let windows = ref 0 in
   let best = ref None in
-  for start = 0 to horizon - query.m do
-    if Timetable.Availability.window_free avail.(fg.Feasible.q) ~start ~len:query.m
-    then begin
-      incr windows;
-      let eligible v =
-        Timetable.Availability.window_free avail.(v) ~start ~len:query.m
-      in
-      match solve_window fg ~eligible with
-      | None -> ()
-      | Some (td, group) -> (
-          match !best with
-          | Some (btd, _, _) when td >= btd -. 1e-12 -> ()
-          | _ -> best := Some (td, group, start))
-    end
+  let stopped = ref None in
+  let start = ref 0 in
+  while !stopped = None && !start <= horizon - query.m do
+    let s = !start in
+    (match Budget.check budget with
+    | Some _ as r -> stopped := r
+    | None ->
+        if Timetable.Availability.window_free avail.(fg.Feasible.q) ~start:s ~len:query.m
+        then begin
+          incr windows;
+          let eligible v =
+            Timetable.Availability.window_free avail.(v) ~start:s ~len:query.m
+          in
+          let result, stop = solve_window fg ~eligible in
+          (match result with
+          | None -> ()
+          | Some (td, group) -> (
+              match !best with
+              | Some (btd, _, _) when td >= btd -. 1e-12 -> ()
+              | _ -> best := Some (td, group, s)));
+          stopped := stop
+        end);
+    incr start
   done;
   let st_solution =
     Option.map
-      (fun (td, group, start) ->
+      (fun (td, group, s) ->
         {
           Query.st_attendees = Feasible.originals fg group;
           st_total_distance = td;
-          start_slot = start;
+          start_slot = s;
         })
       !best
   in
-  (st_solution, !windows)
+  let st_outcome =
+    Anytime.make ~completion:!stopped ~gap_of:(stg_gap fg ~p:query.p) st_solution
+  in
+  (st_solution, st_outcome, !windows)
 
 (* The paper's "intuitive approach" resolves a complete, independent SGQ
    per activity period: the radius graph is re-extracted for every window
    and availability is checked slot by slot — none of the work is shared
    across periods.  (The property-test oracle [stgq_brute] below shares
    the extraction; only this benchmarked baseline models the naive cost.) *)
-let stgq_per_slot ?(config = Search_core.default_config) ti (query : Query.stgq) =
+let stgq_per_slot ?(config = Search_core.default_config)
+    ?(budget = Budget.unlimited) ti (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   let horizon = Timetable.Availability.horizon ti.schedules.(0) in
@@ -127,39 +174,62 @@ let stgq_per_slot ?(config = Search_core.default_config) ti (query : Query.stgq)
   let stats = Search_core.fresh_stats () in
   let windows = ref 0 in
   let best = ref None in
-  for start = 0 to horizon - query.m do
+  let stopped = ref None in
+  let start = ref 0 in
+  let last_fg = ref None in
+  while !stopped = None && !start <= horizon - query.m do
+    let s = !start in
     incr windows;
     (* A full SGQ from scratch for this period: a throwaway context
        (radius extraction and all), then a slot-by-slot availability
        scan over every candidate. *)
     let ctx = Feasible.context_of_instance ti.social ~s:query.s in
     let fg = ctx.Engine.Context.fg in
+    last_fg := Some fg;
     let available =
       Array.init (Feasible.size fg) (fun v ->
-          naive_window_free ti.schedules.(fg.Feasible.of_sub.(v)) start)
+          naive_window_free ti.schedules.(fg.Feasible.of_sub.(v)) s)
     in
     if available.(fg.Feasible.to_sub.(q0)) then begin
+      let consider distance group =
+        match !best with
+        | Some (btd, _, _) when distance >= btd -. 1e-12 -> ()
+        | _ -> best := Some (distance, Feasible.originals fg group, s)
+      in
       match
-        Search_core.solve_social
+        Search_core.solve_social_out
           ~eligible:(fun v -> available.(v))
-          ctx ~p:query.p ~k:query.k ~config ~stats
+          ~budget ctx ~p:query.p ~k:query.k ~config ~stats
       with
-      | None -> ()
-      | Some { Search_core.group; distance; _ } -> (
-          match !best with
-          | Some (btd, _, _) when distance >= btd -. 1e-12 -> ()
-          | _ -> best := Some (distance, Feasible.originals fg group, start))
-    end
+      | Anytime.Optimal None -> ()
+      | Anytime.Optimal (Some { Search_core.group; distance; _ }) ->
+          consider distance group
+      | Anytime.Feasible_best { best = { Search_core.group; distance; _ }; reason; _ }
+        ->
+          (* A truncated window still yields a feasible group for this
+             window — usable as the running incumbent. *)
+          consider distance group;
+          stopped := Some reason
+      | Anytime.Exhausted reason -> stopped := Some reason
+    end;
+    incr start
   done;
   let st_solution =
     Option.map
-      (fun (td, attendees, start) ->
-        { Query.st_attendees = attendees; st_total_distance = td; start_slot = start })
+      (fun (td, attendees, s) ->
+        { Query.st_attendees = attendees; st_total_distance = td; start_slot = s })
       !best
   in
-  { st_solution; windows_scanned = !windows; groups_examined = 0 }
+  let st_outcome =
+    let gap_of sol =
+      match !last_fg with Some fg -> stg_gap fg ~p:query.p sol | None -> infinity
+    in
+    Anytime.make ~completion:!stopped ~gap_of st_solution
+  in
+  { st_solution; st_outcome; windows_scanned = !windows; groups_examined = 0 }
 
-let stgq_brute ?(max_groups = max_int) ti (query : Query.stgq) =
+let stgq_brute ?(max_groups = max_int) ?(budget = Budget.unlimited) ti
+    (query : Query.stgq) =
   let examined = ref 0 in
   let solve_window fg ~eligible =
     let size = Feasible.size fg in
@@ -173,9 +243,11 @@ let stgq_brute ?(max_groups = max_int) ti (query : Query.stgq) =
       | Some (btd, _) when td >= btd -. 1e-12 -> ()
       | _ -> best := Some (td, group)
     in
-    enumerate fg ~p:query.p ~k:query.k ~candidates ~max_groups ~examined ~consider;
-    !best
-    |> Option.map (fun (td, group) -> (td, group))
+    let stop =
+      enumerate fg ~p:query.p ~k:query.k ~candidates ~budget ~max_groups ~examined
+        ~consider
+    in
+    (!best, stop)
   in
-  let st_solution, windows = per_window ti query ~solve_window in
-  { st_solution; windows_scanned = windows; groups_examined = !examined }
+  let st_solution, st_outcome, windows = per_window ti query ~budget ~solve_window in
+  { st_solution; st_outcome; windows_scanned = windows; groups_examined = !examined }

@@ -1,0 +1,100 @@
+(* lint: allow-file toplevel-state *)
+(* [unlimited] is a single shared value so that the default solver path
+   allocates nothing; its atomics are never written (every mutator is
+   gated on [limited]). *)
+
+type reason = Deadline | Node_limit | Cancelled
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Node_limit -> "node_limit"
+  | Cancelled -> "cancelled"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_name r)
+
+type t = {
+  deadline_ns : int64;  (* absolute monotonic; Int64.max_int = none *)
+  node_limit : int;  (* max_int = none *)
+  nodes : int Atomic.t;
+  cancel_flag : bool Atomic.t;
+  tripped_cell : reason option Atomic.t;
+  limited : bool;
+}
+
+(* The monotonic clock: immune to wall-clock adjustments, safe to
+   compare across a solve.  The stgq-lint [wall-clock] rule keeps solver
+   code off Unix.gettimeofday and on this. *)
+let now_ns = Monotonic_clock.now
+
+let check_interval = 256
+
+let unlimited =
+  {
+    deadline_ns = Int64.max_int;
+    node_limit = max_int;
+    nodes = Atomic.make 0;
+    cancel_flag = Atomic.make false;
+    tripped_cell = Atomic.make None;
+    limited = false;
+  }
+
+let is_unlimited t = not t.limited
+
+let create ?deadline_ns ?node_limit ?cancel () =
+  (match node_limit with
+  | Some n when n < 0 -> invalid_arg "Budget.create: node_limit must be >= 0"
+  | Some _ | None -> ());
+  {
+    deadline_ns = Option.value deadline_ns ~default:Int64.max_int;
+    node_limit = Option.value node_limit ~default:max_int;
+    nodes = Atomic.make 0;
+    cancel_flag = (match cancel with Some c -> c | None -> Atomic.make false);
+    tripped_cell = Atomic.make None;
+    limited = true;
+  }
+
+let within_ms ?node_limit ms =
+  let deadline_ns =
+    Int64.add (now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L)
+  in
+  create ~deadline_ns ?node_limit ()
+
+let cancel t = if t.limited then Atomic.set t.cancel_flag true
+
+let cancelled t = t.limited && Atomic.get t.cancel_flag
+
+let nodes_charged t = Atomic.get t.nodes
+
+let remaining_ns t =
+  if t.deadline_ns = Int64.max_int then None
+  else Some (Int64.max 0L (Int64.sub t.deadline_ns (now_ns ())))
+
+(* First trip wins; later checks return the latched reason, so every
+   domain sharing the budget reports the same cause. *)
+let trip t reason =
+  ignore (Atomic.compare_and_set t.tripped_cell None (Some reason) : bool);
+  Atomic.get t.tripped_cell
+
+let tripped t = if t.limited then Atomic.get t.tripped_cell else None
+
+let check t =
+  if not t.limited then None
+  else
+    match Atomic.get t.tripped_cell with
+    | Some _ as latched -> latched
+    | None ->
+        if Atomic.get t.cancel_flag then trip t Cancelled
+        else if t.node_limit <> max_int && Atomic.get t.nodes > t.node_limit
+        then trip t Node_limit
+        else if
+          t.deadline_ns <> Int64.max_int
+          && Int64.compare (now_ns ()) t.deadline_ns >= 0
+        then trip t Deadline
+        else None
+
+let charge t n =
+  if not t.limited then None
+  else begin
+    ignore (Atomic.fetch_and_add t.nodes n : int);
+    check t
+  end

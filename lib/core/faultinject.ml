@@ -1,0 +1,168 @@
+(* lint: allow-file toplevel-state *)
+(* Deterministic fault injection.  The plan is process-global on purpose:
+   faults must be reachable from library layers (engine pool workers on
+   other domains, the validation gate) without threading a handle through
+   every API, exactly like the Obs registry.  The armed flag keeps the
+   disabled path to a single atomic load. *)
+
+type site = Context_build | Pool_job_start | Kernel_expansion | Certify
+
+let all_sites = [ Context_build; Pool_job_start; Kernel_expansion; Certify ]
+
+let site_name = function
+  | Context_build -> "context_build"
+  | Pool_job_start -> "pool_job_start"
+  | Kernel_expansion -> "kernel_expansion"
+  | Certify -> "certify"
+
+let site_of_name = function
+  | "context_build" -> Some Context_build
+  | "pool_job_start" -> Some Pool_job_start
+  | "kernel_expansion" -> Some Kernel_expansion
+  | "certify" -> Some Certify
+  | _ -> None
+
+exception Injected_fault of { site : site; transient : bool }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault { site; transient } ->
+        Some
+          (Printf.sprintf "Injected_fault(%s%s)" (site_name site)
+             (if transient then ", transient" else ""))
+    | _ -> None)
+
+type spec = { site : site; at : int; transient : bool; persistent : bool }
+
+let spec_to_string s =
+  Printf.sprintf "%s@%d%s%s" (site_name s.site) s.at
+    (if s.persistent then "+" else "")
+    (if s.transient then ":transient" else "")
+
+(* One token: site@N[+][:transient].  [site@N] fires once, on the Nth hit
+   of the site; the trailing [+] makes it fire on every hit from the Nth
+   onward; [:transient] marks the raised fault as retry-safe. *)
+let parse_spec token =
+  match String.index_opt token '@' with
+  | None -> Error (Printf.sprintf "%S: expected site@N[+][:transient]" token)
+  | Some i -> (
+      let name = String.sub token 0 i in
+      let rest = String.sub token (i + 1) (String.length token - i - 1) in
+      match site_of_name name with
+      | None -> Error (Printf.sprintf "%S: unknown site %S" token name)
+      | Some site -> (
+          let count, flags =
+            match String.split_on_char ':' rest with
+            | count :: flags -> (count, flags)
+            | [] -> ("", [])
+          in
+          let persistent = String.length count > 0 && count.[String.length count - 1] = '+' in
+          let count = if persistent then String.sub count 0 (String.length count - 1) else count in
+          let transient = List.mem "transient" flags in
+          match List.filter (fun f -> f <> "transient") flags with
+          | _ :: _ -> Error (Printf.sprintf "%S: unknown flag" token)
+          | [] -> (
+              match int_of_string_opt count with
+              | Some at when at >= 1 -> Ok { site; at; transient; persistent }
+              | Some _ | None ->
+                  Error (Printf.sprintf "%S: hit index must be a positive integer" token))))
+
+let parse raw =
+  let tokens =
+    String.split_on_char ',' raw |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  List.fold_left
+    (fun acc token ->
+      match (acc, parse_spec token) with
+      | Error _, _ -> acc
+      | Ok _, Error e -> Error e
+      | Ok specs, Ok s -> Ok (s :: specs))
+    (Ok []) tokens
+  |> Result.map List.rev
+
+type entry = { spec : spec; mutable spent : bool }
+
+type state = { mutable entries : entry list; hits : int array }
+
+let lock = Mutex.create ()
+
+let state = { entries = []; hits = Array.make (List.length all_sites) 0 }
+
+let armed = Atomic.make false
+
+let index = function
+  | Context_build -> 0
+  | Pool_job_start -> 1
+  | Kernel_expansion -> 2
+  | Certify -> 3
+
+let install specs =
+  Mutex.lock lock;
+  state.entries <- List.map (fun spec -> { spec; spent = false }) specs;
+  Array.fill state.hits 0 (Array.length state.hits) 0;
+  Atomic.set armed (specs <> []);
+  Mutex.unlock lock
+
+let clear () = install []
+
+let active () = Atomic.get armed
+
+let hits site =
+  Mutex.lock lock;
+  let h = state.hits.(index site) in
+  Mutex.unlock lock;
+  h
+
+let fire site =
+  if Atomic.get armed then begin
+    Mutex.lock lock;
+    let i = index site in
+    state.hits.(i) <- state.hits.(i) + 1;
+    let seen = state.hits.(i) in
+    let due =
+      List.find_opt
+        (fun e ->
+          e.spec.site = site && (not e.spent)
+          && (if e.spec.persistent then seen >= e.spec.at else seen = e.spec.at))
+        state.entries
+    in
+    (match due with
+    | Some e when not e.spec.persistent -> e.spent <- true
+    | Some _ | None -> ());
+    Mutex.unlock lock;
+    match due with
+    | Some e -> raise (Injected_fault { site; transient = e.spec.transient })
+    | None -> ()
+  end
+
+let with_plan plan f =
+  let specs =
+    match parse plan with
+    | Ok specs -> specs
+    | Error msg -> invalid_arg ("Faultinject.with_plan: " ^ msg)
+  in
+  Mutex.lock lock;
+  let saved_entries = state.entries in
+  let saved_hits = Array.copy state.hits in
+  let saved_armed = Atomic.get armed in
+  Mutex.unlock lock;
+  install specs;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock lock;
+      state.entries <- saved_entries;
+      Array.blit saved_hits 0 state.hits 0 (Array.length saved_hits);
+      Atomic.set armed saved_armed;
+      Mutex.unlock lock)
+    f
+
+(* Env gate: a plan in STGQ_FAULTS arms injection for the whole process.
+   Off (and a single atomic load per site) by default. *)
+let () =
+  match Sys.getenv_opt "STGQ_FAULTS" with
+  | None | Some "" -> ()
+  | Some raw -> (
+      match parse raw with
+      | Ok specs -> install specs
+      | Error msg -> Printf.eprintf "STGQ_FAULTS ignored: %s\n%!" msg)

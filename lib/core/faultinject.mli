@@ -1,0 +1,65 @@
+(** Deterministic, env-gated fault injection.
+
+    Resilience claims are only as good as the failures they were tested
+    against.  This module plants named fault sites at the seams the
+    degradation ladder and the pool supervisor must survive; a {e plan}
+    (installed programmatically or through the [STGQ_FAULTS] environment
+    variable) decides which sites raise {!Injected_fault} on which hit.
+    With no plan installed — the default — {!fire} is a single atomic
+    load.
+
+    Plans are deterministic by construction: a fault fires on the Nth
+    {!fire} of its site, counted process-wide, so a failing run replays
+    exactly.  The [@faults] dune alias runs the fault-matrix suite under
+    one plan per site (see docs/ROBUSTNESS.md). *)
+
+(** Where faults can fire. *)
+type site =
+  | Context_build  (** {!Engine.Context.build} entry *)
+  | Pool_job_start  (** pool worker, after dequeue, before running a job *)
+  | Kernel_expansion  (** search-kernel budget checkpoint (every 256 nodes) *)
+  | Certify  (** {!Validate.certify_sg} / {!Validate.certify_stg} entry *)
+
+val all_sites : site list
+
+val site_name : site -> string
+
+val site_of_name : string -> site option
+
+(** The injected failure.  [transient] faults model recoverable
+    conditions (the retry ladder may re-attempt); non-transient faults
+    model hard failures.  A printer is registered. *)
+exception Injected_fault of { site : site; transient : bool }
+
+(** One plan entry: fire at the [at]-th hit of [site] — once, or on
+    every hit from [at] onward when [persistent]. *)
+type spec = { site : site; at : int; transient : bool; persistent : bool }
+
+val spec_to_string : spec -> string
+
+(** [parse raw] parses a comma-separated plan, each token
+    [site\@N[+][:transient]]: [certify\@1:transient] fires a transient
+    fault on the first certification, [context_build\@2+] fires on every
+    context build from the second onward. *)
+val parse : string -> (spec list, string) result
+
+(** [install specs] replaces the active plan and resets hit counters. *)
+val install : spec list -> unit
+
+(** [clear ()] disarms injection. *)
+val clear : unit -> unit
+
+(** [active ()] — is any plan armed? *)
+val active : unit -> bool
+
+(** [hits site] — fires seen at [site] under the current plan. *)
+val hits : site -> int
+
+(** [fire site] raises {!Injected_fault} if the active plan says so;
+    no-op (one atomic load) otherwise. *)
+val fire : site -> unit
+
+(** [with_plan plan f] installs the parsed [plan], runs [f], restores
+    the previous plan (and counters) even on exception.
+    @raise Invalid_argument on a malformed plan. *)
+val with_plan : string -> (unit -> 'a) -> 'a

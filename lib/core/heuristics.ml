@@ -35,9 +35,12 @@ let greedy_social fg ~p ~k ~eligible ~shrink =
   go [ fg.Feasible.q ] 1 () (candidates_by_distance fg)
   |> Option.map (fun (group, ()) -> group)
 
-let greedy_sgq (instance : Query.instance) (query : Query.sgq) =
+let greedy_sgq ?(budget = Budget.unlimited) (instance : Query.instance)
+    (query : Query.sgq) =
   Query.check_sgq query;
   Query.check_instance instance;
+  if Budget.check budget <> None then None
+  else
   let fg = Feasible.extract instance ~s:query.s in
   if query.p = 1 then Some { Query.attendees = [ instance.initiator ]; total_distance = 0. }
   else
@@ -60,7 +63,8 @@ let pivot_runs fg ~m ~avail pivot =
   in
   Array.init (Feasible.size fg) run
 
-let greedy_stgq (ti : Query.temporal_instance) (query : Query.stgq) =
+let greedy_stgq ?(budget = Budget.unlimited) (ti : Query.temporal_instance)
+    (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   let fg = Feasible.extract ti.social ~s:query.s in
@@ -77,7 +81,9 @@ let greedy_stgq (ti : Query.temporal_instance) (query : Query.stgq) =
     (fun pivot ->
       let runs = pivot_runs fg ~m:query.m ~avail pivot in
       let len (lo, hi) = hi - lo + 1 in
-      if len runs.(fg.Feasible.q) >= query.m then begin
+      (* Per-pivot budget poll: tripped => remaining pivots are skipped
+         and the best answer so far stands. *)
+      if Budget.check budget = None && len runs.(fg.Feasible.q) >= query.m then begin
         let shrink (lo, hi) v =
           let rlo, rhi = runs.(v) in
           let lo' = max lo rlo and hi' = min hi rhi in
@@ -125,7 +131,7 @@ type 'state beam_node = {
   state : 'state;  (* temporal interval, or unit *)
 }
 
-let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state =
+let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state ~budget =
   let cands = Array.of_list (candidates_by_distance fg) in
   let f = Array.length cands in
   let cmp a b = compare (a.td, a.group) (b.td, b.group) in
@@ -133,7 +139,9 @@ let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state =
     ref [ { group = [ fg.Feasible.q ]; size = 1; td = 0.; next = 0; state = init_state } ]
   in
   let result = ref None in
-  while !result = None && !level <> [] do
+  (* Per-level budget poll: a beam level is polynomial work, so a trip is
+     observed promptly without a per-candidate check. *)
+  while !result = None && !level <> [] && Budget.check budget = None do
     let keep = Pqueue.Bounded.create ~capacity:width ~cmp in
     List.iter
       (fun node ->
@@ -163,7 +171,8 @@ let beam_social fg ~p ~k ~width ~eligible ~shrink ~init_state =
   done;
   !result
 
-let beam_sgq ?(width = 32) ?ctx (instance : Query.instance) (query : Query.sgq) =
+let beam_sgq ?(width = 32) ?ctx ?(budget = Budget.unlimited)
+    (instance : Query.instance) (query : Query.sgq) =
   Query.check_sgq query;
   Query.check_instance instance;
   if width < 1 then invalid_arg "Heuristics.beam_sgq: width must be >= 1";
@@ -179,14 +188,15 @@ let beam_sgq ?(width = 32) ?ctx (instance : Query.instance) (query : Query.sgq) 
   else
     beam_social fg ~p:query.p ~k:query.k ~width ~eligible:(fun _ -> true)
       ~shrink:(fun () _ -> Some ())
-      ~init_state:()
+      ~init_state:() ~budget
     |> Option.map (fun node ->
            {
              Query.attendees = Feasible.originals fg node.group;
              total_distance = node.td;
            })
 
-let beam_stgq ?(width = 32) ?ctx (ti : Query.temporal_instance) (query : Query.stgq) =
+let beam_stgq ?(width = 32) ?ctx ?(budget = Budget.unlimited)
+    (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   if width < 1 then invalid_arg "Heuristics.beam_stgq: width must be >= 1";
@@ -204,7 +214,9 @@ let beam_stgq ?(width = 32) ?ctx (ti : Query.temporal_instance) (query : Query.s
     (fun pivot ->
       let runs = pivot_runs fg ~m:query.m ~avail pivot in
       let len (lo, hi) = hi - lo + 1 in
-      if len runs.(fg.Feasible.q) >= query.m then begin
+      (* Per-pivot budget poll: tripped => remaining pivots are skipped
+         and the best answer so far stands. *)
+      if Budget.check budget = None && len runs.(fg.Feasible.q) >= query.m then begin
         let shrink (lo, hi) v =
           let rlo, rhi = runs.(v) in
           let lo' = max lo rlo and hi' = min hi rhi in
@@ -223,7 +235,7 @@ let beam_stgq ?(width = 32) ?ctx (ti : Query.temporal_instance) (query : Query.s
           else
             beam_social fg ~p:query.p ~k:query.k ~width
               ~eligible:(fun v -> len runs.(v) >= query.m)
-              ~shrink ~init_state:runs.(fg.Feasible.q)
+              ~shrink ~init_state:runs.(fg.Feasible.q) ~budget
         in
         match found with
         | Some node -> (

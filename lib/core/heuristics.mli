@@ -18,22 +18,30 @@
     distance is an upper bound on the optimum — benchmarked against exact
     in the harness's quality table. *)
 
+(** All four heuristics accept an optional {!Budget}: polled per pivot
+    slot / beam level, a trip ends the scan early and the best answer
+    found so far (possibly [None]) is returned — heuristics are
+    best-effort by definition, so truncation needs no separate marker. *)
+
 (** [greedy_sgq instance query] — greedy SGQ. *)
-val greedy_sgq : Query.instance -> Query.sgq -> Query.sg_solution option
+val greedy_sgq :
+  ?budget:Budget.t -> Query.instance -> Query.sgq -> Query.sg_solution option
 
 (** [greedy_stgq ti query] — greedy STGQ: per pivot slot, greedy over the
     members available there; best pivot wins. *)
-val greedy_stgq : Query.temporal_instance -> Query.stgq -> Query.stg_solution option
+val greedy_stgq :
+  ?budget:Budget.t -> Query.temporal_instance -> Query.stgq ->
+  Query.stg_solution option
 
 (** [beam_sgq ?width ?ctx instance query] — beam-search SGQ ([width]
     default 32).  [ctx] supplies a pre-built engine context matching
     [instance] and [query.s]. *)
 val beam_sgq :
-  ?width:int -> ?ctx:Engine.Context.t ->
+  ?width:int -> ?ctx:Engine.Context.t -> ?budget:Budget.t ->
   Query.instance -> Query.sgq -> Query.sg_solution option
 
 (** [beam_stgq ?width ?ctx ti query] — beam-search STGQ over pivot
     slots; [ctx] as in {!beam_sgq}. *)
 val beam_stgq :
-  ?width:int -> ?ctx:Engine.Context.t ->
+  ?width:int -> ?ctx:Engine.Context.t -> ?budget:Budget.t ->
   Query.temporal_instance -> Query.stgq -> Query.stg_solution option

@@ -1,5 +1,6 @@
 type report = {
   solution : Query.stg_solution option;
+  outcome : Query.stg_solution Anytime.outcome;
   domains_used : int;
   total_nodes : int;
 }
@@ -25,47 +26,62 @@ let prepare ?ctx (ti : Query.temporal_instance) (query : Query.stgq) =
   in
   (ctx, Engine.Context.pivots ctx ~m:query.m)
 
-let bucket_job ~config ctx (query : Query.stgq) bucket () =
+(* Every bucket shares one budget: node charges aggregate across domains
+   and the first trip latches, so a deadline hit in one bucket is
+   observed by its siblings at their next checkpoint — a cancelled batch
+   cannot strand in-flight buckets. *)
+let bucket_job ~config ~budget ctx (query : Query.stgq) bucket () =
   let stats = Search_core.fresh_stats () in
-  let found =
-    Search_core.solve_temporal ctx ~p:query.p ~k:query.k ~m:query.m ~pivots:bucket
-      ~config ~stats
+  let out =
+    Search_core.solve_temporal_out ~budget ctx ~p:query.p ~k:query.k ~m:query.m
+      ~pivots:bucket ~config ~stats
   in
   (* Runs on a worker domain; counters are per-domain sharded, so this
      publish never contends with sibling buckets. *)
   Instr.record_search stats;
-  (found, stats.Search_core.nodes)
+  (out, stats.Search_core.nodes)
 
-let finish ctx ~n_domains results =
+let finish ctx ~n_domains ~(query : Query.stgq) ~budget results =
   let total_nodes = List.fold_left (fun acc (_, n) -> acc + n) 0 results in
   let key (f : Search_core.found) =
     (f.distance, f.window_start, List.sort compare f.group)
   in
   let best =
     List.fold_left
-      (fun acc (found, _) ->
-        match (acc, found) with
+      (fun acc (out, _) ->
+        match (acc, Anytime.solution out) with
         | None, f -> f
         | Some a, Some b -> if key b < key a then Some b else Some a
         | Some a, None -> Some a)
       None results
   in
-  let solution =
-    match best with
-    | None -> None
-    | Some f -> (
-        match Search_core.temporal_solution ctx.Engine.Context.fg f with
-        | Ok s -> Some s
-        | Error (Search_core.Missing_window _) ->
-            Log.err (fun m_ ->
-                m_ "temporal search delivered a group without a window start; \
-                    dropping the (invalid) answer");
-            None)
+  let completion =
+    if List.for_all (fun (out, _) -> Anytime.complete out) results then None
+    else
+      match Budget.tripped budget with
+      | Some _ as r -> r
+      | None -> List.find_map (fun (out, _) -> Anytime.reason out) results
   in
-  { solution; domains_used = n_domains; total_nodes }
+  let gap_of (f : Search_core.found) =
+    let lb =
+      Search_core.completion_lower_bound ctx.Engine.Context.fg ~p:query.p
+        ~eligible:(fun _ -> true)
+    in
+    Float.max 0. (f.distance -. lb)
+  in
+  let found_outcome = Anytime.make ~completion ~gap_of best in
+  let outcome = Stgselect.convert_outcome ctx.Engine.Context.fg found_outcome in
+  (match Anytime.reason outcome with
+  | Some reason ->
+      Log.debug (fun m_ ->
+          m_ "parallel solve truncated (%s) after %d nodes"
+            (Budget.reason_name reason) total_nodes)
+  | None -> ());
+  { solution = Anytime.solution outcome; outcome; domains_used = n_domains; total_nodes }
 
 let solve_report ?(config = Search_core.default_config) ?domains ?pool ?ctx
-    (ti : Query.temporal_instance) (query : Query.stgq) =
+    ?(budget = Budget.unlimited) (ti : Query.temporal_instance)
+    (query : Query.stgq) =
   let ctx, pivots = prepare ?ctx ti query in
   let pool = match pool with Some p -> p | None -> Engine.Pool.default () in
   let wanted =
@@ -74,12 +90,13 @@ let solve_report ?(config = Search_core.default_config) ?domains ?pool ?ctx
   let n_domains = max 1 (min wanted (List.length pivots)) in
   let buckets = round_robin n_domains pivots in
   let jobs =
-    Array.to_list (Array.map (fun bucket -> bucket_job ~config ctx query bucket) buckets)
+    Array.to_list
+      (Array.map (fun bucket -> bucket_job ~config ~budget ctx query bucket) buckets)
   in
-  finish ctx ~n_domains (Engine.Pool.run pool jobs)
+  finish ctx ~n_domains ~query ~budget (Engine.Pool.run pool jobs)
 
-let solve ?config ?domains ?pool ?ctx ti query =
-  (solve_report ?config ?domains ?pool ?ctx ti query).solution
+let solve ?config ?domains ?pool ?ctx ?budget ti query =
+  (solve_report ?config ?domains ?pool ?ctx ?budget ti query).solution
 
 (* The seed's serving path, kept as the benchmark baseline: extract the
    feasible graph afresh unless a context is supplied, and spawn/join a
@@ -87,12 +104,16 @@ let solve ?config ?domains ?pool ?ctx ti query =
 let solve_report_unpooled ?(config = Search_core.default_config) ?domains ?ctx
     (ti : Query.temporal_instance) (query : Query.stgq) =
   let ctx, pivots = prepare ?ctx ti query in
+  let budget = Budget.unlimited in
   let wanted =
     match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
   in
   let n_domains = max 1 (min wanted (List.length pivots)) in
   let buckets = round_robin n_domains pivots in
   let handles =
-    Array.map (fun bucket -> Domain.spawn (bucket_job ~config ctx query bucket)) buckets
+    Array.map
+      (fun bucket -> Domain.spawn (bucket_job ~config ~budget ctx query bucket))
+      buckets
   in
-  finish ctx ~n_domains (Array.to_list (Array.map Domain.join handles))
+  finish ctx ~n_domains ~query ~budget
+    (Array.to_list (Array.map Domain.join handles))

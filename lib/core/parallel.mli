@@ -15,25 +15,35 @@
 
 type report = {
   solution : Query.stg_solution option;
+      (** the carried answer ([= Anytime.solution outcome]) *)
+  outcome : Query.stg_solution Anytime.outcome;
+      (** merged across buckets: [Optimal] only when every bucket ran to
+          completion; otherwise the best answer any bucket delivered,
+          with reason and gap (see {!Anytime}) *)
   domains_used : int;
   total_nodes : int;  (** summed across domains *)
 }
 
-(** [solve ?config ?domains ?pool ?ctx ti query] — the bucket count
-    defaults to the pool's size (itself defaulting to
+(** [solve ?config ?domains ?pool ?ctx ?budget ti query] — the bucket
+    count defaults to the pool's size (itself defaulting to
     [Domain.recommended_domain_count ()]), capped by the pivot count;
     [domains] overrides it.  [ctx] supplies a pre-built engine context
     (see {!Stgselect.solve}).  Result ties are broken by (distance,
     start slot, attendees), making the outcome deterministic and equal
-    in distance to {!Stgselect}. *)
+    in distance to {!Stgselect}.
+
+    One [budget] is shared by every bucket: node charges aggregate
+    across domains and the first trip (deadline, node limit, or
+    {!Budget.cancel}) latches for all of them, so a cancelled batch
+    cannot strand its in-flight sibling buckets. *)
 val solve :
   ?config:Search_core.config -> ?domains:int -> ?pool:Engine.Pool.t ->
-  ?ctx:Engine.Context.t ->
+  ?ctx:Engine.Context.t -> ?budget:Budget.t ->
   Query.temporal_instance -> Query.stgq -> Query.stg_solution option
 
 val solve_report :
   ?config:Search_core.config -> ?domains:int -> ?pool:Engine.Pool.t ->
-  ?ctx:Engine.Context.t ->
+  ?ctx:Engine.Context.t -> ?budget:Budget.t ->
   Query.temporal_instance -> Query.stgq -> report
 
 (** [solve_report_unpooled ?config ?domains ?ctx ti query] is the seed

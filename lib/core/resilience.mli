@@ -1,0 +1,103 @@
+(** The degradation ladder: resilient query answering under deadlines,
+    cancellation and injected faults.
+
+    A resilient solve walks down a ladder of rungs until one yields an
+    answer it can stand behind:
+
+    + {b Exact} — the optimal solver ran to completion within budget.
+    + {b Anytime} — the budget tripped but the solver had an incumbent:
+      the best feasible answer so far, with its optimality-gap bound
+      (see {!Anytime}).
+    + {b Heuristic} — no incumbent survived; a budgeted beam/greedy
+      heuristic answers instead (no gap bound).
+    + Typed failure — {!Degraded} (resource-bounded, nothing found) or
+      {!Unavailable} (hard fault), never a hang or a raw exception.
+
+    Transient faults ({!Faultinject.Injected_fault} with
+    [transient = true]) are retried with bounded, deterministically
+    jittered exponential backoff before the ladder gives up.
+
+    Every outcome is counted ([service.deadline_hits],
+    [service.degraded], [service.retries], [service.unavailable]) and
+    timed per rung ([service.rung.{exact,anytime,heuristic}.latency_ns]);
+    see docs/OBSERVABILITY.md. *)
+
+type rung = Exact | Anytime_best | Heuristic
+
+val rung_name : rung -> string
+
+val pp_rung : Format.formatter -> rung -> unit
+
+type policy = {
+  deadline_ms : float option;  (** wall budget per attempt; [None] = none *)
+  node_limit : int option;  (** node-expansion budget; [None] = none *)
+  degrade : bool;  (** allow the heuristic rung (default [true]) *)
+  max_retries : int;  (** transient-fault retries (not rung descents) *)
+  backoff_ms : float;  (** base backoff, doubled per retry, jittered *)
+  seed : int;  (** jitter seed — retry schedules are reproducible *)
+}
+
+(** No budget, degradation allowed, 2 retries from a 5 ms base. *)
+val default_policy : policy
+
+type 'a answer = {
+  value : 'a option;
+      (** [None] only on the [Exact] rung: certified infeasible *)
+  rung : rung;
+  gap : float option;
+      (** [Some 0.] when exact; an upper bound on suboptimality on the
+          anytime rung; [None] on the heuristic rung (unknown) *)
+  retries : int;  (** transient retries consumed *)
+  reason : Budget.reason option;  (** why descent happened, if it did *)
+}
+
+type error =
+  | Degraded of { reason : Budget.reason; retries : int }
+      (** the budget expired and no rung produced an answer (or
+          degradation was disabled by policy) *)
+  | Unavailable of { error : exn; retries : int }
+      (** a non-budget failure survived the retry allowance *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [protect ?policy f] applies only the retry/classification half of
+    the ladder to a pre-solve step (context build, planning): transient
+    injected faults retry with the policy's backoff, any surviving
+    exception becomes {!Unavailable}.  No budget is imposed. *)
+val protect : ?policy:policy -> (unit -> 'a) -> ('a, error) result
+
+(** [certify_outcome ~certify outcome] re-checks the solution an outcome
+    carries (feasibility, {e not} optimality — see {!Validate}): both
+    [Optimal] and anytime [Feasible_best] answers pass through
+    [certify], which raises on violation.  A certifier that answers
+    [None] for a [Feasible_best] degrades it to [Exhausted]. *)
+val certify_outcome :
+  certify:('a option -> 'a option) -> 'a Anytime.outcome -> 'a Anytime.outcome
+
+(** [run ?policy ?cancel ~exact ~heuristic ()] walks the ladder.  Each
+    attempt builds a fresh {!Budget.t} from [policy] (sharing [cancel]
+    when given, so an external flag aborts whichever rung is running)
+    and calls [exact]; its {!Anytime.outcome} selects the rung as
+    described above.  [heuristic] runs under its own fresh budget and
+    only when [exact] was [Exhausted].  Exceptions from either closure
+    are classified: transient injected faults retry with backoff, the
+    rest return {!Unavailable}. *)
+val run :
+  ?policy:policy ->
+  ?cancel:bool Atomic.t ->
+  exact:(Budget.t -> 'a Anytime.outcome) ->
+  heuristic:(Budget.t -> 'a option) ->
+  unit ->
+  ('a answer, error) result
+
+(** [run_heuristic ?policy ?cancel ~heuristic ()] enters the ladder at
+    the heuristic rung — for callers whose planner already chose a
+    heuristic (see {!Auto}).  Same budget construction, retry and
+    accounting; the answer's [rung] is always [Heuristic] and a [None]
+    value is a legitimate "nothing found" (not an error). *)
+val run_heuristic :
+  ?policy:policy ->
+  ?cancel:bool Atomic.t ->
+  heuristic:(Budget.t -> 'a option) ->
+  unit ->
+  ('a answer, error) result

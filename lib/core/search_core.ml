@@ -96,9 +96,15 @@ type state = {
   mutable sum_nbr_va : int;  (* Σ_{v∈VA} nbr_va(v), maintained incrementally *)
   sink : sink;
   temporal : temporal option;
+  budget : Budget.t;
 }
 
 let eps = 1e-9
+
+(* Raised (no-trace: purely for control flow) when the budget trips at a
+   checkpoint.  It unwinds the whole search; the per-solve state is
+   discarded, so no undo is needed on this path. *)
+exception Stop
 
 (* ------------------------------------------------------------------ *)
 (* State transitions, all O(deg) with exact inverses.                  *)
@@ -276,8 +282,21 @@ let record_best st =
       window_start = (match st.temporal with Some tc -> Some tc.ts_lo | None -> None);
     }
 
+(* The budget checkpoint: one [land] per node, real work only every
+   [Budget.check_interval] expansions (clock read, shared-counter
+   publish, fault-site poll), so the unbudgeted path stays bit-identical
+   and the budgeted path stays within the bench-gated 3% overhead. *)
+let checkpoint st =
+  if st.stats.nodes land (Budget.check_interval - 1) = 0 then begin
+    Faultinject.fire Faultinject.Kernel_expansion;
+    match Budget.charge st.budget Budget.check_interval with
+    | Some _ -> raise_notrace Stop
+    | None -> ()
+  end
+
 let rec node st =
   st.stats.nodes <- st.stats.nodes + 1;
+  checkpoint st;
   let removed = ref [] in
   let theta = ref st.cfg.theta0 in
   let phi = ref st.cfg.phi0 in
@@ -412,7 +431,7 @@ let sorted_candidates fg ~eligible ~by_distance =
       arr;
   arr
 
-let make_state fg ~p ~k ~cfg ~stats ~eligible ~temporal ~sink =
+let make_state fg ~p ~k ~cfg ~stats ~eligible ~temporal ~sink ~budget =
   let size = Feasible.size fg in
   let order = sorted_candidates fg ~eligible ~by_distance:cfg.use_access_ordering in
   let by_dist =
@@ -458,7 +477,29 @@ let make_state fg ~p ~k ~cfg ~stats ~eligible ~temporal ~sink =
         (Array.init size Fun.id);
     sink;
     temporal;
+    budget;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Admissible completion bound, for anytime gap reporting.             *)
+
+(* Any qualified group is q plus p-1 distinct eligible candidates, so
+   its distance is at least the sum of the p-1 smallest candidate
+   distances.  Coarse (it ignores acquaintance and availability) but
+   sound for every region a truncated search abandoned; computed once
+   per budgeted solve, never on the per-node path. *)
+let completion_lower_bound fg ~p ~eligible =
+  let dists = ref [] in
+  for v = Feasible.size fg - 1 downto 0 do
+    if v <> fg.Feasible.q && eligible v then dists := fg.Feasible.dist.(v) :: !dists
+  done;
+  let sorted = List.sort compare !dists in
+  let rec take acc n = function
+    | _ when n = 0 -> Some acc
+    | [] -> None
+    | d :: rest -> take (acc +. d) (n - 1) rest
+  in
+  match take 0. (p - 1) sorted with Some lb -> lb | None -> infinity
 
 (* ------------------------------------------------------------------ *)
 (* Entry points.                                                       *)
@@ -482,22 +523,49 @@ let best_sink ?(bound_init = infinity) cell =
         | None -> bound_init);
   }
 
-let solve_social_sink ?(eligible = fun _ -> true) (ctx : Engine.Context.t) ~p ~k
-    ~config ~stats ~sink =
+let solve_social_sink ?(eligible = fun _ -> true) ?(budget = Budget.unlimited)
+    (ctx : Engine.Context.t) ~p ~k ~config ~stats ~sink =
   let fg = ctx.Engine.Context.fg in
-  if p = 1 then sink.offer { group = [ fg.Feasible.q ]; distance = 0.; window_start = None }
-  else if Feasible.size fg < p then ()
-  else begin
-    let st = make_state fg ~p ~k ~cfg:config ~stats ~eligible ~temporal:None ~sink in
-    if st.vs_size + st.va_size >= p then node st
+  if p = 1 then begin
+    sink.offer { group = [ fg.Feasible.q ]; distance = 0.; window_start = None };
+    None
   end
+  else if Feasible.size fg < p then None
+  else
+    match Budget.check budget with
+    | Some _ as stopped -> stopped
+    | None -> (
+        let st =
+          make_state fg ~p ~k ~cfg:config ~stats ~eligible ~temporal:None ~sink
+            ~budget
+        in
+        match (if st.vs_size + st.va_size >= p then node st) with
+        | () -> None
+        | exception Stop -> Budget.tripped budget)
 
 let solve_social ?eligible ?bound_init ctx ~p ~k ~config ~stats =
   let cell = ref None in
-  solve_social_sink ?eligible ctx ~p ~k ~config ~stats ~sink:(best_sink ?bound_init cell);
+  ignore
+    (solve_social_sink ?eligible ctx ~p ~k ~config ~stats
+       ~sink:(best_sink ?bound_init cell)
+      : Budget.reason option);
   !cell
 
-let solve_temporal_sink (ctx : Engine.Context.t) ~p ~k ~m ~pivots ~config ~stats ~sink =
+let solve_social_out ?eligible ?bound_init ?budget ctx ~p ~k ~config ~stats =
+  let cell = ref None in
+  let completion =
+    solve_social_sink ?eligible ?budget ctx ~p ~k ~config ~stats
+      ~sink:(best_sink ?bound_init cell)
+  in
+  let gap_of (f : found) =
+    let elig = match eligible with Some e -> e | None -> fun _ -> true in
+    let lb = completion_lower_bound ctx.Engine.Context.fg ~p ~eligible:elig in
+    Float.max 0. (f.distance -. lb)
+  in
+  Anytime.make ~completion ~gap_of !cell
+
+let solve_temporal_sink ?(budget = Budget.unlimited) (ctx : Engine.Context.t) ~p
+    ~k ~m ~pivots ~config ~stats ~sink =
   if not (Engine.Context.has_schedules ctx) then
     invalid_arg "Search_core.solve_temporal: context was built without schedules";
   let fg = ctx.Engine.Context.fg in
@@ -537,19 +605,40 @@ let solve_temporal_sink (ctx : Engine.Context.t) ~p ~k ~m ~pivots ~config ~stats
         let st =
           make_state fg ~p ~k ~cfg:config ~stats
             ~eligible:(fun v -> run_len v >= m)
-            ~temporal:(Some tc) ~sink
+            ~temporal:(Some tc) ~sink ~budget
         in
         if st.vs_size + st.va_size >= p then node st
       end
     end
   in
-  List.iter explore_pivot pivots
+  match Budget.check budget with
+  | Some _ as stopped -> stopped
+  | None -> (
+      match List.iter explore_pivot pivots with
+      | () -> None
+      | exception Stop -> Budget.tripped budget)
 
 let solve_temporal ?bound_init ctx ~p ~k ~m ~pivots ~config ~stats =
   let cell = ref None in
-  solve_temporal_sink ctx ~p ~k ~m ~pivots ~config ~stats
-    ~sink:(best_sink ?bound_init cell);
+  ignore
+    (solve_temporal_sink ctx ~p ~k ~m ~pivots ~config ~stats
+       ~sink:(best_sink ?bound_init cell)
+      : Budget.reason option);
   !cell
+
+let solve_temporal_out ?bound_init ?budget ctx ~p ~k ~m ~pivots ~config ~stats =
+  let cell = ref None in
+  let completion =
+    solve_temporal_sink ?budget ctx ~p ~k ~m ~pivots ~config ~stats
+      ~sink:(best_sink ?bound_init cell)
+  in
+  let gap_of (f : found) =
+    let lb =
+      completion_lower_bound ctx.Engine.Context.fg ~p ~eligible:(fun _ -> true)
+    in
+    Float.max 0. (f.distance -. lb)
+  in
+  Anytime.make ~completion ~gap_of !cell
 
 type temporal_error = Missing_window of { group : int list; distance : float }
 

@@ -78,6 +78,17 @@ val solve_social :
   ?eligible:(int -> bool) -> ?bound_init:float ->
   Engine.Context.t -> p:int -> k:int -> config:config -> stats:stats -> found option
 
+(** [solve_social_out ?budget ctx ...] is {!solve_social} under a
+    cooperative {!Budget}: the search polls the budget every
+    {!Budget.check_interval} node expansions and, instead of raising on
+    a trip, reports how far it got as an {!Anytime.outcome}.  With the
+    default {!Budget.unlimited} the exploration is bit-identical to
+    {!solve_social} and the outcome is always [Optimal]. *)
+val solve_social_out :
+  ?eligible:(int -> bool) -> ?bound_init:float -> ?budget:Budget.t ->
+  Engine.Context.t -> p:int -> k:int -> config:config -> stats:stats ->
+  found Anytime.outcome
+
 (** [solve_temporal ctx ~p ~k ~m ~pivots ~config ~stats] runs
     STGSelect's search over the context's availability slab; only the
     given pivot slots are explored (Lemma 4).  The best solution across
@@ -92,18 +103,38 @@ val solve_temporal :
   config:config -> stats:stats ->
   found option
 
+(** Budgeted {!solve_temporal}; see {!solve_social_out}. *)
+val solve_temporal_out :
+  ?bound_init:float -> ?budget:Budget.t ->
+  Engine.Context.t ->
+  p:int -> k:int -> m:int ->
+  pivots:int list ->
+  config:config -> stats:stats ->
+  found Anytime.outcome
+
 (** Sink-driven variants of the two searches — same exploration and
-    pruning, custom solution collection. *)
+    pruning, custom solution collection.  The result is the budget trip
+    that truncated the search, or [None] for a complete run (always
+    [None] under the default {!Budget.unlimited}). *)
 val solve_social_sink :
-  ?eligible:(int -> bool) ->
-  Engine.Context.t -> p:int -> k:int -> config:config -> stats:stats -> sink:sink -> unit
+  ?eligible:(int -> bool) -> ?budget:Budget.t ->
+  Engine.Context.t -> p:int -> k:int -> config:config -> stats:stats -> sink:sink ->
+  Budget.reason option
 
 val solve_temporal_sink :
+  ?budget:Budget.t ->
   Engine.Context.t ->
   p:int -> k:int -> m:int ->
   pivots:int list ->
   config:config -> stats:stats -> sink:sink ->
-  unit
+  Budget.reason option
+
+(** [completion_lower_bound fg ~p ~eligible] — an admissible lower bound
+    on the distance of {e any} qualified group over the eligible
+    candidates (the sum of the [p-1] smallest candidate distances;
+    [infinity] when fewer than [p-1] candidates are eligible).  Feeds
+    the anytime gap bound. *)
+val completion_lower_bound : Feasible.t -> p:int -> eligible:(int -> bool) -> float
 
 (** Why a temporal {!found} could not become an STGQ solution: the
     search delivered a group with no window start.  [solve_temporal]

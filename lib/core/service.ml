@@ -53,6 +53,63 @@ let stgq t ~initiator (query : Query.stgq) =
   Obs.time_hist Instr.certify_latency @@ fun () ->
   Validate.certify_stg ti query solution
 
+(* Resilient variants: the degradation ladder of {!Resilience} wrapped
+   around the same solvers.  Context build and certification both run
+   inside the retried closures, so an injected fault at either site is
+   retryable; the certificate is feasibility-checked on every rung
+   (anytime and heuristic answers included). *)
+
+let sgq_r ?policy ?cancel t ~initiator (query : Query.sgq) =
+  Obs.time_hist Instr.sgq_latency @@ fun () ->
+  Query.check_sgq query;
+  let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
+  let certify solution =
+    Obs.time_hist Instr.certify_latency @@ fun () ->
+    Validate.certify_sg instance query solution
+  in
+  let exact budget =
+    let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
+    let report = Sgselect.solve_report ~config:t.config ~ctx ~budget instance query in
+    Resilience.certify_outcome ~certify report.Sgselect.outcome
+  in
+  let heuristic budget =
+    let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
+    certify (Heuristics.beam_sgq ~ctx ~budget instance query)
+  in
+  Resilience.run ?policy ?cancel ~exact ~heuristic ()
+
+let stgq_r ?policy ?cancel t ~initiator (query : Query.stgq) =
+  Obs.time_hist Instr.stgq_latency @@ fun () ->
+  Query.check_stgq query;
+  let ti =
+    {
+      Query.social = { Query.graph = Engine.Cache.graph t.engine; initiator };
+      schedules = t.schedules;
+    }
+  in
+  let certify solution =
+    Obs.time_hist Instr.certify_latency @@ fun () ->
+    Validate.certify_stg ti query solution
+  in
+  let exact budget =
+    let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
+    let outcome =
+      match t.pool with
+      | Some pool ->
+          (Parallel.solve_report ~config:t.config ~pool ~ctx ~budget ti query)
+            .Parallel.outcome
+      | None ->
+          (Stgselect.solve_report ~config:t.config ~ctx ~budget ti query)
+            .Stgselect.outcome
+    in
+    Resilience.certify_outcome ~certify outcome
+  in
+  let heuristic budget =
+    let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
+    certify (Heuristics.beam_stgq ~ctx ~budget ti query)
+  in
+  Resilience.run ?policy ?cancel ~exact ~heuristic ()
+
 let cache_stats t =
   let s = Engine.Cache.stats t.engine in
   {

@@ -39,6 +39,27 @@ val sgq : t -> initiator:int -> Query.sgq -> Query.sg_solution option
     like {!sgq}. *)
 val stgq : t -> initiator:int -> Query.stgq -> Query.stg_solution option
 
+(** [sgq_r ?policy ?cancel t ~initiator query] answers through the
+    {!Resilience} degradation ladder: exact within the policy's budget,
+    else the best anytime incumbent with its gap bound, else a budgeted
+    beam heuristic, else a typed error — never a hang or a raw
+    exception.  Context construction and certification run inside the
+    retried closures, so transient faults at either are retried; every
+    returned value (any rung) carries a validated feasibility
+    certificate. *)
+val sgq_r :
+  ?policy:Resilience.policy -> ?cancel:bool Atomic.t ->
+  t -> initiator:int -> Query.sgq ->
+  (Query.sg_solution Resilience.answer, Resilience.error) result
+
+(** [stgq_r ?policy ?cancel t ~initiator query] — the temporal analogue
+    of {!sgq_r}; uses the pooled parallel solver when the service has a
+    pool (the policy budget is shared across its buckets). *)
+val stgq_r :
+  ?policy:Resilience.policy -> ?cancel:bool Atomic.t ->
+  t -> initiator:int -> Query.stgq ->
+  (Query.stg_solution Resilience.answer, Resilience.error) result
+
 (** [cache_stats t] — cumulative context-cache behaviour. *)
 val cache_stats : t -> cache_stats
 

@@ -1,5 +1,6 @@
 type report = {
   solution : Query.sg_solution option;
+  outcome : Query.sg_solution Anytime.outcome;
   stats : Search_core.stats;
   feasible_size : int;
 }
@@ -9,7 +10,7 @@ let log = Logs.Src.create "stgq.sgselect" ~doc:"SGSelect query processing"
 module Log = (val Logs.src_log log)
 
 let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
-    (instance : Query.instance) (query : Query.sgq) =
+    ?budget (instance : Query.instance) (query : Query.sgq) =
   Query.check_sgq query;
   Query.check_instance instance;
   let ctx =
@@ -22,23 +23,27 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
   let fg = ctx.Engine.Context.fg in
   let stats = Search_core.fresh_stats () in
   let found =
-    Search_core.solve_social ?bound_init:initial_bound ctx ~p:query.p ~k:query.k
-      ~config ~stats
+    Search_core.solve_social_out ?bound_init:initial_bound ?budget ctx
+      ~p:query.p ~k:query.k ~config ~stats
   in
   Instr.record_search stats;
   Log.debug (fun m ->
       m "SGQ(p=%d,s=%d,k=%d): |V_F|=%d, %d nodes, %s" query.p query.s query.k
         (Feasible.size fg) stats.Search_core.nodes
         (match found with
-        | Some f -> Printf.sprintf "optimum %g" f.Search_core.distance
-        | None -> "infeasible"));
-  let solution =
-    Option.map
+        | Anytime.Optimal (Some f) -> Printf.sprintf "optimum %g" f.Search_core.distance
+        | Anytime.Optimal None -> "infeasible"
+        | Anytime.Feasible_best { best; gap; _ } ->
+            Printf.sprintf "anytime %g (gap <= %g)" best.Search_core.distance gap
+        | Anytime.Exhausted reason ->
+            Printf.sprintf "exhausted (%s)" (Budget.reason_name reason)));
+  let outcome =
+    Anytime.map
       (fun { Search_core.group; distance; _ } ->
         { Query.attendees = Feasible.originals fg group; total_distance = distance })
       found
   in
-  { solution; stats; feasible_size = Feasible.size fg }
+  { solution = Anytime.solution outcome; outcome; stats; feasible_size = Feasible.size fg }
 
 let solve ?config ?ctx ?initial_bound instance query =
   (solve_report ?config ?ctx ?initial_bound instance query).solution

@@ -7,6 +7,10 @@
 
 type report = {
   solution : Query.sg_solution option;
+      (** the carried answer ([= Anytime.solution outcome]) *)
+  outcome : Query.sg_solution Anytime.outcome;
+      (** exact, anytime-truncated, or exhausted (see {!Anytime}); always
+          [Optimal] without a budget *)
   stats : Search_core.stats;
   feasible_size : int;  (** |V_F| after radius extraction *)
 }
@@ -31,8 +35,11 @@ val solve_warm :
   ?config:Search_core.config -> ?beam_width:int ->
   Query.instance -> Query.sgq -> Query.sg_solution option
 
-(** [solve_report ?config ?ctx instance query] also exposes
-    search-effort counters for the experiment harness. *)
+(** [solve_report ?config ?ctx ?budget instance query] also exposes
+    search-effort counters for the experiment harness.  [budget] bounds
+    the solve cooperatively; on a trip the report's [outcome] carries
+    the anytime answer instead of raising (see {!Anytime}). *)
 val solve_report :
   ?config:Search_core.config -> ?ctx:Engine.Context.t -> ?initial_bound:float ->
+  ?budget:Budget.t ->
   Query.instance -> Query.sgq -> report

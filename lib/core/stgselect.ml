@@ -1,5 +1,6 @@
 type report = {
   solution : Query.stg_solution option;
+  outcome : Query.stg_solution Anytime.outcome;
   stats : Search_core.stats;
   feasible_size : int;
   pivots_scanned : int;
@@ -9,8 +10,30 @@ let log = Logs.Src.create "stgq.stgselect" ~doc:"STGSelect query processing"
 
 module Log = (val Logs.src_log log)
 
+(* Convert a [found]-level outcome into solution space.  A found group
+   without a window start is an internal invariant violation; it is
+   logged and dropped, degrading a [Feasible_best] to [Exhausted]. *)
+let convert_outcome fg (found : Search_core.found Anytime.outcome) =
+  let conv f =
+    match Search_core.temporal_solution fg f with
+    | Ok s -> Some s
+    | Error (Search_core.Missing_window _) ->
+        Log.err (fun m_ ->
+            m_ "temporal search delivered a group without a window start; \
+                dropping the (invalid) answer");
+        None
+  in
+  match found with
+  | Anytime.Optimal None -> Anytime.Optimal None
+  | Anytime.Optimal (Some f) -> Anytime.Optimal (conv f)
+  | Anytime.Feasible_best { best; gap; reason } -> (
+      match conv best with
+      | Some s -> Anytime.Feasible_best { best = s; gap; reason }
+      | None -> Anytime.Exhausted reason)
+  | Anytime.Exhausted reason -> Anytime.Exhausted reason
+
 let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
-    (ti : Query.temporal_instance) (query : Query.stgq) =
+    ?budget (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   let ctx =
@@ -26,8 +49,8 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
   let pivots = Engine.Context.pivots ctx ~m:query.m in
   let stats = Search_core.fresh_stats () in
   let found =
-    Search_core.solve_temporal ?bound_init:initial_bound ctx ~p:query.p ~k:query.k
-      ~m:query.m ~pivots ~config ~stats
+    Search_core.solve_temporal_out ?bound_init:initial_bound ?budget ctx
+      ~p:query.p ~k:query.k ~m:query.m ~pivots ~config ~stats
   in
   Instr.record_search stats;
   Log.debug (fun m_ ->
@@ -35,21 +58,20 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
         query.s query.k query.m (Feasible.size fg) (List.length pivots)
         stats.Search_core.nodes
         (match found with
-        | Some f -> Printf.sprintf "optimum %g" f.Search_core.distance
-        | None -> "infeasible"));
-  let solution =
-    match found with
-    | None -> None
-    | Some f -> (
-        match Search_core.temporal_solution fg f with
-        | Ok s -> Some s
-        | Error (Search_core.Missing_window _) ->
-            Log.err (fun m_ ->
-                m_ "temporal search delivered a group without a window start; \
-                    dropping the (invalid) answer");
-            None)
-  in
-  { solution; stats; feasible_size = Feasible.size fg; pivots_scanned = List.length pivots }
+        | Anytime.Optimal (Some f) -> Printf.sprintf "optimum %g" f.Search_core.distance
+        | Anytime.Optimal None -> "infeasible"
+        | Anytime.Feasible_best { best; gap; _ } ->
+            Printf.sprintf "anytime %g (gap <= %g)" best.Search_core.distance gap
+        | Anytime.Exhausted reason ->
+            Printf.sprintf "exhausted (%s)" (Budget.reason_name reason)));
+  let outcome = convert_outcome fg found in
+  {
+    solution = Anytime.solution outcome;
+    outcome;
+    stats;
+    feasible_size = Feasible.size fg;
+    pivots_scanned = List.length pivots;
+  }
 
 let solve ?config ?ctx ?initial_bound ti query =
   (solve_report ?config ?ctx ?initial_bound ti query).solution

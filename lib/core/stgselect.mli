@@ -8,6 +8,10 @@
 
 type report = {
   solution : Query.stg_solution option;
+      (** the carried answer ([= Anytime.solution outcome]) *)
+  outcome : Query.stg_solution Anytime.outcome;
+      (** exact, anytime-truncated, or exhausted (see {!Anytime}); always
+          [Optimal] without a budget *)
   stats : Search_core.stats;
   feasible_size : int;
   pivots_scanned : int;
@@ -25,10 +29,22 @@ val solve :
     callers that only care about solutions at most some target distance
     (STGArrange) pass that target, which sharply cuts searches at
     too-small [k].  The returned solution can still exceed the bound and
-    must be re-checked. *)
+    must be re-checked.  [budget] bounds the solve cooperatively; on a
+    trip the report's [outcome] carries the anytime answer instead of
+    raising (see {!Anytime}). *)
 val solve_report :
   ?config:Search_core.config -> ?ctx:Engine.Context.t -> ?initial_bound:float ->
+  ?budget:Budget.t ->
   Query.temporal_instance -> Query.stgq -> report
+
+(** [convert_outcome fg found] lifts a kernel-level outcome into solution
+    space (shared with {!Parallel}, which merges per-bucket outcomes at
+    the [found] level first).  A found group missing its window start is
+    an internal invariant violation: it is logged and dropped, degrading
+    a [Feasible_best] to [Exhausted]. *)
+val convert_outcome :
+  Feasible.t -> Search_core.found Anytime.outcome ->
+  Query.stg_solution Anytime.outcome
 
 (** [solve_warm ?config ?beam_width ti query] — beam-seeded exact search;
     see {!Sgselect.solve_warm}. *)

@@ -44,23 +44,29 @@ let entries_of fg kept =
       })
     (Pqueue.Bounded.to_sorted_list kept)
 
-let sgq ?(config = Search_core.default_config) ~n instance (query : Query.sgq) =
+let sgq ?(config = Search_core.default_config) ?budget ~n instance
+    (query : Query.sgq) =
   Query.check_sgq query;
   if n < 0 then invalid_arg "Topk.sgq: negative n";
   let ctx = Feasible.context_of_instance instance ~s:query.s in
   let kept, sink = make_sink ~n in
   let stats = Search_core.fresh_stats () in
-  Search_core.solve_social_sink ctx ~p:query.p ~k:query.k ~config ~stats ~sink;
+  ignore
+    (Search_core.solve_social_sink ?budget ctx ~p:query.p ~k:query.k ~config
+       ~stats ~sink
+      : Budget.reason option);
   entries_of ctx.Engine.Context.fg kept
 
-let stgq ?(config = Search_core.default_config) ~n (ti : Query.temporal_instance)
-    (query : Query.stgq) =
+let stgq ?(config = Search_core.default_config) ?budget ~n
+    (ti : Query.temporal_instance) (query : Query.stgq) =
   Query.check_stgq query;
   if n < 0 then invalid_arg "Topk.stgq: negative n";
   let ctx = Feasible.context_of_temporal ti ~s:query.s in
   let pivots = Engine.Context.pivots ctx ~m:query.m in
   let kept, sink = make_sink ~n in
   let stats = Search_core.fresh_stats () in
-  Search_core.solve_temporal_sink ctx ~p:query.p ~k:query.k ~m:query.m
-    ~pivots ~config ~stats ~sink;
+  ignore
+    (Search_core.solve_temporal_sink ?budget ctx ~p:query.p ~k:query.k
+       ~m:query.m ~pivots ~config ~stats ~sink
+      : Budget.reason option);
   entries_of ctx.Engine.Context.fg kept

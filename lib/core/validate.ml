@@ -109,6 +109,7 @@ let () =
 let certify_sg instance query = function
   | None -> None
   | Some solution -> (
+      Faultinject.fire Faultinject.Certify;
       match check_sg instance query solution with
       | [] -> Some solution
       | violations -> raise (Certificate_failure violations))
@@ -116,6 +117,7 @@ let certify_sg instance query = function
 let certify_stg ti query = function
   | None -> None
   | Some solution -> (
+      Faultinject.fire Faultinject.Certify;
       match check_stg ti query solution with
       | [] -> Some solution
       | violations -> raise (Certificate_failure violations))

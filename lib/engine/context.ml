@@ -11,6 +11,7 @@ type t = {
 let m_builds = Obs.counter "engine.context.builds"
 
 let build ?schedules graph ~initiator ~s =
+  Faultinject.fire Faultinject.Context_build;
   Obs.Counter.incr m_builds;
   Obs.Span.with_ "context.build" @@ fun () ->
   let fg = Feasible.extract graph ~initiator ~s in

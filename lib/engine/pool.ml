@@ -4,6 +4,19 @@ module Log = (val Logs.src_log log)
 
 type job = unit -> unit
 
+exception Pool_closed
+
+exception Task_errors of exn list
+
+let () =
+  Printexc.register_printer (function
+    | Pool_closed -> Some "Engine.Pool.Pool_closed"
+    | Task_errors errs ->
+        Some
+          (Printf.sprintf "Engine.Pool.Task_errors [%s]"
+             (String.concat "; " (List.map Printexc.to_string errs)))
+    | _ -> None)
+
 let m_submitted = Obs.counter "engine.pool.jobs_submitted"
 
 let m_completed = Obs.counter "engine.pool.jobs_completed"
@@ -12,13 +25,17 @@ let m_busy_ns = Obs.counter "engine.pool.worker_busy_ns"
 
 let m_queue_depth = Obs.gauge "engine.pool.queue_depth_hwm"
 
+let m_respawns = Obs.counter "engine.pool.respawns"
+
 type t = {
   size : int;
   jobs : job Queue.t;
   lock : Mutex.t;
   wake : Condition.t;
   mutable closed : bool;
-  mutable workers : unit Domain.t array;
+  mutable handles : unit Domain.t list;
+      (** every domain ever spawned for this pool (live and retired);
+          drained by {!shutdown} *)
 }
 
 let env_size () =
@@ -41,7 +58,16 @@ let resolve_size requested =
       | Some n -> n
       | None -> Domain.recommended_domain_count ())
 
-let worker t () =
+let rec worker t () =
+  let exec job =
+    if Obs.enabled () then begin
+      let t0 = Obs.now_ns () in
+      job ();
+      Obs.Counter.add m_busy_ns (int_of_float (Obs.now_ns () -. t0));
+      Obs.Counter.incr m_completed
+    end
+    else job ()
+  in
   let rec loop () =
     Mutex.lock t.lock;
     let rec next () =
@@ -58,20 +84,40 @@ let worker t () =
     Mutex.unlock t.lock;
     match job with
     | None -> ()
-    | Some job ->
-        if Obs.enabled () then begin
-          let t0 = Obs.now_ns () in
-          (* Crashing jobs are [run]'s concern (thunks are wrapped
-             there); an escaping exception would kill the worker domain
-             regardless of metrics, so only the return path records. *)
-          job ();
-          Obs.Counter.add m_busy_ns (int_of_float (Obs.now_ns () -. t0));
-          Obs.Counter.incr m_completed
-        end
-        else job ();
-        loop ()
+    | Some job -> (
+        (* The injection site fires before the job runs: a pre-job fault
+           kills this worker while the job is still safe to requeue. *)
+        match Faultinject.fire Faultinject.Pool_job_start with
+        | exception e -> die t ~requeue:(Some job) e
+        | () -> (
+            match exec job with
+            | () -> loop ()
+            | exception e ->
+                (* [run] wraps its thunks, so only a raw [submit] job can
+                   land here; it already started, so it is not requeued
+                   (it may have had effects). *)
+                die t ~requeue:None e))
   in
   loop ()
+
+(* A worker that caught a crash stops processing — as a genuinely dead
+   domain would — but first requeues the untouched job (if any) and
+   spawns a replacement so the pool keeps its size.  It then returns
+   normally, so {!shutdown}'s join never re-raises. *)
+and die t ~requeue e =
+  Mutex.lock t.lock;
+  (match requeue with
+  | Some job ->
+      Queue.add job t.jobs;
+      Condition.signal t.wake
+  | None -> ());
+  let replaced = not t.closed in
+  if replaced then t.handles <- Domain.spawn (worker t) :: t.handles;
+  Mutex.unlock t.lock;
+  if replaced then Obs.Counter.incr m_respawns;
+  Log.warn (fun m ->
+      m "worker domain died (%s)%s" (Printexc.to_string e)
+        (if replaced then "; respawned a replacement" else "; pool is closed"))
 
 let create ?size () =
   let size = resolve_size size in
@@ -82,10 +128,10 @@ let create ?size () =
       lock = Mutex.create ();
       wake = Condition.create ();
       closed = false;
-      workers = [||];
+      handles = [];
     }
   in
-  t.workers <- Array.init size (fun _ -> Domain.spawn (worker t));
+  t.handles <- List.init size (fun _ -> Domain.spawn (worker t));
   Log.debug (fun m -> m "spawned %d worker domains" size);
   t
 
@@ -95,7 +141,7 @@ let submit t job =
   Mutex.lock t.lock;
   if t.closed then begin
     Mutex.unlock t.lock;
-    invalid_arg "Engine.Pool.run: pool is shut down"
+    raise Pool_closed
   end;
   Queue.add job t.jobs;
   Obs.Counter.incr m_submitted;
@@ -123,7 +169,7 @@ let run t thunks =
       (fun i thunk ->
         submit t (fun () ->
             (* [match ... with exception] keeps worker domains alive on task
-               failure; the error is re-raised on the caller below. *)
+               failure; errors are aggregated on the caller below. *)
             match thunk () with
             | v -> record i (Ok v)
             | exception e -> record i (Error e)))
@@ -133,7 +179,11 @@ let run t thunks =
       Condition.wait finished t.lock
     done;
     Mutex.unlock t.lock;
-    Array.iter (function Some (Error e) -> raise e | Some (Ok _) | None -> ()) results;
+    let errors =
+      Array.to_list results
+      |> List.filter_map (function Some (Error e) -> Some e | _ -> None)
+    in
+    if errors <> [] then raise (Task_errors errors);
     List.init n (fun i ->
         match results.(i) with
         | Some (Ok v) -> v
@@ -146,7 +196,27 @@ let shutdown t =
   t.closed <- true;
   Condition.broadcast t.wake;
   Mutex.unlock t.lock;
-  if not was_closed then Array.iter Domain.join t.workers
+  if not was_closed then begin
+    (* A worker dying mid-drain may append a replacement handle while we
+       join, so grab-and-join until the handle list settles empty (no
+       respawns happen once [closed] is observed, so this terminates). *)
+    let rec drain () =
+      Mutex.lock t.lock;
+      let hs = t.handles in
+      t.handles <- [];
+      Mutex.unlock t.lock;
+      match hs with
+      | [] -> ()
+      | hs ->
+          List.iter Domain.join hs;
+          drain ()
+    in
+    drain ()
+  end
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let default_cell = lazy (create ())
 

@@ -1,15 +1,32 @@
-(** Persistent domain worker pool.
+(** Persistent, supervised domain worker pool.
 
     The seed code spawned (and joined) fresh domains on every
     [Parallel.solve_report] call, paying domain start-up per query.  A
     pool spawns its workers once and feeds them thunks through a queue,
     so repeated queries reuse warm domains.
 
+    Workers are supervised: a worker that dies (in practice, via the
+    {!Faultinject.Pool_job_start} injection site — [run]'s thunks are
+    wrapped, so ordinary task failures never kill a domain) spawns a
+    replacement before retiring, keeping the pool at full strength; a
+    job the dead worker had not yet started is requeued, never lost.
+    Respawns are counted by the [engine.pool.respawns] metric.
+
     Tasks must not call {!run} on the pool that executes them: workers
     draining the queue are the only consumers, so a nested [run] from a
     worker can deadlock once all workers block on it. *)
 
 type t
+
+(** Raised by {!run} (and the underlying submit) when the pool has been
+    {!shutdown} — typed, so callers can distinguish a lifecycle bug from
+    an arbitrary [Invalid_argument]. *)
+exception Pool_closed
+
+(** Raised by {!run} when at least one task failed: {e all} task errors,
+    in input (submission-index) order — not just the first.  Registered
+    with [Printexc] so the payload prints. *)
+exception Task_errors of exn list
 
 (** [create ?size ()] spawns the worker domains.  The size is resolved
     as: explicit [size] argument, else the [STGQ_DOMAINS] environment
@@ -22,15 +39,21 @@ val create : ?size:int -> unit -> t
 val size : t -> int
 
 (** [run t thunks] executes the thunks on the pool and waits for all of
-    them, returning results in input order.  If any thunk raises, the
-    first (lowest-index) exception is re-raised on the caller after all
-    thunks finish; worker domains survive task failures.
-    @raise Invalid_argument if the pool has been {!shutdown}. *)
+    them, returning results in input order.  Every thunk runs to its own
+    completion or failure before [run] returns.
+    @raise Task_errors if any thunk raised (all errors, input order).
+    @raise Pool_closed if the pool has been {!shutdown}. *)
 val run : t -> (unit -> 'a) list -> 'a list
 
 (** [shutdown t] drains outstanding work, stops the workers and joins
-    them.  Idempotent; subsequent {!run} calls raise. *)
+    them (including any respawned replacements).  Idempotent; subsequent
+    {!run} calls raise {!Pool_closed}. *)
 val shutdown : t -> unit
+
+(** [with_pool ?size f] brackets [f] with {!create} and a guaranteed
+    {!shutdown} (also on exception), so callers cannot leak worker
+    domains. *)
+val with_pool : ?size:int -> (t -> 'a) -> 'a
 
 (** A process-wide shared pool, spawned lazily on first use and never
     shut down (blocked worker domains do not prevent process exit). *)

@@ -17,8 +17,22 @@ let is_io_file file =
   || (String.length base > 3
      && String.sub base (String.length base - 3) 3 = "_io")
 
+let is_solver_path file =
+  let components = path_components file in
+  let rec after_lib = function
+    | "lib" :: next :: _ -> next = "core" || next = "engine"
+    | _ :: rest -> after_lib rest
+    | [] -> false
+  in
+  after_lib components && Filename.basename file <> "budget.ml"
+
 let ctx_of_file file =
-  { Rules.file; is_lib = is_lib_path file; is_io = is_io_file file }
+  {
+    Rules.file;
+    is_lib = is_lib_path file;
+    is_io = is_io_file file;
+    is_solver = is_solver_path file;
+  }
 
 let parse ~file source =
   let lexbuf = Lexing.from_string source in

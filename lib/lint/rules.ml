@@ -4,6 +4,9 @@ type ctx = {
   file : string;
   is_lib : bool;
   is_io : bool;
+  is_solver : bool;
+      (** solver code (lib/core, lib/engine) minus the clock owner
+          (budget.ml) — the scope of the wall-clock rule *)
 }
 
 type rule = {
@@ -373,6 +376,44 @@ let check_toplevel_state ~allowed_modules ctx structure =
   end
 
 (* ------------------------------------------------------------------ *)
+(* R8 — wall-clock reads in solver code.                               *)
+
+(* Deadlines in the search kernel must come from the monotonic clock
+   that [Budget] owns: wall clocks jump (NTP steps, suspend/resume), so
+   a solver reading one can time out instantly or never.  [Obs] (its own
+   library, outside the solver scope) keeps wall time deliberately —
+   spans are correlated with external logs. *)
+let wall_clocks = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let check_wallclock ctx structure =
+  if not ctx.is_solver then []
+  else begin
+    let findings = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc }
+              when List.mem (normalize (lid_to_string txt)) wall_clocks ->
+                findings :=
+                  Diag.make ~rule:"wall-clock" ~severity:Diag.Error loc
+                    (Printf.sprintf
+                       "%s is a wall clock; solver deadlines must use the \
+                        monotonic Budget.now_ns (wall time jumps under NTP \
+                        steps and suspend/resume)"
+                       (normalize (lid_to_string txt)))
+                  :: !findings
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.structure it structure;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 
 let all ?(allowed_state_modules = []) () =
@@ -415,5 +456,13 @@ let all ?(allowed_state_modules = []) () =
       severity = Diag.Warning;
       summary = "eagerly-created mutable state at module top level (lib/ only)";
       check = check_toplevel_state ~allowed_modules:allowed_state_modules;
+    };
+    {
+      id = "wall-clock";
+      severity = Diag.Error;
+      summary =
+        "Unix.gettimeofday/Unix.time/Sys.time in solver code (lib/core, \
+         lib/engine) — deadlines must use the monotonic Budget clock";
+      check = check_wallclock;
     };
   ]

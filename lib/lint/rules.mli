@@ -12,6 +12,10 @@ type ctx = {
   file : string;  (** path as given to the engine; used in findings *)
   is_lib : bool;  (** has a [lib] path component — library-only rules *)
   is_io : bool;   (** an I/O module ([io.ml], [*_io.ml], [sio.ml], [gio.ml]) *)
+  is_solver : bool;
+      (** solver code (under [lib/core] or [lib/engine]) other than
+          [budget.ml], which owns the monotonic clock — the scope of the
+          [wall-clock] rule *)
 }
 
 type rule = {

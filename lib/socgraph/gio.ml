@@ -1,3 +1,14 @@
+exception Parse_error of { file : string; line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; msg } ->
+        Some (Printf.sprintf "Gio.Parse_error: %s:%d: %s" file line msg)
+    | _ -> None)
+
+let fail ~file ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { file; line; msg })) fmt
+
 let to_string g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "# vertices %d\n" (Graph.n_vertices g));
@@ -10,6 +21,17 @@ let of_string ?(file = "<string>") s =
   let lines = String.split_on_char '\n' s in
   let n = ref (-1) in
   let edges = ref [] in
+  (* Semantic checks run per line, so a violation (self-loop, vertex out
+     of range, non-positive weight) is reported with its source line
+     rather than surfacing from graph construction without one. *)
+  let check_edge ~line (u, v, w) =
+    if !n < 0 then fail ~file ~line "edge before '# vertices <n>' header";
+    if u = v then fail ~file ~line "self-loop at %d" u;
+    if u < 0 || u >= !n || v < 0 || v >= !n then
+      fail ~file ~line "edge (%d,%d) out of [0,%d)" u v !n;
+    if not (Float.is_finite w) || w <= 0. then
+      fail ~file ~line "weight %g of (%d,%d) not positive" w u v
+  in
   let parse_line idx line =
     let line = String.trim line in
     if line = "" then ()
@@ -18,23 +40,27 @@ let of_string ?(file = "<string>") s =
       | [ "#"; "vertices"; count ] -> (
           match int_of_string_opt count with
           | Some c when c >= 0 -> n := c
-          | _ ->
-              failwith (Printf.sprintf "Gio: %s:%d: bad vertex count" file idx))
+          | _ -> fail ~file ~line:idx "bad vertex count %S" count)
       | _ -> ()
     end
     else
       match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
       | [ u; v; w ] -> (
           match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w) with
-          | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
-          | _ -> failwith (Printf.sprintf "Gio: %s:%d: malformed edge" file idx))
-      | _ -> failwith (Printf.sprintf "Gio: %s:%d: malformed line" file idx)
+          | Some u, Some v, Some w ->
+              check_edge ~line:idx (u, v, w);
+              edges := (u, v, w) :: !edges
+          | _ -> fail ~file ~line:idx "malformed edge")
+      | _ -> fail ~file ~line:idx "malformed line"
   in
   List.iteri (fun i line -> parse_line (i + 1) line) lines;
   if !n < 0 then
-    failwith
-      (Printf.sprintf "Gio: %s: missing '# vertices <n>' header" file);
-  Graph.of_edges !n !edges
+    fail ~file ~line:(List.length lines) "missing '# vertices <n>' header";
+  (* Belt and braces: the checks above make construction total, but any
+     residual [Invalid_argument] must still leave as a typed error. *)
+  match Graph.of_edges !n !edges with
+  | g -> g
+  | exception Invalid_argument msg -> fail ~file ~line:0 "%s" msg
 
 let save g path =
   let oc = open_out path in

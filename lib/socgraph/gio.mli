@@ -5,16 +5,25 @@
     beginning with ['#'] are ignored on input (except the required
     header). *)
 
+(** Raised on malformed input — syntactic (unparsable tokens) and
+    semantic (self-loops, vertices outside [[0, n)], non-positive
+    weights, missing header) alike, so corrupt files never surface as
+    [Failure] or [Invalid_argument].  [file] is the path given to
+    {!load} (or ["<string>"], or the [?file] passed to {!of_string});
+    [line] is 1-based.  A [Printexc] printer is registered, so an
+    uncaught error still prints as [file:line: message]. *)
+exception Parse_error of { file : string; line : int; msg : string }
+
 (** [to_string g] serialises [g]. *)
 val to_string : Graph.t -> string
 
-(** [of_string ?file s] parses a graph; [file] (default ["<string>"])
-    names the source in error messages.
-    @raise Failure on malformed input, as ["Gio: <file>:<line>: <msg>"]. *)
+(** [of_string ?file s] parses a graph.
+    @raise Parse_error on malformed input. *)
 val of_string : ?file:string -> string -> Graph.t
 
 (** [save g path] writes [to_string g] to [path]. *)
 val save : Graph.t -> string -> unit
 
-(** [load path] reads and parses [path]. *)
+(** [load path] reads and parses [path].
+    @raise Parse_error with [file = path] on malformed input. *)
 val load : string -> Graph.t

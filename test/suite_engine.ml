@@ -78,32 +78,33 @@ let prop_bounded_dist_early_exit_reaches_fixpoint =
       = Socgraph.Bounded_dist.distances g ~src:0 ~max_edges:(2 * n + 3))
 
 let test_pool_order_and_reuse () =
-  let pool = Engine.Pool.create ~size:3 () in
-  let expected = List.init 20 (fun i -> i * i) in
-  let got = Engine.Pool.run pool (List.map (fun v -> fun () -> v) expected) in
-  Alcotest.(check (list int)) "results in submission order" expected got;
-  let again = Engine.Pool.run pool [ (fun () -> 41); (fun () -> 42) ] in
-  Alcotest.(check (list int)) "pool reusable across runs" [ 41; 42 ] again;
-  Engine.Pool.shutdown pool;
-  Engine.Pool.shutdown pool (* idempotent *);
-  Alcotest.check_raises "run after shutdown rejected"
-    (Invalid_argument "Engine.Pool.run: pool is shut down") (fun () ->
-      ignore (Engine.Pool.run pool [ (fun () -> 0) ] : int list))
+  let escaped =
+    Engine.Pool.with_pool ~size:3 (fun pool ->
+        let expected = List.init 20 (fun i -> i * i) in
+        let got = Engine.Pool.run pool (List.map (fun v -> fun () -> v) expected) in
+        Alcotest.(check (list int)) "results in submission order" expected got;
+        let again = Engine.Pool.run pool [ (fun () -> 41); (fun () -> 42) ] in
+        Alcotest.(check (list int)) "pool reusable across runs" [ 41; 42 ] again;
+        pool)
+  in
+  Engine.Pool.shutdown escaped (* idempotent: with_pool already shut it down *);
+  Alcotest.check_raises "run after shutdown rejected" Engine.Pool.Pool_closed
+    (fun () -> ignore (Engine.Pool.run escaped [ (fun () -> 0) ] : int list))
 
 let test_pool_exception_propagates () =
-  let pool = Engine.Pool.create ~size:2 () in
+  Engine.Pool.with_pool ~size:2 @@ fun pool ->
   (try
      ignore
        (Engine.Pool.run pool
           [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
          : int list);
      Alcotest.fail "expected the job's exception to re-raise"
-   with Failure msg -> Alcotest.(check string) "job exception" "boom" msg);
+   with Engine.Pool.Task_errors [ Failure msg ] ->
+     Alcotest.(check string) "job exception" "boom" msg);
   (* A failed batch must not poison the workers. *)
   Alcotest.(check (list int))
     "pool alive after failure" [ 7 ]
-    (Engine.Pool.run pool [ (fun () -> 7) ]);
-  Engine.Pool.shutdown pool
+    (Engine.Pool.run pool [ (fun () -> 7) ])
 
 let test_cache_lru_recency () =
   let g = Socgraph.Graph.of_edges 4 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.) ] in

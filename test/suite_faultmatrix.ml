@@ -1,0 +1,182 @@
+(* The fault matrix: each test drives the resilient serving path through
+   one {!Faultinject} site and asserts the supervisor / degradation
+   ladder absorbs whatever the active plan injects there — a typed
+   answer or typed error, never a raw [Injected_fault] escaping.
+
+   The plan comes from STGQ_FAULTS (parsed once by [Faultinject] at
+   start-up).  With no plan armed — the plain `dune runtest` run — every
+   test passes trivially; the root [@faults] alias re-runs this suite
+   once per plan in docs/ROBUSTNESS.md's matrix. *)
+
+open Stgq_core
+
+let check = Alcotest.check
+
+let specs =
+  match Sys.getenv_opt "STGQ_FAULTS" with
+  | None | Some "" -> []
+  | Some raw -> (
+      match Faultinject.parse raw with
+      | Ok specs -> specs
+      | Error msg -> failwith ("unparsable STGQ_FAULTS plan: " ^ msg))
+
+let spec_for site =
+  List.find_opt (fun (s : Faultinject.spec) -> s.site = site) specs
+
+(* one-shot transient faults must be survivable; persistent or hard
+   faults must surface as a typed [Unavailable] *)
+let expect_result ~name ~(spec : Faultinject.spec) ~fired result =
+  if not fired then ()
+  else if spec.transient && not spec.persistent then
+    match result with
+    | Ok (a : _ Resilience.answer) ->
+        check Alcotest.bool (name ^ ": retried") true (a.retries >= 1)
+    | Error e ->
+        Alcotest.failf "%s: one transient fault must be absorbed, got %a" name
+          Resilience.pp_error e
+  else
+    match result with
+    | Ok _ -> Alcotest.failf "%s: persistent fault must not yield an answer" name
+    | Error (Resilience.Unavailable _) -> ()
+    | Error (Resilience.Degraded _ as e) ->
+        Alcotest.failf "%s: hard faults are Unavailable, got %a" name
+          Resilience.pp_error e
+
+let fast = { Resilience.default_policy with backoff_ms = 0.01 }
+
+(* --- fixtures ------------------------------------------------------ *)
+
+(* small and fully-connected: every query below has a solution *)
+let small_ti =
+  let n = 6 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, 1. +. float_of_int ((u + v) mod 3)) :: !edges
+    done
+  done;
+  let horizon = 10 in
+  let schedules =
+    Array.init n (fun _ ->
+        let a = Timetable.Availability.create ~horizon in
+        Timetable.Availability.set_free a 0 (horizon - 1);
+        a)
+  in
+  {
+    Query.social =
+      { Query.graph = Socgraph.Graph.of_edges n !edges; initiator = 0 };
+    schedules;
+  }
+
+let small_q = { Query.p = 3; s = 2; k = 2; m = 2 }
+
+(* dense enough that the kernel crosses several 256-node checkpoints *)
+let big_ti, big_q =
+  let n = 22 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, float_of_int (1 + ((u + (3 * v)) mod 19))) :: !edges
+    done
+  done;
+  let horizon = 40 in
+  let schedules =
+    Array.init n (fun v ->
+        let a = Timetable.Availability.create ~horizon in
+        Timetable.Availability.set_free a (v mod 3) (horizon - 1 - (v mod 2));
+        a)
+  in
+  ( {
+      Query.social =
+        { Query.graph = Socgraph.Graph.of_edges n !edges; initiator = 0 };
+      schedules;
+    },
+    { Query.p = 10; s = 2; k = 5; m = 3 } )
+
+(* --- sites ---------------------------------------------------------- *)
+
+let test_pool_job_start () =
+  match spec_for Faultinject.Pool_job_start with
+  | None -> ()
+  | Some _ ->
+      Obs.set_enabled true;
+      Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+      let respawns = Obs.counter "engine.pool.respawns" in
+      let before = Obs.Counter.value respawns in
+      let results =
+        Engine.Pool.with_pool ~size:2 @@ fun pool ->
+        Engine.Pool.run pool (List.init 12 (fun i () -> i + 1))
+      in
+      check
+        (Alcotest.list Alcotest.int)
+        "batch completes despite injected worker death"
+        (List.init 12 (fun i -> i + 1))
+        results;
+      check Alcotest.bool "respawn counted" true
+        (Obs.Counter.value respawns > before)
+
+let test_context_build () =
+  match spec_for Faultinject.Context_build with
+  | None -> ()
+  | Some spec ->
+      let t = Service.create small_ti in
+      let result =
+        Service.sgq_r ~policy:fast t ~initiator:0
+          { Query.p = small_q.p; s = small_q.s; k = small_q.k }
+      in
+      let fired = Faultinject.hits Faultinject.Context_build > 0 in
+      check Alcotest.bool "context-build site reached" true fired;
+      expect_result ~name:"context_build" ~spec ~fired result;
+      (* a transient plan must leave the service fully serviceable *)
+      if spec.transient && not spec.persistent then
+        match result with
+        | Ok { value = Some s; _ } ->
+            check Alcotest.bool "served answer is feasible" true
+              (Validate.is_valid_sg small_ti.Query.social
+                 { Query.p = small_q.p; s = small_q.s; k = small_q.k }
+                 s)
+        | _ -> Alcotest.fail "context_build: expected a served answer"
+
+let test_kernel_expansion () =
+  match spec_for Faultinject.Kernel_expansion with
+  | None -> ()
+  | Some spec ->
+      let result =
+        Resilience.run ~policy:fast
+          ~exact:(fun b -> (Stgselect.solve_report ~budget:b big_ti big_q).outcome)
+          ~heuristic:(fun b -> Heuristics.beam_stgq ~budget:b big_ti big_q)
+          ()
+      in
+      let fired = Faultinject.hits Faultinject.Kernel_expansion > 0 in
+      check Alcotest.bool "kernel checkpoint reached" true fired;
+      expect_result ~name:"kernel_expansion" ~spec ~fired result
+
+let small_q_sg = { Query.p = small_q.p; s = small_q.s; k = small_q.k }
+
+let test_certify () =
+  match spec_for Faultinject.Certify with
+  | None -> ()
+  | Some spec ->
+      let result =
+        Resilience.run ~policy:fast
+          ~exact:(fun b ->
+            let report = Sgselect.solve_report ~budget:b small_ti.Query.social small_q_sg in
+            Resilience.certify_outcome
+              ~certify:(Validate.certify_sg small_ti.Query.social small_q_sg)
+              report.outcome)
+          ~heuristic:(fun b ->
+            Validate.certify_sg small_ti.Query.social small_q_sg
+              (Heuristics.beam_sgq ~budget:b small_ti.Query.social small_q_sg))
+          ()
+      in
+      let fired = Faultinject.hits Faultinject.Certify > 0 in
+      check Alcotest.bool "certification reached" true fired;
+      expect_result ~name:"certify" ~spec ~fired result
+
+let suite =
+  [
+    Alcotest.test_case "pool job start" `Quick test_pool_job_start;
+    Alcotest.test_case "context build" `Quick test_context_build;
+    Alcotest.test_case "kernel expansion" `Quick test_kernel_expansion;
+    Alcotest.test_case "certify" `Quick test_certify;
+  ]

@@ -1,0 +1,158 @@
+(* Corrupt-input behaviour of the persistence layers: whatever bytes
+   arrive, Gio/Sio either parse or raise [Parse_error] with a file and a
+   1-based line — never [Failure], [Invalid_argument] or a crash. *)
+
+module G = QCheck.Gen
+
+let check = Alcotest.check
+
+(* --- deterministic fixtures ---------------------------------------- *)
+
+let graph_text =
+  Socgraph.Gio.to_string
+    (Socgraph.Graph.of_edges 5
+       [ (0, 1, 1.5); (1, 2, 2.); (2, 3, 0.5); (0, 4, 3.) ])
+
+let sched_text =
+  let horizon = 8 in
+  Timetable.Sio.to_string
+    (Array.init 3 (fun v ->
+         let a = Timetable.Availability.create ~horizon in
+         Timetable.Availability.set_free a v (v + 3);
+         a))
+
+let expect_gio_error ~name ?file ~line s =
+  match Socgraph.Gio.of_string ?file s with
+  | _ -> Alcotest.failf "%s: corrupt graph parsed" name
+  | exception Socgraph.Gio.Parse_error e ->
+      check Alcotest.string (name ^ ": file") (Option.value file ~default:"<string>") e.file;
+      check Alcotest.int (name ^ ": line") line e.line;
+      check Alcotest.bool (name ^ ": message") true (String.length e.msg > 0)
+
+let expect_sio_error ~name ?file ~line s =
+  match Timetable.Sio.of_string ?file s with
+  | _ -> Alcotest.failf "%s: corrupt schedule parsed" name
+  | exception Timetable.Sio.Parse_error e ->
+      check Alcotest.string (name ^ ": file") (Option.value file ~default:"<string>") e.file;
+      check Alcotest.int (name ^ ": line") line e.line;
+      check Alcotest.bool (name ^ ": message") true (String.length e.msg > 0)
+
+let test_gio_corruptions () =
+  expect_gio_error ~name:"empty input" ~line:1 "";
+  expect_gio_error ~name:"missing header" ~line:1 "0 1 2.0\n";
+  expect_gio_error ~name:"junk tokens" ~file:"net.g" ~line:2
+    "# vertices 4\nzero one 1.0\n";
+  expect_gio_error ~name:"short edge line" ~line:2 "# vertices 4\n0 1\n";
+  expect_gio_error ~name:"self loop" ~line:3 "# vertices 4\n0 1 1.0\n2 2 1.0\n";
+  expect_gio_error ~name:"vertex out of range" ~line:2 "# vertices 4\n0 9 1.0\n";
+  expect_gio_error ~name:"negative weight" ~line:2 "# vertices 4\n0 1 -2.0\n";
+  expect_gio_error ~name:"NaN weight" ~line:2 "# vertices 4\n0 1 nan\n";
+  (* the registered printer renders file:line for uncaught errors *)
+  let rendered =
+    try
+      ignore (Socgraph.Gio.of_string ~file:"net.g" "boom" : Socgraph.Graph.t);
+      ""
+    with e -> Printexc.to_string e
+  in
+  check Alcotest.bool "printer names the position" true
+    (String.length rendered > 0
+    && (let has_sub sub =
+          let n = String.length rendered and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub rendered i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub "net.g"))
+
+let test_sio_corruptions () =
+  expect_sio_error ~name:"empty input" ~line:1 "";
+  expect_sio_error ~name:"missing header" ~line:1 "0: 0101\n";
+  expect_sio_error ~name:"bad bit" ~file:"cal.s" ~line:2 "# horizon 4\n0: 01x1\n";
+  expect_sio_error ~name:"horizon mismatch" ~line:2 "# horizon 4\n0: 01\n";
+  expect_sio_error ~name:"junk line" ~line:2 "# horizon 4\nnot a schedule\n"
+
+let test_roundtrip_still_works () =
+  let g = Socgraph.Gio.of_string graph_text in
+  check Alcotest.string "graph round-trip" graph_text
+    (Socgraph.Gio.to_string g);
+  let s = Timetable.Sio.of_string sched_text in
+  check Alcotest.string "schedule round-trip" sched_text
+    (Timetable.Sio.to_string s)
+
+(* --- property: arbitrary mutations never escape Parse_error --------- *)
+
+let mutate base st =
+  let s = Bytes.of_string base in
+  let n = Bytes.length s in
+  match G.int_bound 4 st with
+  | 0 ->
+      (* truncate at a random byte *)
+      Bytes.sub_string s 0 (G.int_bound n st)
+  | 1 ->
+      (* flip one byte to a random printable char *)
+      if n = 0 then base
+      else begin
+        Bytes.set s (G.int_bound (n - 1) st)
+          (Char.chr (32 + G.int_bound 94 st));
+        Bytes.to_string s
+      end
+  | 2 ->
+      (* insert a junk line somewhere *)
+      let cut = G.int_bound n st in
+      String.concat ""
+        [
+          Bytes.sub_string s 0 cut;
+          "\n@#junk " ^ string_of_int (G.int_bound 999 st) ^ "\n";
+          Bytes.sub_string s cut (n - cut);
+        ]
+  | 3 ->
+      (* duplicate the whole payload (duplicate header / ids) *)
+      base ^ base
+  | _ ->
+      (* swap two random bytes *)
+      if n < 2 then base
+      else begin
+        let i = G.int_bound (n - 1) st and j = G.int_bound (n - 1) st in
+        let ci = Bytes.get s i in
+        Bytes.set s i (Bytes.get s j);
+        Bytes.set s j ci;
+        Bytes.to_string s
+      end
+
+let corrupt_text base =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    (fun st ->
+      (* up to three stacked mutations *)
+      let rounds = 1 + G.int_bound 2 st in
+      let rec go s n = if n = 0 then s else go (mutate s st) (n - 1) in
+      go base rounds)
+
+let prop_gio_total =
+  Gen.qtest ~count:300 "Gio.of_string: parse or Parse_error, nothing else"
+    (corrupt_text graph_text)
+    (fun s ->
+      match Socgraph.Gio.of_string ~file:"fuzz.g" s with
+      | (_ : Socgraph.Graph.t) -> true
+      | exception Socgraph.Gio.Parse_error { file; line; _ } ->
+          file = "fuzz.g" && line >= 0)
+
+let prop_sio_total =
+  Gen.qtest ~count:300 "Sio.of_string: parse or Parse_error, nothing else"
+    (corrupt_text sched_text)
+    (fun s ->
+      match Timetable.Sio.of_string ~file:"fuzz.s" s with
+      | (_ : Timetable.Availability.t array) -> true
+      | exception Timetable.Sio.Parse_error { file; line; _ } ->
+          file = "fuzz.s" && line >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "Gio rejects corruption with positions" `Quick
+      test_gio_corruptions;
+    Alcotest.test_case "Sio rejects corruption with positions" `Quick
+      test_sio_corruptions;
+    Alcotest.test_case "clean round-trips still parse" `Quick
+      test_roundtrip_still_works;
+    prop_gio_total;
+    prop_sio_total;
+  ]

@@ -135,6 +135,30 @@ let test_missing_mli () =
   check Alcotest.int "mli present" 0
     (hits "missing-mli" (Lint.Engine.lint_paths [ tmp ]))
 
+(* R8 -------------------------------------------------------------- *)
+
+let test_wall_clock () =
+  (* solver code must read the monotonic Budget.now_ns *)
+  expect_rule ~file:"lib/core/stgselect.ml" ~rule:"wall-clock" ~line:1
+    "let t = Unix.gettimeofday ()";
+  expect_rule ~file:"lib/engine/pool.ml" ~rule:"wall-clock"
+    "let t () = Sys.time ()";
+  expect_rule ~file:"lib/core/resilience.ml" ~rule:"wall-clock"
+    "let t = Stdlib.Sys.time ()";
+  expect_rule ~file:"lib/core/search_core.ml" ~rule:"wall-clock"
+    "let t = Unix.time ()";
+  (* budget.ml owns the clock; Obs keeps wall time by design (path scope) *)
+  expect_clean ~file:"lib/core/budget.ml" ~rule:"wall-clock"
+    "let t = Unix.gettimeofday ()";
+  expect_clean ~file:"lib/obs/obs.ml" ~rule:"wall-clock"
+    "let t = Unix.gettimeofday ()";
+  expect_clean ~file:"bin/stgq_cli.ml" ~rule:"wall-clock"
+    "let t = Unix.gettimeofday ()";
+  expect_clean ~file:"lib/core/stgselect.ml" ~rule:"wall-clock"
+    "let t = Budget.now_ns ()";
+  expect_clean ~file:"lib/core/stgselect.ml" ~rule:"wall-clock"
+    "(* lint: allow wall-clock *)\nlet t = Unix.gettimeofday ()"
+
 (* Certificate audit ------------------------------------------------ *)
 
 let test_uncertified_solver () =
@@ -207,6 +231,7 @@ let suite =
     Alcotest.test_case "R5 ignored result" `Quick test_ignored_result;
     Alcotest.test_case "R6 top-level state" `Quick test_toplevel_state;
     Alcotest.test_case "R7 missing mli" `Quick test_missing_mli;
+    Alcotest.test_case "R8 wall clock in solver code" `Quick test_wall_clock;
     Alcotest.test_case "certificate audit" `Quick test_uncertified_solver;
     Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
     Alcotest.test_case "reporters" `Quick test_reporters;

@@ -47,20 +47,22 @@ let prop_pooled_matches_unpooled =
 exception Boom of int
 
 let test_exception_propagation () =
-  let pool = Engine.Pool.create ~size:2 () in
+  Engine.Pool.with_pool ~size:2 @@ fun pool ->
   (* 40 jobs on 2 workers keep the queue saturated; two of them fail. *)
   let thunks =
     List.init 40 (fun i () -> if i = 7 || i = 23 then raise (Boom i) else i)
   in
   (match Engine.Pool.run pool thunks with
   | _ -> Alcotest.fail "expected the batch to raise"
-  | exception Boom i ->
-      Alcotest.check Alcotest.int "lowest-index failure wins" 7 i);
+  | exception Engine.Pool.Task_errors errs ->
+      (* Aggregation keeps every failure, in submission-index order. *)
+      Alcotest.(check (list int))
+        "all failures, input order" [ 7; 23 ]
+        (List.map (function Boom i -> i | e -> raise e) errs));
   (* Worker domains must survive a failing batch. *)
   let squares = Engine.Pool.run pool (List.init 6 (fun i () -> i * i)) in
   Alcotest.check (Alcotest.list Alcotest.int) "pool alive after failure"
-    [ 0; 1; 4; 9; 16; 25 ] squares;
-  Engine.Pool.shutdown pool
+    [ 0; 1; 4; 9; 16; 25 ] squares
 
 let test_submission_order_saturated () =
   (* A single worker drains a saturated queue strictly in FIFO order,

@@ -24,6 +24,9 @@ let () =
       ("community", Suite_community.suite);
       ("report", Suite_report.suite);
       ("lint", Suite_lint.suite);
+      ("resilience", Suite_resilience.suite);
+      ("fault-matrix", Suite_faultmatrix.suite);
+      ("io", Suite_io.suite);
       ("integration", Suite_integration.suite);
       ("paper-example", Suite_paper_example.suite);
       ("astar", Suite_astar.suite);
