@@ -10,12 +10,15 @@
                                       [--skip-bechamel] [--domains=N]
                                       [--smoke] [--json-out=FILE]
                                       [--obs-out=FILE] [--resilience-out=FILE]
+                                      [--trace-out=FILE]
 
    --smoke runs only the engine replay comparison at tiny sizes and
-   writes its results as JSON (default BENCH_engine.json, BENCH_obs.json
-   and BENCH_resilience.json) — the CI baseline behind the root
-   @bench-smoke alias.  The resilience artefact gates the cooperative
-   budget-check overhead at +3% p99 against the unbudgeted path. *)
+   writes its results as JSON (default BENCH_engine.json, BENCH_obs.json,
+   BENCH_resilience.json and BENCH_trace.json) — the CI baseline behind
+   the root @bench-smoke alias.  The resilience artefact gates the
+   cooperative budget-check overhead at +3% p99 against the unbudgeted
+   path; the trace artefact gates span recording at +5% when enabled
+   and requires the pruning waterfall to balance exactly. *)
 
 open Stgq_core
 
@@ -989,10 +992,157 @@ let resilience_smoke ~out =
     exit 1
   end
 
+(* --- trace smoke --------------------------------------------------- *)
+
+let trace_required_keys =
+  [
+    "\"trace_disabled_ratio\"";
+    "\"trace_enabled_ratio\"";
+    "\"trace_overhead_gate\"";
+    "\"spans_recorded\"";
+    "\"spans_dropped\"";
+    "\"waterfall_balanced\"";
+    "\"waterfall_examined\"";
+  ]
+
+(* The tracing baseline: span recording must cost <= +5% on the cached
+   replay paths when enabled, and the disabled path (one atomic load
+   per potential span) must be indistinguishable from run-to-run noise.
+   Noise can fake a regression, so on a miss both sides re-measure (up
+   to five attempts) and the smallest observed ratio decides.  The
+   waterfall of a traced solve must balance exactly — every examined
+   candidate accounted for by a kill, a deferral or an include. *)
+let trace_smoke ~out ~domains =
+  let ti = Workload.Scenario.coauthor ~seed:11 ~days:2 ~n:600 () in
+  let graph = ti.Query.social.Query.graph in
+  let initiator = Workload.Scenario.pick_initiator ~rank:10 graph in
+  let ti = { ti with Query.social = { ti.Query.social with Query.initiator } } in
+  let queries =
+    [
+      { Query.p = 3; s = 2; k = 1; m = 4 };
+      { Query.p = 4; s = 2; k = 2; m = 4 };
+      { Query.p = 3; s = 2; k = 1; m = 6 };
+      { Query.p = 4; s = 2; k = 2; m = 6 };
+    ]
+  in
+  let spans_recorded = ref 0 and spans_dropped = ref 0 in
+  let disabled, enabled =
+    Engine.Pool.with_pool ?size:domains @@ fun pool ->
+    let cache = Engine.Cache.create ~schedules:ti.Query.schedules graph in
+    let ctx_for q = Engine.Cache.context cache ~initiator ~s:q.Query.s in
+    let run_once () =
+      List.iter
+        (fun q ->
+          ignore (Stgselect.solve ~ctx:(ctx_for q) ti q : Query.stg_solution option);
+          ignore
+            (Parallel.solve ~pool ~ctx:(ctx_for q) ti q
+              : Query.stg_solution option))
+        queries
+    in
+    run_once () (* warm-up: code, allocator, pool domains, contexts *);
+    let time_rounds () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 3 do
+        run_once ()
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let ratio a b = if a <= 0. then 1. else b /. a in
+    let measure_noise () =
+      let a = time_rounds () in
+      let b = time_rounds () in
+      ratio a b
+    in
+    let measure_enabled () =
+      let off = time_rounds () in
+      Obs.Trace.set_enabled true;
+      Obs.Trace.reset ();
+      let on = time_rounds () in
+      spans_recorded := Obs.Trace.total_recorded ();
+      spans_dropped := Obs.Trace.dropped ();
+      Obs.Trace.set_enabled false;
+      ratio off on
+    in
+    let gate = 1.05 in
+    let rec settle f attempts best =
+      let best = Float.min best (f ()) in
+      if best <= gate || attempts <= 1 then best else settle f (attempts - 1) best
+    in
+    (settle measure_noise 5 infinity, settle measure_enabled 5 infinity)
+  in
+  let overhead_gate = 1.05 in
+  (* One traced solve for the accounting identity. *)
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  List.iter
+    (fun q -> ignore (Stgselect.solve_report ti q : Stgselect.report))
+    queries;
+  let balanced, examined =
+    match Obs.Trace.last () with
+    | Some tree ->
+        let w = Obs.Trace.waterfall tree in
+        (Obs.Trace.waterfall_balanced w, w.Obs.Trace.w_examined)
+    | None -> (false, 0)
+  in
+  Obs.Trace.set_enabled false;
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"workload\": %S,"
+          (Printf.sprintf "coauthor n=600 days=2 q=%d" initiator);
+        Printf.sprintf "  \"trace_disabled_ratio\": %.4f," disabled;
+        Printf.sprintf "  \"trace_enabled_ratio\": %.4f," enabled;
+        Printf.sprintf "  \"trace_overhead_gate\": %.2f," overhead_gate;
+        Printf.sprintf "  \"spans_recorded\": %d," !spans_recorded;
+        Printf.sprintf "  \"spans_dropped\": %d," !spans_dropped;
+        Printf.sprintf "  \"waterfall_balanced\": %b," balanced;
+        Printf.sprintf "  \"waterfall_examined\": %d" examined;
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "bench-smoke: trace — disabled noise %.3fx, enabled %.3fx (gate %.2fx), \
+     %d spans (%d dropped), waterfall %s over %d examined -> %s\n"
+    disabled enabled overhead_gate !spans_recorded !spans_dropped
+    (if balanced then "balanced" else "UNBALANCED")
+    examined out;
+  let missing =
+    List.filter (fun k -> not (contains_substring json k)) trace_required_keys
+  in
+  if missing <> [] then begin
+    Printf.printf "bench-smoke: FAILED — %s lacks required keys: %s\n" out
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if enabled > overhead_gate then begin
+    Printf.printf "bench-smoke: FAILED — tracing costs %.1f%% enabled (gate %.0f%%)\n"
+      ((enabled -. 1.) *. 100.)
+      ((overhead_gate -. 1.) *. 100.);
+    exit 1
+  end;
+  if disabled > overhead_gate then begin
+    Printf.printf
+      "bench-smoke: FAILED — disabled tracing path exceeds noise (%.1f%%)\n"
+      ((disabled -. 1.) *. 100.);
+    exit 1
+  end;
+  if (not balanced) || examined = 0 then begin
+    Printf.printf
+      "bench-smoke: FAILED — pruning waterfall does not account for every \
+       candidate (balanced=%b, examined=%d)\n"
+      balanced examined;
+    exit 1
+  end
+
 (* The CI baseline: tiny sizes, two JSON artefacts — the engine replay
    comparison (instrumentation off) and the same workload rerun with
    instrumentation on, whose metrics snapshot lands in [obs_out]. *)
-let smoke ~json_out ~obs_out ~resilience_out ~domains =
+let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~domains =
   let r = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
   let oc = open_out json_out in
   output_string oc (replay_json r);
@@ -1028,7 +1178,8 @@ let smoke ~json_out ~obs_out ~resilience_out ~domains =
     print_endline "bench-smoke: FAILED — engine answers diverge from seed paths";
     exit 1
   end;
-  resilience_smoke ~out:resilience_out
+  resilience_smoke ~out:resilience_out;
+  trace_smoke ~out:trace_out ~domains
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
@@ -1093,7 +1244,10 @@ let () =
         (keyed_arg "--resilience-out" args)
         ~default:"BENCH_resilience.json"
     in
-    smoke ~json_out ~obs_out ~resilience_out ~domains;
+    let trace_out =
+      Option.value (keyed_arg "--trace-out" args) ~default:"BENCH_trace.json"
+    in
+    smoke ~json_out ~obs_out ~resilience_out ~trace_out ~domains;
     exit 0
   end;
   let st =

@@ -5,6 +5,8 @@
      sgq        answer a Social Group Query
      stgq       answer a Social-Temporal Group Query
      arrange    compare STGArrange against the PCArrange imitation
+     trace      answer one query under tracing; render tree + waterfall
+     stats      instrumented workload; `stats serve` exposes /metrics
 
    Datasets come either from files written by `generate` or from the
    built-in generators (--kind/--n/--seed/--days). *)
@@ -94,6 +96,33 @@ let with_stats stats run =
     run ();
     Fmt.pr "@.%s@." (Obs.table (Obs.snapshot ()))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing (sgq/stgq/trace): record spans and export them.             *)
+
+let trace_out_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record a query trace and write Chrome trace-event JSON \
+                 to $(docv); load it at https://ui.perfetto.dev or \
+                 chrome://tracing.")
+
+let write_trace_file file =
+  let spans = Obs.Trace.spans () in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Obs.Trace.chrome_json spans));
+  Fmt.epr "wrote %d spans to %s@." (List.length spans) file
+
+(* [with_trace out run] brackets [run] with span recording when an
+   export file was requested. *)
+let with_trace trace_out run =
+  match trace_out with
+  | None -> run ()
+  | Some file ->
+      Obs.Trace.set_enabled true;
+      Obs.Trace.reset ();
+      run ();
+      write_trace_file file
 
 (* ------------------------------------------------------------------ *)
 (* Resilience flags (sgq/stgq): any of them routes the answer through
@@ -196,8 +225,10 @@ let algo_term choices default =
 type sg_algo = Sg_select | Sg_baseline | Sg_ip
 
 let sgq_cmd =
-  let run src initiator p s k algo deadline node_budget no_degrade stats =
+  let run src initiator p s k algo deadline node_budget no_degrade stats
+      trace_out =
     with_stats stats @@ fun () ->
+    with_trace trace_out @@ fun () ->
     let graph, _ = load_dataset src in
     let instance = { Query.graph; initiator = pick_initiator graph initiator } in
     let query = { Query.p; s; k } in
@@ -248,7 +279,8 @@ let sgq_cmd =
     (Cmd.info "sgq" ~doc:"Answer a Social Group Query.")
     Term.(
       const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ algo
-      $ deadline_term $ node_budget_term $ no_degrade_term $ stats_term)
+      $ deadline_term $ node_budget_term $ no_degrade_term $ stats_term
+      $ trace_out_term)
 
 (* ------------------------------------------------------------------ *)
 (* stgq.                                                               *)
@@ -264,8 +296,9 @@ let domains_term =
 
 let stgq_cmd =
   let run src initiator p s k m algo domains deadline node_budget no_degrade
-      stats =
+      stats trace_out =
     with_stats stats @@ fun () ->
+    with_trace trace_out @@ fun () ->
     let graph, schedules = load_dataset src in
     let ti =
       { Query.social = { Query.graph; initiator = pick_initiator graph initiator };
@@ -342,7 +375,7 @@ let stgq_cmd =
     Term.(
       const run $ source_term $ initiator_term $ p_term $ s_term $ k_term $ m_term
       $ algo $ domains_term $ deadline_term $ node_budget_term $ no_degrade_term
-      $ stats_term)
+      $ stats_term $ trace_out_term)
 
 (* ------------------------------------------------------------------ *)
 (* arrange.                                                            *)
@@ -485,19 +518,97 @@ let kplex_cmd =
     Term.(const run $ source_term $ initiator_term $ s_term $ k_term $ min_size)
 
 (* ------------------------------------------------------------------ *)
-(* stats: run an instrumented serving workload and dump the metrics.   *)
+(* trace: answer one query under tracing and render the span tree.     *)
 
-let stats_cmd =
-  let rounds =
-    Arg.(value & opt int 3
-         & info [ "rounds" ] ~docv:"N"
-             ~doc:"Rounds over the same initiators (later rounds hit the \
-                   context cache).")
+let trace_query ~trace_out run =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  run ();
+  match Obs.Trace.last () with
+  | None -> Fmt.epr "no trace recorded@."
+  | Some tree ->
+      Fmt.pr "%s@." (Obs.Trace.render tree);
+      Fmt.pr "%s@." (Obs.Trace.render_waterfall (Obs.Trace.waterfall tree));
+      Option.iter write_trace_file trace_out
+
+let trace_sgq_cmd =
+  let run src initiator p s k trace_out =
+    let graph, schedules = load_dataset src in
+    let initiator = pick_initiator graph initiator in
+    let ti = { Query.social = { Query.graph; initiator }; schedules } in
+    let service = Service.create ti in
+    trace_query ~trace_out @@ fun () ->
+    match Service.sgq service ~initiator { Query.p; s; k } with
+    | Some sol -> Fmt.pr "SGSelect: %a@.@." Query.pp_sg_solution sol
+    | None -> Fmt.pr "SGSelect: no feasible group.@.@."
   in
-  let initiators =
-    Arg.(value & opt int 4
-         & info [ "initiators" ] ~docv:"N" ~doc:"Distinct initiators to query.")
+  Cmd.v
+    (Cmd.info "sgq" ~doc:"Trace one Social Group Query.")
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term
+      $ trace_out_term)
+
+let trace_stgq_cmd =
+  let run src initiator p s k m domains trace_out =
+    let graph, schedules = load_dataset src in
+    let initiator = pick_initiator graph initiator in
+    let ti = { Query.social = { Query.graph; initiator }; schedules } in
+    Engine.Pool.with_pool ?size:domains @@ fun pool ->
+    let service = Service.create ~pool ti in
+    trace_query ~trace_out @@ fun () ->
+    match Service.stgq service ~initiator { Query.p; s; k; m } with
+    | Some sol -> Fmt.pr "STGSelect: %a@.@." (Query.pp_stg_solution ~m) sol
+    | None -> Fmt.pr "STGSelect: no feasible group/time.@.@."
   in
+  Cmd.v
+    (Cmd.info "stgq"
+       ~doc:"Trace one Social-Temporal Group Query through the pooled \
+             service: the rendered tree spans every worker domain.")
+    Term.(
+      const run $ source_term $ initiator_term $ p_term $ s_term $ k_term
+      $ m_term $ domains_term $ trace_out_term)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Answer one query with span recording on and render the trace \
+             tree and pruning waterfall (see docs/OBSERVABILITY.md).")
+    [ trace_sgq_cmd; trace_stgq_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* stats: run an instrumented serving workload and dump the metrics;   *)
+(* stats serve: expose them over HTTP.                                 *)
+
+let rounds_term =
+  Arg.(value & opt int 3
+       & info [ "rounds" ] ~docv:"N"
+           ~doc:"Rounds over the same initiators (later rounds hit the \
+                 context cache).")
+
+let initiators_term =
+  Arg.(value & opt int 4
+       & info [ "initiators" ] ~docv:"N" ~doc:"Distinct initiators to query.")
+
+(* The example workload behind `stats` and `stats serve`: [rounds] x
+   [initiators] x {sgq, stgq} through a pooled service. *)
+let run_workload src p s k m rounds initiators domains =
+  let graph, schedules = load_dataset src in
+  let ti = { Query.social = { Query.graph; initiator = 0 }; schedules } in
+  let queries = ref 0 in
+  (Engine.Pool.with_pool ?size:domains @@ fun pool ->
+   let service = Service.create ~pool ti in
+   for _round = 1 to rounds do
+     for rank = 0 to initiators - 1 do
+       let initiator = Workload.Scenario.pick_initiator ~rank graph in
+       (match Service.sgq service ~initiator { Query.p; s; k } with
+       | Some _ | None -> incr queries);
+       match Service.stgq service ~initiator { Query.p; s; k; m } with
+       | Some _ | None -> incr queries
+     done
+   done);
+  !queries
+
+let stats_default_term =
   let json =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the snapshot as JSON instead of tables.")
@@ -505,35 +616,72 @@ let stats_cmd =
   let run src p s k m rounds initiators domains json =
     Obs.set_enabled true;
     Obs.reset ();
-    let graph, schedules = load_dataset src in
-    let ti = { Query.social = { Query.graph; initiator = 0 }; schedules } in
-    let queries = ref 0 in
-    (Engine.Pool.with_pool ?size:domains @@ fun pool ->
-     let service = Service.create ~pool ti in
-     for _round = 1 to rounds do
-       for rank = 0 to initiators - 1 do
-         let initiator = Workload.Scenario.pick_initiator ~rank graph in
-         (match Service.sgq service ~initiator { Query.p; s; k } with
-         | Some _ | None -> incr queries);
-         match Service.stgq service ~initiator { Query.p; s; k; m } with
-         | Some _ | None -> incr queries
-       done
-     done);
+    let queries = run_workload src p s k m rounds initiators domains in
     let snap = Obs.snapshot () in
     if json then Fmt.pr "%s@." (Obs.json snap)
     else begin
-      Fmt.pr "%d queries (%d rounds x %d initiators x {sgq, stgq})@.@." !queries
+      Fmt.pr "%d queries (%d rounds x %d initiators x {sgq, stgq})@.@." queries
         rounds initiators;
       Fmt.pr "%s@." (Obs.table snap)
     end
   in
+  Term.(
+    const run $ source_term $ p_term $ s_term $ k_term $ m_term $ rounds_term
+    $ initiators_term $ domains_term $ json)
+
+let stats_serve_cmd =
+  let bind_host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "bind" ] ~docv:"HOST" ~doc:"Numeric address to bind.")
+  in
+  let port =
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port.")
+  in
+  let unix_socket =
+    Arg.(value & opt (some string) None
+         & info [ "unix-socket" ] ~docv:"PATH"
+             ~doc:"Serve on a Unix-domain socket instead of TCP.")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after $(docv) requests (default: serve forever).")
+  in
+  let run src p s k m rounds initiators domains bind_host port unix_socket
+      max_requests =
+    Obs.set_enabled true;
+    Obs.reset ();
+    Obs.Trace.set_enabled true;
+    (* Baseline before the workload, so /metrics/delta shows what this
+       process did since startup. *)
+    let baseline = Obs.snapshot () in
+    let queries = run_workload src p s k m rounds initiators domains in
+    let addr, where =
+      match unix_socket with
+      | Some path -> (Obs.Exposition.Unix_path path, path)
+      | None ->
+          (Obs.Exposition.Tcp (bind_host, port),
+           Printf.sprintf "http://%s:%d" bind_host port)
+    in
+    Fmt.epr "%d queries served; exposing /metrics, /metrics/delta and \
+             /trace/last on %s@." queries where;
+    Obs.Exposition.serve ~baseline ?max_requests addr
+  in
   Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the instrumented workload, then expose Prometheus metrics \
+             and the last trace over HTTP.")
+    Term.(
+      const run $ source_term $ p_term $ s_term $ k_term $ m_term $ rounds_term
+      $ initiators_term $ domains_term $ bind_host $ port $ unix_socket
+      $ max_requests)
+
+let stats_cmd =
+  Cmd.group ~default:stats_default_term
     (Cmd.info "stats"
        ~doc:"Run an instrumented example workload through the service layer \
-             and print the metrics snapshot.")
-    Term.(
-      const run $ source_term $ p_term $ s_term $ k_term $ m_term $ rounds
-      $ initiators $ domains_term $ json)
+             and print the metrics snapshot (or serve it: stats serve).")
+    [ stats_serve_cmd ]
 
 let () =
   let info =
@@ -552,5 +700,6 @@ let () =
             topk_cmd;
             auto_cmd;
             kplex_cmd;
+            trace_cmd;
             stats_cmd;
           ]))

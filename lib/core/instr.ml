@@ -6,7 +6,11 @@ let search_solves = Obs.counter "search.solves"
 
 let search_nodes = Obs.counter "search.nodes"
 
+let search_examined = Obs.counter "search.examined"
+
 let search_includes = Obs.counter "search.includes"
+
+let search_deferred = Obs.counter "search.deferred"
 
 let pruned_distance = Obs.counter "search.pruned.distance"
 
@@ -34,11 +38,34 @@ let record_search (st : Search_core.stats) =
   if Obs.enabled () then begin
     Obs.Counter.incr search_solves;
     Obs.Counter.add search_nodes st.Search_core.nodes;
+    Obs.Counter.add search_examined st.Search_core.examined;
     Obs.Counter.add search_includes st.Search_core.includes;
+    Obs.Counter.add search_deferred st.Search_core.deferred;
     Obs.Counter.add pruned_distance st.Search_core.pruned_distance;
     Obs.Counter.add pruned_acquaintance st.Search_core.pruned_acquaintance;
     Obs.Counter.add pruned_availability st.Search_core.pruned_availability;
     Obs.Counter.add removed_exterior st.Search_core.removed_exterior;
     Obs.Counter.add removed_interior st.Search_core.removed_interior;
     Obs.Counter.add removed_temporal st.Search_core.removed_temporal
-  end
+  end;
+  (* The same batch, attached to the enclosing solve span: the pruning
+     waterfall (Obs.Trace.waterfall) folds these attrs back out of the
+     stitched tree.  Gated separately so tracing works with the metric
+     registry off and vice versa. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.add_attrs
+      [
+        ("search.solves", "1");
+        ("search.nodes", string_of_int st.Search_core.nodes);
+        ("search.examined", string_of_int st.Search_core.examined);
+        ("search.includes", string_of_int st.Search_core.includes);
+        ("search.deferred", string_of_int st.Search_core.deferred);
+        ("search.pruned.distance", string_of_int st.Search_core.pruned_distance);
+        ( "search.pruned.acquaintance",
+          string_of_int st.Search_core.pruned_acquaintance );
+        ( "search.pruned.availability",
+          string_of_int st.Search_core.pruned_availability );
+        ("search.removed.exterior", string_of_int st.Search_core.removed_exterior);
+        ("search.removed.interior", string_of_int st.Search_core.removed_interior);
+        ("search.removed.temporal", string_of_int st.Search_core.removed_temporal);
+      ]

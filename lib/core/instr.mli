@@ -10,7 +10,11 @@ val search_solves : Obs.Counter.t
 
 val search_nodes : Obs.Counter.t
 
+val search_examined : Obs.Counter.t
+
 val search_includes : Obs.Counter.t
+
+val search_deferred : Obs.Counter.t
 
 val pruned_distance : Obs.Counter.t
 
@@ -31,6 +35,9 @@ val stgq_latency : Obs.Histogram.t
 val certify_latency : Obs.Histogram.t
 
 (** [record_search st] adds one solve's [Search_core.stats] to the
-    [search.*] counters (no-op while instrumentation is disabled).
-    Call it once per completed solve, on whichever domain ran it. *)
+    [search.*] counters (no-op while instrumentation is disabled), and
+    — when tracing is on — attaches the same batch as [search.*] attrs
+    to the enclosing solve span, where [Obs.Trace.waterfall] folds it
+    back into the per-query pruning profile.  Call it once per
+    completed solve, on whichever domain ran it. *)
 val record_search : Search_core.stats -> unit

@@ -31,13 +31,17 @@ let prepare ?ctx (ti : Query.temporal_instance) (query : Query.stgq) =
    observed by its siblings at their next checkpoint — a cancelled batch
    cannot strand in-flight buckets. *)
 let bucket_job ~config ~budget ctx (query : Query.stgq) bucket () =
+  Obs.Trace.with_span "parallel.bucket"
+    ~attrs:[ ("pivots", string_of_int (List.length bucket)) ]
+  @@ fun () ->
   let stats = Search_core.fresh_stats () in
   let out =
     Search_core.solve_temporal_out ~budget ctx ~p:query.p ~k:query.k ~m:query.m
       ~pivots:bucket ~config ~stats
   in
   (* Runs on a worker domain; counters are per-domain sharded, so this
-     publish never contends with sibling buckets. *)
+     publish never contends with sibling buckets.  The search-stat attrs
+     land on this bucket's span. *)
   Instr.record_search stats;
   (out, stats.Search_core.nodes)
 
@@ -82,12 +86,21 @@ let finish ctx ~n_domains ~(query : Query.stgq) ~budget results =
 let solve_report ?(config = Search_core.default_config) ?domains ?pool ?ctx
     ?(budget = Budget.unlimited) (ti : Query.temporal_instance)
     (query : Query.stgq) =
+  Obs.Trace.with_span "parallel.solve"
+    ~attrs:
+      [
+        ("p", string_of_int query.p);
+        ("k", string_of_int query.k);
+        ("m", string_of_int query.m);
+      ]
+  @@ fun () ->
   let ctx, pivots = prepare ?ctx ti query in
   let pool = match pool with Some p -> p | None -> Engine.Pool.default () in
   let wanted =
     match domains with Some d -> max 1 d | None -> Engine.Pool.size pool
   in
   let n_domains = max 1 (min wanted (List.length pivots)) in
+  Obs.Trace.add_attrs [ ("domains", string_of_int n_domains) ];
   let buckets = round_robin n_domains pivots in
   let jobs =
     Array.to_list
@@ -103,16 +116,31 @@ let solve ?config ?domains ?pool ?ctx ?budget ti query =
    fresh domain per bucket on every call. *)
 let solve_report_unpooled ?(config = Search_core.default_config) ?domains ?ctx
     (ti : Query.temporal_instance) (query : Query.stgq) =
+  Obs.Trace.with_span "parallel.solve"
+    ~attrs:
+      [
+        ("p", string_of_int query.p);
+        ("k", string_of_int query.k);
+        ("m", string_of_int query.m);
+        ("pooled", "false");
+      ]
+  @@ fun () ->
   let ctx, pivots = prepare ?ctx ti query in
   let budget = Budget.unlimited in
   let wanted =
     match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
   in
   let n_domains = max 1 (min wanted (List.length pivots)) in
+  Obs.Trace.add_attrs [ ("domains", string_of_int n_domains) ];
   let buckets = round_robin n_domains pivots in
+  (* Fresh domains have a fresh span stack, so propagation is by hand
+     here (the pooled path gets it from Engine.Pool.submit). *)
+  let tctx = Obs.Trace.current () in
   let handles =
     Array.map
-      (fun bucket -> Domain.spawn (bucket_job ~config ~budget ctx query bucket))
+      (fun bucket ->
+        Domain.spawn (fun () ->
+            Obs.Trace.with_ctx tctx (bucket_job ~config ~budget ctx query bucket)))
       buckets
   in
   finish ctx ~n_domains ~query ~budget

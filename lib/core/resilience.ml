@@ -115,9 +115,22 @@ let count_reason = function
 
 (* One pass down the ladder with a fresh budget; returns the result or
    re-raises the (non-transient) failure for [with_retries] to classify. *)
+let outcome_attr = function
+  | Anytime.Optimal _ -> "optimal"
+  | Anytime.Feasible_best _ -> "anytime"
+  | Anytime.Exhausted _ -> "exhausted"
+
+(* Run one rung inside its own span, tagging how it answered — so a
+   trace shows which rung served the query and why the ladder moved. *)
+let rung_span name outcome_of f =
+  Obs.Trace.with_span ("resilience." ^ name) @@ fun () ->
+  let result = f () in
+  Obs.Trace.add_attrs [ ("outcome", outcome_of result) ];
+  result
+
 let descend policy ~cancel ~exact ~heuristic ~retries ~t0 =
   let budget = budget_of policy ~cancel in
-  match exact budget with
+  match rung_span "exact" outcome_attr (fun () -> exact budget) with
   | Anytime.Optimal value ->
       observe_rung Exact ~t0;
       Ok { value; rung = Exact; gap = Some 0.; retries; reason = None }
@@ -143,7 +156,11 @@ let descend policy ~cancel ~exact ~heuristic ~retries ~t0 =
       end
       else
         let hb = budget_of policy ~cancel in
-        match heuristic hb with
+        match
+          rung_span "heuristic"
+            (function Some _ -> "answered" | None -> "empty")
+            (fun () -> heuristic hb)
+        with
         | Some v ->
             Obs.Counter.incr m_degraded;
             observe_rung Heuristic ~t0;

@@ -21,9 +21,16 @@ let default_config =
     use_availability_pruning = true;
   }
 
+(* Accounting identity (kept exact, tested, and surfaced as the pruning
+   waterfall): every [examined] candidate ends in exactly one of
+   [includes], [removed_exterior], [removed_interior],
+   [removed_temporal] or [deferred].  A deferral (a θ/φ relaxation
+   round skipping the candidate) counts again when re-examined. *)
 type stats = {
   mutable nodes : int;
+  mutable examined : int;
   mutable includes : int;
+  mutable deferred : int;
   mutable pruned_distance : int;
   mutable pruned_acquaintance : int;
   mutable pruned_availability : int;
@@ -35,7 +42,9 @@ type stats = {
 let fresh_stats () =
   {
     nodes = 0;
+    examined = 0;
     includes = 0;
+    deferred = 0;
     pruned_distance = 0;
     pruned_acquaintance = 0;
     pruned_availability = 0;
@@ -290,7 +299,15 @@ let checkpoint st =
   if st.stats.nodes land (Budget.check_interval - 1) = 0 then begin
     Faultinject.fire Faultinject.Kernel_expansion;
     match Budget.charge st.budget Budget.check_interval with
-    | Some _ -> raise_notrace Stop
+    | Some reason ->
+        (* Trip path, at most once per solve: attribute which checkpoint
+           ended the search to the enclosing solve span. *)
+        Obs.Trace.add_attrs
+          [
+            ("budget.trip", Budget.reason_name reason);
+            ("budget.checkpoint_nodes", string_of_int st.stats.nodes);
+          ];
+        raise_notrace Stop
     | None -> ()
   end
 
@@ -358,6 +375,7 @@ let rec node st =
           else ()
       | Some u ->
           st.visited.(u) <- !current_round;
+          st.stats.examined <- st.stats.examined + 1;
           if exterior_expansibility st u < st.p - (st.vs_size + 1) then begin
             st.stats.removed_exterior <- st.stats.removed_exterior + 1;
             remove_here u;
@@ -373,8 +391,10 @@ let rec node st =
               if !theta = 0 then begin
                 st.stats.removed_interior <- st.stats.removed_interior + 1;
                 remove_here u
-              end;
-              (* at theta > 0: skipped for now, retried at a lower theta *)
+              end
+              else
+                (* at theta > 0: deferred — retried at a lower theta *)
+                st.stats.deferred <- st.stats.deferred + 1;
               loop ()
             end
             else begin
@@ -400,7 +420,10 @@ let rec node st =
                   st.stats.removed_temporal <- st.stats.removed_temporal + 1;
                   remove_here u;
                   loop ()
-              | `Skip -> loop ()
+              | `Skip ->
+                  (* deferred: retried once phi relaxes *)
+                  st.stats.deferred <- st.stats.deferred + 1;
+                  loop ()
               | `Ok ->
                   st.stats.includes <- st.stats.includes + 1;
                   let saved_ts = add_to_vs st u in

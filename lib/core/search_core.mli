@@ -30,10 +30,18 @@ type config = {
 
 val default_config : config
 
-(** Search-effort counters, for the experiment harness. *)
+(** Search-effort counters, for the experiment harness and the pruning
+    waterfall ([Obs.Trace.waterfall]).  The kernel keeps the accounting
+    identity [examined = includes + removed_exterior + removed_interior
+    + removed_temporal + deferred] exact: every examined candidate ends
+    in exactly one bucket (a deferred candidate counts again when a θ/φ
+    relaxation round re-examines it). *)
 type stats = {
   mutable nodes : int;           (** search-tree nodes expanded *)
+  mutable examined : int;        (** candidates considered by the node loop *)
   mutable includes : int;        (** include-branches taken *)
+  mutable deferred : int;
+      (** skipped at θ > 0 (or φ below threshold), re-examined later *)
   mutable pruned_distance : int;
   mutable pruned_acquaintance : int;
   mutable pruned_availability : int;

@@ -26,16 +26,25 @@ let create ?(config = Search_core.default_config) ?(cache_capacity = 64) ?pool
    solution is re-checked against the raw instance by Validate (which
    shares no code with the search) before a caller can see it. *)
 
+(* Root span of a served query: every solver, context-build and
+   certify span below it (including pooled bucket spans on other
+   domains) stitches into one tree. *)
+let query_span name ~initiator (f : unit -> 'a) : 'a =
+  Obs.Trace.with_span name ~attrs:[ ("initiator", string_of_int initiator) ] f
+
 let sgq t ~initiator (query : Query.sgq) =
+  query_span "service.sgq" ~initiator @@ fun () ->
   Obs.time_hist Instr.sgq_latency @@ fun () ->
   Query.check_sgq query;
   let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
   let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
   let solution = Sgselect.solve ~config:t.config ~ctx instance query in
+  Obs.Trace.with_span "service.certify" @@ fun () ->
   Obs.time_hist Instr.certify_latency @@ fun () ->
   Validate.certify_sg instance query solution
 
 let stgq t ~initiator (query : Query.stgq) =
+  query_span "service.stgq" ~initiator @@ fun () ->
   Obs.time_hist Instr.stgq_latency @@ fun () ->
   Query.check_stgq query;
   let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
@@ -50,6 +59,7 @@ let stgq t ~initiator (query : Query.stgq) =
     | Some pool -> Parallel.solve ~config:t.config ~pool ~ctx ti query
     | None -> Stgselect.solve ~config:t.config ~ctx ti query
   in
+  Obs.Trace.with_span "service.certify" @@ fun () ->
   Obs.time_hist Instr.certify_latency @@ fun () ->
   Validate.certify_stg ti query solution
 
@@ -60,10 +70,13 @@ let stgq t ~initiator (query : Query.stgq) =
    (anytime and heuristic answers included). *)
 
 let sgq_r ?policy ?cancel t ~initiator (query : Query.sgq) =
+  query_span "service.sgq" ~initiator @@ fun () ->
+  Obs.Trace.add_attrs [ ("resilient", "true") ];
   Obs.time_hist Instr.sgq_latency @@ fun () ->
   Query.check_sgq query;
   let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
   let certify solution =
+    Obs.Trace.with_span "service.certify" @@ fun () ->
     Obs.time_hist Instr.certify_latency @@ fun () ->
     Validate.certify_sg instance query solution
   in
@@ -79,6 +92,8 @@ let sgq_r ?policy ?cancel t ~initiator (query : Query.sgq) =
   Resilience.run ?policy ?cancel ~exact ~heuristic ()
 
 let stgq_r ?policy ?cancel t ~initiator (query : Query.stgq) =
+  query_span "service.stgq" ~initiator @@ fun () ->
+  Obs.Trace.add_attrs [ ("resilient", "true") ];
   Obs.time_hist Instr.stgq_latency @@ fun () ->
   Query.check_stgq query;
   let ti =
@@ -88,6 +103,7 @@ let stgq_r ?policy ?cancel t ~initiator (query : Query.stgq) =
     }
   in
   let certify solution =
+    Obs.Trace.with_span "service.certify" @@ fun () ->
     Obs.time_hist Instr.certify_latency @@ fun () ->
     Validate.certify_stg ti query solution
   in

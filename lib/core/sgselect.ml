@@ -11,6 +11,14 @@ module Log = (val Logs.src_log log)
 
 let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     ?budget (instance : Query.instance) (query : Query.sgq) =
+  Obs.Trace.with_span "sgselect.solve"
+    ~attrs:
+      [
+        ("p", string_of_int query.p);
+        ("s", string_of_int query.s);
+        ("k", string_of_int query.k);
+      ]
+  @@ fun () ->
   Query.check_sgq query;
   Query.check_instance instance;
   let ctx =
@@ -21,6 +29,7 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     | None -> Feasible.context_of_instance instance ~s:query.s
   in
   let fg = ctx.Engine.Context.fg in
+  Obs.Trace.add_attrs [ ("feasible", string_of_int (Feasible.size fg)) ];
   let stats = Search_core.fresh_stats () in
   let found =
     Search_core.solve_social_out ?bound_init:initial_bound ?budget ctx

@@ -34,6 +34,15 @@ let convert_outcome fg (found : Search_core.found Anytime.outcome) =
 
 let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
     ?budget (ti : Query.temporal_instance) (query : Query.stgq) =
+  Obs.Trace.with_span "stgselect.solve"
+    ~attrs:
+      [
+        ("p", string_of_int query.p);
+        ("s", string_of_int query.s);
+        ("k", string_of_int query.k);
+        ("m", string_of_int query.m);
+      ]
+  @@ fun () ->
   Query.check_stgq query;
   Query.check_temporal_instance ti;
   let ctx =
@@ -47,6 +56,11 @@ let solve_report ?(config = Search_core.default_config) ?ctx ?initial_bound
   in
   let fg = ctx.Engine.Context.fg in
   let pivots = Engine.Context.pivots ctx ~m:query.m in
+  Obs.Trace.add_attrs
+    [
+      ("feasible", string_of_int (Feasible.size fg));
+      ("pivots", string_of_int (List.length pivots));
+    ];
   let stats = Search_core.fresh_stats () in
   let found =
     Search_core.solve_temporal_out ?bound_init:initial_bound ?budget ctx

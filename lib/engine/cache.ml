@@ -93,6 +93,7 @@ let context t ~initiator ~s =
   | Some n ->
       t.hits <- t.hits + 1;
       Obs.Counter.incr m_hits;
+      Obs.Trace.add_attrs [ ("context.cache", "hit") ];
       unlink t n;
       push_front t n;
       Log.debug (fun m -> m "context cache hit for (q=%d, s=%d)" initiator s);
@@ -100,6 +101,7 @@ let context t ~initiator ~s =
   | None ->
       t.misses <- t.misses + 1;
       Obs.Counter.incr m_misses;
+      Obs.Trace.add_attrs [ ("context.cache", "miss") ];
       Log.debug (fun m -> m "context cache miss for (q=%d, s=%d)" initiator s);
       let ctx = Context.build ?schedules:t.schedules t.graph ~initiator ~s in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;

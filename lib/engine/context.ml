@@ -14,6 +14,9 @@ let build ?schedules graph ~initiator ~s =
   Faultinject.fire Faultinject.Context_build;
   Obs.Counter.incr m_builds;
   Obs.Span.with_ "context.build" @@ fun () ->
+  Obs.Trace.with_span "context.build"
+    ~attrs:[ ("initiator", string_of_int initiator); ("s", string_of_int s) ]
+  @@ fun () ->
   let fg = Feasible.extract graph ~initiator ~s in
   let horizon, avail =
     match schedules with

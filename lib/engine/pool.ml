@@ -138,6 +138,16 @@ let create ?size () =
 let size t = t.size
 
 let submit t job =
+  (* Cross-domain trace propagation: capture the submitter's span
+     context here and install it around the job on whichever worker
+     domain runs it, so pooled work joins the submitting query's trace
+     instead of starting orphan roots.  One atomic load when tracing is
+     off. *)
+  let job =
+    match Obs.Trace.current () with
+    | None -> job
+    | Some _ as tctx -> fun () -> Obs.Trace.with_ctx tctx job
+  in
   Mutex.lock t.lock;
   if t.closed then begin
     Mutex.unlock t.lock;

@@ -1,0 +1,35 @@
+(** Stats exposition for long-running [Service] processes: Prometheus
+    text-format metrics and [/trace/last] JSON over a minimal
+    stdlib-[Unix] HTTP server.
+
+    Routes:
+    - [/] — plain-text index
+    - [/metrics] — Prometheus text format (version 0.0.4) of the
+      current registry snapshot; metric names are prefixed [stgq_] with
+      dots mangled to underscores (counters → [counter], gauges →
+      [gauge] plus a [_high_water] companion, histograms → [summary]
+      with 0.5/0.9/0.99 quantiles in ns)
+    - [/metrics/delta] — the same, of [Registry.delta baseline now]
+    - [/trace/last] — the newest stitched trace ([Trace.tree_json]);
+      404 when none is buffered
+
+    The server is single-threaded and connection-per-request (no
+    keep-alive): run it on a spare domain next to the serving pool. *)
+
+type addr =
+  | Tcp of string * int  (** host (numeric, e.g. ["127.0.0.1"]) and port *)
+  | Unix_path of string  (** Unix-domain socket path (unlinked on bind and close) *)
+
+(** Prometheus text rendering of a snapshot (the [/metrics] body). *)
+val prometheus : Registry.snapshot -> string
+
+(** [respond ~baseline path] routes one request:
+    [(status, content-type, body)].  Exposed for tests. *)
+val respond : baseline:Registry.snapshot -> string -> int * string * string
+
+(** [serve addr] binds, listens and answers requests until
+    [?max_requests] connections have been served (forever when
+    omitted).  [?baseline] anchors [/metrics/delta] (default: snapshot
+    at startup).
+    @raise Unix.Unix_error if the bind fails (address in use, ...). *)
+val serve : ?baseline:Registry.snapshot -> ?max_requests:int -> addr -> unit

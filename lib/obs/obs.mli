@@ -1,206 +1,22 @@
-(** Process-wide observability: registry-based counters, gauges,
-    log-bucketed latency histograms and a fixed-size span ring.
+(** Process-wide observability.
 
-    The paper's evaluation is entirely about *where time goes* — nodes
-    expanded, pruning effectiveness, serving-path latency — so the
-    engine and search layers publish their internals here instead of
-    through ad-hoc per-call records.
+    Three layers, one entry module:
+    - the {b metric registry} ({!Registry}, re-exported flat here):
+      interned counters/gauges/histograms, the span ring, snapshots,
+      {!delta} diffing and the table/JSON reporters;
+    - {b query-level tracing} ({!Trace}): hierarchical spans across
+      domains, stitched trees, Chrome-trace/Perfetto export and the
+      pruning-waterfall solver profile;
+    - the {b exposition server} ({!Exposition}): Prometheus text-format
+      metrics and [/trace/last] JSON over stdlib-[Unix] sockets.
 
-    Design rules:
-    - {b Registry-based}: metrics are interned by name ({!counter},
-      {!gauge}, {!histogram} return the same object for the same name),
-      so any module can reference a metric without threading handles.
-    - {b Near-zero cost when disabled}: every record operation first
-      reads one atomic flag ({!enabled}) and returns immediately when
-      instrumentation is off (the default).  Reads ({!Counter.value},
-      {!snapshot}, ...) always work.
-    - {b Domain-safe}: counters and gauges are sharded per domain and
-      merged at read time; histograms use one atomic per bucket.  No
-      locks on the record path.
+    Metrics and tracing have independent switches ({!set_enabled} vs
+    {!Trace.set_enabled}); both are off by default and cost one atomic
+    load per record operation while off.  See docs/OBSERVABILITY.md. *)
 
-    Metric values observed concurrently with writers are eventually
-    consistent: a {!snapshot} taken while worker domains are recording
-    may be mid-update, but every completed record is eventually counted
-    exactly once. *)
-
-(** {1 Global switch} *)
-
-(** [set_enabled b] turns instrumentation on or off process-wide.
-    Disabled is the default; recording while disabled is a no-op. *)
-val set_enabled : bool -> unit
-
-(** Current state of the switch. *)
-val enabled : unit -> bool
-
-(** Wall-clock time in nanoseconds (the time base of every histogram
-    and span in this module). *)
-val now_ns : unit -> float
-
-(** {1 Metric kinds} *)
-
-module Counter : sig
-  (** A monotone event counter, sharded per domain. *)
-
-  type t
-
-  (** [make name] builds a counter that is {e not} in the registry —
-      for local measurement and tests.  Use {!Obs.counter} for the
-      interned variant. *)
-  val make : string -> t
-
-  val name : t -> string
-
-  (** [add t n] adds [n] (no-op while disabled).  [n] must be >= 0. *)
-  val add : t -> int -> unit
-
-  val incr : t -> unit
-
-  (** Sum over every per-domain shard at call time. *)
-  val value : t -> int
-
-  (** The raw shard values whose sum is {!value} — exposed so merge
-      associativity is testable (any fold order gives the same total). *)
-  val shard_values : t -> int array
-
-  val reset : t -> unit
+include module type of struct
+  include Registry
 end
 
-module Gauge : sig
-  (** A last-write-wins level with a monotone high-water mark. *)
-
-  type t
-
-  (** Unregistered variant; see {!Obs.gauge}. *)
-  val make : string -> t
-
-  val name : t -> string
-
-  (** [set t v] records the current level and raises the high-water
-      mark to [v] if it exceeds it (no-op while disabled). *)
-  val set : t -> int -> unit
-
-  val value : t -> int
-
-  (** Largest value ever {!set} since the last {!reset}. *)
-  val high_water : t -> int
-
-  val reset : t -> unit
-end
-
-module Histogram : sig
-  (** A log-bucketed (powers of two) histogram of non-negative samples,
-      typically latencies in nanoseconds.  Quantile estimates return
-      the upper bound of the bucket holding the requested rank, clamped
-      to the exact observed maximum — so for all [q <= q'],
-      [quantile t q <= quantile t q'], [quantile t 1. = max_value t],
-      and every recorded sample is [<= quantile t 1.]. *)
-
-  type t
-
-  (** Unregistered variant; see {!Obs.histogram}. *)
-  val make : string -> t
-
-  val name : t -> string
-
-  (** [observe t v] records [max v 0.] (no-op while disabled). *)
-  val observe : t -> float -> unit
-
-  val count : t -> int
-
-  (** Sum of recorded samples (each truncated to whole ns). *)
-  val sum : t -> float
-
-  (** Exact maximum recorded sample, 0 if empty. *)
-  val max_value : t -> float
-
-  (** [quantile t q] for [q] in [[0, 1]]; 0 if empty.
-      @raise Invalid_argument outside [[0, 1]]. *)
-  val quantile : t -> float -> float
-
-  val reset : t -> unit
-end
-
-module Span : sig
-  (** Lightweight tracing: completed spans land in a fixed-size ring
-      buffer (oldest overwritten first). *)
-
-  type span = {
-    sp_name : string;
-    sp_start_ns : float;  (** wall clock at entry *)
-    sp_dur_ns : float;
-  }
-
-  (** Ring capacity (spans retained). *)
-  val capacity : int
-
-  (** [with_ name f] runs [f ()]; when instrumentation is enabled the
-      elapsed time is recorded as a span named [name], whether [f]
-      returns or raises. *)
-  val with_ : string -> (unit -> 'a) -> 'a
-
-  (** Completed spans, newest first, at most {!capacity}. *)
-  val recent : unit -> span list
-
-  (** Spans recorded since the last reset (including overwritten ones). *)
-  val total_recorded : unit -> int
-end
-
-(** {1 Registry} *)
-
-(** [counter name] returns the registered counter for [name], creating
-    it on first use.
-    @raise Invalid_argument if [name] is registered as another kind. *)
-val counter : string -> Counter.t
-
-(** [gauge name] — registered {!Gauge.t} for [name].
-    @raise Invalid_argument if [name] is registered as another kind. *)
-val gauge : string -> Gauge.t
-
-(** [histogram name] — registered {!Histogram.t} for [name].
-    @raise Invalid_argument if [name] is registered as another kind. *)
-val histogram : string -> Histogram.t
-
-(** Zero every registered metric and empty the span ring.  Metrics stay
-    registered; the enabled flag is untouched. *)
-val reset : unit -> unit
-
-(** {1 Timing helper} *)
-
-(** [time_hist h f] runs [f ()] and observes the elapsed nanoseconds in
-    [h] (whether [f] returns or raises).  When disabled it is exactly
-    [f ()] — no clock reads. *)
-val time_hist : Histogram.t -> (unit -> 'a) -> 'a
-
-(** {1 Snapshots and reporters} *)
-
-type histogram_summary = {
-  h_count : int;
-  h_sum_ns : float;
-  h_p50 : float;
-  h_p90 : float;
-  h_p99 : float;
-  h_max : float;
-}
-
-type gauge_reading = {
-  g_value : int;
-  g_high_water : int;
-}
-
-(** A point-in-time read of every registered metric, each section
-    sorted by metric name. *)
-type snapshot = {
-  counters : (string * int) list;
-  gauges : (string * gauge_reading) list;
-  histograms : (string * histogram_summary) list;
-  spans : Span.span list;  (** newest first *)
-}
-
-val snapshot : unit -> snapshot
-
-(** Human-readable tables (one per non-empty section). *)
-val table : snapshot -> string
-
-(** Stable JSON rendering: objects keyed by metric name, keys sorted,
-    integers for counts and whole-ns values. *)
-val json : snapshot -> string
+module Trace = Trace
+module Exposition = Exposition

@@ -1,0 +1,274 @@
+(* Query-level tracing: cross-domain stitching of pooled solves, the
+   trace-off differential, the pruning-waterfall accounting identity,
+   snapshot deltas, dropped-span accounting and the exposition server. *)
+
+open Stgq_core
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* Every test leaves tracing disabled and the buffers empty. *)
+let with_trace f =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+    f
+
+let small_ti () =
+  let ti = Workload.Scenario.coauthor ~seed:11 ~days:2 ~n:300 () in
+  let graph = ti.Query.social.Query.graph in
+  let initiator = Workload.Scenario.pick_initiator ~rank:10 graph in
+  { ti with Query.social = { ti.Query.social with Query.initiator } }
+
+let stg_query = { Query.p = 3; s = 2; k = 1; m = 4 }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain stitching.                                             *)
+
+let test_pooled_single_tree () =
+  let ti = small_ti () in
+  with_trace @@ fun () ->
+  (Engine.Pool.with_pool ~size:2 @@ fun pool ->
+   ignore (Parallel.solve_report ~pool ti stg_query : Parallel.report));
+  let spans = Obs.Trace.spans () in
+  let roots = Obs.Trace.trees spans in
+  check Alcotest.int "exactly one root" 1 (List.length roots);
+  let root =
+    match roots with
+    | [ t ] -> t.Obs.Trace.t_span
+    | _ -> Alcotest.fail "no tree"
+  in
+  check Alcotest.string "rooted at the solve" "parallel.solve"
+    root.Obs.Trace.sp_name;
+  List.iter
+    (fun (sp : Obs.Trace.span) ->
+      check Alcotest.int
+        (Printf.sprintf "span %S carries the root trace id" sp.Obs.Trace.sp_name)
+        root.Obs.Trace.sp_trace sp.Obs.Trace.sp_trace)
+    spans;
+  check Alcotest.bool "bucket spans present" true
+    (List.exists
+       (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_name = "parallel.bucket")
+       spans);
+  (* Pool workers are their own domains: the stitched tree must span
+     more than the submitting one. *)
+  check Alcotest.bool "spans cross domains" true
+    (List.exists
+       (fun (sp : Obs.Trace.span) ->
+         sp.Obs.Trace.sp_domain <> root.Obs.Trace.sp_domain)
+       spans)
+
+let test_service_root_covers_certify () =
+  let ti = small_ti () in
+  with_trace @@ fun () ->
+  let service = Service.create ti in
+  ignore
+    (Service.stgq service ~initiator:ti.Query.social.Query.initiator stg_query
+      : Query.stg_solution option);
+  match Obs.Trace.last () with
+  | None -> Alcotest.fail "no trace recorded"
+  | Some tree ->
+      check Alcotest.string "service root" "service.stgq"
+        tree.Obs.Trace.t_span.Obs.Trace.sp_name;
+      let names =
+        List.map
+          (fun t -> t.Obs.Trace.t_span.Obs.Trace.sp_name)
+          tree.Obs.Trace.t_children
+      in
+      check Alcotest.bool "solver child" true
+        (List.mem "stgselect.solve" names);
+      check Alcotest.bool "certify child" true
+        (List.mem "service.certify" names)
+
+(* ------------------------------------------------------------------ *)
+(* The off path records nothing and changes nothing.                   *)
+
+let test_disabled_records_no_spans () =
+  let ti = small_ti () in
+  Obs.Trace.set_enabled false;
+  Obs.Trace.reset ();
+  let off = Stgselect.solve ti stg_query in
+  check Alcotest.int "nothing recorded" 0 (Obs.Trace.total_recorded ());
+  check Alcotest.bool "span list empty" true (Obs.Trace.spans () = []);
+  let on = with_trace (fun () -> Stgselect.solve ti stg_query) in
+  check Alcotest.bool "tracing changes no answer" true (off = on)
+
+(* ------------------------------------------------------------------ *)
+(* Waterfall accounting identity.                                      *)
+
+let test_waterfall_accounts_for_every_candidate () =
+  let ti = small_ti () in
+  with_trace @@ fun () ->
+  let r = Stgselect.solve_report ti stg_query in
+  let stats = r.Stgselect.stats in
+  match Obs.Trace.last () with
+  | None -> Alcotest.fail "no trace recorded"
+  | Some tree ->
+      let w = Obs.Trace.waterfall tree in
+      check Alcotest.bool "identity balances" true
+        (Obs.Trace.waterfall_balanced w);
+      check Alcotest.bool "candidates examined" true (w.Obs.Trace.w_examined > 0);
+      check Alcotest.int "examined matches the kernel stats"
+        stats.Search_core.examined w.Obs.Trace.w_examined;
+      check Alcotest.int "includes match" stats.Search_core.includes
+        w.Obs.Trace.w_included;
+      check Alcotest.int "deferrals match" stats.Search_core.deferred
+        w.Obs.Trace.w_deferred;
+      check Alcotest.int "temporal removals match"
+        stats.Search_core.removed_temporal w.Obs.Trace.w_removed_temporal
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot deltas and dropped-span accounting.                        *)
+
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let counter_in snap name =
+  match List.assoc_opt name snap.Obs.counters with Some v -> v | None -> -1
+
+let test_delta_subtracts_counters () =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.delta.counter" in
+  Obs.Counter.add c 3;
+  let older = Obs.snapshot () in
+  Obs.Counter.add c 4;
+  let newer = Obs.snapshot () in
+  let d = Obs.delta older newer in
+  check Alcotest.int "counter rate" 4 (counter_in d "test.delta.counter");
+  check Alcotest.int "cumulative total untouched" 7
+    (counter_in newer "test.delta.counter");
+  (* A counter reset between the snapshots clamps at 0, never negative. *)
+  Obs.Counter.reset c;
+  let after_reset = Obs.snapshot () in
+  check Alcotest.int "clamped at zero" 0
+    (counter_in (Obs.delta newer after_reset) "test.delta.counter")
+
+let test_dropped_spans_surface_in_snapshot () =
+  with_obs @@ fun () ->
+  let extra = 25 in
+  for _ = 1 to Obs.Span.capacity + extra do
+    Obs.Span.with_ "tick" (fun () -> ())
+  done;
+  check Alcotest.int "overwrites counted" extra (Obs.Span.dropped ());
+  check Alcotest.int "surfaced as obs.spans.dropped" extra
+    (counter_in (Obs.snapshot ()) "obs.spans.dropped")
+
+(* ------------------------------------------------------------------ *)
+(* Exposition: routing and the wire formats.                           *)
+
+let test_exposition_routes () =
+  with_obs @@ fun () ->
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+  @@ fun () ->
+  let c = Obs.counter "test.expo.requests" in
+  Obs.Counter.add c 2;
+  let baseline = Obs.snapshot () in
+  Obs.Counter.add c 5;
+  let status path =
+    let s, _, _ = Obs.Exposition.respond ~baseline path in
+    s
+  in
+  let body path =
+    let _, _, b = Obs.Exposition.respond ~baseline path in
+    b
+  in
+  check Alcotest.int "index ok" 200 (status "/");
+  check Alcotest.int "metrics ok" 200 (status "/metrics");
+  check Alcotest.bool "prometheus name mangling + total" true
+    (contains (body "/metrics") "stgq_test_expo_requests 7");
+  check Alcotest.bool "delta subtracts the baseline" true
+    (contains (body "/metrics/delta") "stgq_test_expo_requests 5");
+  check Alcotest.int "404 while no trace is buffered" 404 (status "/trace/last");
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Obs.Trace.with_span "unit.root" (fun () -> ());
+  check Alcotest.int "trace served" 200 (status "/trace/last");
+  check Alcotest.bool "tree json names the span" true
+    (contains (body "/trace/last") "unit.root");
+  check Alcotest.int "unknown path" 404 (status "/nope")
+
+let test_unix_socket_serve () =
+  with_obs @@ fun () ->
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stgq-expo-%d.sock" (Unix.getpid ()))
+  in
+  let baseline = Obs.snapshot () in
+  let server =
+    Domain.spawn (fun () ->
+        Obs.Exposition.serve ~baseline ~max_requests:1
+          (Obs.Exposition.Unix_path path))
+  in
+  let rec wait n =
+    if (not (Sys.file_exists path)) && n > 0 then begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  let req = "GET /metrics HTTP/1.1\r\nHost: unit\r\n\r\n" in
+  ignore (Unix.write_substring sock req 0 (String.length req) : int);
+  let buf = Bytes.create 65536 in
+  let rec read_all acc =
+    match Unix.read sock buf 0 (Bytes.length buf) with
+    | 0 -> acc
+    | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+  in
+  let response = read_all "" in
+  Unix.close sock;
+  Domain.join server;
+  check Alcotest.bool "HTTP 200" true (contains response "200 OK");
+  check Alcotest.bool "prometheus body" true (contains response "# TYPE")
+
+(* ------------------------------------------------------------------ *)
+(* Exporters.                                                          *)
+
+let test_chrome_export_shape () =
+  with_trace @@ fun () ->
+  Obs.Trace.with_span "outer" ~attrs:[ ("key", "value") ] (fun () ->
+      Obs.Trace.with_span "inner" (fun () -> ()));
+  let json = Obs.Trace.chrome_json (Obs.Trace.spans ()) in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " present") true (contains json needle))
+    [
+      "\"traceEvents\"";
+      "\"ph\": \"X\"";
+      "\"outer\"";
+      "\"inner\"";
+      "\"key\": \"value\"";
+      "\"displayTimeUnit\"";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "pooled solve yields one rooted tree" `Quick
+      test_pooled_single_tree;
+    Alcotest.test_case "service root covers solver and certify" `Quick
+      test_service_root_covers_certify;
+    Alcotest.test_case "disabled tracing records nothing" `Quick
+      test_disabled_records_no_spans;
+    Alcotest.test_case "waterfall accounts for every candidate" `Quick
+      test_waterfall_accounts_for_every_candidate;
+    Alcotest.test_case "snapshot delta" `Quick test_delta_subtracts_counters;
+    Alcotest.test_case "dropped spans surface in snapshots" `Quick
+      test_dropped_spans_surface_in_snapshot;
+    Alcotest.test_case "exposition routing" `Quick test_exposition_routes;
+    Alcotest.test_case "exposition over a unix socket" `Quick
+      test_unix_socket_serve;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+  ]

@@ -20,6 +20,7 @@ let () =
       ("service", Suite_service.suite);
       ("engine", Suite_engine.suite);
       ("obs", Suite_obs.suite);
+      ("trace", Suite_trace.suite);
       ("regression", Suite_regression.suite);
       ("community", Suite_community.suite);
       ("report", Suite_report.suite);
