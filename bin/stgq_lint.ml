@@ -1,29 +1,65 @@
 (* stgq_lint — static-analysis gate for the STGQ codebase.
 
-   Usage: stgq_lint [--format=human|json] [--no-certify]
-                    [--allow-state MODULE] [--list-rules] [PATH ...]
+   Usage: stgq_lint [--typed] [--cmt-root DIR]
+                    [--format=human|json|sarif] [--no-certify]
+                    [--allow-state MODULE] [--allow-domain MODULE]
+                    [--bench-out FILE] [--list-rules] [PATH ...]
 
-   Lints every .ml under the given paths (default: lib bin) with the
-   rules in Lint.Rules plus the Lint.Certify solution-certificate
-   audit.  Exit status: 0 clean, 1 findings, 2 usage error. *)
+   Default mode lints every .ml under the given paths (default:
+   lib bin) with the untyped rules in Lint.Rules plus the Lint.Certify
+   solution-certificate audit.  [--typed] instead runs the typed
+   interprocedural analyses (domain-safety, checkpoint-coverage) over
+   the .cmt artefacts beneath --cmt-root, restricted to findings in
+   the given paths.  Exit status: 0 clean, 1 findings, 2 usage error. *)
 
-let usage = "stgq_lint [--format=human|json] [--no-certify] [--allow-state MODULE] [PATH ...]"
+let usage =
+  "stgq_lint [--typed] [--cmt-root DIR] [--format=human|json|sarif] \
+   [--no-certify] [--allow-state MODULE] [--allow-domain MODULE] \
+   [--bench-out FILE] [PATH ...]"
+
+let bench_budget_s = 10.0
+
+let write_bench ~path ~mode ~elapsed ~findings =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{"bench": "lint", "mode": "%s", "wall_s": %.3f, "budget_s": %.1f, "findings": %d, "within_budget": %b}
+|}
+    mode elapsed bench_budget_s findings
+    (elapsed <= bench_budget_s);
+  close_out oc
 
 let () =
   let format = ref "human" in
+  let typed = ref false in
+  let cmt_root = ref "" in
   let certify = ref true in
   let allowed_state = ref [] in
+  let allow_domain = ref [] in
+  let bench_out = ref "" in
   let list_rules = ref false in
   let paths = ref [] in
   let spec =
     [
       ( "--format",
-        Arg.Symbol ([ "human"; "json" ], fun f -> format := f),
+        Arg.Symbol ([ "human"; "json"; "sarif" ], fun f -> format := f),
         " report format (default human)" );
+      ( "--typed",
+        Arg.Set typed,
+        " run the typed interprocedural analyses over .cmt artefacts" );
+      ( "--cmt-root",
+        Arg.Set_string cmt_root,
+        "DIR root to scan for .cmt files (default: _build/default if \
+         present, else .)" );
       ("--no-certify", Arg.Clear certify, " skip the solution-certificate audit");
       ( "--allow-state",
         Arg.String (fun m -> allowed_state := m :: !allowed_state),
         "MODULE exempt MODULE from the toplevel-state rule" );
+      ( "--allow-domain",
+        Arg.String (fun m -> allow_domain := m :: !allow_domain),
+        "MODULE exempt MODULE's module-level state from domain-safety" );
+      ( "--bench-out",
+        Arg.Set_string bench_out,
+        "FILE write a wall-clock benchmark record to FILE" );
       ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
     ]
   in
@@ -35,32 +71,71 @@ let () =
   if !list_rules then begin
     List.iter
       (fun (r : Lint.Rules.rule) ->
-        Printf.printf "%-18s %-7s %s\n" r.id
+        Printf.printf "%-19s %-7s %s\n" r.id
           (Lint.Diag.severity_to_string r.severity)
           r.summary)
       (Lint.Rules.all ());
-    Printf.printf "%-18s %-7s %s\n" "missing-mli" "warning"
+    Printf.printf "%-19s %-7s %s\n" "missing-mli" "warning"
       "lib/ module without a .mli interface";
-    Printf.printf "%-18s %-7s %s\n" "uncertified-solver" "error"
+    Printf.printf "%-19s %-7s %s\n" "uncertified-solver" "error"
       "solver answer with no Validate check reachable in the unit";
+    Printf.printf "%-19s %-7s %s\n" "unknown-suppression" "warning"
+      "suppression directive naming no known rule";
+    Printf.printf "%-19s %-7s %s\n" "domain-safety" "error"
+      "[typed] non-atomic mutable state crossing a domain boundary";
+    Printf.printf "%-19s %-7s %s\n" "checkpoint-coverage" "error"
+      "[typed] recursive solve loop that never polls Budget.check";
+    Printf.printf "%-19s %-7s %s\n" "cmt-error" "warning"
+      "[typed] unreadable .cmt artefact, unit skipped";
     exit 0
   end;
   let paths = if !paths = [] then [ "lib"; "bin" ] else List.rev !paths in
-  List.iter
-    (fun p ->
-      if not (Sys.file_exists p) then begin
-        Printf.eprintf "stgq_lint: no such path %S\n" p;
-        exit 2
-      end)
-    paths;
-  let options =
-    {
-      Lint.Engine.certify = !certify;
-      allowed_state_modules = !allowed_state;
-    }
+  let t0 = Unix.gettimeofday () in
+  let findings =
+    if !typed then begin
+      let cmt_root =
+        match !cmt_root with
+        | "" -> if Sys.file_exists "_build/default" then "_build/default" else "."
+        | r -> r
+      in
+      let options =
+        {
+          Lint_typed.Typed_check.default_options with
+          paths;
+          allow_domain = List.rev !allow_domain;
+        }
+      in
+      Lint_typed.Typed_check.run ~options ~cmt_root ()
+    end
+    else begin
+      List.iter
+        (fun p ->
+          if not (Sys.file_exists p) then begin
+            Printf.eprintf "stgq_lint: no such path %S\n" p;
+            exit 2
+          end)
+        paths;
+      let options =
+        {
+          Lint.Engine.certify = !certify;
+          allowed_state_modules = !allowed_state;
+        }
+      in
+      Lint.Engine.lint_paths ~options paths
+    end
   in
-  let findings = Lint.Engine.lint_paths ~options paths in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if !bench_out <> "" then
+    write_bench ~path:!bench_out
+      ~mode:(if !typed then "typed" else "untyped")
+      ~elapsed ~findings:(List.length findings);
   (match !format with
   | "json" -> print_endline (Lint.Diag.report_json findings)
+  | "sarif" -> print_endline (Lint.Diag.report_sarif findings)
   | _ -> print_endline (Lint.Diag.report_human findings));
+  if !bench_out <> "" && elapsed > bench_budget_s then begin
+    Printf.eprintf "stgq_lint: wall %.1fs exceeds %.1fs budget\n" elapsed
+      bench_budget_s;
+    exit 1
+  end;
   exit (if findings = [] then 0 else 1)

@@ -167,7 +167,7 @@ let stgq_per_slot ?(config = Search_core.default_config)
   Query.check_temporal_instance ti;
   let horizon = Timetable.Availability.horizon ti.schedules.(0) in
   let naive_window_free a start =
-    let rec go o = o >= query.m || (Timetable.Availability.available a (start + o) && go (o + 1)) in
+    let[@lint.bounded] rec go o = o >= query.m || (Timetable.Availability.available a (start + o) && go (o + 1)) in
     go 0
   in
   let q0 = ti.social.Query.initiator in

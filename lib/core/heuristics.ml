@@ -19,21 +19,24 @@ let candidates_by_distance fg =
 (* ------------------------------------------------------------------ *)
 (* Greedy.                                                             *)
 
-let greedy_social fg ~p ~k ~eligible ~shrink =
+let greedy_social fg ~p ~k ~eligible ~shrink ~init ~budget =
   (* [shrink group v] is the temporal hook: [Some state'] when the common
      window survives adding [v].  For SGQ it always succeeds. *)
   let rec go group size state = function
     | _ when size = p -> Some (group, state)
     | [] -> None
     | v :: rest ->
-        if eligible v && partial_ok fg ~k group v then
+        (* Per-candidate budget poll: the acquaintance filter makes a
+           greedy pass quadratic in the group, so a tripped budget must
+           be observed mid-pass, not just between passes. *)
+        if Budget.check budget <> None then None
+        else if eligible v && partial_ok fg ~k group v then
           match shrink state v with
           | Some state' -> go (v :: group) (size + 1) state' rest
           | None -> go group size state rest
         else go group size state rest
   in
-  go [ fg.Feasible.q ] 1 () (candidates_by_distance fg)
-  |> Option.map (fun (group, ()) -> group)
+  go [ fg.Feasible.q ] 1 init (candidates_by_distance fg)
 
 let greedy_sgq ?(budget = Budget.unlimited) (instance : Query.instance)
     (query : Query.sgq) =
@@ -46,7 +49,8 @@ let greedy_sgq ?(budget = Budget.unlimited) (instance : Query.instance)
   else
     greedy_social fg ~p:query.p ~k:query.k ~eligible:(fun _ -> true)
       ~shrink:(fun () _ -> Some ())
-    |> Option.map (fun group ->
+      ~init:() ~budget
+    |> Option.map (fun (group, ()) ->
            {
              Query.attendees = Feasible.originals fg group;
              total_distance = Feasible.total_distance fg group;
@@ -92,19 +96,10 @@ let greedy_stgq ?(budget = Budget.unlimited) (ti : Query.temporal_instance)
         let start_state = runs.(fg.Feasible.q) in
         let result =
           if query.p = 1 then Some ([ fg.Feasible.q ], start_state)
-          else begin
-            let rec go group size state = function
-              | _ when size = query.p -> Some (group, state)
-              | [] -> None
-              | v :: rest ->
-                  if len runs.(v) >= query.m && partial_ok fg ~k:query.k group v then
-                    match shrink state v with
-                    | Some state' -> go (v :: group) (size + 1) state' rest
-                    | None -> go group size state rest
-                  else go group size state rest
-            in
-            go [ fg.Feasible.q ] 1 start_state (candidates_by_distance fg)
-          end
+          else
+            greedy_social fg ~p:query.p ~k:query.k
+              ~eligible:(fun v -> len runs.(v) >= query.m)
+              ~shrink ~init:start_state ~budget
         in
         match result with
         | Some (group, (lo, _)) -> consider group lo

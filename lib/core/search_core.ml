@@ -217,7 +217,7 @@ let temporal_extensibility tc u =
 
 let min_distance_in_va st =
   let n = Array.length st.by_dist in
-  let rec go i =
+  let[@lint.bounded] rec go i =
     if i >= n then infinity
     else
       let v = st.by_dist.(i) in
@@ -256,7 +256,7 @@ let acquaintance_prunes st =
   &&
   let threshold = (st.sum_nbr_va - rhs) / (st.va_size - needed) in
   let n = Array.length st.by_dist in
-  let rec all_above i =
+  let[@lint.bounded] rec all_above i =
     if i >= n then true
     else
       let v = st.by_dist.(i) in
@@ -274,8 +274,8 @@ let availability_prunes st =
       let needed = st.p - st.vs_size in
       let n = st.va_size - needed + 1 in
       let blocked t = tc.unavail.(t - tc.ilo) >= n in
-      let rec up t = if t > tc.ihi then tc.ihi + 1 else if blocked t then t else up (t + 1) in
-      let rec down t = if t < tc.ilo then tc.ilo - 1 else if blocked t then t else down (t - 1) in
+      let[@lint.bounded] rec up t = if t > tc.ihi then tc.ihi + 1 else if blocked t then t else up (t + 1) in
+      let[@lint.bounded] rec down t = if t < tc.ilo then tc.ilo - 1 else if blocked t then t else down (t - 1) in
       let t_plus = up (tc.pivot + 1) in
       let t_minus = down (tc.pivot - 1) in
       t_plus - t_minus <= tc.m
@@ -331,7 +331,7 @@ let rec node st =
   in
   let pick () =
     let n = Array.length st.order in
-    let rec go i =
+    let[@lint.bounded] rec go i =
       if i >= n then begin
         cursor := n;
         None
@@ -517,7 +517,7 @@ let completion_lower_bound fg ~p ~eligible =
     if v <> fg.Feasible.q && eligible v then dists := fg.Feasible.dist.(v) :: !dists
   done;
   let sorted = List.sort compare !dists in
-  let rec take acc n = function
+  let[@lint.bounded] rec take acc n = function
     | _ when n = 0 -> Some acc
     | [] -> None
     | d :: rest -> take (acc +. d) (n - 1) rest

@@ -5,7 +5,7 @@ type t = {
   fg : Feasible.t;
   horizon : int;
   avail : Timetable.Availability.t array;
-  mutable pivot_memo : (int * int list) list;
+  pivot_memo : (int * int list) list Atomic.t;
 }
 
 let m_builds = Obs.counter "engine.context.builds"
@@ -32,7 +32,7 @@ let build ?schedules graph ~initiator ~s =
           schedules;
         (horizon, Array.map (fun orig -> schedules.(orig)) fg.Feasible.of_sub)
   in
-  { graph; initiator; s; fg; horizon; avail; pivot_memo = [] }
+  { graph; initiator; s; fg; horizon; avail; pivot_memo = Atomic.make [] }
 
 let has_schedules t = Array.length t.avail > 0
 
@@ -40,12 +40,22 @@ let pivots t ~m =
   if not (has_schedules t) then
     invalid_arg "Engine.Context.pivots: social-only context has no time axis";
   if m < 1 then invalid_arg "Engine.Context.pivots: m must be >= 1";
-  match List.assoc_opt m t.pivot_memo with
+  match List.assoc_opt m (Atomic.get t.pivot_memo) with
   | Some ps -> ps
   | None ->
       let ps = Timetable.Window.pivots ~horizon:t.horizon ~m in
-      t.pivot_memo <- (m, ps) :: t.pivot_memo;
-      ps
+      (* CAS retry loop: a concurrent solver may have extended the memo
+         since we read it; losing the race just means recomputing a
+         deterministic list, so one retry pass suffices. *)
+      let rec publish () =
+        let cur = Atomic.get t.pivot_memo in
+        match List.assoc_opt m cur with
+        | Some ps -> ps
+        | None ->
+            if Atomic.compare_and_set t.pivot_memo cur ((m, ps) :: cur) then ps
+            else publish ()
+      in
+      publish ()
 
 let ensure_for t ~initiator ~s =
   if t.initiator <> initiator then

@@ -8,12 +8,13 @@
     Build once, answer many queries.
 
     Sharing discipline: the structure is immutable except for the pivot
-    memo (grow-only, benign to rebuild) and the {e bits inside} the
-    availability slab.  [avail] aliases the caller's schedule objects on
-    purpose — mutating a schedule's bitset in place (as
-    {!Cache.set_schedule} and [Planner.update_schedule] do) updates every
-    cached context at once, so calendar edits never require context
-    invalidation.  Contexts may be read from several domains
+    memo (an [Atomic] grow-only association list, published with a CAS
+    retry loop so domains never lose entries) and the {e bits inside}
+    the availability slab.  [avail] aliases the caller's schedule
+    objects on purpose — mutating a schedule's bitset in place (as
+    {!Cache.set_schedule} and [Planner.update_schedule] do) updates
+    every cached context at once, so calendar edits never require
+    context invalidation.  Contexts may be read from several domains
     concurrently as long as nobody mutates schedules mid-solve. *)
 
 type t = {
@@ -24,7 +25,7 @@ type t = {
   horizon : int;              (** number of time slots; [0] for social-only contexts *)
   avail : Timetable.Availability.t array;
       (** availability by sub-id; aliases the source schedules *)
-  mutable pivot_memo : (int * int list) list;
+  pivot_memo : (int * int list) list Atomic.t;
       (** window length [m] -> pivot slots, filled on demand *)
 }
 

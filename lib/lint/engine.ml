@@ -49,6 +49,31 @@ let parse ~file source =
         (Diag.make ~rule:"parse-error" ~severity:Diag.Error loc
            "lexical error: the file does not lex, nothing else was checked")
 
+(* Every rule id a suppression directive may legitimately name — the
+   untyped rules, the file-level checks, the typed interprocedural
+   analyses, and the [all] wildcard.  Directives naming anything else
+   are dead weight (usually a typo that silently un-suppresses), so
+   they draw a warning. *)
+let known_rules () =
+  [ "all"; "parse-error"; "missing-mli"; "uncertified-solver";
+    "domain-safety"; "checkpoint-coverage"; "cmt-error";
+    "unknown-suppression" ]
+  @ List.map (fun (r : Rules.rule) -> r.id) (Rules.all ())
+
+let unknown_suppression_findings ~file suppressions =
+  let known = known_rules () in
+  Suppress.decls suppressions
+  |> List.filter_map (fun (line, rule) ->
+         if List.mem rule known then None
+         else
+           Some
+             (Diag.at ~rule:"unknown-suppression" ~severity:Diag.Warning ~file
+                ~line ~col:0
+                (Printf.sprintf
+                   "suppression names unknown rule %S (see --list-rules); the \
+                    directive has no effect"
+                   rule)))
+
 let lint_source ?(options = default_options) ~file source =
   let suppressions = Suppress.of_source source in
   let findings =
@@ -66,7 +91,9 @@ let lint_source ?(options = default_options) ~file source =
         in
         rule_findings @ certify_findings
   in
-  List.sort Diag.order (Suppress.filter suppressions findings)
+  List.sort Diag.order
+    (Suppress.filter suppressions
+       (findings @ unknown_suppression_findings ~file suppressions))
 
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all

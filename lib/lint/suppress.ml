@@ -1,11 +1,16 @@
 type t = {
   file_rules : string list;
-  line_rules : (int * string) list;
+  line_rules : (int * string) list;  (* suppressed line, rule *)
+  decls : (int * string) list;  (* directive line, rule — for auditing *)
 }
 
-let empty = { file_rules = []; line_rules = [] }
+let empty = { file_rules = []; line_rules = []; decls = [] }
 
-let marker = "(* lint: allow"
+(* Two spellings of the same directive; [stgq-lint:] is the namespaced
+   form that other tools' linters will not mistake for their own.  The
+   literals are assembled so this file's own source never contains a
+   directive by accident. *)
+let markers = [ "(* lint" ^ ": allow"; "(* stgq-lint" ^ ": allow" ]
 
 (* Index of [sub] in [s] at or after [from], if any. *)
 let find_sub s sub from =
@@ -29,46 +34,69 @@ let directive_rules line start =
   |> List.concat_map (String.split_on_char ',')
   |> List.filter (fun s -> s <> "")
 
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t') s
+
 let of_source source =
   let lines = String.split_on_char '\n' source in
   let add acc lineno line =
-    let rec scan acc from =
-      match find_sub line marker from with
-      | None -> acc
-      | Some i ->
-          let after = i + String.length marker in
-          let is_file =
-            after + 5 <= String.length line
-            && String.sub line after 5 = "-file"
-          in
-          let names_at = if is_file then after + 5 else after in
-          let rules = directive_rules line names_at in
-          let acc =
-            if is_file then
-              { acc with file_rules = rules @ acc.file_rules }
-            else
+    let scan_marker acc marker =
+      let rec scan acc from =
+        match find_sub line marker from with
+        | None -> acc
+        | Some i ->
+            let after = i + String.length marker in
+            let is_file =
+              after + 5 <= String.length line
+              && String.sub line after 5 = "-file"
+            in
+            let names_at = if is_file then after + 5 else after in
+            let rules = directive_rules line names_at in
+            (* A directive trailing code covers its own line; one
+               standing alone on a comment line covers the next line,
+               where the flagged expression sits. *)
+            let target =
+              if is_blank (String.sub line 0 i) then lineno + 1 else lineno
+            in
+            let acc =
               {
                 acc with
-                line_rules =
-                  List.map (fun r -> (lineno, r)) rules @ acc.line_rules;
+                decls = List.map (fun r -> (lineno, r)) rules @ acc.decls;
               }
-          in
-          scan acc (after + 1)
+            in
+            let acc =
+              if is_file then
+                { acc with file_rules = rules @ acc.file_rules }
+              else
+                {
+                  acc with
+                  line_rules =
+                    List.map (fun r -> (target, r)) rules @ acc.line_rules;
+                }
+            in
+            scan acc (after + 1)
+      in
+      scan acc 0
     in
-    scan acc 0
+    List.fold_left scan_marker acc markers
   in
   List.fold_left
     (fun (acc, lineno) line -> (add acc lineno line, lineno + 1))
     (empty, 1) lines
   |> fst
 
+let load file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_source (really_input_string ic (in_channel_length ic)))
+
 let matches directive rule = directive = rule || directive = "all"
 
 let active t ~rule ~line =
   List.exists (fun d -> matches d rule) t.file_rules
-  || List.exists
-       (fun (l, d) -> (l = line || l = line - 1) && matches d rule)
-       t.line_rules
+  || List.exists (fun (l, d) -> l = line && matches d rule) t.line_rules
+
+let decls t = List.rev t.decls
 
 let filter t findings =
   List.filter

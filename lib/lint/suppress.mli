@@ -1,8 +1,12 @@
 (** Suppression comments.
 
-    [(* lint: allow <rule> ... *)] on a line silences the named rules on
-    that line {e and the next one} (so the comment can sit on its own
-    line above the flagged expression).  [(* lint: allow-file <rule> *)]
+    Two equivalent spellings: [(* lint: allow <rule> ... *)] and the
+    namespaced [(* stgq-lint: allow <rule> ... *)].
+
+    Scope follows placement: a directive {e trailing code} silences the
+    named rules on its own line only, while a directive standing alone
+    on a comment line silences them on the next line (so the comment
+    can sit above the flagged expression).  [allow-file <rule>]
     anywhere in a file silences the rules for the whole file.  The rule
     name [all] matches every rule.  Several names may be given,
     separated by spaces or commas. *)
@@ -15,8 +19,16 @@ val empty : t
     drops comments, so this works on the text, not the AST. *)
 val of_source : string -> t
 
+(** [load file] — [of_source] over the file's contents.  Raises
+    [Sys_error] if unreadable. *)
+val load : string -> t
+
 (** [active t ~rule ~line] — is [rule] suppressed at [line]? *)
 val active : t -> rule:string -> line:int -> bool
+
+(** Every directive in source order as [(directive line, rule name)] —
+    lets callers warn about names that match no known rule. *)
+val decls : t -> (int * string) list
 
 (** [filter t findings] drops the suppressed findings. *)
 val filter : t -> Diag.finding list -> Diag.finding list

@@ -1,0 +1,185 @@
+(* checkpoint-coverage: every recursive cycle reachable from the solver
+   entry units must poll the budget.
+
+   Reachability from the entry units' top-level functions follows call
+   edges and closure-definition edges (closures run).  Cycles are the
+   SCCs of the call-edge graph restricted to that reachable set.  A
+   cycle passes when some member transitively reaches a
+   [Budget.check]/[Budget.charge] application, or when a member is
+   annotated [@lint.bounded] (a structurally bounded helper recursion —
+   an array scan, a fixed-depth split — that cannot run long enough to
+   need a poll). *)
+
+open Lint
+open Callgraph
+
+let fmt_func (f : func) = Printf.sprintf "%s (%s:%d)" f.f_name f.f_file f.f_line
+
+(* Transitive "reaches a budget poll" over calls and defined closures. *)
+let checkpointing t =
+  let n = Array.length t.funcs in
+  let cp = Array.make n false in
+  Array.iter (fun f -> cp.(f.fid) <- f.f_checkpoints) t.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun f ->
+        if not cp.(f.fid) then begin
+          let reaches =
+            List.exists (fun c -> cp.(c.c_dst)) f.f_calls
+            || List.exists (fun (d, _) -> cp.(d)) f.f_defines
+          in
+          if reaches then begin
+            cp.(f.fid) <- true;
+            changed := true
+          end
+        end)
+      t.funcs
+  done;
+  cp
+
+let reachable_from t root_fids =
+  let n = Array.length t.funcs in
+  let seen = Array.make n false in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun fid ->
+      if not seen.(fid) then begin
+        seen.(fid) <- true;
+        Queue.add fid queue
+      end)
+    root_fids;
+  while not (Queue.is_empty queue) do
+    let fid = Queue.pop queue in
+    let f = t.funcs.(fid) in
+    let visit d =
+      if not seen.(d) then begin
+        seen.(d) <- true;
+        parent.(d) <- fid;
+        Queue.add d queue
+      end
+    in
+    List.iter (fun c -> visit c.c_dst) f.f_calls;
+    List.iter (fun (d, _) -> visit d) f.f_defines
+  done;
+  (seen, parent)
+
+(* Tarjan over call edges restricted to [keep]. *)
+let sccs t keep =
+  let n = Array.length t.funcs in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun c ->
+        let w = c.c_dst in
+        if keep.(w) then
+          if index.(w) < 0 then begin
+            strong w;
+            low.(v) <- min low.(v) low.(w)
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      t.funcs.(v).f_calls;
+    if low.(v) = index.(v) then begin
+      let rec popped acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else popped (w :: acc)
+        | [] -> acc
+      in
+      out := popped [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if keep.(v) && index.(v) < 0 then strong v
+  done;
+  !out
+
+let check (t : Callgraph.t) ~roots ~scope =
+  let root_fids =
+    Array.to_list t.funcs
+    |> List.filter_map (fun f ->
+           if f.f_toplevel && (roots = [] || List.mem f.f_unitc roots) then
+             Some f.fid
+           else None)
+  in
+  let seen, parent = reachable_from t root_fids in
+  let cp = checkpointing t in
+  let in_scope file =
+    match scope with
+    | None -> true
+    | Some s ->
+        let rec has i =
+          i + String.length s <= String.length file
+          && (String.sub file i (String.length s) = s || has (i + 1))
+        in
+        has 0
+  in
+  let entry_chain fid =
+    let rec up v acc =
+      if v < 0 then acc
+      else up parent.(v) (fmt_func t.funcs.(v) :: acc)
+    in
+    List.rev (up fid []) |> List.rev
+  in
+  sccs t seen
+  |> List.filter_map (fun members ->
+         let has_cycle =
+           match members with
+           | [ v ] ->
+               List.exists (fun c -> c.c_dst = v) t.funcs.(v).f_calls
+           | _ -> members <> []
+         in
+         match (has_cycle, List.map (fun v -> t.funcs.(v)) members) with
+         | false, _ | _, [] -> None
+         | true, (f0 :: frest as fs) ->
+           let bounded =
+             List.exists (fun f -> has_attr bounded_attr f.f_attrs) fs
+           in
+           let polls = List.exists (fun f -> cp.(f.fid)) fs in
+           let scoped = List.exists (fun f -> in_scope f.f_file) fs in
+           if bounded || polls || not scoped then None
+           else begin
+             let rep =
+               List.fold_left
+                 (fun a b ->
+                   if
+                     (b.f_file, b.f_line, b.f_name) < (a.f_file, a.f_line, a.f_name)
+                   then b
+                   else a)
+                 f0 frest
+             in
+             let names = List.map (fun f -> f.f_name) fs in
+             let msg =
+               Printf.sprintf
+                 "recursive cycle {%s} never calls Budget.check or \
+                  Budget.charge on any path, so a tripped budget cannot \
+                  interrupt it; poll the budget inside the loop, or \
+                  annotate the binding [@lint.bounded] if the recursion is \
+                  structurally bounded"
+                 (String.concat " -> " names)
+             in
+             let chain =
+               (match entry_chain rep.fid with
+               | [] -> []
+               | steps -> "entry path:" :: steps)
+               @ [ "cycle: " ^ String.concat " -> " (names @ [ f0.f_name ]) ]
+             in
+             Some
+               (Diag.with_chain chain
+                  (Diag.at ~rule:"checkpoint-coverage" ~severity:Diag.Error
+                     ~file:rep.f_file ~line:rep.f_line ~col:0 msg))
+           end)

@@ -1,0 +1,17 @@
+(** checkpoint-coverage: recursive solve loops must poll the budget.
+
+    Finds the strongly-connected components of the call graph reachable
+    from the top-level functions of the [roots] units ([[]] = every
+    unit) and flags each cycle in which no member transitively reaches
+    a [Budget.check]/[Budget.charge] application and no member carries
+    [@lint.bounded].  [scope] (a path substring, e.g. ["lib/core"])
+    restricts which files may be flagged; [None] means no restriction.
+
+    Findings carry the entry path from a root to the cycle plus the
+    cycle itself as a witness chain. *)
+
+val check :
+  Callgraph.t ->
+  roots:string list ->
+  scope:string option ->
+  Lint.Diag.finding list

@@ -1,0 +1,93 @@
+open Lint
+
+type unit_info = {
+  modname : string;
+  canonical : string;
+  source : string;
+  str : Typedtree.structure;
+  domain_safe : bool;
+}
+
+(* Wrapped libraries name their units [Lib__Module]; the canonical name
+   is the part a human (and a [Path.t] through an alias) uses. *)
+let canonical_of_modname m =
+  let n = String.length m in
+  let rec last_sep i =
+    if i < 0 then None
+    else if m.[i] = '_' && m.[i + 1] = '_' then Some i
+    else last_sep (i - 1)
+  in
+  match last_sep (n - 2) with
+  | Some i when i > 0 && i + 2 < n -> String.sub m (i + 2) (n - i - 2)
+  | _ -> m
+
+let attr_name (a : Parsetree.attribute) = a.attr_name.txt
+
+let is_domain_safe_attr name =
+  name = "lint.domain_safe" || name = "domain_safe"
+
+let unit_domain_safe (str : Typedtree.structure) =
+  List.exists
+    (fun (it : Typedtree.structure_item) ->
+      match it.str_desc with
+      | Tstr_attribute a -> is_domain_safe_attr (attr_name a)
+      | _ -> false)
+    str.str_items
+
+let of_structure ~modname ~source str =
+  {
+    modname;
+    canonical = canonical_of_modname modname;
+    source;
+    str;
+    domain_safe = unit_domain_safe str;
+  }
+
+(* Directory walk for [*.cmt].  Unlike the untyped walk this must enter
+   dot-directories: dune keeps compiled artefacts under [.<lib>.objs]. *)
+let rec collect_cmt acc path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+      if Filename.basename path = ".git" then acc
+      else
+        Sys.readdir path |> Array.to_list |> List.sort String.compare
+        |> List.fold_left
+             (fun acc entry -> collect_cmt acc (Filename.concat path entry))
+             acc
+  | false ->
+      if Filename.check_suffix path ".cmt" then path :: acc else acc
+
+let normalize_source s =
+  if String.length s >= 2 && String.sub s 0 2 = "./" then
+    String.sub s 2 (String.length s - 2)
+  else s
+
+let load ~cmt_root =
+  let cmts = collect_cmt [] cmt_root |> List.sort String.compare in
+  let seen = Hashtbl.create 64 in
+  let warnings = ref [] in
+  let units =
+    List.filter_map
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception _ ->
+            warnings :=
+              Diag.at ~rule:"cmt-error" ~severity:Diag.Warning ~file:path
+                ~line:1 ~col:0
+                "unreadable .cmt (version mismatch or truncation); unit \
+                 skipped by the typed analyses"
+              :: !warnings;
+            None
+        | cmt -> (
+            match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+            | Cmt_format.Implementation str, Some source
+              when not (Hashtbl.mem seen cmt.cmt_modname) ->
+                Hashtbl.add seen cmt.cmt_modname ();
+                Some
+                  (of_structure ~modname:cmt.cmt_modname
+                     ~source:(normalize_source source) str)
+            | _ -> None))
+      cmts
+  in
+  (units, List.rev !warnings)

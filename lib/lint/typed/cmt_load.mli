@@ -1,0 +1,34 @@
+(** Loading Typedtree implementations out of [.cmt] artefacts.
+
+    The typed analyses run over whole-program Typedtree, which dune
+    already produces as a by-product of compilation: one [.cmt] per
+    unit under [_build/default/<dir>/.<lib>.objs/byte/].  This module
+    walks a build root for them (entering dot-directories, unlike the
+    untyped source walk) and keeps one [unit_info] per module name. *)
+
+open Lint
+
+type unit_info = {
+  modname : string;  (** as compiled, e.g. [Stgq_core__Baseline] *)
+  canonical : string;  (** the human name, e.g. [Baseline] *)
+  source : string;  (** source path recorded by the compiler *)
+  str : Typedtree.structure;
+  domain_safe : bool;
+      (** the unit carries a floating [\[@@@lint.domain_safe\]]: its
+          module-level mutable state is declared domain-sharded *)
+}
+
+(** [Stgq_core__Baseline -> Baseline]; names without [__] unchanged. *)
+val canonical_of_modname : string -> string
+
+val attr_name : Parsetree.attribute -> string
+
+(** Wrap an already-typechecked structure (the test fixtures typecheck
+    in memory instead of reading artefacts off disk). *)
+val of_structure :
+  modname:string -> source:string -> Typedtree.structure -> unit_info
+
+(** [load ~cmt_root] — all readable implementation [.cmt]s under the
+    root, first occurrence of each module name wins (sorted walk, so
+    deterministic), plus a [cmt-error] warning per unreadable file. *)
+val load : cmt_root:string -> unit_info list * Diag.finding list

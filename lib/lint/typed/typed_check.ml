@@ -1,0 +1,63 @@
+(* Entry point for the typed analyses: build the callgraph once, run
+   both checks over it, keep findings inside the requested source
+   paths, and honour per-file suppression directives. *)
+
+open Lint
+
+type options = {
+  paths : string list;
+  allow_domain : string list;
+  checkpoint_roots : string list;
+  checkpoint_scope : string option;
+}
+
+let default_options =
+  {
+    paths = [ "lib" ];
+    allow_domain = [];
+    checkpoint_roots = [ "Sgselect"; "Stgselect"; "Baseline"; "Heuristics" ];
+    checkpoint_scope = Some "lib/core";
+  }
+
+let under_paths paths file =
+  paths = []
+  || List.exists
+       (fun p ->
+         let p =
+           if String.length p >= 2 && String.sub p 0 2 = "./" then
+             String.sub p 2 (String.length p - 2)
+           else p
+         in
+         file = p
+         || String.length file > String.length p
+            && String.sub file 0 (String.length p) = p
+            && file.[String.length p] = '/')
+       paths
+
+let analyze ?(options = default_options) (units : Cmt_load.unit_info list) =
+  let graph = Callgraph.build units in
+  let allow_units =
+    List.filter_map
+      (fun (u : Cmt_load.unit_info) ->
+        if u.domain_safe || List.mem u.canonical options.allow_domain then
+          Some u.modname
+        else None)
+      units
+  in
+  let findings =
+    Domain_safety.check graph ~allow_units
+    @ Checkpoint.check graph ~roots:options.checkpoint_roots
+        ~scope:options.checkpoint_scope
+  in
+  findings
+  |> List.filter (fun (d : Diag.finding) -> under_paths options.paths d.file)
+  |> List.filter (fun (d : Diag.finding) ->
+         match Suppress.load d.file with
+         | exception Sys_error _ -> true
+         | sup -> not (Suppress.active sup ~rule:d.rule ~line:d.line))
+  |> List.sort_uniq Diag.order
+
+let run ?(options = default_options) ~cmt_root () =
+  let units, warnings = Cmt_load.load ~cmt_root in
+  let findings = analyze ~options units in
+  List.sort Diag.order (warnings @ findings)

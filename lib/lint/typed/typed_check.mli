@@ -1,0 +1,31 @@
+(** Driver for the typed interprocedural analyses. *)
+
+type options = {
+  paths : string list;
+      (** keep findings whose file lies under one of these (source-tree
+          prefixes); [[]] keeps everything *)
+  allow_domain : string list;
+      (** canonical unit names whose module-level state is exempt from
+          domain-safety (in addition to [\[@@@lint.domain_safe\]]) *)
+  checkpoint_roots : string list;
+      (** canonical unit names whose top-level functions seed the
+          checkpoint-coverage reachability; [[]] = all units *)
+  checkpoint_scope : string option;
+      (** path substring a checkpoint finding's file must contain *)
+}
+
+(** [{paths = ["lib"]; allow_domain = []; checkpoint_roots =
+    ["Sgselect"; "Stgselect"; "Baseline"; "Heuristics"];
+    checkpoint_scope = Some "lib/core"}] *)
+val default_options : options
+
+(** Analyse already-loaded units (the unit tests typecheck fixtures in
+    memory).  Applies path filtering and per-file suppression
+    directives; sorted, chains deduplicated. *)
+val analyze :
+  ?options:options -> Cmt_load.unit_info list -> Lint.Diag.finding list
+
+(** [run ~cmt_root ()] — load every [.cmt] under [cmt_root], analyse,
+    and prepend the loader's warnings. *)
+val run :
+  ?options:options -> cmt_root:string -> unit -> Lint.Diag.finding list

@@ -3,6 +3,11 @@
    span ring are deliberately process-global: metrics exist so that any
    layer can publish without threading handles through every API. *)
 
+(* Domain-safety contract for the typed analysis: every global here is
+   either Atomic, a per-domain shard indexed by [Domain.self ()], or
+   guarded by [registry_lock] — cross-domain access is by design. *)
+[@@@lint.domain_safe]
+
 let enabled_flag = Atomic.make false
 
 let set_enabled b = Atomic.set enabled_flag b

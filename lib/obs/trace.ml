@@ -8,6 +8,11 @@
    ([with_span], [start], [add_attrs], [current]) reads exactly one
    atomic flag and returns; no clock reads, no allocation. *)
 
+(* Domain-safety contract for the typed analysis: the rings are
+   per-domain shards indexed by [Domain.self ()] and every shared
+   scalar is Atomic — cross-domain access is by design. *)
+[@@@lint.domain_safe]
+
 type ctx = {
   trace_id : int;
   span_id : int;

@@ -31,4 +31,5 @@ let () =
       ("integration", Suite_integration.suite);
       ("paper-example", Suite_paper_example.suite);
       ("astar", Suite_astar.suite);
+      ("lint-typed", Suite_lint_typed.suite);
     ]
