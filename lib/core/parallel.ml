@@ -106,7 +106,8 @@ let solve_report ?(config = Search_core.default_config) ?domains ?pool ?ctx
     Array.to_list
       (Array.map (fun bucket -> bucket_job ~config ~budget ctx query bucket) buckets)
   in
-  finish ctx ~n_domains ~query ~budget (Engine.Pool.run pool jobs)
+  finish ctx ~n_domains ~query ~budget
+    (Engine.Pool.await_all (List.map (Engine.Pool.submit pool) jobs))
 
 let solve ?config ?domains ?pool ?ctx ?budget ti query =
   (solve_report ?config ?domains ?pool ?ctx ?budget ti query).solution

@@ -1,6 +1,7 @@
 type cache_stats = {
   hits : int;
   misses : int;
+  coalesced : int;
   evictions : int;
   entries : int;
 }
@@ -126,11 +127,139 @@ let stgq_r ?policy ?cancel t ~initiator (query : Query.stgq) =
   in
   Resilience.run ?policy ?cancel ~exact ~heuristic ()
 
+(* Batched answering: group the in-flight requests by (initiator, s),
+   fetch one context per group through the cache, and pipeline context
+   builds behind solves when the service has a pool (see
+   {!Engine.Batch}).  Solves run the sequential kernel on the calling
+   domain — the pool accelerates the builds, not the solves — which is
+   what keeps every batched answer bit-identical to the
+   one-query-at-a-time path.  The whole batch runs inside one
+   {!Engine.Cache.with_solves} region, so a concurrent calendar edit
+   lands between batches, never between a solve and its certification. *)
+
+let sgq_batch t (reqs : (int * Query.sgq) list) =
+  List.iter (fun (_, q) -> Query.check_sgq q) reqs;
+  Obs.Trace.with_span "service.sgq_batch"
+    ~attrs:[ ("queries", string_of_int (List.length reqs)) ]
+  @@ fun () ->
+  Engine.Cache.with_solves t.engine @@ fun () ->
+  Engine.Batch.run ?pool:t.pool ~cache:t.engine
+    ~key:(fun (initiator, (q : Query.sgq)) -> (initiator, q.s))
+    ~solve:(fun ctx (initiator, (q : Query.sgq)) ->
+      query_span "service.sgq" ~initiator @@ fun () ->
+      Obs.time_hist Instr.sgq_latency @@ fun () ->
+      let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
+      let solution = Sgselect.solve ~config:t.config ~ctx instance q in
+      Obs.Trace.with_span "service.certify" @@ fun () ->
+      Obs.time_hist Instr.certify_latency @@ fun () ->
+      Validate.certify_sg instance q solution)
+    reqs
+
+let stgq_batch t (reqs : (int * Query.stgq) list) =
+  List.iter (fun (_, q) -> Query.check_stgq q) reqs;
+  Obs.Trace.with_span "service.stgq_batch"
+    ~attrs:[ ("queries", string_of_int (List.length reqs)) ]
+  @@ fun () ->
+  Engine.Cache.with_solves t.engine @@ fun () ->
+  Engine.Batch.run ?pool:t.pool ~cache:t.engine
+    ~key:(fun (initiator, (q : Query.stgq)) -> (initiator, q.s))
+    ~warm:(fun ctx (_, (q : Query.stgq)) ->
+      (* Pre-fill the Lemma-4 pivot memo for every window length the
+         group will ask for, on the build domain, off the solve path. *)
+      ignore (Engine.Context.pivots ctx ~m:q.m : int list))
+    ~solve:(fun ctx (initiator, (q : Query.stgq)) ->
+      query_span "service.stgq" ~initiator @@ fun () ->
+      Obs.time_hist Instr.stgq_latency @@ fun () ->
+      let ti =
+        {
+          Query.social = { Query.graph = Engine.Cache.graph t.engine; initiator };
+          schedules = t.schedules;
+        }
+      in
+      let solution = Stgselect.solve ~config:t.config ~ctx ti q in
+      Obs.Trace.with_span "service.certify" @@ fun () ->
+      Obs.time_hist Instr.certify_latency @@ fun () ->
+      Validate.certify_stg ti q solution)
+    reqs
+
+(* Resilient batches: the grouping/pipelining is identical, but each
+   query walks its own {!Resilience} ladder with budgets built fresh
+   from the policy per attempt — one slow query exhausts its own
+   deadline and degrades alone; its groupmates' budgets are untouched. *)
+
+let sgq_batch_r ?policy ?cancel t (reqs : (int * Query.sgq) list) =
+  List.iter (fun (_, q) -> Query.check_sgq q) reqs;
+  Obs.Trace.with_span "service.sgq_batch"
+    ~attrs:
+      [
+        ("queries", string_of_int (List.length reqs)); ("resilient", "true");
+      ]
+  @@ fun () ->
+  Engine.Cache.with_solves t.engine @@ fun () ->
+  Engine.Batch.run ?pool:t.pool ~cache:t.engine
+    ~key:(fun (initiator, (q : Query.sgq)) -> (initiator, q.s))
+    ~solve:(fun ctx (initiator, (q : Query.sgq)) ->
+      query_span "service.sgq" ~initiator @@ fun () ->
+      Obs.Trace.add_attrs [ ("resilient", "true") ];
+      Obs.time_hist Instr.sgq_latency @@ fun () ->
+      let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
+      let certify solution =
+        Obs.Trace.with_span "service.certify" @@ fun () ->
+        Obs.time_hist Instr.certify_latency @@ fun () ->
+        Validate.certify_sg instance q solution
+      in
+      let exact budget =
+        let report =
+          Sgselect.solve_report ~config:t.config ~ctx ~budget instance q
+        in
+        Resilience.certify_outcome ~certify report.Sgselect.outcome
+      in
+      let heuristic budget = certify (Heuristics.beam_sgq ~ctx ~budget instance q) in
+      Resilience.run ?policy ?cancel ~exact ~heuristic ())
+    reqs
+
+let stgq_batch_r ?policy ?cancel t (reqs : (int * Query.stgq) list) =
+  List.iter (fun (_, q) -> Query.check_stgq q) reqs;
+  Obs.Trace.with_span "service.stgq_batch"
+    ~attrs:
+      [
+        ("queries", string_of_int (List.length reqs)); ("resilient", "true");
+      ]
+  @@ fun () ->
+  Engine.Cache.with_solves t.engine @@ fun () ->
+  Engine.Batch.run ?pool:t.pool ~cache:t.engine
+    ~key:(fun (initiator, (q : Query.stgq)) -> (initiator, q.s))
+    ~warm:(fun ctx (_, (q : Query.stgq)) ->
+      ignore (Engine.Context.pivots ctx ~m:q.m : int list))
+    ~solve:(fun ctx (initiator, (q : Query.stgq)) ->
+      query_span "service.stgq" ~initiator @@ fun () ->
+      Obs.Trace.add_attrs [ ("resilient", "true") ];
+      Obs.time_hist Instr.stgq_latency @@ fun () ->
+      let ti =
+        {
+          Query.social = { Query.graph = Engine.Cache.graph t.engine; initiator };
+          schedules = t.schedules;
+        }
+      in
+      let certify solution =
+        Obs.Trace.with_span "service.certify" @@ fun () ->
+        Obs.time_hist Instr.certify_latency @@ fun () ->
+        Validate.certify_stg ti q solution
+      in
+      let exact budget =
+        let report = Stgselect.solve_report ~config:t.config ~ctx ~budget ti q in
+        Resilience.certify_outcome ~certify report.Stgselect.outcome
+      in
+      let heuristic budget = certify (Heuristics.beam_stgq ~ctx ~budget ti q) in
+      Resilience.run ?policy ?cancel ~exact ~heuristic ())
+    reqs
+
 let cache_stats t =
   let s = Engine.Cache.stats t.engine in
   {
     hits = s.Engine.Cache.hits;
     misses = s.Engine.Cache.misses;
+    coalesced = s.Engine.Cache.coalesced;
     evictions = s.Engine.Cache.evictions;
     entries = s.Engine.Cache.entries;
   }

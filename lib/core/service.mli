@@ -16,6 +16,7 @@ type t
 type cache_stats = {
   hits : int;
   misses : int;
+  coalesced : int;  (** lookups that joined another caller's in-flight build *)
   evictions : int;
   entries : int;
 }
@@ -59,6 +60,36 @@ val stgq_r :
   ?policy:Resilience.policy -> ?cancel:bool Atomic.t ->
   t -> initiator:int -> Query.stgq ->
   (Query.stg_solution Resilience.answer, Resilience.error) result
+
+(** [sgq_batch t reqs] answers every [(initiator, query)] request,
+    results in input order, each certified exactly as {!sgq} certifies.
+    Requests are grouped by [(initiator, s)] and each group shares one
+    cached context ({!Engine.Batch}); with a pool attached, the context
+    build for the next group is pipelined behind the current group's
+    solves.  Answers are bit-identical to calling {!sgq} per request. *)
+val sgq_batch : t -> (int * Query.sgq) list -> Query.sg_solution option list
+
+(** [stgq_batch t reqs] — the temporal analogue of {!sgq_batch}.  The
+    group's Lemma-4 pivot lists are pre-warmed on the build domain, so
+    solves start with every shared pruning artifact in place. *)
+val stgq_batch : t -> (int * Query.stgq) list -> Query.stg_solution option list
+
+(** [sgq_batch_r ?policy ?cancel t reqs] — batched {!sgq_r}: same
+    grouping and context sharing, but each request walks its own
+    {!Resilience} ladder with per-attempt budgets built fresh from
+    [policy], so one slow query degrades alone without consuming its
+    groupmates' budgets. *)
+val sgq_batch_r :
+  ?policy:Resilience.policy -> ?cancel:bool Atomic.t ->
+  t -> (int * Query.sgq) list ->
+  (Query.sg_solution Resilience.answer, Resilience.error) result list
+
+(** [stgq_batch_r ?policy ?cancel t reqs] — batched {!stgq_r} with the
+    same per-query budget isolation. *)
+val stgq_batch_r :
+  ?policy:Resilience.policy -> ?cancel:bool Atomic.t ->
+  t -> (int * Query.stgq) list ->
+  (Query.stg_solution Resilience.answer, Resilience.error) result list
 
 (** [cache_stats t] — cumulative context-cache behaviour. *)
 val cache_stats : t -> cache_stats

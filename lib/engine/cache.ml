@@ -5,6 +5,7 @@ module Log = (val Logs.src_log log)
 type stats = {
   hits : int;
   misses : int;
+  coalesced : int;
   evictions : int;
   entries : int;
 }
@@ -16,6 +17,8 @@ let m_lookups = Obs.counter "engine.cache.lookups"
 let m_hits = Obs.counter "engine.cache.hits"
 
 let m_misses = Obs.counter "engine.cache.misses"
+
+let m_coalesced = Obs.counter "engine.cache.coalesced"
 
 let m_evictions = Obs.counter "engine.cache.evictions"
 
@@ -31,16 +34,30 @@ type node = {
   mutable next : node option;
 }
 
+(* All mutable fields are guarded by [lock]; [Context.build] itself runs
+   outside the lock (it is the expensive part), with in-flight keys
+   tracked in [building] so concurrent misses coalesce onto one build.
+   [solvers]/[solver_done] implement the readers side of the
+   readers-writer discipline: {!with_solves} regions run concurrently
+   with each other, while {!set_schedule}/{!set_graph} wait for the
+   region count to drain so an edit never lands mid-solve. *)
 type t = {
   capacity : int;
   schedules : Timetable.Availability.t array option;
   mutable graph : Socgraph.Graph.t;
+  mutable graph_gen : int;  (* bumped by [set_graph]; guards stale inserts *)
   table : (int * int, node) Hashtbl.t;
   mutable head : node option;
   mutable tail : node option;
   mutable hits : int;
   mutable misses : int;
+  mutable coalesced : int;
   mutable evictions : int;
+  lock : Mutex.t;
+  build_done : Condition.t;
+  building : (int * int, unit) Hashtbl.t;
+  mutable solvers : int;
+  solver_done : Condition.t;
 }
 
 let create ?(capacity = 64) ?schedules graph =
@@ -53,15 +70,22 @@ let create ?(capacity = 64) ?schedules graph =
     capacity;
     schedules;
     graph;
+    graph_gen = 0;
     table = Hashtbl.create 64;
     head = None;
     tail = None;
     hits = 0;
     misses = 0;
+    coalesced = 0;
     evictions = 0;
+    lock = Mutex.create ();
+    build_done = Condition.create ();
+    building = Hashtbl.create 8;
+    solvers = 0;
+    solver_done = Condition.create ();
   }
 
-let graph t = t.graph
+let graph t = Mutex.protect t.lock (fun () -> t.graph)
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -86,49 +110,121 @@ let evict_lru t =
           let q, s = victim.key in
           m "evicted context (q=%d, s=%d)" q s)
 
+(* Called with [t.lock] held; returns with it held. *)
+let insert t key ctx =
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  let n = { key; ctx; prev = None; next = None } in
+  Hashtbl.replace t.table key n;
+  push_front t n;
+  Obs.Gauge.set m_entries (Hashtbl.length t.table)
+
 let context t ~initiator ~s =
   let key = (initiator, s) in
   Obs.Counter.incr m_lookups;
-  match Hashtbl.find_opt t.table key with
-  | Some n ->
-      t.hits <- t.hits + 1;
-      Obs.Counter.incr m_hits;
-      Obs.Trace.add_attrs [ ("context.cache", "hit") ];
-      unlink t n;
-      push_front t n;
-      Log.debug (fun m -> m "context cache hit for (q=%d, s=%d)" initiator s);
-      n.ctx
-  | None ->
-      t.misses <- t.misses + 1;
-      Obs.Counter.incr m_misses;
-      Obs.Trace.add_attrs [ ("context.cache", "miss") ];
-      Log.debug (fun m -> m "context cache miss for (q=%d, s=%d)" initiator s);
-      let ctx = Context.build ?schedules:t.schedules t.graph ~initiator ~s in
-      if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      let n = { key; ctx; prev = None; next = None } in
-      Hashtbl.replace t.table key n;
-      push_front t n;
-      Obs.Gauge.set m_entries (Hashtbl.length t.table);
-      ctx
+  Mutex.lock t.lock;
+  (* [coalesced] flags a lookup that slept on somebody else's in-flight
+     build; counted once per waiter, and the waiter's eventual find
+     still counts as a hit, so hits + misses = lookups holds. *)
+  let rec obtain ~waited =
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+        t.hits <- t.hits + 1;
+        Obs.Counter.incr m_hits;
+        unlink t n;
+        push_front t n;
+        Mutex.unlock t.lock;
+        Obs.Trace.add_attrs
+          [ ("context.cache", if waited then "coalesced" else "hit") ];
+        Log.debug (fun m -> m "context cache hit for (q=%d, s=%d)" initiator s);
+        n.ctx
+    | None ->
+        if Hashtbl.mem t.building key then begin
+          if not waited then begin
+            t.coalesced <- t.coalesced + 1;
+            Obs.Counter.incr m_coalesced;
+            Log.debug (fun m ->
+                m "coalescing onto in-flight build for (q=%d, s=%d)" initiator s)
+          end;
+          Condition.wait t.build_done t.lock;
+          obtain ~waited:true
+        end
+        else begin
+          Hashtbl.replace t.building key ();
+          t.misses <- t.misses + 1;
+          Obs.Counter.incr m_misses;
+          (* Snapshot the graph and its generation: if [set_graph] lands
+             while we build outside the lock, the stale context must not
+             be cached. *)
+          let graph = t.graph in
+          let gen = t.graph_gen in
+          Mutex.unlock t.lock;
+          Obs.Trace.add_attrs [ ("context.cache", "miss") ];
+          Log.debug (fun m -> m "context cache miss for (q=%d, s=%d)" initiator s);
+          let finish_build () =
+            Hashtbl.remove t.building key;
+            Condition.broadcast t.build_done
+          in
+          match Context.build ?schedules:t.schedules graph ~initiator ~s with
+          | exception e ->
+              (* A failed build releases the key so a waiter retries as
+                 the next builder instead of sleeping forever. *)
+              Mutex.lock t.lock;
+              finish_build ();
+              Mutex.unlock t.lock;
+              raise e
+          | ctx ->
+              Mutex.lock t.lock;
+              finish_build ();
+              if t.graph_gen = gen then insert t key ctx;
+              Mutex.unlock t.lock;
+              ctx
+        end
+  in
+  obtain ~waited:false
+
+let with_solves t f =
+  Mutex.protect t.lock (fun () -> t.solvers <- t.solvers + 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect t.lock (fun () ->
+          t.solvers <- t.solvers - 1;
+          if t.solvers = 0 then Condition.broadcast t.solver_done))
+    f
+
+(* Called with [t.lock] held; returns with it held and [t.solvers = 0].
+   Writers drain the readers, so an edit lands only between
+   {!with_solves} regions, never inside one. *)
+let wait_no_solves t =
+  while t.solvers > 0 do
+    Condition.wait t.solver_done t.lock
+  done
 
 let stats t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.table;
-  }
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        coalesced = t.coalesced;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+      })
 
-let clear t =
+(* Called with [t.lock] held. *)
+let clear_locked t =
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None
 
+let clear t = Mutex.protect t.lock (fun () -> clear_locked t)
+
 let set_graph t graph =
   if Socgraph.Graph.n_vertices graph <> Socgraph.Graph.n_vertices t.graph then
     invalid_arg "Engine.Cache.set_graph: vertex count changed";
-  t.graph <- graph;
-  clear t
+  Mutex.protect t.lock (fun () ->
+      wait_no_solves t;
+      t.graph <- graph;
+      t.graph_gen <- t.graph_gen + 1;
+      clear_locked t)
 
 let set_schedule t ~vertex schedule =
   match t.schedules with
@@ -144,8 +240,12 @@ let set_schedule t ~vertex schedule =
       (* Rewrite the installed calendar's bits in place: cached contexts
          alias the Availability objects, so they observe the update
          without any invalidation.  Snapshot first in case the caller
-         passed the installed object itself. *)
-      let bits_old = Timetable.Availability.bits installed in
+         passed the installed object itself.  The rewrite waits out any
+         {!with_solves} region, so a solve never reads a half-edited
+         calendar. *)
       let snapshot = Bitset.copy (Timetable.Availability.bits schedule) in
-      Bitset.fill bits_old false;
-      Bitset.iter (fun slot -> Bitset.set bits_old slot) snapshot
+      Mutex.protect t.lock (fun () ->
+          wait_no_solves t;
+          let bits_old = Timetable.Availability.bits installed in
+          Bitset.fill bits_old false;
+          Bitset.iter (fun slot -> Bitset.set bits_old slot) snapshot)

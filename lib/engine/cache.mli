@@ -1,4 +1,5 @@
-(** Keyed {!Context} cache with an O(1) LRU.
+(** Keyed {!Context} cache with an O(1) LRU — thread-safe, with
+    single-flight builds.
 
     Radius-graph extraction is the shared prefix of every query an
     initiator poses, so the cache memoises full contexts per
@@ -6,16 +7,30 @@
     lookup, touch and eviction are all O(1) (the seed service re-filtered
     an order list on every access).
 
+    Concurrency: every operation is safe to call from any domain (the
+    batch scheduler fetches contexts from pool workers).  Builds are
+    {e single-flight}: two concurrent misses on the same key run one
+    {!Context.build}; the second caller sleeps until the first publishes
+    and then takes the shared context (counted by
+    [engine.cache.coalesced] and the [coalesced] stat — the waiter's
+    find still counts as a hit, so [hits + misses = lookups]).  The
+    build itself runs outside the cache lock, so a slow extraction never
+    blocks hits on other keys.
+
     Mutation model: social-graph swaps ({!set_graph}) drop every cached
     context; calendar edits ({!set_schedule}) rewrite the installed
     schedule's bitset in place, which every cached context aliases, so
-    they need no invalidation at all. *)
+    they need no invalidation at all.  Both edits wait for in-flight
+    {!with_solves} regions to drain, so an edit lands only {e between}
+    solves — a solver that brackets its work in {!with_solves} never
+    observes a half-applied calendar. *)
 
 type t
 
 type stats = {
   hits : int;
   misses : int;
+  coalesced : int;  (** lookups that slept on another caller's build *)
   evictions : int;
   entries : int;
 }
@@ -37,8 +52,17 @@ val graph : t -> Socgraph.Graph.t
 
 (** [context t ~initiator ~s] returns the cached context for the key,
     building (and possibly evicting the least-recently-used entry)
-    on a miss. *)
+    on a miss.  Concurrent misses on the same key coalesce onto one
+    build. *)
 val context : t -> initiator:int -> s:int -> Context.t
+
+(** [with_solves t f] runs [f] inside a {e solve region}: {!set_graph}
+    and {!set_schedule} block until every open region finishes, so
+    answers computed (and certified) inside the region observe one
+    consistent schedule snapshot.  Regions are shared — any number may
+    be open at once — and must not nest a mutation call (a region
+    waiting on its own edit would deadlock). *)
+val with_solves : t -> (unit -> 'a) -> 'a
 
 (** Cumulative cache behaviour. *)
 val stats : t -> stats
@@ -47,11 +71,14 @@ val stats : t -> stats
 val clear : t -> unit
 
 (** [set_graph t g] swaps the social graph (same vertex count required)
-    and drops every cached context. *)
+    and drops every cached context.  Waits for open {!with_solves}
+    regions to drain. *)
 val set_graph : t -> Socgraph.Graph.t -> unit
 
 (** [set_schedule t ~vertex schedule] rewrites one calendar in place
     (same horizon required); cached contexts see the change immediately.
+    Waits for open {!with_solves} regions to drain, so the rewrite never
+    interleaves with a solve.
     @raise Invalid_argument on a social-only cache, an out-of-range
     vertex, or a horizon mismatch. *)
 val set_schedule : t -> vertex:int -> Timetable.Availability.t -> unit

@@ -27,6 +27,16 @@ let m_queue_depth = Obs.gauge "engine.pool.queue_depth_hwm"
 
 let m_respawns = Obs.counter "engine.pool.respawns"
 
+(* A future resolves exactly once, under its own lock — never the pool
+   lock, so awaiting never contends with the job queue. *)
+type 'a state = Pending | Resolved of 'a | Failed of exn
+
+type 'a future = {
+  flock : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
 type t = {
   size : int;
   jobs : job Queue.t;
@@ -86,16 +96,18 @@ let rec worker t () =
     | None -> ()
     | Some job -> (
         (* The injection site fires before the job runs: a pre-job fault
-           kills this worker while the job is still safe to requeue. *)
+           kills this worker while the job is still safe to requeue (the
+           queued closure owns its future, so the requeued job resolves
+           it on the replacement worker). *)
         match Faultinject.fire Faultinject.Pool_job_start with
         | exception e -> die t ~requeue:(Some job) e
         | () -> (
             match exec job with
             | () -> loop ()
             | exception e ->
-                (* [run] wraps its thunks, so only a raw [submit] job can
-                   land here; it already started, so it is not requeued
-                   (it may have had effects). *)
+                (* [submit] wraps its thunks (a raising thunk fails its
+                   future), so only a corrupted queue entry can land
+                   here; it already started, so it is not requeued. *)
                 die t ~requeue:None e))
   in
   loop ()
@@ -137,7 +149,7 @@ let create ?size () =
 
 let size t = t.size
 
-let submit t job =
+let enqueue t job =
   (* Cross-domain trace propagation: capture the submitter's span
      context here and install it around the job on whichever worker
      domain runs it, so pooled work joins the submitting query's trace
@@ -161,44 +173,50 @@ let submit t job =
   Condition.signal t.wake;
   Mutex.unlock t.lock
 
-let run t thunks =
-  let n = List.length thunks in
-  if n = 0 then []
-  else begin
-    let results = Array.make n None in
-    let pending = ref n in
-    let finished = Condition.create () in
-    let record i outcome =
-      Mutex.lock t.lock;
-      results.(i) <- Some outcome;
-      decr pending;
-      if !pending = 0 then Condition.broadcast finished;
-      Mutex.unlock t.lock
-    in
-    List.iteri
-      (fun i thunk ->
-        submit t (fun () ->
-            (* [match ... with exception] keeps worker domains alive on task
-               failure; errors are aggregated on the caller below. *)
-            match thunk () with
-            | v -> record i (Ok v)
-            | exception e -> record i (Error e)))
-      thunks;
-    Mutex.lock t.lock;
-    while !pending > 0 do
-      Condition.wait finished t.lock
-    done;
-    Mutex.unlock t.lock;
-    let errors =
-      Array.to_list results
-      |> List.filter_map (function Some (Error e) -> Some e | _ -> None)
-    in
-    if errors <> [] then raise (Task_errors errors);
-    List.init n (fun i ->
-        match results.(i) with
-        | Some (Ok v) -> v
-        | Some (Error _) | None -> assert false)
-  end
+let resolve fut outcome =
+  Mutex.lock fut.flock;
+  fut.state <- outcome;
+  Condition.broadcast fut.fdone;
+  Mutex.unlock fut.flock
+
+let submit t thunk =
+  let fut = { flock = Mutex.create (); fdone = Condition.create (); state = Pending } in
+  enqueue t (fun () ->
+      (* [match ... with exception] keeps worker domains alive on task
+         failure; the error travels through the future to the awaiter. *)
+      match thunk () with
+      | v -> resolve fut (Resolved v)
+      | exception e -> resolve fut (Failed e));
+  fut
+
+let await fut =
+  Mutex.lock fut.flock;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fdone fut.flock;
+        wait ()
+    | (Resolved _ | Failed _) as outcome -> outcome
+  in
+  let outcome = wait () in
+  Mutex.unlock fut.flock;
+  match outcome with
+  | Resolved v -> v
+  | Failed e -> raise e
+  | Pending -> assert false
+
+let await_all futs =
+  (* Await everything before deciding the verdict, so every job ran to
+     its own completion or failure before [await_all] returns — the
+     contract the old blocking barrier gave callers. *)
+  let outcomes =
+    List.map (fun f -> match await f with v -> Ok v | exception e -> Error e) futs
+  in
+  let errors =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) outcomes
+  in
+  if errors <> [] then raise (Task_errors errors);
+  List.map (function Ok v -> v | Error _ -> assert false) outcomes
 
 let shutdown t =
   Mutex.lock t.lock;

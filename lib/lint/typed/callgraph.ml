@@ -601,6 +601,7 @@ let spawn_targets =
   [
     ([ "Pool"; "submit" ], `Last);
     ([ "Pool"; "run" ], `Last);
+    ([ "Batch"; "run" ], `Labelled "warm");
     ([ "Domain"; "spawn" ], `First);
     ([ "Thread"; "create" ], `First);
   ]
@@ -827,6 +828,18 @@ let walk_func t ~modname ~unitc (f : func) =
                   match pos with
                   | `First -> first_nolabel args
                   | `Last -> last_nolabel args
+                  | `Labelled name ->
+                      (* Optional labels match too: [?warm] arrives as
+                         [Optional "warm"] with the closure wrapped in
+                         [Some], which the slice traverses through. *)
+                      List.find_map
+                        (function
+                          | Asttypes.Labelled l, (Some _ as e) when l = name ->
+                              e
+                          | Asttypes.Optional l, (Some _ as e) when l = name ->
+                              e
+                          | _ -> None)
+                        args
                 in
                 match arg with
                 | Some a ->

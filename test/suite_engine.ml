@@ -77,34 +77,46 @@ let prop_bounded_dist_early_exit_reaches_fixpoint =
       Socgraph.Bounded_dist.distances g ~src:0 ~max_edges:n
       = Socgraph.Bounded_dist.distances g ~src:0 ~max_edges:(2 * n + 3))
 
+let pool_map pool thunks =
+  Engine.Pool.await_all (List.map (Engine.Pool.submit pool) thunks)
+
 let test_pool_order_and_reuse () =
   let escaped =
     Engine.Pool.with_pool ~size:3 (fun pool ->
         let expected = List.init 20 (fun i -> i * i) in
-        let got = Engine.Pool.run pool (List.map (fun v -> fun () -> v) expected) in
+        let got = pool_map pool (List.map (fun v -> fun () -> v) expected) in
         Alcotest.(check (list int)) "results in submission order" expected got;
-        let again = Engine.Pool.run pool [ (fun () -> 41); (fun () -> 42) ] in
+        let again = pool_map pool [ (fun () -> 41); (fun () -> 42) ] in
         Alcotest.(check (list int)) "pool reusable across runs" [ 41; 42 ] again;
+        (* A future may be awaited more than once and from after the
+           fact: it is a value, not a one-shot channel. *)
+        let fut = Engine.Pool.submit pool (fun () -> 9) in
+        Alcotest.(check int) "await" 9 (Engine.Pool.await fut);
+        Alcotest.(check int) "await again" 9 (Engine.Pool.await fut);
         pool)
   in
   Engine.Pool.shutdown escaped (* idempotent: with_pool already shut it down *);
-  Alcotest.check_raises "run after shutdown rejected" Engine.Pool.Pool_closed
-    (fun () -> ignore (Engine.Pool.run escaped [ (fun () -> 0) ] : int list))
+  Alcotest.check_raises "submit after shutdown rejected" Engine.Pool.Pool_closed
+    (fun () -> ignore (Engine.Pool.submit escaped (fun () -> 0)))
 
 let test_pool_exception_propagates () =
   Engine.Pool.with_pool ~size:2 @@ fun pool ->
   (try
      ignore
-       (Engine.Pool.run pool
+       (pool_map pool
           [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
          : int list);
      Alcotest.fail "expected the job's exception to re-raise"
    with Engine.Pool.Task_errors [ Failure msg ] ->
      Alcotest.(check string) "job exception" "boom" msg);
+  (* A single await re-raises the job's own exception, un-aggregated. *)
+  let failed = Engine.Pool.submit pool (fun () -> failwith "solo") in
+  Alcotest.check_raises "await re-raises" (Failure "solo") (fun () ->
+      ignore (Engine.Pool.await failed : int));
   (* A failed batch must not poison the workers. *)
   Alcotest.(check (list int))
     "pool alive after failure" [ 7 ]
-    (Engine.Pool.run pool [ (fun () -> 7) ])
+    (pool_map pool [ (fun () -> 7) ])
 
 let test_cache_lru_recency () =
   let g = Socgraph.Graph.of_edges 4 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.) ] in

@@ -105,7 +105,8 @@ let test_pool_job_start () =
       let before = Obs.Counter.value respawns in
       let results =
         Engine.Pool.with_pool ~size:2 @@ fun pool ->
-        Engine.Pool.run pool (List.init 12 (fun i () -> i + 1))
+        Engine.Pool.await_all
+          (List.map (Engine.Pool.submit pool) (List.init 12 (fun i () -> i + 1)))
       in
       check
         (Alcotest.list Alcotest.int)

@@ -195,6 +195,76 @@ let mid () = deep ()
 let run () = Pool.submit (fun () -> mid ())
 |})
 
+(* A stub with the future-typed Pool surface: [submit] still takes the
+   crossing closure as its last positional argument, so the analyzer
+   needs no special case — pin that. *)
+let future_pool_stub =
+  "module Pool = struct\n\
+  \  type 'a future = 'a\n\
+  \  let submit f = f ()\n\
+  \  let await (f : 'a future) = f\n\
+   end\n"
+
+let test_future_submit_racy () =
+  expect ~rule:"domain-safety" ~n:1 ~chain_has:"closure passed to"
+    (future_pool_stub
+   ^ {|
+let racy () =
+  let counter = ref 0 in
+  let fut = Pool.submit (fun () -> incr counter) in
+  Pool.await fut;
+  !counter
+|})
+
+let test_future_submit_atomic_clean () =
+  expect ~rule:"domain-safety" ~n:0
+    (future_pool_stub
+   ^ {|
+let safe () =
+  let counter = Atomic.make 0 in
+  let fut = Pool.submit (fun () -> Atomic.incr counter) in
+  Pool.await fut;
+  Atomic.get counter
+|})
+
+(* [Batch.run]'s [~warm] closure runs on the build domain when the
+   batch is pipelined — it is a spawn site by labelled argument, the
+   position the extended target table matches. *)
+let batch_stub =
+  "module Batch = struct\n\
+  \  let run ?(warm = fun _ -> ()) ~solve xs =\n\
+  \    List.map (fun x -> warm x; solve x) xs\n\
+   end\n"
+
+let test_batch_warm_racy () =
+  expect ~rule:"domain-safety" ~n:1 ~chain_has:"closure passed to"
+    (batch_stub
+   ^ {|
+let racy xs =
+  let warmed = ref 0 in
+  Batch.run ~warm:(fun _ -> incr warmed) ~solve:(fun x -> x + 1) xs
+|})
+
+let test_batch_warm_atomic_clean () =
+  expect ~rule:"domain-safety" ~n:0
+    (batch_stub
+   ^ {|
+let safe xs =
+  let warmed = Atomic.make 0 in
+  Batch.run ~warm:(fun _ -> Atomic.incr warmed) ~solve:(fun x -> x + 1) xs
+|})
+
+let test_batch_solve_not_spawn () =
+  (* Only [~warm] crosses domains; [~solve] runs on the caller, so a
+     ref captured by it alone must stay unflagged. *)
+  expect ~rule:"domain-safety" ~n:0
+    (batch_stub
+   ^ {|
+let caller_side xs =
+  let solved = ref 0 in
+  Batch.run ~solve:(fun x -> incr solved; x + 1) xs
+|})
+
 (* ---------------- checkpoint-coverage ---------------- *)
 
 let test_checkpoint_free_loop () =
@@ -350,6 +420,16 @@ let suite =
       test_global_table_sharded_unit;
     Alcotest.test_case "transitive write carries witness chain" `Quick
       test_transitive_write;
+    Alcotest.test_case "future-typed submit still a spawn site" `Quick
+      test_future_submit_racy;
+    Alcotest.test_case "future-typed submit with atomic clean" `Quick
+      test_future_submit_atomic_clean;
+    Alcotest.test_case "Batch.run ~warm racy closure flagged" `Quick
+      test_batch_warm_racy;
+    Alcotest.test_case "Batch.run ~warm atomic clean" `Quick
+      test_batch_warm_atomic_clean;
+    Alcotest.test_case "Batch.run ~solve is caller-side" `Quick
+      test_batch_solve_not_spawn;
     Alcotest.test_case "checkpoint-free loop flagged" `Quick
       test_checkpoint_free_loop;
     Alcotest.test_case "checkpointed loop clean" `Quick test_checkpointed_loop;

@@ -52,7 +52,10 @@ let test_exception_propagation () =
   let thunks =
     List.init 40 (fun i () -> if i = 7 || i = 23 then raise (Boom i) else i)
   in
-  (match Engine.Pool.run pool thunks with
+  let pool_map pool thunks =
+    Engine.Pool.await_all (List.map (Engine.Pool.submit pool) thunks)
+  in
+  (match pool_map pool thunks with
   | _ -> Alcotest.fail "expected the batch to raise"
   | exception Engine.Pool.Task_errors errs ->
       (* Aggregation keeps every failure, in submission-index order. *)
@@ -60,23 +63,25 @@ let test_exception_propagation () =
         "all failures, input order" [ 7; 23 ]
         (List.map (function Boom i -> i | e -> raise e) errs));
   (* Worker domains must survive a failing batch. *)
-  let squares = Engine.Pool.run pool (List.init 6 (fun i () -> i * i)) in
+  let squares = pool_map pool (List.init 6 (fun i () -> i * i)) in
   Alcotest.check (Alcotest.list Alcotest.int) "pool alive after failure"
     [ 0; 1; 4; 9; 16; 25 ] squares
 
 let test_submission_order_saturated () =
   (* A single worker drains a saturated queue strictly in FIFO order,
-     and [run] reassembles results positionally regardless. *)
+     and [await_all] reassembles results positionally regardless. *)
   let pool = Engine.Pool.create ~size:1 () in
   let order = ref [] in
   let lock = Mutex.create () in
   let results =
-    Engine.Pool.run pool
-      (List.init 100 (fun i () ->
-           Mutex.lock lock;
-           order := i :: !order;
-           Mutex.unlock lock;
-           i))
+    Engine.Pool.await_all
+      (List.map
+         (Engine.Pool.submit pool)
+         (List.init 100 (fun i () ->
+              Mutex.lock lock;
+              order := i :: !order;
+              Mutex.unlock lock;
+              i)))
   in
   Engine.Pool.shutdown pool;
   let expected = List.init 100 Fun.id in

@@ -412,7 +412,8 @@ let test_pool_respawn () =
   let results =
     Faultinject.with_plan "pool_job_start@1" @@ fun () ->
     Engine.Pool.with_pool ~size:2 @@ fun pool ->
-    Engine.Pool.run pool (List.init 8 (fun i () -> i * i))
+    Engine.Pool.await_all
+      (List.map (Engine.Pool.submit pool) (List.init 8 (fun i () -> i * i)))
   in
   check
     (Alcotest.list Alcotest.int)

@@ -19,6 +19,7 @@ let () =
       ("auto", Suite_auto.suite);
       ("service", Suite_service.suite);
       ("engine", Suite_engine.suite);
+      ("batch", Suite_batch.suite);
       ("obs", Suite_obs.suite);
       ("trace", Suite_trace.suite);
       ("regression", Suite_regression.suite);
