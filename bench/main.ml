@@ -10,7 +10,7 @@
                                       [--skip-bechamel] [--domains=N]
                                       [--smoke] [--json-out=FILE]
                                       [--obs-out=FILE] [--resilience-out=FILE]
-                                      [--trace-out=FILE]
+                                      [--trace-out=FILE] [--server-out=FILE]
 
    --smoke runs only the engine replay comparisons at tiny sizes and
    writes its results as JSON (default BENCH_engine.json, BENCH_obs.json,
@@ -1296,13 +1296,231 @@ let trace_smoke ~out ~domains =
     exit 1
   end
 
+(* --- server smoke --------------------------------------------------- *)
+
+let server_required_keys =
+  [
+    "\"sustained_qps\"";
+    "\"requests_total\"";
+    "\"latency_p50_ns\"";
+    "\"latency_p99_ns\"";
+    "\"wire_overhead\"";
+    "\"server_mismatches\"";
+    "\"shed_rate_saturation\"";
+  ]
+
+(* Expected wire image of a direct resilient call — the bit-identical
+   replay gate below compares wire answers against this. *)
+let wire_image_of_stg = function
+  | Ok (a : Query.stg_solution Resilience.answer) ->
+      Proto.Stg_answer
+        {
+          value = a.value;
+          rung = a.rung;
+          gap = a.gap;
+          retries = a.retries;
+          reason = a.reason;
+          certified = true;
+        }
+  | Error (Resilience.Degraded { reason; retries }) ->
+      Proto.Failed (Proto.Degraded { reason; retries })
+  | Error (Resilience.Unavailable { error; retries }) ->
+      Proto.Failed
+        (Proto.Unavailable { message = Printexc.to_string error; retries })
+
+(* The wire-server baseline (docs/PROTOCOL.md): answers over a loopback
+   socket must be bit-identical to direct [Service] calls; a sustained
+   multi-client load records qps and client-observed p50/p99 latency;
+   the wire_overhead ratio prices the framing + socket round-trip
+   against the in-process call on the same cached contexts (an
+   enabled-path overhead: both sides resolve and solve identically);
+   and an admission limit of 1 under eight hammering clients must shed
+   with typed Overloaded responses.  Shedding depends on real
+   concurrency, so a zero shed rate re-runs the saturation round (up to
+   five attempts) before failing. *)
+let server_smoke ~out ~domains =
+  let ti = Workload.Scenario.coauthor ~seed:11 ~days:2 ~n:600 () in
+  let graph = ti.Query.social.Query.graph in
+  let initiator = Workload.Scenario.pick_initiator ~rank:10 graph in
+  let ti = { ti with Query.social = { ti.Query.social with Query.initiator } } in
+  let queries =
+    [
+      { Query.p = 3; s = 2; k = 1; m = 4 };
+      { Query.p = 4; s = 2; k = 2; m = 4 };
+      { Query.p = 3; s = 2; k = 1; m = 6 };
+      { Query.p = 4; s = 2; k = 2; m = 6 };
+    ]
+  in
+  Engine.Pool.with_pool ?size:domains @@ fun pool ->
+  let service = Service.create ~pool ti in
+  let loopback = Server.Tcp ("127.0.0.1", 0) in
+  let solve_direct q =
+    ignore
+      (Service.stgq_r service ~initiator q
+        : (Query.stg_solution Resilience.answer, Resilience.error) result)
+  in
+  (* -- replay gate + wire overhead: one connection, sequential -------- *)
+  let mismatches = ref 0 in
+  let direct_ns, wire_ns =
+    let server = Server.create service in
+    let handle = Server.start server loopback in
+    Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+    let c = Server.Client.connect (Server.bound_addr handle) in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+    let ask q =
+      match
+        Server.Client.request c (Proto.Stgq { initiator; q; policy = None })
+      with
+      | Ok resp -> resp
+      | Error e -> failwith (Proto.string_of_decode_error e)
+    in
+    (* warm-up outside the clocks: contexts, allocator, both code paths *)
+    List.iter (fun q -> ignore (ask q : Proto.response)) queries;
+    List.iter solve_direct queries;
+    List.iter
+      (fun q ->
+        let expected = wire_image_of_stg (Service.stgq_r service ~initiator q) in
+        if not (Proto.equal_response expected (ask q)) then incr mismatches)
+      queries;
+    let rounds = 5 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      List.iter solve_direct queries
+    done;
+    let direct_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      List.iter (fun q -> ignore (ask q : Proto.response)) queries
+    done;
+    let wire_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (direct_ns, wire_ns)
+  in
+  let wire_overhead = if direct_ns <= 0. then 1. else wire_ns /. direct_ns in
+  (* -- sustained load: four client threads, one connection each ------- *)
+  let client_threads = 4 and rounds_per_client = 8 in
+  let sustained_qps, p50, p99, requests_total =
+    let server = Server.create service in
+    let handle = Server.start server loopback in
+    Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+    let addr = Server.bound_addr handle in
+    let lat = Array.make client_threads [] in
+    let t0 = Unix.gettimeofday () in
+    let worker i () =
+      let c = Server.Client.connect addr in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+      for _ = 1 to rounds_per_client do
+        List.iter
+          (fun q ->
+            let r0 = Unix.gettimeofday () in
+            match
+              Server.Client.request c
+                (Proto.Stgq { initiator; q; policy = None })
+            with
+            | Ok _ -> lat.(i) <- ((Unix.gettimeofday () -. r0) *. 1e9) :: lat.(i)
+            | Error e -> failwith (Proto.string_of_decode_error e))
+          queries
+      done
+    in
+    let threads =
+      List.init client_threads (fun i -> Thread.create (worker i) ())
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let samples = List.concat (Array.to_list lat) in
+    let total = List.length samples in
+    ( (if wall <= 0. then 0. else float_of_int total /. wall),
+      percentile samples 0.5,
+      percentile samples 0.99,
+      total )
+  in
+  (* -- saturation: admission limit 1, eight hammering clients --------- *)
+  let shed_rate_saturation =
+    let config = { Server.default_config with Server.admission_limit = 1 } in
+    let sat_q = { Query.p = 3; s = 2; k = 1; m = 4 } in
+    let attempt () =
+      let server = Server.create ~config service in
+      let handle = Server.start server loopback in
+      Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+      let addr = Server.bound_addr handle in
+      let n_clients = 8 and per_client = 12 in
+      let sheds = Atomic.make 0 in
+      let worker () =
+        let c = Server.Client.connect addr in
+        Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+        for _ = 1 to per_client do
+          match
+            Server.Client.request c
+              (Proto.Stgq { initiator; q = sat_q; policy = None })
+          with
+          | Ok (Proto.Failed (Proto.Overloaded _)) -> Atomic.incr sheds
+          | Ok _ -> ()
+          | Error e -> failwith (Proto.string_of_decode_error e)
+        done
+      in
+      let threads = List.init n_clients (fun _ -> Thread.create worker ()) in
+      List.iter Thread.join threads;
+      float_of_int (Atomic.get sheds)
+      /. float_of_int (n_clients * per_client)
+    in
+    let rec settle attempts =
+      let rate = attempt () in
+      if rate > 0. || attempts <= 1 then rate else settle (attempts - 1)
+    in
+    settle 5
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"workload\": %S,"
+          (Printf.sprintf "coauthor n=600 days=2 q=%d" initiator);
+        Printf.sprintf "  \"client_threads\": %d," client_threads;
+        Printf.sprintf "  \"requests_total\": %d," requests_total;
+        Printf.sprintf "  \"sustained_qps\": %.1f," sustained_qps;
+        Printf.sprintf "  \"latency_p50_ns\": %.0f," p50;
+        Printf.sprintf "  \"latency_p99_ns\": %.0f," p99;
+        Printf.sprintf "  \"wire_overhead\": %.3f," wire_overhead;
+        Printf.sprintf "  \"server_mismatches\": %d," !mismatches;
+        Printf.sprintf "  \"shed_rate_saturation\": %.3f" shed_rate_saturation;
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "bench-smoke: server — %.0f q/s over %d requests (%d clients), p50 %s \
+     p99 %s, wire overhead %.2fx, %d mismatches, shed rate %.2f at \
+     saturation -> %s\n"
+    sustained_qps requests_total client_threads (Report.ns p50) (Report.ns p99)
+    wire_overhead !mismatches shed_rate_saturation out;
+  let missing =
+    List.filter (fun k -> not (contains_substring json k)) server_required_keys
+  in
+  if missing <> [] then begin
+    Printf.printf "bench-smoke: FAILED — %s lacks required keys: %s\n" out
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if !mismatches > 0 then begin
+    print_endline
+      "bench-smoke: FAILED — wire answers diverge from direct Service calls";
+    exit 1
+  end;
+  if shed_rate_saturation <= 0. then begin
+    print_endline
+      "bench-smoke: FAILED — admission limit 1 never shed under 8 clients";
+    exit 1
+  end
+
 (* The CI baseline: tiny sizes, two JSON artefacts — the engine replay
    and batched-replay comparisons (instrumentation off) and the same
    workloads rerun with instrumentation on, whose metrics snapshot
    lands in [obs_out].  The engine artefact is written after the
    instrumented rerun so it can also record the pool's queue-depth
    high-water mark and respawn count from the live registry. *)
-let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~domains =
+let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~domains =
   let r = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
   (* The >= 2x batched-throughput gate settles like the other gated
      ratios: noise can fake a miss, so on one the batch replays again
@@ -1390,7 +1608,8 @@ let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~domains =
     exit 1
   end;
   resilience_smoke ~out:resilience_out;
-  trace_smoke ~out:trace_out ~domains
+  trace_smoke ~out:trace_out ~domains;
+  server_smoke ~out:server_out ~domains
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
@@ -1459,7 +1678,10 @@ let () =
     let trace_out =
       Option.value (keyed_arg "--trace-out" args) ~default:"BENCH_trace.json"
     in
-    smoke ~json_out ~obs_out ~resilience_out ~trace_out ~domains;
+    let server_out =
+      Option.value (keyed_arg "--server-out" args) ~default:"BENCH_server.json"
+    in
+    smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~domains;
     exit 0
   end;
   let st =

@@ -576,6 +576,208 @@ let trace_cmd =
     [ trace_sgq_cmd; trace_stgq_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve: the binary wire-protocol query server (docs/PROTOCOL.md).    *)
+
+let default_port = 7411
+
+let serve_cmd =
+  let bind_host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "bind" ] ~docv:"HOST" ~doc:"Numeric address to bind.")
+  in
+  let port =
+    Arg.(value & opt int default_port
+         & info [ "port" ] ~docv:"PORT" ~doc:"TCP port.")
+  in
+  let unix_socket =
+    Arg.(value & opt (some string) None
+         & info [ "unix-socket" ] ~docv:"PATH"
+             ~doc:"Serve on a Unix-domain socket instead of TCP.")
+  in
+  let admission_limit =
+    Arg.(value & opt int Server.default_config.Server.admission_limit
+         & info [ "admission-limit" ] ~docv:"N"
+             ~doc:"Shed work beyond $(docv) concurrently-executing \
+                   requests with a typed Overloaded response.")
+  in
+  let max_connections =
+    Arg.(value & opt (some int) None
+         & info [ "max-connections" ] ~docv:"N"
+             ~doc:"Exit after $(docv) connections (default: serve forever).")
+  in
+  let run src domains deadline node_budget no_degrade admission_limit bind_host
+      port unix_socket max_connections stats =
+    with_stats stats @@ fun () ->
+    let graph, schedules = load_dataset src in
+    let ti = { Query.social = { Query.graph; initiator = 0 }; schedules } in
+    Engine.Pool.with_pool ?size:domains @@ fun pool ->
+    let service = Service.create ~pool ti in
+    let config =
+      {
+        Server.default_config with
+        admission_limit;
+        policy = policy_of deadline node_budget no_degrade;
+      }
+    in
+    let server = Server.create ~config service in
+    let addr, where =
+      match unix_socket with
+      | Some path -> (Server.Unix_path path, path)
+      | None ->
+          (Server.Tcp (bind_host, port), Printf.sprintf "%s:%d" bind_host port)
+    in
+    Fmt.epr "serving the STGQ wire protocol (v%d) on %s@." Proto.version where;
+    Server.serve ?max_connections server addr
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve SGQ/STGQ over the binary wire protocol; every request \
+             runs through the resilient service layer (docs/PROTOCOL.md).")
+    Term.(
+      const run $ source_term $ domains_term $ deadline_term $ node_budget_term
+      $ no_degrade_term $ admission_limit $ bind_host $ port $ unix_socket
+      $ max_connections $ stats_term)
+
+(* ------------------------------------------------------------------ *)
+(* query: remote queries against a running `stgq serve`.               *)
+
+let connect_term =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:(Printf.sprintf
+                   "Server endpoint, numeric host (default: 127.0.0.1:%d)."
+                   default_port))
+
+let client_socket_term =
+  Arg.(value & opt (some string) None
+       & info [ "unix-socket" ] ~docv:"PATH"
+           ~doc:"Connect to a Unix-domain socket instead of TCP.")
+
+let client_addr connect unix_socket =
+  match (connect, unix_socket) with
+  | Some _, Some _ ->
+      Fmt.failwith "--connect and --unix-socket are mutually exclusive"
+  | None, Some path -> Server.Unix_path path
+  | None, None -> Server.Tcp ("127.0.0.1", default_port)
+  | Some hp, None -> (
+      match String.rindex_opt hp ':' with
+      | None -> Fmt.failwith "--connect expects HOST:PORT, got %S" hp
+      | Some i -> (
+          let host = String.sub hp 0 i in
+          let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+          match int_of_string_opt port with
+          | Some port -> Server.Tcp (host, port)
+          | None -> Fmt.failwith "--connect: bad port %S" port))
+
+(* Connect, run the version handshake, hand the connection to [f]. *)
+let with_connection addr f =
+  let c = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+  match Server.Client.hello c ~client:"stgq-cli" with
+  | Error msg -> Fmt.failwith "handshake failed: %s" msg
+  | Ok _version -> f c
+
+let wire_policy_of deadline_ms node_limit no_degrade =
+  if deadline_ms = None && node_limit = None && not no_degrade then None
+  else Some { Proto.deadline_ms; node_limit; degrade = not no_degrade }
+
+let print_failed label = function
+  | Proto.Overloaded { queue_depth; limit } ->
+      Fmt.pr "%s: overloaded (%d in flight, limit %d); retry later@." label
+        queue_depth limit
+  | Proto.Degraded { reason; retries } ->
+      Fmt.pr "%s: degraded (budget %s%s)@." label (Budget.reason_name reason)
+        (if retries > 0 then Printf.sprintf ", %d retries" retries else "")
+  | Proto.Unavailable { message; retries } ->
+      Fmt.pr "%s: unavailable after %d retries: %s@." label retries message
+  | Proto.Bad_request { message } ->
+      Fmt.pr "%s: bad request: %s@." label message
+  | Proto.Unsupported_version { server_version } ->
+      Fmt.pr "%s: server speaks protocol v%d, this build speaks v%d@." label
+        server_version Proto.version
+
+let query_request addr req ~on_answer ~label =
+  with_connection addr @@ fun c ->
+  match Server.Client.request c req with
+  | Error e -> Fmt.failwith "wire error: %s" (Proto.string_of_decode_error e)
+  | Ok (Proto.Failed err) -> print_failed label err
+  | Ok resp -> on_answer resp
+
+let query_sgq_cmd =
+  let run connect unix_socket initiator p s k deadline node_budget no_degrade =
+    let label = "SGSelect (wire)" in
+    query_request (client_addr connect unix_socket)
+      (Proto.Sgq
+         {
+           initiator = Option.value initiator ~default:0;
+           q = { Query.p; s; k };
+           policy = wire_policy_of deadline node_budget no_degrade;
+         })
+      ~label
+      ~on_answer:(function
+        | Proto.Sg_answer { value; rung; gap; retries; reason; certified = _ } ->
+            print_resilient ~label ~pp_solution:Query.pp_sg_solution
+              ~none_msg:"no feasible group"
+              (Ok { Resilience.value; rung; gap; retries; reason })
+        | resp -> Fmt.failwith "unexpected response: %a" Proto.pp_response resp)
+  in
+  Cmd.v
+    (Cmd.info "sgq" ~doc:"Answer a Social Group Query over the wire.")
+    Term.(
+      const run $ connect_term $ client_socket_term $ initiator_term $ p_term
+      $ s_term $ k_term $ deadline_term $ node_budget_term $ no_degrade_term)
+
+let query_stgq_cmd =
+  let run connect unix_socket initiator p s k m deadline node_budget no_degrade =
+    let label = "STGSelect (wire)" in
+    query_request (client_addr connect unix_socket)
+      (Proto.Stgq
+         {
+           initiator = Option.value initiator ~default:0;
+           q = { Query.p; s; k; m };
+           policy = wire_policy_of deadline node_budget no_degrade;
+         })
+      ~label
+      ~on_answer:(function
+        | Proto.Stg_answer { value; rung; gap; retries; reason; certified = _ }
+          ->
+            print_resilient ~label ~pp_solution:(Query.pp_stg_solution ~m)
+              ~none_msg:"no feasible group/time"
+              (Ok { Resilience.value; rung; gap; retries; reason })
+        | resp -> Fmt.failwith "unexpected response: %a" Proto.pp_response resp)
+  in
+  Cmd.v
+    (Cmd.info "stgq" ~doc:"Answer a Social-Temporal Group Query over the wire.")
+    Term.(
+      const run $ connect_term $ client_socket_term $ initiator_term $ p_term
+      $ s_term $ k_term $ m_term $ deadline_term $ node_budget_term
+      $ no_degrade_term)
+
+let query_ping_cmd =
+  let msg =
+    Arg.(value & opt string "ping"
+         & info [ "message" ] ~docv:"TEXT" ~doc:"Payload to echo.")
+  in
+  let run connect unix_socket msg =
+    query_request (client_addr connect unix_socket) (Proto.Ping msg)
+      ~label:"ping"
+      ~on_answer:(function
+        | Proto.Pong echoed when String.equal echoed msg ->
+            Fmt.pr "pong (%d bytes echoed)@." (String.length echoed)
+        | resp -> Fmt.failwith "unexpected response: %a" Proto.pp_response resp)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Round-trip a Ping through a running server.")
+    Term.(const run $ connect_term $ client_socket_term $ msg)
+
+let query_cmd =
+  Cmd.group
+    (Cmd.info "query"
+       ~doc:"Query a running `stgq serve` over the binary wire protocol \
+             (--connect HOST:PORT or --unix-socket PATH).")
+    [ query_sgq_cmd; query_stgq_cmd; query_ping_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* stats: run an instrumented serving workload and dump the metrics;   *)
 (* stats serve: expose them over HTTP.                                 *)
 
@@ -701,5 +903,7 @@ let () =
             auto_cmd;
             kplex_cmd;
             trace_cmd;
+            serve_cmd;
+            query_cmd;
             stats_cmd;
           ]))

@@ -264,6 +264,12 @@ let cache_stats t =
     entries = s.Engine.Cache.entries;
   }
 
+let n_vertices t = Socgraph.Graph.n_vertices (Engine.Cache.graph t.engine)
+
+let horizon t =
+  if Array.length t.schedules = 0 then 0
+  else Timetable.Availability.horizon t.schedules.(0)
+
 let update_graph t graph =
   if
     Socgraph.Graph.n_vertices graph

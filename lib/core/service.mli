@@ -94,6 +94,16 @@ val stgq_batch_r :
 (** [cache_stats t] — cumulative context-cache behaviour. *)
 val cache_stats : t -> cache_stats
 
+(** [n_vertices t] — members in the served social graph.  Valid
+    initiator and calendar-edit vertex ids are [0 .. n_vertices t - 1];
+    the wire server uses this to reject out-of-range requests before
+    they reach a solver. *)
+val n_vertices : t -> int
+
+(** [horizon t] — slot horizon shared by every served calendar (the
+    horizon a {!update_schedule} replacement must match). *)
+val horizon : t -> int
+
 (** [update_graph t graph] replaces the social graph (same vertex count
     required) and drops every cached context. *)
 val update_graph : t -> Socgraph.Graph.t -> unit

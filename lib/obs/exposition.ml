@@ -58,12 +58,14 @@ let index_body =
       "  /metrics        Prometheus text format (cumulative totals)";
       "  /metrics/delta  same, since the server's baseline snapshot";
       "  /trace/last     newest stitched trace as JSON";
+      "  /healthz        liveness probe (200 ok)";
       "";
     ]
 
 let respond ~baseline path =
   match path with
   | "/" -> (200, "text/plain; charset=utf-8", index_body)
+  | "/healthz" -> (200, "text/plain; charset=utf-8", "ok\n")
   | "/metrics" ->
       (200, "text/plain; version=0.0.4", prometheus (Registry.snapshot ()))
   | "/metrics/delta" ->

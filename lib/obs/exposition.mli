@@ -12,6 +12,7 @@
     - [/metrics/delta] — the same, of [Registry.delta baseline now]
     - [/trace/last] — the newest stitched trace ([Trace.tree_json]);
       404 when none is buffered
+    - [/healthz] — liveness probe, always [200 ok]
 
     The server is single-threaded and connection-per-request (no
     keep-alive): run it on a spare domain next to the serving pool. *)

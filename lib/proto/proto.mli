@@ -1,0 +1,126 @@
+(** Versioned, length-prefixed binary wire protocol for SGQ/STGQ
+    serving (see docs/PROTOCOL.md for the byte-level layout).
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload; every payload starts with a one-byte protocol version and
+    a one-byte message tag.  Requests and responses reuse the solver
+    types ({!Query.sg_solution}, {!Resilience.rung}, {!Budget.reason})
+    directly, so an answer that crossed the wire can be compared
+    bit-for-bit against a direct {!Service} call.
+
+    Decoding never raises and never allocates from attacker-controlled
+    lengths: the declared frame length is capped at {!max_frame}
+    before any buffer is sized, and every read is bounds-checked into
+    a typed {!decode_error}. *)
+
+open Stgq_core
+
+(** Protocol version spoken by this build (currently 1). *)
+val version : int
+
+(** Hard cap on a frame's declared payload length, in bytes (1 MiB).
+    Larger declarations are rejected before allocation. *)
+val max_frame : int
+
+(** Number of bytes in the frame header (the length prefix). *)
+val header_bytes : int
+
+(** Per-request solve policy carried on the wire.  [None] fields fall
+    back to the server's defaults; the remaining {!Resilience.policy}
+    fields (retries, backoff, seed) are server-side concerns and never
+    cross the wire. *)
+type policy = {
+  deadline_ms : float option;
+  node_limit : int option;
+  degrade : bool;
+}
+
+type request =
+  | Hello of { client : string }  (** identifier, at most 255 bytes *)
+  | Ping of string
+  | Sgq of { initiator : int; q : Query.sgq; policy : policy option }
+  | Stgq of { initiator : int; q : Query.stgq; policy : policy option }
+  | Update_schedule of {
+      vertex : int;
+      avail : Timetable.Availability.t;
+    }
+
+(** Typed failure responses.  [Overloaded] is admission-control
+    shedding (the request was never queued); [Degraded]/[Unavailable]
+    mirror {!Resilience.error} with the carried exception flattened to
+    a message. *)
+type server_error =
+  | Overloaded of { queue_depth : int; limit : int }
+  | Degraded of { reason : Budget.reason; retries : int }
+  | Unavailable of { message : string; retries : int }
+  | Bad_request of { message : string }
+  | Unsupported_version of { server_version : int }
+
+type response =
+  | Hello_ok of { version : int }
+  | Pong of string
+  | Sg_answer of {
+      value : Query.sg_solution option;
+      rung : Resilience.rung;
+      gap : float option;
+      retries : int;
+      reason : Budget.reason option;
+      certified : bool;
+    }
+  | Stg_answer of {
+      value : Query.stg_solution option;
+      rung : Resilience.rung;
+      gap : float option;
+      retries : int;
+      reason : Budget.reason option;
+      certified : bool;
+    }
+  | Updated of { vertex : int }
+  | Failed of server_error
+
+type decode_error =
+  | Frame_too_large of { declared : int; limit : int }
+  | Truncated of { needed : int; got : int }
+      (** more bytes were required than the buffer holds *)
+  | Bad_version of { got : int }
+  | Bad_tag of { context : string; tag : int }
+  | Bad_value of { context : string; detail : string }
+  | Trailing_bytes of { extra : int }
+
+val string_of_decode_error : decode_error -> string
+
+(** {1 Encoding} — both encoders emit a complete frame (length prefix
+    included).  They raise [Invalid_argument] on out-of-range values
+    (negative ids, identifiers over 255 bytes, lists over 65535
+    elements); well-typed application values always encode. *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+(** {1 Decoding} *)
+
+(** [decode_frame_length header] reads the length prefix from the
+    first {!header_bytes} bytes and validates it against
+    {!max_frame} — call this before allocating the payload buffer. *)
+val decode_frame_length : string -> (int, decode_error) result
+
+(** [decode_request_payload p] / [decode_response_payload p] decode a
+    payload (version byte onward, no length prefix). *)
+val decode_request_payload : string -> (request, decode_error) result
+
+val decode_response_payload : string -> (response, decode_error) result
+
+(** [decode_request f] / [decode_response f] decode a complete frame
+    (length prefix included), for tests and single-buffer callers. *)
+val decode_request : string -> (request, decode_error) result
+
+val decode_response : string -> (response, decode_error) result
+
+(** {1 Equality and printing} — structural, with availabilities
+    compared slot-by-slot; used by the round-trip suites and the
+    bit-identical server replay checks. *)
+
+val equal_request : request -> request -> bool
+val equal_response : response -> response -> bool
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,69 @@
+type t = { fd : Unix.file_descr }
+
+let connect (addr : Listener.addr) =
+  match addr with
+  | Listener.Tcp (host, port) ->
+      let inet = Unix.inet_addr_of_string host in
+      let sockaddr = Unix.ADDR_INET (inet, port) in
+      let fd =
+        Unix.socket ~cloexec:true
+          (Unix.domain_of_sockaddr sockaddr)
+          Unix.SOCK_STREAM 0
+      in
+      Unix.connect fd sockaddr;
+      { fd }
+  | Listener.Unix_path path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      { fd }
+
+let close t =
+  match Unix.close t.fd with () -> () | exception Unix.Unix_error _ -> ()
+
+let rec really_write fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    really_write fd buf (off + n) (len - n)
+  end
+
+(* EOF before [n] bytes is a truncated response — the server hung up
+   mid-frame (or refused to speak at all); typed, like any other
+   decode failure. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> Error (Proto.Truncated { needed = n - off; got = off })
+      | got -> go (off + got)
+  in
+  go 0
+
+let request t req =
+  let frame = Proto.encode_request req in
+  really_write t.fd (Bytes.unsafe_of_string frame) 0 (String.length frame);
+  match read_exact t.fd Proto.header_bytes with
+  | Error e -> Error e
+  | Ok header -> (
+      match Proto.decode_frame_length header with
+      | Error e -> Error e
+      | Ok len -> (
+          match read_exact t.fd len with
+          | Error e -> Error e
+          | Ok payload -> Proto.decode_response_payload payload))
+
+let hello t ~client =
+  match request t (Proto.Hello { client }) with
+  | Ok (Proto.Hello_ok { version }) when version = Proto.version -> Ok version
+  | Ok (Proto.Hello_ok { version }) ->
+      Error (Printf.sprintf "server speaks protocol version %d, not %d" version
+               Proto.version)
+  | Ok (Proto.Failed (Proto.Unsupported_version { server_version })) ->
+      Error (Printf.sprintf "server rejected version %d (speaks %d)"
+               Proto.version server_version)
+  | Ok resp ->
+      Error
+        (Format.asprintf "unexpected handshake response: %a" Proto.pp_response
+           resp)
+  | Error e -> Error (Proto.string_of_decode_error e)

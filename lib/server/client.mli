@@ -1,0 +1,25 @@
+(** Blocking client for the {!Proto} wire protocol — used by
+    [stgq-cli query --connect], the sustained-load bench driver and
+    the integration tests.
+
+    One request in flight per connection (the protocol is strict
+    request/response).  A [t] is not thread-safe; give each client
+    thread its own connection, as the load harness does. *)
+
+type t
+
+(** [connect addr] opens a blocking connection.
+    @raise Unix.Unix_error when the endpoint is unreachable. *)
+val connect : Listener.addr -> t
+
+(** [request t req] writes one frame and reads one response frame.
+    Decode failures and mid-frame EOF (the server hung up) surface as
+    typed errors; [Unix.Unix_error] propagates for transport faults. *)
+val request : t -> Proto.request -> (Proto.response, Proto.decode_error) result
+
+(** [hello t ~client] performs the version handshake: sends
+    {!Proto.Hello} and checks the server answers {!Proto.Hello_ok}
+    with a version this build speaks. *)
+val hello : t -> client:string -> (int, string) result
+
+val close : t -> unit

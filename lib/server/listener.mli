@@ -1,0 +1,66 @@
+(** The binary wire-protocol query server (docs/PROTOCOL.md).
+
+    A stdlib-Unix accept loop that speaks {!Proto} frames and routes
+    every request through an existing {!Service}, so per-request
+    deadlines, the {!Resilience} degradation ladder, certification and
+    {!Obs.Trace} spans all apply to wire queries exactly as they do to
+    in-process calls — answers are bit-identical by construction.
+
+    Concurrency model: one background accept domain ({!start}), one
+    systhread per connection.  Handler threads block in [Unix.read]
+    and in pool futures with the runtime lock released, so solves for
+    different connections proceed in parallel through the service's
+    domain pool.
+
+    Admission control: a single in-flight counter over all work
+    requests (queries and calendar edits).  When [admission_limit]
+    requests are already executing, new work is shed immediately with
+    a typed {!Proto.Overloaded} response carrying the observed depth —
+    the connection stays open, the request is never queued.  Sheds are
+    counted in [server.sheds]; peak concurrency is the high-water mark
+    of the [server.inflight] gauge. *)
+
+open Stgq_core
+
+type addr = Tcp of string * int | Unix_path of string
+
+type config = {
+  admission_limit : int;  (** max concurrently-executing work requests *)
+  policy : Resilience.policy option;
+      (** default solve policy when a request carries none; wire
+          policies override its deadline/node-limit/degrade fields *)
+  on_admitted : (Proto.request -> unit) option;
+      (** test hook, run while the admission slot is held and before
+          the solve starts — lets a test pin a request in flight
+          deterministically *)
+}
+
+(** [admission_limit = 64], no default policy, no hook. *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> Service.t -> t
+
+(** [serve ?max_connections t addr] binds, listens and accepts on the
+    calling thread until [max_connections] connections have been
+    handled (forever when omitted).  Handler threads are joined and
+    the listener closed before returning. *)
+val serve : ?max_connections:int -> t -> addr -> unit
+
+(** {1 Background serving} — used by tests, the bench harness and
+    anything else that needs the server and clients in one process. *)
+
+type handle
+
+(** [start t addr] binds and spawns the accept loop on a fresh domain.
+    [Tcp (host, 0)] binds an ephemeral port; read it back with
+    {!bound_addr}. *)
+val start : t -> addr -> handle
+
+(** The address actually bound (ephemeral port resolved). *)
+val bound_addr : handle -> addr
+
+(** [stop h] closes the listener, shuts down live connections, joins
+    every handler thread and the accept domain.  Idempotent. *)
+val stop : handle -> unit

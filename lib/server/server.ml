@@ -1,0 +1,6 @@
+(* The public face of the serving library: the wire-protocol listener
+   re-exported flat — Server.create, Server.start, Server.serve, ... —
+   plus the client as a submodule. *)
+
+include Listener
+module Client = Client

@@ -1,0 +1,10 @@
+(** The wire-protocol query server: {!Listener} re-exported as the
+    library's main module, plus the blocking {!Client}.  See
+    docs/PROTOCOL.md for the frame format and listener.mli for the
+    concurrency and admission-control model. *)
+
+include module type of struct
+  include Listener
+end
+
+module Client = Client

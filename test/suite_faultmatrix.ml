@@ -174,10 +174,85 @@ let test_certify () =
       check Alcotest.bool "certification reached" true fired;
       expect_result ~name:"certify" ~spec ~fired result
 
+(* --- the wire path --------------------------------------------------- *)
+
+(* Faults injected beneath [Service] must survive the wire as typed
+   [Failed] responses — never a dropped connection or a decode error.
+   [with_plan] supersedes whatever STGQ_FAULTS plan is armed, so both
+   ladders are exercised deterministically on every run of the matrix,
+   including the plain `dune runtest` one. *)
+let test_wire_survival () =
+  let service = Service.create small_ti in
+  let config = { Server.default_config with policy = Some fast } in
+  Suite_server.with_server ~config service @@ fun addr ->
+  Suite_server.with_client addr @@ fun c ->
+  let sgq initiator =
+    Suite_server.request_exn c
+      (Proto.Sgq { initiator; q = small_q_sg; policy = None })
+  in
+  (* one transient context-build fault: the retry ladder absorbs it and
+     the served wire answer records the retry *)
+  (Faultinject.with_plan "context_build@1:transient" @@ fun () ->
+   match sgq 0 with
+   | Proto.Sg_answer { value = Some _; retries; _ } ->
+       check Alcotest.bool "wire answer records the retry" true (retries >= 1)
+   | resp ->
+       Alcotest.failf "wire: one transient fault must be absorbed, got %a"
+         Proto.pp_response resp);
+  (* a persistent fault on an uncached context key: the ladder exhausts
+     its retries and the wire carries a typed [Unavailable] *)
+  (Faultinject.with_plan "context_build@1+" @@ fun () ->
+   match sgq 1 with
+   | Proto.Failed (Proto.Unavailable _) -> ()
+   | resp ->
+       Alcotest.failf "wire: persistent fault must be Unavailable, got %a"
+         Proto.pp_response resp);
+  (* a failed request is an answer, not a hangup *)
+  match Suite_server.request_exn c (Proto.Ping "alive") with
+  | Proto.Pong "alive" -> ()
+  | resp ->
+      Alcotest.failf "connection must survive injected faults, got %a"
+        Proto.pp_response resp
+
+(* Replay the armed STGQ_FAULTS plan itself through the server: a
+   persistent plan must surface over the wire exactly as it does
+   directly.  A one-shot plan was consumed by the direct tests above
+   (hit counters are process-wide) — the wire path then serves normally,
+   which is asserted too.  Either way the fault never escapes as a raw
+   exception or a dropped connection. *)
+let test_wire_env_plan () =
+  match spec_for Faultinject.Context_build with
+  | None -> ()
+  | Some spec -> (
+      let service = Service.create small_ti in
+      let config = { Server.default_config with policy = Some fast } in
+      Suite_server.with_server ~config service @@ fun addr ->
+      Suite_server.with_client addr @@ fun c ->
+      let resp =
+        Suite_server.request_exn c
+          (Proto.Sgq { initiator = 0; q = small_q_sg; policy = None })
+      in
+      if spec.persistent then
+        match resp with
+        | Proto.Failed (Proto.Unavailable _) -> ()
+        | resp ->
+            Alcotest.failf
+              "env plan must cross the wire as Unavailable, got %a"
+              Proto.pp_response resp
+      else
+        (* spent or absorbed one-shot: the wire serves an answer *)
+        match resp with
+        | Proto.Sg_answer { value = Some _; _ } -> ()
+        | resp ->
+            Alcotest.failf "wire must serve despite a one-shot fault, got %a"
+              Proto.pp_response resp)
+
 let suite =
   [
     Alcotest.test_case "pool job start" `Quick test_pool_job_start;
     Alcotest.test_case "context build" `Quick test_context_build;
     Alcotest.test_case "kernel expansion" `Quick test_kernel_expansion;
     Alcotest.test_case "certify" `Quick test_certify;
+    Alcotest.test_case "wire survival" `Quick test_wire_survival;
+    Alcotest.test_case "wire env plan" `Quick test_wire_env_plan;
   ]

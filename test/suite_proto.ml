@@ -1,0 +1,361 @@
+(* Wire-protocol suite: qcheck round-trips pinned per constructor
+   (1000 cases each), plus decoder-robustness fuzzing — truncation,
+   oversized length declarations, version skew and random byte
+   mutations must all land in typed [decode_error]s, never exceptions
+   and never attacker-sized allocations. *)
+
+open Stgq_core
+module G = QCheck.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Generators. *)
+
+let gen_ident st =
+  let n = G.int_bound 255 st in
+  String.init n (fun _ -> Char.chr (32 + G.int_bound 94 st))
+
+let gen_string st =
+  let n = G.int_bound 2000 st in
+  String.init n (fun _ -> Char.chr (G.int_bound 255 st))
+
+(* Finite, bit-exact floats (f64 crosses the wire as raw bits, so any
+   non-NaN value must round-trip to [Float.equal]). *)
+let gen_float st =
+  let mag = G.float_bound_inclusive 1e9 st in
+  let v = if G.bool st then mag else -.mag in
+  if G.bool st then v else Float.of_int (G.int_bound 100000 st) /. 8.
+
+let gen_opt g st = if G.bool st then Some (g st) else None
+
+let gen_policy st =
+  {
+    Proto.deadline_ms = gen_opt (G.float_bound_inclusive 5000.) st;
+    node_limit = gen_opt (fun st -> G.int_bound 0xFFFFFFF st) st;
+    degrade = G.bool st;
+  }
+
+let gen_avail st =
+  let horizon = 1 + G.int_bound 80 st in
+  let a = Timetable.Availability.create ~horizon in
+  (match G.int_bound 2 st with
+  | 0 -> () (* empty slab: all busy *)
+  | 1 -> Timetable.Availability.set_free a 0 (horizon - 1) (* full slab *)
+  | _ ->
+      for i = 0 to horizon - 1 do
+        if G.bool st then Timetable.Availability.set_free a i i
+      done);
+  a
+
+let gen_sgq st =
+  { Query.p = 1 + G.int_bound 50 st; s = 1 + G.int_bound 5 st; k = G.int_bound 10 st }
+
+let gen_stgq st =
+  let ({ p; s; k } : Query.sgq) = gen_sgq st in
+  { Query.p; s; k; m = 1 + G.int_bound 12 st }
+
+let gen_initiator st = G.int_bound 0xFFFFFF st
+
+let gen_hello st = Proto.Hello { client = gen_ident st }
+let gen_ping st = Proto.Ping (gen_string st)
+
+let gen_sgq_req st =
+  Proto.Sgq
+    { initiator = gen_initiator st; q = gen_sgq st; policy = gen_opt gen_policy st }
+
+let gen_stgq_req st =
+  Proto.Stgq
+    { initiator = gen_initiator st; q = gen_stgq st; policy = gen_opt gen_policy st }
+
+let gen_update st =
+  Proto.Update_schedule { vertex = gen_initiator st; avail = gen_avail st }
+
+let gen_request st =
+  match G.int_bound 4 st with
+  | 0 -> gen_hello st
+  | 1 -> gen_ping st
+  | 2 -> gen_sgq_req st
+  | 3 -> gen_stgq_req st
+  | _ -> gen_update st
+
+let gen_rung st =
+  match G.int_bound 2 st with
+  | 0 -> Resilience.Exact
+  | 1 -> Resilience.Anytime_best
+  | _ -> Resilience.Heuristic
+
+let gen_reason st =
+  match G.int_bound 2 st with
+  | 0 -> Budget.Deadline
+  | 1 -> Budget.Node_limit
+  | _ -> Budget.Cancelled
+
+let gen_attendees st =
+  List.init (1 + G.int_bound 30 st) (fun _ -> G.int_bound 0xFFFFFF st)
+
+let gen_sg_solution st =
+  { Query.attendees = gen_attendees st; total_distance = gen_float st }
+
+let gen_stg_solution st =
+  {
+    Query.st_attendees = gen_attendees st;
+    st_total_distance = gen_float st;
+    start_slot = G.int_bound 1000 st;
+  }
+
+let gen_sg_answer st =
+  Proto.Sg_answer
+    {
+      value = gen_opt gen_sg_solution st;
+      rung = gen_rung st;
+      gap = gen_opt gen_float st;
+      retries = G.int_bound 10 st;
+      reason = gen_opt gen_reason st;
+      certified = G.bool st;
+    }
+
+let gen_stg_answer st =
+  Proto.Stg_answer
+    {
+      value = gen_opt gen_stg_solution st;
+      rung = gen_rung st;
+      gap = gen_opt gen_float st;
+      retries = G.int_bound 10 st;
+      reason = gen_opt gen_reason st;
+      certified = G.bool st;
+    }
+
+let gen_server_error st =
+  match G.int_bound 4 st with
+  | 0 ->
+      Proto.Overloaded
+        { queue_depth = G.int_bound 1000 st; limit = 1 + G.int_bound 64 st }
+  | 1 -> Proto.Degraded { reason = gen_reason st; retries = G.int_bound 10 st }
+  | 2 ->
+      Proto.Unavailable { message = gen_string st; retries = G.int_bound 10 st }
+  | 3 -> Proto.Bad_request { message = gen_string st }
+  | _ -> Proto.Unsupported_version { server_version = G.int_bound 255 st }
+
+let gen_response st =
+  match G.int_bound 5 st with
+  | 0 -> Proto.Hello_ok { version = Proto.version }
+  | 1 -> Proto.Pong (gen_string st)
+  | 2 -> gen_sg_answer st
+  | 3 -> gen_stg_answer st
+  | 4 -> Proto.Updated { vertex = gen_initiator st }
+  | _ -> Proto.Failed (gen_server_error st)
+
+let req_arb gen = QCheck.make ~print:(Format.asprintf "%a" Proto.pp_request) gen
+let resp_arb gen = QCheck.make ~print:(Format.asprintf "%a" Proto.pp_response) gen
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips: one pinned property per constructor, 1000 cases each. *)
+
+let req_roundtrip m =
+  match Proto.decode_request (Proto.encode_request m) with
+  | Ok m' -> Proto.equal_request m m'
+  | Error _ -> false
+
+let resp_roundtrip m =
+  match Proto.decode_response (Proto.encode_response m) with
+  | Ok m' -> Proto.equal_response m m'
+  | Error _ -> false
+
+let roundtrips =
+  List.map
+    (fun (name, gen) ->
+      Gen.qtest ~count:1000
+        (Printf.sprintf "request %s round-trips" name)
+        (req_arb gen) req_roundtrip)
+    [
+      ("Hello", gen_hello);
+      ("Ping", gen_ping);
+      ("Sgq", gen_sgq_req);
+      ("Stgq", gen_stgq_req);
+      ("Update_schedule", gen_update);
+    ]
+  @ List.map
+      (fun (name, gen) ->
+        Gen.qtest ~count:1000
+          (Printf.sprintf "response %s round-trips" name)
+          (resp_arb gen) resp_roundtrip)
+      [
+        ("Hello_ok", fun st -> Proto.Hello_ok { version = G.int_bound 255 st });
+        ("Pong", fun st -> Proto.Pong (gen_string st));
+        ("Sg_answer", gen_sg_answer);
+        ("Stg_answer", gen_stg_answer);
+        ("Updated", fun st -> Proto.Updated { vertex = gen_initiator st });
+        ("Failed", fun st -> Proto.Failed (gen_server_error st));
+      ]
+
+(* Pinned edge cases the generators only hit probabilistically. *)
+
+let pinned_roundtrips () =
+  let check_req m =
+    Alcotest.check Alcotest.bool
+      (Format.asprintf "%a" Proto.pp_request m)
+      true (req_roundtrip m)
+  in
+  let check_resp m =
+    Alcotest.check Alcotest.bool
+      (Format.asprintf "%a" Proto.pp_response m)
+      true (resp_roundtrip m)
+  in
+  (* max-length identifier (255 bytes) and the empty one *)
+  check_req (Proto.Hello { client = String.make 255 'x' });
+  check_req (Proto.Hello { client = "" });
+  check_req (Proto.Ping "");
+  (* empty (all-busy) and full (all-free) availability slabs, with a
+     horizon that is not a multiple of 8 so the last byte is partial *)
+  let busy = Timetable.Availability.create ~horizon:37 in
+  check_req (Proto.Update_schedule { vertex = 0; avail = busy });
+  let free = Timetable.Availability.create ~horizon:37 in
+  Timetable.Availability.set_free free 0 36;
+  check_req (Proto.Update_schedule { vertex = 12; avail = free });
+  let one = Timetable.Availability.create ~horizon:8 in
+  Timetable.Availability.set_free one 7 7;
+  check_req (Proto.Update_schedule { vertex = 1; avail = one });
+  (* every rung x reason x value-presence combination *)
+  List.iter
+    (fun rung ->
+      List.iter
+        (fun reason ->
+          List.iter
+            (fun value ->
+              check_resp
+                (Proto.Sg_answer
+                   {
+                     value;
+                     rung;
+                     gap = Some 0.25;
+                     retries = 2;
+                     reason;
+                     certified = true;
+                   }))
+            [ None; Some { Query.attendees = [ 0; 3; 9 ]; total_distance = 7.5 } ])
+        [ None; Some Budget.Deadline; Some Budget.Node_limit; Some Budget.Cancelled ])
+    [ Resilience.Exact; Resilience.Anytime_best; Resilience.Heuristic ];
+  (* every typed server error *)
+  List.iter
+    (fun e -> check_resp (Proto.Failed e))
+    [
+      Proto.Overloaded { queue_depth = 65; limit = 64 };
+      Proto.Degraded { reason = Budget.Deadline; retries = 3 };
+      Proto.Unavailable { message = "injected fault: context_build"; retries = 2 };
+      Proto.Bad_request { message = "initiator 99 out of range" };
+      Proto.Unsupported_version { server_version = 1 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoder robustness. *)
+
+(* Every strict prefix of a valid frame is a typed truncation. *)
+let prop_truncation =
+  Gen.qtest ~count:500 "truncated frames decode to Truncated"
+    (QCheck.make
+       ~print:(fun (m, cut) ->
+         Format.asprintf "%a cut at %d" Proto.pp_request m cut)
+       (fun st ->
+         let m = gen_request st in
+         let frame = Proto.encode_request m in
+         (m, G.int_bound (String.length frame - 1) st)))
+    (fun (m, cut) ->
+      let frame = Proto.encode_request m in
+      match Proto.decode_request (String.sub frame 0 cut) with
+      | Error (Proto.Truncated _) -> true
+      | Ok _ | Error _ -> false)
+
+let oversized_length () =
+  let header declared =
+    String.init 4 (fun i ->
+        Char.chr ((declared lsr ((3 - i) * 8)) land 0xFF))
+  in
+  (match Proto.decode_frame_length (header (Proto.max_frame + 1)) with
+  | Error (Proto.Frame_too_large { declared; limit }) ->
+      Alcotest.check Alcotest.int "declared" (Proto.max_frame + 1) declared;
+      Alcotest.check Alcotest.int "limit" Proto.max_frame limit
+  | Ok _ | Error _ -> Alcotest.fail "max_frame + 1 accepted");
+  (match Proto.decode_frame_length (header 0xFFFFFFFF) with
+  | Error (Proto.Frame_too_large _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "0xFFFFFFFF accepted");
+  (* exactly max_frame is fine at the header layer *)
+  match Proto.decode_frame_length (header Proto.max_frame) with
+  | Ok n -> Alcotest.check Alcotest.int "max_frame accepted" Proto.max_frame n
+  | Error _ -> Alcotest.fail "max_frame rejected"
+
+(* A declared availability horizon far beyond the actual payload must
+   be rejected by the bounds check *before* the slab is allocated:
+   decoding stays fast and small regardless of the declared size. *)
+let hostile_horizon () =
+  let b = Buffer.create 16 in
+  Buffer.add_char b (Char.chr Proto.version);
+  Buffer.add_char b '\005' (* Update_schedule tag *);
+  Buffer.add_string b "\000\000\000\001" (* vertex 1 *);
+  Buffer.add_string b "\255\255\255\000" (* horizon ~4.3e9 slots *);
+  match Proto.decode_request_payload (Buffer.contents b) with
+  | Error (Proto.Truncated _) -> ()
+  | Ok _ -> Alcotest.fail "hostile horizon decoded"
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+let wrong_version () =
+  let frame = Bytes.of_string (Proto.encode_request (Proto.Ping "hi")) in
+  Bytes.set frame Proto.header_bytes (Char.chr (Proto.version + 1));
+  match Proto.decode_request (Bytes.to_string frame) with
+  | Error (Proto.Bad_version { got }) ->
+      Alcotest.check Alcotest.int "got" (Proto.version + 1) got
+  | Ok _ -> Alcotest.fail "version skew accepted"
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+let trailing_bytes () =
+  let frame = Proto.encode_request (Proto.Ping "hi") ^ "!" in
+  match Proto.decode_request frame with
+  | Error (Proto.Trailing_bytes { extra }) ->
+      Alcotest.check Alcotest.int "extra" 1 extra
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+(* Random single-byte mutations: decoding must return, never raise.
+   (The result may legitimately be [Ok] — most bytes are payload.) *)
+let mutation_total name decode encode =
+  let arb =
+    QCheck.make
+      ~print:(fun (frame, pos, byte) ->
+        Printf.sprintf "frame %S, byte %d := %d" frame pos byte)
+      (fun st ->
+        let frame = encode st in
+        (frame, G.int_bound (String.length frame - 1) st, G.int_bound 255 st))
+  in
+  Gen.qtest ~count:1000 name arb (fun (frame, pos, byte) ->
+      let mutated = Bytes.of_string frame in
+      Bytes.set mutated pos (Char.chr byte);
+      match decode (Bytes.to_string mutated) with Ok _ | Error _ -> true)
+
+let prop_mutation_req =
+  mutation_total "request byte mutations never raise" Proto.decode_request
+    (fun st -> Proto.encode_request (gen_request st))
+
+let prop_mutation_resp =
+  mutation_total "response byte mutations never raise" Proto.decode_response
+    (fun st -> Proto.encode_response (gen_response st))
+
+(* Pure noise: arbitrary bytes through the payload decoders. *)
+let prop_garbage =
+  Gen.qtest ~count:1000 "random payloads never raise"
+    (QCheck.make ~print:(Printf.sprintf "%S") gen_string)
+    (fun s ->
+      (match Proto.decode_request_payload s with Ok _ | Error _ -> true)
+      && (match Proto.decode_response_payload s with Ok _ | Error _ -> true)
+      && match Proto.decode_request s with Ok _ | Error _ -> true)
+
+let suite =
+  roundtrips
+  @ [
+      Alcotest.test_case "pinned round-trip corners" `Quick pinned_roundtrips;
+      prop_truncation;
+      Alcotest.test_case "oversized length prefix" `Quick oversized_length;
+      Alcotest.test_case "hostile availability horizon" `Quick hostile_horizon;
+      Alcotest.test_case "wrong protocol version" `Quick wrong_version;
+      Alcotest.test_case "trailing bytes" `Quick trailing_bytes;
+      prop_mutation_req;
+      prop_mutation_resp;
+      prop_garbage;
+    ]

@@ -1,0 +1,515 @@
+(* Wire-server integration: a real loopback socket in front of a real
+   [Service], asserting the transport adds nothing and loses nothing —
+   answers are bit-identical to direct calls on the regression corpus,
+   budget descents (rung, gap, reason) survive the round-trip,
+   concurrent clients are isolated, and the admission limit sheds with
+   a typed [Overloaded] (pinned deterministically via the
+   [on_admitted] hook, no sleeps). *)
+
+open Stgq_core
+
+let check = Alcotest.check
+
+let loopback = Server.Tcp ("127.0.0.1", 0)
+
+let with_server ?config service f =
+  let server = Server.create ?config service in
+  let handle = Server.start server loopback in
+  Fun.protect
+    ~finally:(fun () -> Server.stop handle)
+    (fun () -> f (Server.bound_addr handle))
+
+let with_client addr f =
+  let c = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+
+let request_exn c req =
+  match Server.Client.request c req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+(* Expected wire image of a direct resilient call. *)
+let response_of_sg = function
+  | Ok (a : Query.sg_solution Resilience.answer) ->
+      Proto.Sg_answer
+        {
+          value = a.value;
+          rung = a.rung;
+          gap = a.gap;
+          retries = a.retries;
+          reason = a.reason;
+          certified = true;
+        }
+  | Error (Resilience.Degraded { reason; retries }) ->
+      Proto.Failed (Proto.Degraded { reason; retries })
+  | Error (Resilience.Unavailable { error; retries }) ->
+      Proto.Failed
+        (Proto.Unavailable { message = Printexc.to_string error; retries })
+
+let response_of_stg = function
+  | Ok (a : Query.stg_solution Resilience.answer) ->
+      Proto.Stg_answer
+        {
+          value = a.value;
+          rung = a.rung;
+          gap = a.gap;
+          retries = a.retries;
+          reason = a.reason;
+          certified = true;
+        }
+  | Error (Resilience.Degraded { reason; retries }) ->
+      Proto.Failed (Proto.Degraded { reason; retries })
+  | Error (Resilience.Unavailable { error; retries }) ->
+      Proto.Failed
+        (Proto.Unavailable { message = Printexc.to_string error; retries })
+
+let check_identical ~name expected actual =
+  if not (Proto.equal_response expected actual) then
+    Alcotest.failf "%s: wire answer diverged\n  direct: %a\n  wire:   %a" name
+      Proto.pp_response expected Proto.pp_response actual
+
+(* --- fixtures ------------------------------------------------------ *)
+
+let small_ti =
+  let n = 6 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, 1. +. float_of_int ((u + v) mod 3)) :: !edges
+    done
+  done;
+  let horizon = 10 in
+  let schedules =
+    Array.init n (fun _ ->
+        let a = Timetable.Availability.create ~horizon in
+        Timetable.Availability.set_free a 0 (horizon - 1);
+        a)
+  in
+  {
+    Query.social =
+      { Query.graph = Socgraph.Graph.of_edges n !edges; initiator = 0 };
+    schedules;
+  }
+
+(* dense enough that small node limits trip mid-search *)
+let big_ti, big_q =
+  let n = 22 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, float_of_int (1 + ((u + (3 * v)) mod 19))) :: !edges
+    done
+  done;
+  let horizon = 40 in
+  let schedules =
+    Array.init n (fun v ->
+        let a = Timetable.Availability.create ~horizon in
+        Timetable.Availability.set_free a (v mod 3) (horizon - 1 - (v mod 2));
+        a)
+  in
+  ( {
+      Query.social =
+        { Query.graph = Socgraph.Graph.of_edges n !edges; initiator = 0 };
+      schedules;
+    },
+    { Query.p = 10; s = 2; k = 5; m = 3 } )
+
+(* --- handshake and echo ------------------------------------------- *)
+
+let test_hello_ping () =
+  with_server (Service.create small_ti) @@ fun addr ->
+  with_client addr @@ fun c ->
+  (match Server.Client.hello c ~client:"suite_server" with
+  | Ok v -> check Alcotest.int "negotiated version" Proto.version v
+  | Error msg -> Alcotest.fail msg);
+  let payload = String.init 257 (fun i -> Char.chr (i mod 256)) in
+  match request_exn c (Proto.Ping payload) with
+  | Proto.Pong echoed -> check Alcotest.string "echo" payload echoed
+  | resp -> Alcotest.failf "expected Pong, got %a" Proto.pp_response resp
+
+(* --- corpus replay: wire == direct -------------------------------- *)
+
+let cases_dir () =
+  List.find_opt
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    [ "cases"; "test/cases" ]
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let all_free_ti (sg : Gen.sg_case) =
+  {
+    Query.social = Gen.instance_of_sg_case sg;
+    schedules =
+      Array.init sg.Gen.n (fun _ ->
+          let a = Timetable.Availability.create ~horizon:8 in
+          Timetable.Availability.set_free a 0 7;
+          a);
+  }
+
+let replay_case path () =
+  let case = Gen.case_of_string (read_file path) in
+  let ti, n =
+    match case with
+    | Gen.Sg sg -> (all_free_ti sg, sg.Gen.n)
+    | Gen.Stg stg -> (Gen.temporal_instance_of_stg_case stg, stg.Gen.sg.Gen.n)
+  in
+  let service = Service.create ti in
+  with_server service @@ fun addr ->
+  with_client addr @@ fun c ->
+  for initiator = 0 to min 2 (n - 1) do
+    match case with
+    | Gen.Sg sg ->
+        let q = sg.Gen.query in
+        let expected = response_of_sg (Service.sgq_r service ~initiator q) in
+        let actual = request_exn c (Proto.Sgq { initiator; q; policy = None }) in
+        check_identical ~name:(Printf.sprintf "sgq init=%d" initiator) expected
+          actual
+    | Gen.Stg stg ->
+        let q = Gen.stgq_of_stg_case stg in
+        let expected = response_of_stg (Service.stgq_r service ~initiator q) in
+        let actual = request_exn c (Proto.Stgq { initiator; q; policy = None }) in
+        check_identical ~name:(Printf.sprintf "stgq init=%d" initiator) expected
+          actual;
+        let qsg = Query.sgq_of_stgq q in
+        let expected_sg = response_of_sg (Service.sgq_r service ~initiator qsg) in
+        let actual_sg =
+          request_exn c (Proto.Sgq { initiator; q = qsg; policy = None })
+        in
+        check_identical
+          ~name:(Printf.sprintf "sgq-of-stgq init=%d" initiator)
+          expected_sg actual_sg
+  done
+
+let corpus_tests =
+  match cases_dir () with
+  | None ->
+      [
+        Alcotest.test_case "corpus directory present" `Quick (fun () ->
+            Alcotest.fail
+              "test/cases/ not found — check the (source_tree cases) dep");
+      ]
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".case")
+      |> List.sort compare
+      |> List.map (fun f ->
+             Alcotest.test_case ("wire replay " ^ f) `Quick
+               (replay_case (Filename.concat dir f)))
+
+(* --- budget descents survive the wire ------------------------------ *)
+
+(* Node budgets are deterministic (no wall clock involved), so direct
+   and wire answers must agree exactly on every rung — value, gap
+   bound, descent reason included. *)
+let test_budget_descent () =
+  let service = Service.create big_ti in
+  with_server service @@ fun addr ->
+  with_client addr @@ fun c ->
+  let descended = ref false in
+  List.iter
+    (fun node_limit ->
+      let policy =
+        { Resilience.default_policy with node_limit = Some node_limit }
+      in
+      let wire_policy =
+        { Proto.deadline_ms = None; node_limit = Some node_limit; degrade = true }
+      in
+      let expected =
+        response_of_stg (Service.stgq_r ~policy service ~initiator:0 big_q)
+      in
+      let actual =
+        request_exn c
+          (Proto.Stgq { initiator = 0; q = big_q; policy = Some wire_policy })
+      in
+      check_identical
+        ~name:(Printf.sprintf "node_limit=%d" node_limit)
+        expected actual;
+      match actual with
+      | Proto.Stg_answer { rung; reason = Some Budget.Node_limit; _ }
+        when rung <> Resilience.Exact ->
+          descended := true
+      | _ -> ())
+    [ 1; 25; 200; 100000 ];
+  check Alcotest.bool "at least one limit forced a descent" true !descended
+
+(* A zero deadline is already expired at the solver's entry checkpoint,
+   before any expansion can seed an incumbent — so with the heuristic
+   rung disabled the ladder lands on [Degraded] every time, on both
+   the direct and the wire path. *)
+let test_degraded_over_wire () =
+  let service = Service.create big_ti in
+  with_server service @@ fun addr ->
+  with_client addr @@ fun c ->
+  let policy =
+    { Resilience.default_policy with deadline_ms = Some 0.0; degrade = false }
+  in
+  let wire_policy =
+    { Proto.deadline_ms = Some 0.0; node_limit = None; degrade = false }
+  in
+  let expected =
+    response_of_stg (Service.stgq_r ~policy service ~initiator:0 big_q)
+  in
+  (match expected with
+  | Proto.Failed (Proto.Degraded { reason = Budget.Deadline; retries = 0 }) ->
+      ()
+  | resp ->
+      Alcotest.failf "fixture should degrade directly, got %a" Proto.pp_response
+        resp);
+  let actual =
+    request_exn c
+      (Proto.Stgq { initiator = 0; q = big_q; policy = Some wire_policy })
+  in
+  check_identical ~name:"degraded" expected actual
+
+(* --- validation ----------------------------------------------------- *)
+
+let test_bad_requests () =
+  let service = Service.create small_ti in
+  with_server service @@ fun addr ->
+  with_client addr @@ fun c ->
+  let expect_bad name req =
+    match request_exn c req with
+    | Proto.Failed (Proto.Bad_request _) -> ()
+    | resp ->
+        Alcotest.failf "%s: expected Bad_request, got %a" name Proto.pp_response
+          resp
+  in
+  expect_bad "initiator out of range"
+    (Proto.Sgq
+       { initiator = 99; q = { Query.p = 2; s = 1; k = 1 }; policy = None });
+  expect_bad "negative initiator"
+    (Proto.Stgq
+       {
+         initiator = -1 land 0xFFFFFF;
+         q = { Query.p = 2; s = 1; k = 1; m = 2 };
+         policy = None;
+       });
+  expect_bad "p = 0"
+    (Proto.Sgq
+       { initiator = 0; q = { Query.p = 0; s = 1; k = 1 }; policy = None });
+  expect_bad "vertex out of range"
+    (Proto.Update_schedule
+       { vertex = 77; avail = Timetable.Availability.create ~horizon:10 });
+  expect_bad "horizon mismatch"
+    (Proto.Update_schedule
+       { vertex = 1; avail = Timetable.Availability.create ~horizon:9 });
+  (* the connection survives request-level rejections *)
+  match request_exn c (Proto.Ping "still here") with
+  | Proto.Pong "still here" -> ()
+  | resp -> Alcotest.failf "expected Pong, got %a" Proto.pp_response resp
+
+let test_update_schedule () =
+  let ti = small_ti in
+  let service = Service.create ti in
+  let q = { Query.p = 3; s = 2; k = 2; m = 2 } in
+  with_server service @@ fun addr ->
+  with_client addr @@ fun c ->
+  (* busy out everyone but the initiator, over the wire *)
+  let busy = Timetable.Availability.create ~horizon:(Service.horizon service) in
+  for v = 1 to Service.n_vertices service - 1 do
+    match request_exn c (Proto.Update_schedule { vertex = v; avail = busy }) with
+    | Proto.Updated { vertex } -> check Alcotest.int "updated vertex" v vertex
+    | resp -> Alcotest.failf "expected Updated, got %a" Proto.pp_response resp
+  done;
+  let expected = response_of_stg (Service.stgq_r service ~initiator:0 q) in
+  (match expected with
+  | Proto.Stg_answer { value = None; rung = Resilience.Exact; _ } -> ()
+  | resp ->
+      Alcotest.failf "edit should make the query infeasible, got %a"
+        Proto.pp_response resp);
+  let actual = request_exn c (Proto.Stgq { initiator = 0; q; policy = None }) in
+  check_identical ~name:"after wire calendar edit" expected actual
+
+(* --- concurrent clients -------------------------------------------- *)
+
+let test_concurrent_clients () =
+  let service = Service.create small_ti in
+  let queries =
+    List.init 6 (fun i ->
+        { Query.p = 2 + (i mod 3); s = 1 + (i mod 2); k = 1 + (i mod 2); m = 1 + (i mod 4) })
+  in
+  (* one-threaded ground truth first *)
+  let expected =
+    List.map
+      (fun q ->
+        ( response_of_stg (Service.stgq_r service ~initiator:0 q),
+          response_of_sg
+            (Service.sgq_r service ~initiator:1 (Query.sgq_of_stgq q)) ))
+      queries
+  in
+  with_server service @@ fun addr ->
+  let failures = Atomic.make 0 in
+  let worker () =
+    with_client addr @@ fun c ->
+    List.iter2
+      (fun q (exp_stg, exp_sg) ->
+        let actual_stg =
+          request_exn c (Proto.Stgq { initiator = 0; q; policy = None })
+        in
+        let actual_sg =
+          request_exn c
+            (Proto.Sgq
+               { initiator = 1; q = Query.sgq_of_stgq q; policy = None })
+        in
+        if
+          not
+            (Proto.equal_response exp_stg actual_stg
+            && Proto.equal_response exp_sg actual_sg)
+        then ignore (Atomic.fetch_and_add failures 1 : int))
+      queries expected
+  in
+  let threads = List.init 4 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  check Alcotest.int "all concurrent answers bit-identical" 0
+    (Atomic.get failures)
+
+(* --- admission control --------------------------------------------- *)
+
+(* Deterministic shed: the [on_admitted] hook pins request A in flight
+   (holding the single admission slot) until the main thread has
+   watched request B bounce off the limit. *)
+let test_shedding () =
+  let gate = Mutex.create () in
+  let cond = Condition.create () in
+  let admitted = ref false in
+  let release = ref false in
+  let on_admitted _req =
+    Mutex.lock gate;
+    admitted := true;
+    Condition.broadcast cond;
+    while not !release do
+      Condition.wait cond gate
+    done;
+    Mutex.unlock gate
+  in
+  let config =
+    {
+      Server.default_config with
+      admission_limit = 1;
+      on_admitted = Some on_admitted;
+    }
+  in
+  let service = Service.create small_ti in
+  let q = { Query.p = 3; s = 2; k = 2; m = 2 } in
+  with_server ~config service @@ fun addr ->
+  let pinned_result = ref None in
+  let pinned =
+    Thread.create
+      (fun () ->
+        with_client addr @@ fun c ->
+        pinned_result :=
+          Some (Server.Client.request c (Proto.Stgq { initiator = 0; q; policy = None })))
+      ()
+  in
+  Mutex.lock gate;
+  while not !admitted do
+    Condition.wait cond gate
+  done;
+  Mutex.unlock gate;
+  (* slot is held: the next work request must shed, typed *)
+  with_client addr (fun c ->
+      match request_exn c (Proto.Sgq { initiator = 0; q = Query.sgq_of_stgq q; policy = None }) with
+      | Proto.Failed (Proto.Overloaded { queue_depth; limit }) ->
+          check Alcotest.int "limit" 1 limit;
+          check Alcotest.bool "observed depth at least the limit" true
+            (queue_depth >= 1)
+      | resp ->
+          Alcotest.failf "expected Overloaded, got %a" Proto.pp_response resp);
+  (* control frames are never admission-gated *)
+  with_client addr (fun c ->
+      match request_exn c (Proto.Ping "control") with
+      | Proto.Pong "control" -> ()
+      | resp -> Alcotest.failf "expected Pong, got %a" Proto.pp_response resp);
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock gate;
+  Thread.join pinned;
+  match !pinned_result with
+  | Some (Ok (Proto.Stg_answer { value = Some _; _ })) -> ()
+  | Some (Ok resp) ->
+      Alcotest.failf "pinned request should answer, got %a" Proto.pp_response
+        resp
+  | Some (Error e) -> Alcotest.fail (Proto.string_of_decode_error e)
+  | None -> Alcotest.fail "pinned request never completed"
+
+(* --- version negotiation on the raw socket -------------------------- *)
+
+let raw_exchange addr frame =
+  match addr with
+  | Server.Tcp (host, port) ->
+      let inet = Unix.inet_addr_of_string host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          match Unix.close fd with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (inet, port));
+          let len = String.length frame in
+          let sent = Unix.write fd (Bytes.unsafe_of_string frame) 0 len in
+          check Alcotest.int "frame sent whole" len sent;
+          let buf = Bytes.create 4096 in
+          let rec drain off =
+            match Unix.read fd buf off (Bytes.length buf - off) with
+            | 0 -> off
+            | n -> drain (off + n)
+          in
+          let got = drain 0 in
+          Bytes.sub_string buf 0 got)
+  | Server.Unix_path _ -> Alcotest.fail "raw_exchange expects TCP"
+
+let test_wrong_version_over_wire () =
+  let service = Service.create small_ti in
+  with_server service @@ fun addr ->
+  let frame = Bytes.of_string (Proto.encode_request (Proto.Ping "v?")) in
+  Bytes.set frame Proto.header_bytes (Char.chr (Proto.version + 7));
+  (* the server answers Unsupported_version, then closes — so one read
+     loop drains exactly one response frame *)
+  let raw = raw_exchange addr (Bytes.to_string frame) in
+  match Proto.decode_response raw with
+  | Ok (Proto.Failed (Proto.Unsupported_version { server_version })) ->
+      check Alcotest.int "server version" Proto.version server_version
+  | Ok resp ->
+      Alcotest.failf "expected Unsupported_version, got %a" Proto.pp_response
+        resp
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+let test_oversized_frame_over_wire () =
+  let service = Service.create small_ti in
+  with_server service @@ fun addr ->
+  let header =
+    String.init 4 (fun i ->
+        Char.chr (((Proto.max_frame + 1) lsr ((3 - i) * 8)) land 0xFF))
+  in
+  let raw = raw_exchange addr header in
+  match Proto.decode_response raw with
+  | Ok (Proto.Failed (Proto.Bad_request _)) -> ()
+  | Ok resp ->
+      Alcotest.failf "expected Bad_request, got %a" Proto.pp_response resp
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+let suite =
+  [
+    Alcotest.test_case "hello and ping" `Quick test_hello_ping;
+    Alcotest.test_case "budget descents survive the wire" `Quick
+      test_budget_descent;
+    Alcotest.test_case "degraded survives the wire" `Quick
+      test_degraded_over_wire;
+    Alcotest.test_case "bad requests are typed and non-fatal" `Quick
+      test_bad_requests;
+    Alcotest.test_case "calendar edit over the wire" `Quick test_update_schedule;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "admission limit sheds typed Overloaded" `Quick
+      test_shedding;
+    Alcotest.test_case "wrong version over the wire" `Quick
+      test_wrong_version_over_wire;
+    Alcotest.test_case "oversized frame over the wire" `Quick
+      test_oversized_frame_over_wire;
+  ]
+  @ corpus_tests

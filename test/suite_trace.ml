@@ -184,6 +184,10 @@ let test_exposition_routes () =
     b
   in
   check Alcotest.int "index ok" 200 (status "/");
+  check Alcotest.bool "index lists the liveness probe" true
+    (contains (body "/") "/healthz");
+  check Alcotest.int "healthz ok" 200 (status "/healthz");
+  check Alcotest.bool "healthz body" true (contains (body "/healthz") "ok");
   check Alcotest.int "metrics ok" 200 (status "/metrics");
   check Alcotest.bool "prometheus name mangling + total" true
     (contains (body "/metrics") "stgq_test_expo_requests 7");

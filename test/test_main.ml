@@ -23,6 +23,8 @@ let () =
       ("obs", Suite_obs.suite);
       ("trace", Suite_trace.suite);
       ("regression", Suite_regression.suite);
+      ("proto", Suite_proto.suite);
+      ("server", Suite_server.suite);
       ("community", Suite_community.suite);
       ("report", Suite_report.suite);
       ("lint", Suite_lint.suite);
