@@ -11,6 +11,7 @@
                                       [--smoke] [--json-out=FILE]
                                       [--obs-out=FILE] [--resilience-out=FILE]
                                       [--trace-out=FILE] [--server-out=FILE]
+                                      [--scale-out=FILE]
 
    --smoke runs only the engine replay comparisons at tiny sizes and
    writes its results as JSON (default BENCH_engine.json, BENCH_obs.json,
@@ -21,7 +22,10 @@
    high-water mark and respawn count; the resilience artefact gates the
    cooperative budget-check overhead at +3% p99 against the unbudgeted
    path; the trace artefact gates span recording at +5% when enabled
-   and requires the pruning waterfall to balance exactly. *)
+   and requires the pruning waterfall to balance exactly; the scale
+   artefact (BENCH_scale.json) gates the durable store at n=100k users
+   — snapshot bytes/user, WAL replay rate, checkpoint pause p99 and a
+   recovery differential against the in-memory fold. *)
 
 open Stgq_core
 
@@ -1514,13 +1518,188 @@ let server_smoke ~out ~domains =
     exit 1
   end
 
+(* --- store scale smoke --------------------------------------------- *)
+
+let scale_required_keys =
+  [
+    "\"users\"";
+    "\"edges\"";
+    "\"snapshot_bytes\"";
+    "\"bytes_per_user\"";
+    "\"snapshot_save_ms\"";
+    "\"snapshot_load_ms\"";
+    "\"wal_records\"";
+    "\"wal_replay_per_s\"";
+    "\"checkpoint_pause_p99_ms\"";
+    "\"recovery_ok\"";
+  ]
+
+(* The durability baseline at serving scale (n = 100k users): snapshot
+   density (bytes/user, gated), save/load wall time, WAL replay rate,
+   checkpoint pause p99, and a full recovery differential — reopening
+   the store after the mutation stream must land bit-identically on the
+   in-memory fold of the same deltas. *)
+let scale_smoke ~out =
+  let n = 100_000 and days = 2 in
+  let ti = Workload.Scenario.coauthor ~seed:11 ~days ~n () in
+  let graph = ti.Query.social.Query.graph in
+  let state0 = Store.state_of_instance graph ti.Query.schedules in
+  let horizon = Timetable.Availability.horizon state0.Store.schedules.(0) in
+  let ok_or_die = function
+    | Ok v -> v
+    | Error e ->
+        Printf.printf "bench-smoke: FAILED — store: %s\n" (Store.string_of_error e);
+        exit 1
+  in
+  let apply_or_die st d =
+    match Store.apply_delta st d with
+    | Ok st' -> st'
+    | Error msg ->
+        Printf.printf "bench-smoke: FAILED — bad scale delta: %s\n" msg;
+        exit 1
+  in
+  let dir = "scale-store.tmp" in
+  let rm_store () =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  rm_store ();
+  Fun.protect ~finally:rm_store @@ fun () ->
+  Unix.mkdir dir 0o755;
+  (* snapshot density and save/load wall time *)
+  let path0 = Store.snapshot_path ~dir ~gen:0 in
+  let t0 = Unix.gettimeofday () in
+  let snapshot_bytes = Store.save_snapshot path0 state0 in
+  let save_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let t0 = Unix.gettimeofday () in
+  let loaded = ok_or_die (Store.load_snapshot path0) in
+  let load_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  if not (Store.state_equal state0 loaded) then begin
+    print_endline "bench-smoke: FAILED — scale snapshot round-trip diverged";
+    exit 1
+  end;
+  let bytes_per_user = float_of_int snapshot_bytes /. float_of_int n in
+  (* a deterministic mutation stream: mostly calendar flips, an edge
+     rewrite every 100th record (edge deltas rebuild the CSR, so their
+     cost dominates — keep the mix serving-shaped) *)
+  let records = 2_000 in
+  let delta_of i =
+    let v = i * 7919 mod n in
+    if i mod 100 = 99 then
+      Store.Edge_add
+        { u = v; v = (v + 1 + (i mod 97)) mod n; w = 1.0 +. float_of_int (i mod 5) }
+    else Store.Avail_flip { vertex = v; slot = i mod horizon }
+  in
+  let store, _ = ok_or_die (Store.open_dir ~init:(fun () -> state0) dir) in
+  for i = 0 to records - 1 do
+    Store.append ~sync:false store (delta_of i)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let replayed = ok_or_die (Store.replay_wal (Store.wal_path ~dir)) in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let replay_per_s =
+    if replay_s <= 0. then float_of_int records
+    else float_of_int replayed.Store.records /. replay_s
+  in
+  Store.close store;
+  (* recovery differential: reopen and compare against the in-memory fold *)
+  let expected = ref state0 in
+  for i = 0 to records - 1 do
+    expected := apply_or_die !expected (delta_of i)
+  done;
+  let store2, recovery =
+    ok_or_die
+      (Store.open_dir
+         ~init:(fun () -> failwith "scale store lost its snapshot") dir)
+  in
+  let recovery_ok =
+    recovery.Store.r_replayed = records
+    && recovery.Store.r_torn = None
+    && Store.state_equal !expected recovery.Store.r_state
+  in
+  (* checkpoint pauses: publish the full image repeatedly *)
+  let pauses = ref [] in
+  for i = 0 to 9 do
+    Store.append ~sync:false store2 (delta_of i);
+    let t0 = Unix.gettimeofday () in
+    Store.checkpoint store2 recovery.Store.r_state;
+    pauses := ((Unix.gettimeofday () -. t0) *. 1e9) :: !pauses
+  done;
+  Store.close store2;
+  let checkpoint_p99_ms = percentile !pauses 0.99 /. 1e6 in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"workload\": %S,"
+          (Printf.sprintf "coauthor n=%d days=%d" n days);
+        Printf.sprintf "  \"users\": %d," n;
+        Printf.sprintf "  \"edges\": %d," (Socgraph.Graph.n_edges graph);
+        Printf.sprintf "  \"snapshot_bytes\": %d," snapshot_bytes;
+        Printf.sprintf "  \"bytes_per_user\": %.1f," bytes_per_user;
+        Printf.sprintf "  \"snapshot_save_ms\": %.1f," save_ms;
+        Printf.sprintf "  \"snapshot_load_ms\": %.1f," load_ms;
+        Printf.sprintf "  \"wal_records\": %d," records;
+        Printf.sprintf "  \"wal_replay_per_s\": %.0f," replay_per_s;
+        Printf.sprintf "  \"checkpoint_pause_p99_ms\": %.1f," checkpoint_p99_ms;
+        Printf.sprintf "  \"recovery_ok\": %b" recovery_ok;
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "bench-smoke: store — %d users, %.0f B/user snapshot (save %.0f ms, load \
+     %.0f ms), WAL replay %.0f rec/s over %d records, checkpoint p99 %.0f ms, \
+     recovery %s -> %s\n"
+    n bytes_per_user save_ms load_ms replay_per_s records checkpoint_p99_ms
+    (if recovery_ok then "ok" else "DIVERGED")
+    out;
+  let missing =
+    List.filter (fun k -> not (contains_substring json k)) scale_required_keys
+  in
+  if missing <> [] then begin
+    Printf.printf "bench-smoke: FAILED — %s lacks required keys: %s\n" out
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if not recovery_ok then begin
+    print_endline
+      "bench-smoke: FAILED — recovered scale store diverges from the \
+       in-memory fold of the same deltas";
+    exit 1
+  end;
+  if bytes_per_user > 1024. then begin
+    Printf.printf
+      "bench-smoke: FAILED — snapshot costs %.1f bytes/user (gate 1024)\n"
+      bytes_per_user;
+    exit 1
+  end;
+  if replay_per_s < 200. then begin
+    Printf.printf
+      "bench-smoke: FAILED — WAL replay at %.0f records/s (gate 200)\n"
+      replay_per_s;
+    exit 1
+  end;
+  if checkpoint_p99_ms > 30_000. then begin
+    Printf.printf
+      "bench-smoke: FAILED — checkpoint pause p99 %.0f ms (gate 30000)\n"
+      checkpoint_p99_ms;
+    exit 1
+  end
+
 (* The CI baseline: tiny sizes, two JSON artefacts — the engine replay
    and batched-replay comparisons (instrumentation off) and the same
    workloads rerun with instrumentation on, whose metrics snapshot
    lands in [obs_out].  The engine artefact is written after the
    instrumented rerun so it can also record the pool's queue-depth
    high-water mark and respawn count from the live registry. *)
-let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~domains =
+let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~scale_out
+    ~domains =
   let r = engine_replay ~n:600 ~days:2 ~rounds:3 ~domains () in
   (* The >= 2x batched-throughput gate settles like the other gated
      ratios: noise can fake a miss, so on one the batch replays again
@@ -1609,7 +1788,8 @@ let smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~domains =
   end;
   resilience_smoke ~out:resilience_out;
   trace_smoke ~out:trace_out ~domains;
-  server_smoke ~out:server_out ~domains
+  server_smoke ~out:server_out ~domains;
+  scale_smoke ~out:scale_out
 
 (* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
@@ -1681,7 +1861,11 @@ let () =
     let server_out =
       Option.value (keyed_arg "--server-out" args) ~default:"BENCH_server.json"
     in
-    smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~domains;
+    let scale_out =
+      Option.value (keyed_arg "--scale-out" args) ~default:"BENCH_scale.json"
+    in
+    smoke ~json_out ~obs_out ~resilience_out ~trace_out ~server_out ~scale_out
+      ~domains;
     exit 0
   end;
   let st =

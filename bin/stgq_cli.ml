@@ -7,9 +7,11 @@
      arrange    compare STGArrange against the PCArrange imitation
      trace      answer one query under tracing; render tree + waterfall
      stats      instrumented workload; `stats serve` exposes /metrics
+     snapshot   save/load/verify durable-store images (docs/PERSISTENCE.md)
 
-   Datasets come either from files written by `generate` or from the
-   built-in generators (--kind/--n/--seed/--days). *)
+   Datasets come either from files written by `generate`, from the
+   built-in generators (--kind/--n/--seed/--days), or from a durable
+   snapshot (--snapshot). *)
 
 open Cmdliner
 open Stgq_core
@@ -24,6 +26,7 @@ type source = {
   days : int;
   graph_file : string option;
   sched_file : string option;
+  snapshot : string option;
 }
 
 let source_term =
@@ -47,12 +50,26 @@ let source_term =
     Arg.(value & opt (some string) None
          & info [ "schedules" ] ~docv:"FILE" ~doc:"Load schedules from a schedule file.")
   in
-  let make kind n seed days graph_file sched_file =
-    { kind; n; seed; days; graph_file; sched_file }
+  let snapshot =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Load graph and schedules from a durable-store snapshot \
+                   (docs/PERSISTENCE.md) — written by `stgq snapshot save` \
+                   or by a serving checkpoint.  Overrides the generator \
+                   and --graph/--schedules.")
   in
-  Term.(const make $ kind $ n $ seed $ days $ graph_file $ sched_file)
+  let make kind n seed days graph_file sched_file snapshot =
+    { kind; n; seed; days; graph_file; sched_file; snapshot }
+  in
+  Term.(const make $ kind $ n $ seed $ days $ graph_file $ sched_file $ snapshot)
 
 let load_dataset src =
+  match src.snapshot with
+  | Some file -> (
+      match Store.load_snapshot file with
+      | Ok st -> (st.Store.graph, st.Store.schedules)
+      | Error e -> Fmt.failwith "%s" (Store.string_of_error e))
+  | None -> (
   match (src.graph_file, src.sched_file) with
   | Some gf, Some sf -> (Socgraph.Gio.load gf, Timetable.Sio.load sf)
   | Some gf, None ->
@@ -69,7 +86,7 @@ let load_dataset src =
             Workload.Coauthor.generate ~seed:src.seed ~days:src.days ~n:src.n ()
           in
           (ds.Workload.Coauthor.graph, ds.Workload.Coauthor.schedules)
-      | other -> Fmt.failwith "unknown dataset kind %S (people194|coauthor)" other)
+      | other -> Fmt.failwith "unknown dataset kind %S (people194|coauthor)" other))
 
 let initiator_term =
   Arg.(value & opt (some int) None
@@ -605,10 +622,55 @@ let serve_cmd =
          & info [ "max-connections" ] ~docv:"N"
              ~doc:"Exit after $(docv) connections (default: serve forever).")
   in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Open (or create) a durable store in $(docv): recover \
+                   state from its newest snapshot generation + WAL, journal \
+                   every mutation before acking, and checkpoint when the \
+                   WAL outgrows --checkpoint-bytes (docs/PERSISTENCE.md). \
+                   On a fresh directory the dataset flags seed generation \
+                   0; afterwards the store is the source of truth.")
+  in
+  let checkpoint_bytes =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "checkpoint-bytes" ] ~docv:"BYTES"
+             ~doc:"WAL size at which the server folds the log into a new \
+                   snapshot generation (default 1 MiB).")
+  in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~doc:"Also expose /metrics and /healthz (which reports the \
+                   store-recovery status) over HTTP on $(docv).")
+  in
   let run src domains deadline node_budget no_degrade admission_limit bind_host
-      port unix_socket max_connections stats =
+      port unix_socket max_connections store_dir checkpoint_bytes metrics_port
+      stats =
     with_stats stats @@ fun () ->
-    let graph, schedules = load_dataset src in
+    (* recover the durable state first: once a store exists, it — not
+       the dataset flags — is the source of truth *)
+    let graph, schedules, store, recovery =
+      match store_dir with
+      | None ->
+          let graph, schedules = load_dataset src in
+          (graph, schedules, None, None)
+      | Some dir -> (
+          let init () =
+            let graph, schedules = load_dataset src in
+            Store.state_of_instance graph schedules
+          in
+          match Store.open_dir ~checkpoint_bytes ~init dir with
+          | Ok (t, r) ->
+              Fmt.epr "store %s: %s@." dir (Store.recovery_status r);
+              ( r.Store.r_state.Store.graph,
+                r.Store.r_state.Store.schedules,
+                Some t,
+                Some r )
+          | Error e -> Fmt.failwith "%s" (Store.string_of_error e))
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Store.close store)
+    @@ fun () ->
     let ti = { Query.social = { Query.graph; initiator = 0 }; schedules } in
     Engine.Pool.with_pool ?size:domains @@ fun pool ->
     let service = Service.create ~pool ti in
@@ -617,6 +679,7 @@ let serve_cmd =
         Server.default_config with
         admission_limit;
         policy = policy_of deadline node_budget no_degrade;
+        store;
       }
     in
     let server = Server.create ~config service in
@@ -626,17 +689,39 @@ let serve_cmd =
       | None ->
           (Server.Tcp (bind_host, port), Printf.sprintf "%s:%d" bind_host port)
     in
+    (match metrics_port with
+    | None -> ()
+    | Some mport ->
+        let health =
+          Option.map
+            (fun r () -> "store: " ^ Store.recovery_status r)
+            recovery
+        in
+        let baseline = Obs.snapshot () in
+        ignore
+          (Thread.create
+             (fun () ->
+               Obs.Exposition.serve ?health ~baseline
+                 (Obs.Exposition.Tcp (bind_host, mport)))
+             ()
+            : Thread.t);
+        Fmt.epr "exposing /metrics and /healthz on http://%s:%d@." bind_host
+          mport);
     Fmt.epr "serving the STGQ wire protocol (v%d) on %s@." Proto.version where;
     Server.serve ?max_connections server addr
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve SGQ/STGQ over the binary wire protocol; every request \
-             runs through the resilient service layer (docs/PROTOCOL.md).")
+             runs through the resilient service layer (docs/PROTOCOL.md), \
+             and with --store every schedule edit is journalled to a \
+             crash-safe WAL before it is acknowledged \
+             (docs/PERSISTENCE.md).")
     Term.(
       const run $ source_term $ domains_term $ deadline_term $ node_budget_term
       $ no_degrade_term $ admission_limit $ bind_host $ port $ unix_socket
-      $ max_connections $ stats_term)
+      $ max_connections $ store_dir $ checkpoint_bytes $ metrics_port
+      $ stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* query: remote queries against a running `stgq serve`.               *)
@@ -885,6 +970,90 @@ let stats_cmd =
              and print the metrics snapshot (or serve it: stats serve).")
     [ stats_serve_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* snapshot: durable-store images (docs/PERSISTENCE.md).               *)
+
+let snapshot_pos_file =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"Snapshot file.")
+
+let snapshot_save_cmd =
+  let out =
+    Arg.(value & opt string "snapshot.stgq"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run src out =
+    let graph, schedules = load_dataset src in
+    let state = Store.state_of_instance graph schedules in
+    let bytes = Store.save_snapshot out state in
+    Fmt.pr "wrote %s: %d bytes — %d vertices, %d edges, horizon %d@." out bytes
+      (Socgraph.Graph.n_vertices graph)
+      (Socgraph.Graph.n_edges graph)
+      (if Array.length schedules = 0 then 0
+       else Timetable.Availability.horizon schedules.(0))
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Encode a dataset as one CRC-framed snapshot image, written \
+             via temp file + fsync + atomic rename.")
+    Term.(const run $ source_term $ out)
+
+let snapshot_verify_cmd =
+  let run file =
+    match Store.verify_snapshot file with
+    | Ok info ->
+        Fmt.pr "%s: ok — %d bytes, %d vertices, %d edges, horizon %d@." file
+          info.Store.si_bytes info.Store.si_n info.Store.si_m
+          info.Store.si_horizon
+    | Error e ->
+        Fmt.epr "%s@." (Store.string_of_error e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check a snapshot's framing, CRCs and structural invariants \
+             without building the state; exit 1 on corruption.")
+    Term.(const run $ snapshot_pos_file)
+
+let snapshot_load_cmd =
+  let run file =
+    match Store.load_snapshot file with
+    | Ok st ->
+        let n = Socgraph.Graph.n_vertices st.Store.graph in
+        let free =
+          Array.fold_left
+            (fun acc a ->
+              let h = Timetable.Availability.horizon a in
+              let f = ref 0 in
+              for slot = 0 to h - 1 do
+                if Timetable.Availability.available a slot then incr f
+              done;
+              acc + !f)
+            0 st.Store.schedules
+        in
+        Fmt.pr "%s: %d vertices, %d edges, horizon %d, %d free slots@." file n
+          (Socgraph.Graph.n_edges st.Store.graph)
+          (if n = 0 then 0
+           else Timetable.Availability.horizon st.Store.schedules.(0))
+          free
+    | Error e ->
+        Fmt.epr "%s@." (Store.string_of_error e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Decode a snapshot into memory and print a summary; exit 1 on \
+             corruption.")
+    Term.(const run $ snapshot_pos_file)
+
+let snapshot_cmd =
+  Cmd.group
+    (Cmd.info "snapshot"
+       ~doc:"Save, load and verify durable-store snapshot images \
+             (docs/PERSISTENCE.md).  Any query command accepts one as its \
+             dataset via --snapshot.")
+    [ snapshot_save_cmd; snapshot_load_cmd; snapshot_verify_cmd ]
+
 let () =
   let info =
     Cmd.info "stgq" ~version:"1.0.0"
@@ -906,4 +1075,5 @@ let () =
             serve_cmd;
             query_cmd;
             stats_cmd;
+            snapshot_cmd;
           ]))

@@ -5,21 +5,41 @@
    every API, exactly like the Obs registry.  The armed flag keeps the
    disabled path to a single atomic load. *)
 
-type site = Context_build | Pool_job_start | Kernel_expansion | Certify
+type site =
+  | Context_build
+  | Pool_job_start
+  | Kernel_expansion
+  | Certify
+  | Store_short_write
+  | Store_bit_flip
+  | Store_crash_rename
+  | Store_crash_append
 
-let all_sites = [ Context_build; Pool_job_start; Kernel_expansion; Certify ]
+let all_sites =
+  [
+    Context_build; Pool_job_start; Kernel_expansion; Certify;
+    Store_short_write; Store_bit_flip; Store_crash_rename; Store_crash_append;
+  ]
 
 let site_name = function
   | Context_build -> "context_build"
   | Pool_job_start -> "pool_job_start"
   | Kernel_expansion -> "kernel_expansion"
   | Certify -> "certify"
+  | Store_short_write -> "store_short_write"
+  | Store_bit_flip -> "store_bit_flip"
+  | Store_crash_rename -> "store_crash_rename"
+  | Store_crash_append -> "store_crash_append"
 
 let site_of_name = function
   | "context_build" -> Some Context_build
   | "pool_job_start" -> Some Pool_job_start
   | "kernel_expansion" -> Some Kernel_expansion
   | "certify" -> Some Certify
+  | "store_short_write" -> Some Store_short_write
+  | "store_bit_flip" -> Some Store_bit_flip
+  | "store_crash_rename" -> Some Store_crash_rename
+  | "store_crash_append" -> Some Store_crash_append
   | _ -> None
 
 exception Injected_fault of { site : site; transient : bool }
@@ -96,6 +116,10 @@ let index = function
   | Pool_job_start -> 1
   | Kernel_expansion -> 2
   | Certify -> 3
+  | Store_short_write -> 4
+  | Store_bit_flip -> 5
+  | Store_crash_rename -> 6
+  | Store_crash_append -> 7
 
 let install specs =
   Mutex.lock lock;

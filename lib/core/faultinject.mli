@@ -13,12 +13,26 @@
     exactly.  The [@faults] dune alias runs the fault-matrix suite under
     one plan per site (see docs/ROBUSTNESS.md). *)
 
-(** Where faults can fire. *)
+(** Where faults can fire.  The [Store_*] sites are I/O seams inside
+    [lib/store]: rather than modelling a failing disk, they model a
+    process crash (or silent corruption) at the exact moments the
+    durability protocol must survive — see docs/PERSISTENCE.md. *)
 type site =
   | Context_build  (** {!Engine.Context.build} entry *)
   | Pool_job_start  (** pool worker, after dequeue, before running a job *)
   | Kernel_expansion  (** search-kernel budget checkpoint (every 256 nodes) *)
   | Certify  (** {!Validate.certify_sg} / {!Validate.certify_stg} entry *)
+  | Store_short_write
+      (** snapshot temp-file write: only a prefix reaches the disk
+          before the simulated crash *)
+  | Store_bit_flip
+      (** snapshot/WAL bytes: one bit is silently flipped before the
+          write (the fault corrupts, it does not raise out of store) *)
+  | Store_crash_rename
+      (** snapshot publish: crash after the temp file is fsynced but
+          before the atomic rename *)
+  | Store_crash_append
+      (** WAL append: crash mid-record, leaving a torn tail *)
 
 val all_sites : site list
 

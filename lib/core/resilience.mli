@@ -40,6 +40,13 @@ type policy = {
 (** No budget, degradation allowed, 2 retries from a 5 ms base. *)
 val default_policy : policy
 
+(** [backoff_s policy ~attempt] — the sleep (in seconds) before retry
+    number [attempt] (0-based): [backoff_ms], doubled per attempt,
+    scaled by a deterministic seeded jitter in [0.5, 1.0).  Exposed so
+    other retry loops (e.g. {!Server.Client} connecting to a server
+    still replaying its WAL) share one reproducible schedule. *)
+val backoff_s : policy -> attempt:int -> float
+
 type 'a answer = {
   value : 'a option;
       (** [None] only on the [Exact] rung: certified infeasible *)

@@ -270,12 +270,18 @@ let horizon t =
   if Array.length t.schedules = 0 then 0
   else Timetable.Availability.horizon t.schedules.(0)
 
-let update_graph t graph =
+let graph t = Engine.Cache.graph t.engine
+
+let schedules t = Array.map Timetable.Availability.copy t.schedules
+
+let epoch t = Engine.Cache.epoch t.engine
+
+let update_graph ?touched t graph =
   if
     Socgraph.Graph.n_vertices graph
     <> Socgraph.Graph.n_vertices (Engine.Cache.graph t.engine)
   then invalid_arg "Service.update_graph: vertex count changed";
-  Engine.Cache.set_graph t.engine graph
+  Engine.Cache.set_graph ?touched t.engine graph
 
 let update_schedule t ~vertex schedule =
   if vertex < 0 || vertex >= Array.length t.schedules then

@@ -104,9 +104,23 @@ val n_vertices : t -> int
     horizon a {!update_schedule} replacement must match). *)
 val horizon : t -> int
 
-(** [update_graph t graph] replaces the social graph (same vertex count
-    required) and drops every cached context. *)
-val update_graph : t -> Socgraph.Graph.t -> unit
+(** [graph t] — the social graph currently served (immutable). *)
+val graph : t -> Socgraph.Graph.t
+
+(** [schedules t] — a deep copy of the served calendars, indexed by
+    vertex.  This is what a durable checkpoint snapshots: the copy means
+    a concurrent in-place calendar rewrite cannot tear the image. *)
+val schedules : t -> Timetable.Availability.t array
+
+(** [epoch t] — the engine cache's mutation epoch (see
+    {!Engine.Cache.epoch}). *)
+val epoch : t -> int
+
+(** [update_graph ?touched t graph] replaces the social graph (same
+    vertex count required).  Without [touched], every cached context is
+    dropped; with the delta's incident vertices, only the contexts whose
+    feasible set meets them ({!Engine.Cache.set_graph}). *)
+val update_graph : ?touched:int list -> t -> Socgraph.Graph.t -> unit
 
 (** [update_schedule t ~vertex schedule] replaces one calendar (same
     horizon required); cached contexts observe the change immediately. *)

@@ -24,6 +24,10 @@ let m_evictions = Obs.counter "engine.cache.evictions"
 
 let m_entries = Obs.gauge "engine.cache.entries"
 
+let m_epoch = Obs.gauge "engine.cache.epoch"
+
+let m_selective_drops = Obs.counter "engine.cache.selective_drops"
+
 (* Intrusive doubly-linked recency list: most recent at [head], eviction
    victim at [tail].  Every operation is O(1), unlike the seed service's
    [List.filter]-per-access ordering. *)
@@ -46,6 +50,7 @@ type t = {
   schedules : Timetable.Availability.t array option;
   mutable graph : Socgraph.Graph.t;
   mutable graph_gen : int;  (* bumped by [set_graph]; guards stale inserts *)
+  mutable epoch : int;  (* bumped by every mutation; exposed for recovery *)
   table : (int * int, node) Hashtbl.t;
   mutable head : node option;
   mutable tail : node option;
@@ -71,6 +76,7 @@ let create ?(capacity = 64) ?schedules graph =
     schedules;
     graph;
     graph_gen = 0;
+    epoch = 0;
     table = Hashtbl.create 64;
     head = None;
     tail = None;
@@ -86,6 +92,13 @@ let create ?(capacity = 64) ?schedules graph =
   }
 
 let graph t = Mutex.protect t.lock (fun () -> t.graph)
+
+let epoch t = Mutex.protect t.lock (fun () -> t.epoch)
+
+(* Called with [t.lock] held. *)
+let bump_epoch_locked t =
+  t.epoch <- t.epoch + 1;
+  Obs.Gauge.set m_epoch t.epoch
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -217,14 +230,49 @@ let clear_locked t =
 
 let clear t = Mutex.protect t.lock (fun () -> clear_locked t)
 
-let set_graph t graph =
+(* Called with [t.lock] held.  A graph delta on edge {u,v} can change a
+   cached context only if [u] or [v] lies in its feasible set: any new
+   or removed path of social length <= s from the initiator must pass
+   through an endpoint that is itself within s hops, i.e. feasible.  So
+   dropping exactly the contexts whose feasible set meets [touched] is
+   a sound — and precise — invalidation. *)
+let drop_touched_locked t touched =
+  let doomed =
+    Hashtbl.fold
+      (fun key n acc ->
+        let to_sub = n.ctx.Context.fg.Feasible.to_sub in
+        let affected =
+          List.exists
+            (fun v -> v >= 0 && v < Array.length to_sub && to_sub.(v) >= 0)
+            touched
+        in
+        if affected then (key, n) :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun (key, n) ->
+      unlink t n;
+      Hashtbl.remove t.table key;
+      Obs.Counter.incr m_selective_drops)
+    doomed;
+  Obs.Gauge.set m_entries (Hashtbl.length t.table);
+  List.length doomed
+
+let set_graph ?touched t graph =
   if Socgraph.Graph.n_vertices graph <> Socgraph.Graph.n_vertices t.graph then
     invalid_arg "Engine.Cache.set_graph: vertex count changed";
   Mutex.protect t.lock (fun () ->
       wait_no_solves t;
       t.graph <- graph;
       t.graph_gen <- t.graph_gen + 1;
-      clear_locked t)
+      bump_epoch_locked t;
+      match touched with
+      | None -> clear_locked t
+      | Some vs ->
+          let dropped = drop_touched_locked t vs in
+          Log.debug (fun m ->
+              m "graph delta touching %d vertice(s): dropped %d context(s)"
+                (List.length vs) dropped))
 
 let set_schedule t ~vertex schedule =
   match t.schedules with
@@ -246,6 +294,7 @@ let set_schedule t ~vertex schedule =
       let snapshot = Bitset.copy (Timetable.Availability.bits schedule) in
       Mutex.protect t.lock (fun () ->
           wait_no_solves t;
+          bump_epoch_locked t;
           let bits_old = Timetable.Availability.bits installed in
           Bitset.fill bits_old false;
           Bitset.iter (fun slot -> Bitset.set bits_old slot) snapshot)

@@ -17,13 +17,18 @@
     build itself runs outside the cache lock, so a slow extraction never
     blocks hits on other keys.
 
-    Mutation model: social-graph swaps ({!set_graph}) drop every cached
-    context; calendar edits ({!set_schedule}) rewrite the installed
-    schedule's bitset in place, which every cached context aliases, so
-    they need no invalidation at all.  Both edits wait for in-flight
-    {!with_solves} regions to drain, so an edit lands only {e between}
-    solves — a solver that brackets its work in {!with_solves} never
-    observes a half-applied calendar. *)
+    Mutation model: social-graph swaps ({!set_graph}) drop cached
+    contexts — every one by default, or, given the delta's [?touched]
+    vertices, exactly the contexts whose feasible set meets them (a
+    graph edit on edge [{u,v}] can only change a context in which [u]
+    or [v] is itself within [s] hops of the initiator).  Calendar edits
+    ({!set_schedule}) rewrite the installed schedule's bitset in place,
+    which every cached context aliases, so they need no invalidation at
+    all.  Both edits wait for in-flight {!with_solves} regions to drain,
+    so an edit lands only {e between} solves — a solver that brackets
+    its work in {!with_solves} never observes a half-applied calendar.
+    Every mutation bumps the cache {!epoch}, so recovery replay can
+    assert exactly how many edits landed. *)
 
 type t
 
@@ -50,6 +55,11 @@ val create :
 (** The graph contexts are currently built from. *)
 val graph : t -> Socgraph.Graph.t
 
+(** Mutation epoch: starts at [0], incremented by every {!set_graph} and
+    {!set_schedule}.  WAL replay bumps it once per replayed delta, which
+    the recovery differential gate asserts. *)
+val epoch : t -> int
+
 (** [context t ~initiator ~s] returns the cached context for the key,
     building (and possibly evicting the least-recently-used entry)
     on a miss.  Concurrent misses on the same key coalesce onto one
@@ -70,10 +80,13 @@ val stats : t -> stats
 (** Drop every cached context (counters are kept). *)
 val clear : t -> unit
 
-(** [set_graph t g] swaps the social graph (same vertex count required)
-    and drops every cached context.  Waits for open {!with_solves}
-    regions to drain. *)
-val set_graph : t -> Socgraph.Graph.t -> unit
+(** [set_graph ?touched t g] swaps the social graph (same vertex count
+    required) and invalidates: without [touched], every cached context
+    is dropped; with [touched] — the vertices the delta's edges are
+    incident to — only contexts whose feasible set contains a touched
+    vertex are dropped, which is precise (see the module preamble).
+    Waits for open {!with_solves} regions to drain. *)
+val set_graph : ?touched:int list -> t -> Socgraph.Graph.t -> unit
 
 (** [set_schedule t ~vertex schedule] rewrites one calendar in place
     (same horizon required); cached contexts see the change immediately.

@@ -479,6 +479,62 @@ let check_wallclock ctx structure =
   end
 
 (* ------------------------------------------------------------------ *)
+(* R9 — raw file writes in solver code.                                *)
+
+(* Solver-state durability belongs to lib/store: a snapshot is written
+   temp-file + fsync + atomic rename, and every mutation is CRC-framed
+   in the WAL before the in-memory edit lands.  A raw [open_out] or
+   [Unix.write] on a solver path bypasses all of that — no checksum, no
+   atomicity, no crash story — so state persisted that way can come
+   back torn or silently corrupt.  [lib/store] itself is outside the
+   solver scope (lib/core, lib/engine), as are the CLI and bench
+   drivers writing reports. *)
+let raw_writes =
+  [
+    "open_out";
+    "open_out_bin";
+    "open_out_gen";
+    "output_string";
+    "output_bytes";
+    "Out_channel.open_text";
+    "Out_channel.open_bin";
+    "Out_channel.output_string";
+    "Unix.write";
+    "Unix.write_substring";
+    "Unix.single_write";
+  ]
+
+let check_durability_bypass ctx structure =
+  if not ctx.is_solver then []
+  else begin
+    let findings = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc }
+              when List.mem (normalize (lid_to_string txt)) raw_writes ->
+                findings :=
+                  Diag.make ~rule:"durability-bypass" ~severity:Diag.Error loc
+                    (Printf.sprintf
+                       "%s writes solver state without the durability \
+                        protocol; persist through Store (CRC-framed WAL \
+                        append, or snapshot via temp file + fsync + atomic \
+                        rename) so a crash cannot leave torn or unverifiable \
+                        bytes"
+                       (normalize (lid_to_string txt)))
+                  :: !findings
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.structure it structure;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 
 let all ?(allowed_state_modules = []) () =
@@ -537,5 +593,14 @@ let all ?(allowed_state_modules = []) () =
         "Unix.gettimeofday/Unix.time/Sys.time in solver code (lib/core, \
          lib/engine) — deadlines must use the monotonic Budget clock";
       check = check_wallclock;
+    };
+    {
+      id = "durability-bypass";
+      severity = Diag.Error;
+      summary =
+        "raw open_out/output_string/Unix.write in solver code (lib/core, \
+         lib/engine) — durable state must go through Store's snapshot + WAL \
+         protocol";
+      check = check_durability_bypass;
     };
   ]

@@ -62,10 +62,14 @@ let index_body =
       "";
     ]
 
-let respond ~baseline path =
+let respond ?health ~baseline path =
   match path with
   | "/" -> (200, "text/plain; charset=utf-8", index_body)
-  | "/healthz" -> (200, "text/plain; charset=utf-8", "ok\n")
+  | "/healthz" ->
+      (* Liveness plus whatever the host process wants probes to see —
+         the query server reports its store-recovery status here. *)
+      let extra = match health with Some f -> f () ^ "\n" | None -> "" in
+      (200, "text/plain; charset=utf-8", "ok\n" ^ extra)
   | "/metrics" ->
       (200, "text/plain; version=0.0.4", prometheus (Registry.snapshot ()))
   | "/metrics/delta" ->
@@ -109,11 +113,11 @@ let request_path req =
 (* ------------------------------------------------------------------ *)
 (* Server.                                                             *)
 
-let serve_client ~baseline client =
+let serve_client ?health ~baseline client =
   let buf = Bytes.create 8192 in
   let n = Unix.read client buf 0 (Bytes.length buf) in
   let path = request_path (Bytes.sub_string buf 0 (Stdlib.max 0 n)) in
-  let status, content_type, body = respond ~baseline path in
+  let status, content_type, body = respond ?health ~baseline path in
   let resp = http_response ~status ~content_type body in
   let rec write_all off len =
     if len > 0 then begin
@@ -149,7 +153,7 @@ let bind_listen addr =
 (* [serve addr] accepts and answers requests forever (or until
    [?max_requests] connections have been served — the test hook).
    Deltas are against [?baseline] (default: the snapshot at startup). *)
-let serve ?baseline ?max_requests addr =
+let serve ?baseline ?health ?max_requests addr =
   let baseline =
     match baseline with Some b -> b | None -> Registry.snapshot ()
   in
@@ -162,7 +166,7 @@ let serve ?baseline ?max_requests addr =
       while keep_going () do
         let client, _peer = Unix.accept sock in
         Stdlib.incr served;
-        (match serve_client ~baseline client with
+        (match serve_client ?health ~baseline client with
         | () -> ()
         | exception Unix.Unix_error _ -> ());
         (match Unix.close client with

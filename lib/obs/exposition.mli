@@ -12,7 +12,9 @@
     - [/metrics/delta] — the same, of [Registry.delta baseline now]
     - [/trace/last] — the newest stitched trace ([Trace.tree_json]);
       404 when none is buffered
-    - [/healthz] — liveness probe, always [200 ok]
+    - [/healthz] — liveness probe, always [200 ok]; when the host
+      passes [?health], its one-line report (e.g. the store-recovery
+      status of the query server) follows the [ok] line
 
     The server is single-threaded and connection-per-request (no
     keep-alive): run it on a spare domain next to the serving pool. *)
@@ -24,13 +26,22 @@ type addr =
 (** Prometheus text rendering of a snapshot (the [/metrics] body). *)
 val prometheus : Registry.snapshot -> string
 
-(** [respond ~baseline path] routes one request:
+(** [respond ?health ~baseline path] routes one request:
     [(status, content-type, body)].  Exposed for tests. *)
-val respond : baseline:Registry.snapshot -> string -> int * string * string
+val respond :
+  ?health:(unit -> string) ->
+  baseline:Registry.snapshot ->
+  string ->
+  int * string * string
 
 (** [serve addr] binds, listens and answers requests until
     [?max_requests] connections have been served (forever when
     omitted).  [?baseline] anchors [/metrics/delta] (default: snapshot
-    at startup).
+    at startup); [?health] appends its line to [/healthz] bodies.
     @raise Unix.Unix_error if the bind fails (address in use, ...). *)
-val serve : ?baseline:Registry.snapshot -> ?max_requests:int -> addr -> unit
+val serve :
+  ?baseline:Registry.snapshot ->
+  ?health:(unit -> string) ->
+  ?max_requests:int ->
+  addr ->
+  unit

@@ -20,6 +20,33 @@ let connect (addr : Listener.addr) =
 let close t =
   match Unix.close t.fd with () -> () | exception Unix.Unix_error _ -> ()
 
+(* Connect-time failures worth retrying: the server is booting (socket
+   not bound yet), still replaying its WAL behind a listen backlog, or
+   shedding (accepted then reset).  Anything else — bad address, refused
+   permissions — fails fast. *)
+let retryable_errno = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ETIMEDOUT
+  | Unix.EAGAIN | Unix.EINTR ->
+      true
+  | _ -> false
+
+let connect_retry ?(policy = Stgq_core.Resilience.default_policy) addr =
+  let rec go attempt =
+    match connect addr with
+    | t -> Ok t
+    | exception (Unix.Unix_error (errno, _, _) as e) ->
+        if retryable_errno errno && attempt < policy.Stgq_core.Resilience.max_retries
+        then begin
+          Unix.sleepf (Stgq_core.Resilience.backoff_s policy ~attempt);
+          go (attempt + 1)
+        end
+        else
+          Error
+            (Printf.sprintf "connect failed after %d attempt(s): %s" (attempt + 1)
+               (Printexc.to_string e))
+  in
+  go 0
+
 let rec really_write fd buf off len =
   if len > 0 then begin
     let n = Unix.write fd buf off len in

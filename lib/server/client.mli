@@ -12,6 +12,17 @@ type t
     @raise Unix.Unix_error when the endpoint is unreachable. *)
 val connect : Listener.addr -> t
 
+(** [connect_retry ?policy addr] is {!connect} with the
+    {!Stgq_core.Resilience} retry schedule: transient connect failures
+    (refused, reset, socket path not bound yet, timeout) are retried up
+    to [policy.max_retries] times with seeded-jitter exponential backoff
+    ({!Stgq_core.Resilience.backoff_s}), so a client launched alongside
+    a server still replaying its WAL wins the race without a hand-rolled
+    sleep loop.  Non-transient errors and exhausted retries return
+    [Error] with the last failure. *)
+val connect_retry :
+  ?policy:Stgq_core.Resilience.policy -> Listener.addr -> (t, string) result
+
 (** [request t req] writes one frame and reads one response frame.
     Decode failures and mid-frame EOF (the server hung up) surface as
     typed errors; [Unix.Unix_error] propagates for transport faults. *)

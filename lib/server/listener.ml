@@ -17,9 +17,13 @@ type config = {
   admission_limit : int;
   policy : Resilience.policy option;
   on_admitted : (Proto.request -> unit) option;
+  store : Store.t option;
 }
 
-let default_config = { admission_limit = 64; policy = None; on_admitted = None }
+let default_config =
+  { admission_limit = 64; policy = None; on_admitted = None; store = None }
+
+let m_journalled = Obs.counter "server.mutations.journalled"
 
 (* Domain-sharded, interned: safe to touch from every handler thread. *)
 let m_connections = Obs.counter "server.connections"
@@ -36,6 +40,7 @@ type t = {
   config : config;
   inflight : int Atomic.t;
   lock : Mutex.t;  (* guards [conns] and [threads] *)
+  durable : Mutex.t;  (* serialises journal + apply, so WAL order = apply order *)
   mutable conns : Unix.file_descr list;
   mutable threads : Thread.t list;
 }
@@ -48,9 +53,44 @@ let create ?(config = default_config) service =
     config;
     inflight = Atomic.make 0;
     lock = Mutex.create ();
+    durable = Mutex.create ();
     conns = [];
     threads = [];
   }
+
+(* ------------------------------------------------------------------ *)
+(* Durability: journal before apply, ack only after both. *)
+
+(* Calendar edits are validated (so an invalid request never pollutes
+   the log), journalled to the WAL, and only then applied in memory —
+   all under one mutex, so the log's record order is exactly the order
+   the edits landed.  A crash between journal and apply is safe: the
+   edit was never acked, and replay applies it, which is at worst a
+   spurious (idempotent) calendar write.  When the WAL outgrows its
+   threshold the same critical section checkpoints, snapshotting the
+   service state it just finished mutating. *)
+let durable_update_schedule t ~vertex avail =
+  match t.config.store with
+  | None -> Service.update_schedule t.service ~vertex avail
+  | Some store ->
+      let n = Service.n_vertices t.service in
+      if vertex < 0 || vertex >= n then
+        invalid_arg
+          (Printf.sprintf "vertex %d out of range (dataset has %d members)"
+             vertex n);
+      if Timetable.Availability.horizon avail <> Service.horizon t.service then
+        invalid_arg
+          (Printf.sprintf "schedule horizon %d does not match served horizon %d"
+             (Timetable.Availability.horizon avail)
+             (Service.horizon t.service));
+      Mutex.protect t.durable (fun () ->
+          Store.append store (Store.Schedule_set { vertex; avail });
+          Obs.Counter.incr m_journalled;
+          Service.update_schedule t.service ~vertex avail;
+          if Store.should_checkpoint store then
+            Store.checkpoint store
+              (Store.state_of_instance (Service.graph t.service)
+                 (Service.schedules t.service)))
 
 (* ------------------------------------------------------------------ *)
 (* Transport. *)
@@ -146,7 +186,7 @@ let solve t (req : Proto.request) : Proto.response =
               }
         | Error e -> Proto.Failed (of_error e))
     | Proto.Update_schedule { vertex; avail } ->
-        Service.update_schedule t.service ~vertex avail;
+        durable_update_schedule t ~vertex avail;
         Proto.Updated { vertex }
     | Proto.Hello _ | Proto.Ping _ ->
         (* handled before admission; unreachable *)

@@ -33,9 +33,17 @@ type config = {
       (** test hook, run while the admission slot is held and before
           the solve starts — lets a test pin a request in flight
           deterministically *)
+  store : Store.t option;
+      (** durable state: when set, every calendar edit is validated,
+          journalled to the store's WAL, and only then applied in
+          memory — the [Updated] ack means the edit survives a crash.
+          Journal + apply run under one mutex so log order equals apply
+          order, and the same critical section checkpoints (snapshot +
+          WAL truncate) whenever the log outgrows the store's
+          threshold. *)
 }
 
-(** [admission_limit = 64], no default policy, no hook. *)
+(** [admission_limit = 64], no default policy, no hook, no store. *)
 val default_config : config
 
 type t

@@ -69,6 +69,56 @@ let of_edges n edges =
   done;
   { n; m; row; adj; wgt }
 
+(* Build directly from columnar edge arrays already in canonical order:
+   u < v per edge, (u, v) strictly ascending.  Two counting passes over
+   the arrays, no hashtable — because the input order is the order
+   [edges] emits, every CSR row comes out sorted without a per-row sort.
+   This is the snapshot loader's single-pass path: the codec validates
+   byte-level shape, this validates graph-level shape, and the arrays
+   flow straight into CSR. *)
+let of_sorted_arrays ~n ~us ~vs ~ws =
+  if n < 0 then invalid_arg "Graph.of_sorted_arrays: negative vertex count";
+  let m = Array.length us in
+  if Array.length vs <> m || Array.length ws <> m then
+    invalid_arg "Graph.of_sorted_arrays: column lengths differ";
+  for i = 0 to m - 1 do
+    validate_edge n (us.(i), vs.(i), ws.(i));
+    if us.(i) >= vs.(i) then
+      invalid_arg
+        (Printf.sprintf "Graph.of_sorted_arrays: edge (%d,%d) not u < v" us.(i)
+           vs.(i));
+    if i > 0 && (us.(i - 1) > us.(i) || (us.(i - 1) = us.(i) && vs.(i - 1) >= vs.(i)))
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Graph.of_sorted_arrays: edges not strictly ascending at index %d" i)
+  done;
+  let deg = Array.make (max 1 n) 0 in
+  for i = 0 to m - 1 do
+    deg.(us.(i)) <- deg.(us.(i)) + 1;
+    deg.(vs.(i)) <- deg.(vs.(i)) + 1
+  done;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + deg.(v)
+  done;
+  let adj = Array.make (max 1 (2 * m)) 0 in
+  let wgt = Array.make (max 1 (2 * m)) 0. in
+  let cursor = Array.copy row in
+  (* In ascending (u, v) order, vertex [x] receives first its smaller
+     neighbours (from edges (y, x), y ascending) and then its larger
+     ones (from edges (x, v'), v' ascending) — rows are born sorted. *)
+  for i = 0 to m - 1 do
+    let u = us.(i) and v = vs.(i) and w = ws.(i) in
+    adj.(cursor.(u)) <- v;
+    wgt.(cursor.(u)) <- w;
+    cursor.(u) <- cursor.(u) + 1;
+    adj.(cursor.(v)) <- u;
+    wgt.(cursor.(v)) <- w;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  { n; m; row; adj; wgt }
+
 (* Binary search for [u] within the sorted row of [v]; returns slot or -1. *)
 let find_slot g v u =
   let lo = ref g.row.(v) and hi = ref (g.row.(v + 1) - 1) in

@@ -17,6 +17,16 @@ type edge = int * int * float
     non-positive or non-finite weights. *)
 val of_edges : int -> edge list -> t
 
+(** [of_sorted_arrays ~n ~us ~vs ~ws] builds a graph from columnar edge
+    arrays already in canonical order: [us.(i) < vs.(i)] and [(u, v)]
+    pairs strictly ascending — the order {!edges} emits.  Two counting
+    passes, no hashtable and no per-row sort; this is the snapshot
+    loader's single-pass path into CSR.
+    @raise Invalid_argument if a column length differs, an edge violates
+    {!of_edges}'s invariants, or the order is not strictly ascending. *)
+val of_sorted_arrays :
+  n:int -> us:int array -> vs:int array -> ws:float array -> t
+
 (** [n_vertices g] is the number of vertices (isolated ones included). *)
 val n_vertices : t -> int
 

@@ -1,0 +1,969 @@
+(* Crash-safe durable state: versioned snapshots + write-ahead delta
+   log.  Byte layouts live in docs/PERSISTENCE.md; the decoder follows
+   the Proto discipline — a bounds-checked cursor, every length from
+   disk validated against the bytes actually present before anything is
+   allocated from it, and every failure converted into a typed
+   [Corrupt] carrying the file and byte offset.
+
+   Durability protocol:
+   - snapshots: encode whole image -> write temp file -> fsync ->
+     atomic rename -> fsync directory.  A crash at any point leaves
+     either the old generation or the new one, never a torn image.
+   - WAL: one CRC-framed record per mutation, appended (and fsynced)
+     before the in-memory edit lands.  A crash mid-append leaves a torn
+     tail; recovery stops at the first bad CRC and truncates the tail
+     so later appends extend the durable prefix.
+
+   The [Store_*] fault sites fire at exactly these seams so the
+   [@faults] matrix can replay each crash deterministically. *)
+
+type state = {
+  graph : Socgraph.Graph.t;
+  schedules : Timetable.Availability.t array;
+}
+
+type corrupt = { file : string; offset : int; detail : string }
+
+type error = Corrupt of corrupt
+
+let string_of_error (Corrupt { file; offset; detail }) =
+  Printf.sprintf "%s: corrupt at byte %d: %s" file offset detail
+
+let pp_error ppf e = Format.pp_print_string ppf (string_of_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics. *)
+
+let m_appends = Obs.counter "store.wal.appends"
+
+let m_replayed = Obs.counter "store.replay.records"
+
+let m_checkpoints = Obs.counter "store.checkpoints"
+
+let g_wal_bytes = Obs.gauge "store.wal.bytes"
+
+let g_snapshot_bytes = Obs.gauge "store.snapshot.bytes"
+
+let g_bytes_per_user = Obs.gauge "store.snapshot.bytes_per_user"
+
+(* 0 fresh, 1 clean snapshot, 2 WAL replayed, 3 torn tail dropped,
+   4 newest snapshot generation(s) rejected — see docs/PERSISTENCE.md. *)
+let g_recovery_outcome = Obs.gauge "store.recovery.outcome"
+
+let h_checkpoint = Obs.histogram "store.checkpoint.latency_ns"
+
+let h_snapshot_load = Obs.histogram "store.snapshot.load_ns"
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, reflected 0xEDB88320). *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* State algebra. *)
+
+let horizon_of schedules =
+  if Array.length schedules = 0 then 0
+  else Timetable.Availability.horizon schedules.(0)
+
+let state_of_instance graph schedules =
+  let n = Socgraph.Graph.n_vertices graph in
+  if Array.length schedules <> n then
+    invalid_arg "Store.state_of_instance: need one schedule per vertex";
+  let h = horizon_of schedules in
+  Array.iter
+    (fun a ->
+      if Timetable.Availability.horizon a <> h then
+        invalid_arg "Store.state_of_instance: schedules disagree on horizon")
+    schedules;
+  { graph; schedules }
+
+let copy_state st =
+  { st with schedules = Array.map Timetable.Availability.copy st.schedules }
+
+let state_equal a b =
+  Socgraph.Graph.n_vertices a.graph = Socgraph.Graph.n_vertices b.graph
+  && Socgraph.Graph.edges a.graph = Socgraph.Graph.edges b.graph
+  && Array.length a.schedules = Array.length b.schedules
+  && begin
+       let eq = ref true in
+       Array.iteri
+         (fun i sa ->
+           if
+             not
+               (Bitset.equal
+                  (Timetable.Availability.bits sa)
+                  (Timetable.Availability.bits b.schedules.(i)))
+           then eq := false)
+         a.schedules;
+       !eq
+     end
+
+type delta =
+  | Edge_add of { u : int; v : int; w : float }
+  | Edge_remove of { u : int; v : int }
+  | Avail_flip of { vertex : int; slot : int }
+  | Schedule_set of { vertex : int; avail : Timetable.Availability.t }
+
+let pp_delta ppf = function
+  | Edge_add { u; v; w } -> Format.fprintf ppf "edge_add(%d,%d,%g)" u v w
+  | Edge_remove { u; v } -> Format.fprintf ppf "edge_remove(%d,%d)" u v
+  | Avail_flip { vertex; slot } ->
+      Format.fprintf ppf "avail_flip(%d,%d)" vertex slot
+  | Schedule_set { vertex; avail } ->
+      Format.fprintf ppf "schedule_set(%d,h=%d)" vertex
+        (Timetable.Availability.horizon avail)
+
+let delta_vertices = function
+  | Edge_add { u; v; _ } | Edge_remove { u; v } -> [ u; v ]
+  | Avail_flip { vertex; _ } | Schedule_set { vertex; _ } -> [ vertex ]
+
+let apply_delta st d =
+  let n = Socgraph.Graph.n_vertices st.graph in
+  let check_vertex ctx v =
+    if v < 0 || v >= n then
+      Error (Printf.sprintf "%s: vertex %d out of range [0,%d)" ctx v n)
+    else Ok ()
+  in
+  match d with
+  | Edge_add { u; v; w } -> (
+      match (check_vertex "edge_add" u, check_vertex "edge_add" v) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok (), Ok () ->
+          if u = v then Error (Printf.sprintf "edge_add: self-loop at %d" u)
+          else if (not (Float.is_finite w)) || w <= 0. then
+            Error (Printf.sprintf "edge_add: weight %g not positive" w)
+          else
+            let lo = min u v and hi = max u v in
+            let rest =
+              List.filter
+                (fun (a, b, _) -> not (a = lo && b = hi))
+                (Socgraph.Graph.edges st.graph)
+            in
+            Ok
+              {
+                st with
+                graph = Socgraph.Graph.of_edges n ((lo, hi, w) :: rest);
+              })
+  | Edge_remove { u; v } -> (
+      match (check_vertex "edge_remove" u, check_vertex "edge_remove" v) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok (), Ok () ->
+          let lo = min u v and hi = max u v in
+          let rest =
+            List.filter
+              (fun (a, b, _) -> not (a = lo && b = hi))
+              (Socgraph.Graph.edges st.graph)
+          in
+          Ok { st with graph = Socgraph.Graph.of_edges n rest })
+  | Avail_flip { vertex; slot } -> (
+      match check_vertex "avail_flip" vertex with
+      | Error e -> Error e
+      | Ok () ->
+          let a = st.schedules.(vertex) in
+          let h = Timetable.Availability.horizon a in
+          if slot < 0 || slot >= h then
+            Error
+              (Printf.sprintf "avail_flip: slot %d outside horizon %d" slot h)
+          else begin
+            let fresh = Timetable.Availability.copy a in
+            (if Timetable.Availability.available fresh slot then
+               Timetable.Availability.set_busy fresh slot slot
+             else Timetable.Availability.set_free fresh slot slot);
+            let schedules = Array.copy st.schedules in
+            schedules.(vertex) <- fresh;
+            Ok { st with schedules }
+          end)
+  | Schedule_set { vertex; avail } -> (
+      match check_vertex "schedule_set" vertex with
+      | Error e -> Error e
+      | Ok () ->
+          let h = Timetable.Availability.horizon st.schedules.(vertex) in
+          if Timetable.Availability.horizon avail <> h then
+            Error
+              (Printf.sprintf "schedule_set: horizon %d, expected %d"
+                 (Timetable.Availability.horizon avail)
+                 h)
+          else begin
+            let schedules = Array.copy st.schedules in
+            schedules.(vertex) <- Timetable.Availability.copy avail;
+            Ok { st with schedules }
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Writers (big-endian, Proto discipline: range violations on the
+   encoding side are programming errors and raise). *)
+
+let w_u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Store: u8 out of range";
+  Buffer.add_char b (Char.chr v)
+
+let w_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Store: u32 out of range";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let w_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (i * 8)) land 0xFF))
+  done
+
+(* One calendar as ceil(horizon/8) bytes, slot [i] at bit [i land 7]
+   (LSB first) of byte [i / 8]; set = free.  Same mapping as Proto. *)
+let w_mask b a ~horizon =
+  let nbytes = (horizon + 7) / 8 in
+  for byte = 0 to nbytes - 1 do
+    let v = ref 0 in
+    for bit = 0 to 7 do
+      let slot = (byte * 8) + bit in
+      if slot < horizon && Timetable.Availability.available a slot then
+        v := !v lor (1 lsl bit)
+    done;
+    Buffer.add_char b (Char.chr !v)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bounds-checked reader.  [base] is the absolute file offset of
+   [buf.[0]], so section payloads report real offsets. *)
+
+type reader = { rfile : string; buf : string; base : int; mutable pos : int }
+
+exception Fail of corrupt
+
+let fail r detail = raise (Fail { file = r.rfile; offset = r.base + r.pos; detail })
+
+let need r n =
+  let remaining = String.length r.buf - r.pos in
+  if n < 0 || n > remaining then
+    fail r (Printf.sprintf "truncated: needed %d byte(s), %d available" n remaining)
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  need r 4;
+  let b i = Char.code r.buf.[r.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.pos <- r.pos + 4;
+  v
+
+let r_f64 r =
+  need r 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code r.buf.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !bits
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec (docs/PERSISTENCE.md, "Snapshot layout"). *)
+
+let magic = "STGQSNAP"
+
+let format_version = 1
+
+let tag_graph = 1
+
+let tag_timetable = 2
+
+let encode_graph_section g =
+  let b = Buffer.create 4096 in
+  let n = Socgraph.Graph.n_vertices g in
+  w_u32 b n;
+  w_u32 b (Socgraph.Graph.n_edges g);
+  (* Row scan emits (v, u, w) with v < u in ascending lexicographic
+     order — the canonical order [of_sorted_arrays] reloads without a
+     sort — while never materialising the edge list. *)
+  for v = 0 to n - 1 do
+    Socgraph.Graph.iter_neighbors g v (fun u w ->
+        if v < u then begin
+          w_u32 b v;
+          w_u32 b u;
+          w_f64 b w
+        end)
+  done;
+  Buffer.contents b
+
+let encode_timetable_section schedules =
+  let count = Array.length schedules in
+  let horizon = horizon_of schedules in
+  let b = Buffer.create (8 + (count * ((horizon + 7) / 8))) in
+  w_u32 b count;
+  w_u32 b horizon;
+  Array.iter (fun a -> w_mask b a ~horizon) schedules;
+  Buffer.contents b
+
+let encode_snapshot st =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  w_u8 b format_version;
+  let section tag payload =
+    w_u8 b tag;
+    w_u32 b (String.length payload);
+    w_u32 b (crc32 payload);
+    Buffer.add_string b payload
+  in
+  section tag_graph (encode_graph_section st.graph);
+  section tag_timetable (encode_timetable_section st.schedules);
+  Buffer.contents b
+
+(* Decode one section header and return a payload sub-reader.  The
+   declared length is checked against the bytes present before any
+   slice or allocation happens. *)
+let r_section r ~expect_tag =
+  let tag = r_u8 r in
+  if tag <> expect_tag then
+    fail r (Printf.sprintf "expected section tag %d, found %d" expect_tag tag);
+  let len = r_u32 r in
+  need r 4;
+  let declared_crc = r_u32 r in
+  need r len;
+  let got_crc = crc32_sub r.buf r.pos len in
+  if got_crc <> declared_crc then
+    fail r
+      (Printf.sprintf "section %d CRC mismatch: stored %08x, computed %08x" tag
+         declared_crc got_crc);
+  let payload =
+    { rfile = r.rfile; buf = String.sub r.buf r.pos len; base = r.base + r.pos;
+      pos = 0 }
+  in
+  r.pos <- r.pos + len;
+  payload
+
+let decode_graph_section p =
+  let n = r_u32 p in
+  let m = r_u32 p in
+  (* 16 bytes per edge; checked before the three columns exist. *)
+  need p (16 * m);
+  let us = Array.make (max 1 m) 0 in
+  let vs = Array.make (max 1 m) 0 in
+  let ws = Array.make (max 1 m) 0. in
+  for i = 0 to m - 1 do
+    let at = p.pos in
+    let u = r_u32 p in
+    let v = r_u32 p in
+    let w = r_f64 p in
+    let bad detail = raise (Fail { file = p.rfile; offset = p.base + at; detail }) in
+    if u >= n || v >= n then
+      bad (Printf.sprintf "edge (%d,%d) out of range [0,%d)" u v n);
+    if u >= v then bad (Printf.sprintf "edge (%d,%d) not u < v" u v);
+    if (not (Float.is_finite w)) || w <= 0. then
+      bad (Printf.sprintf "edge (%d,%d) weight %g not positive" u v w);
+    if i > 0 && (us.(i - 1) > u || (us.(i - 1) = u && vs.(i - 1) >= v)) then
+      bad (Printf.sprintf "edge (%d,%d) breaks canonical order" u v);
+    us.(i) <- u;
+    vs.(i) <- v;
+    ws.(i) <- w
+  done;
+  if p.pos <> String.length p.buf then
+    fail p
+      (Printf.sprintf "%d trailing byte(s) in graph section"
+         (String.length p.buf - p.pos));
+  let us = if m = 0 then [||] else us in
+  let vs = if m = 0 then [||] else vs in
+  let ws = if m = 0 then [||] else ws in
+  match Socgraph.Graph.of_sorted_arrays ~n ~us ~vs ~ws with
+  | g -> g
+  | exception Invalid_argument msg -> fail p msg
+
+let decode_timetable_section p ~n =
+  let count = r_u32 p in
+  if count <> n then
+    fail p (Printf.sprintf "timetable has %d calendars for %d vertices" count n);
+  let horizon = r_u32 p in
+  let nbytes = (horizon + 7) / 8 in
+  (* Hostile [horizon]/[count] are rejected here, before any bitset is
+     sized from them: the masks must all be physically present.  The
+     first check bounds [count] by the bytes on disk so the product
+     below cannot overflow. *)
+  if nbytes > 0 then need p count;
+  need p (count * nbytes);
+  let schedules =
+    Array.init count (fun _ ->
+        let bits = Bitset.create horizon in
+        for byte = 0 to nbytes - 1 do
+          let v = Char.code p.buf.[p.pos + byte] in
+          for bit = 0 to 7 do
+            let slot = (byte * 8) + bit in
+            if slot < horizon && v land (1 lsl bit) <> 0 then Bitset.set bits slot
+          done
+        done;
+        p.pos <- p.pos + nbytes;
+        Timetable.Availability.of_bitset bits)
+  in
+  if p.pos <> String.length p.buf then
+    fail p
+      (Printf.sprintf "%d trailing byte(s) in timetable section"
+         (String.length p.buf - p.pos));
+  schedules
+
+let decode_snapshot_reader r =
+  need r (String.length magic + 1);
+  if String.sub r.buf r.pos (String.length magic) <> magic then
+    fail r "bad magic: not a stgq snapshot";
+  r.pos <- r.pos + String.length magic;
+  let v = r_u8 r in
+  if v <> format_version then
+    fail r (Printf.sprintf "snapshot format version %d, this build reads %d" v
+              format_version);
+  let gp = r_section r ~expect_tag:tag_graph in
+  let graph = decode_graph_section gp in
+  let tp = r_section r ~expect_tag:tag_timetable in
+  let schedules =
+    decode_timetable_section tp ~n:(Socgraph.Graph.n_vertices graph)
+  in
+  if r.pos <> String.length r.buf then
+    fail r
+      (Printf.sprintf "%d trailing byte(s) after last section"
+         (String.length r.buf - r.pos));
+  { graph; schedules }
+
+let decode_snapshot ~file bytes =
+  match decode_snapshot_reader { rfile = file; buf = bytes; base = 0; pos = 0 } with
+  | state -> Ok state
+  | exception Fail c -> Error (Corrupt c)
+
+type snapshot_info = { si_bytes : int; si_n : int; si_m : int; si_horizon : int }
+
+(* ------------------------------------------------------------------ *)
+(* File plumbing. *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let read_file path =
+  match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Corrupt
+           { file = path; offset = 0;
+             detail = "cannot open: " ^ Unix.error_message e })
+  | fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          match Unix.close fd with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ())
+        (fun () ->
+          let size = (Unix.fstat fd).Unix.st_size in
+          let buf = Bytes.create size in
+          let rec go off =
+            if off >= size then ()
+            else
+              match Unix.read fd buf off (size - off) with
+              | 0 -> raise End_of_file
+              | n -> go (off + n)
+          in
+          match go 0 with
+          | () -> Ok (Bytes.unsafe_to_string buf)
+          | exception End_of_file ->
+              Error
+                (Corrupt
+                   { file = path; offset = 0;
+                     detail = "file shrank while reading" }))
+
+(* fsync of the containing directory makes the rename itself durable.
+   Some filesystems refuse fsync on a directory fd; that only weakens
+   the durability of the very latest rename, so refusal is tolerated. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (match Unix.fsync fd with () -> () | exception Unix.Unix_error _ -> ());
+      (match Unix.close fd with () -> () | exception Unix.Unix_error _ -> ())
+
+(* The bit-flip site does not raise out of the store: when armed, it
+   silently corrupts the bytes about to hit the disk, modelling media
+   rot the CRC layer must catch on the way back in. *)
+let maybe_flip data =
+  match Faultinject.fire Faultinject.Store_bit_flip with
+  | () -> data
+  | exception Faultinject.Injected_fault _ ->
+      let b = Bytes.of_string data in
+      let i = Bytes.length b / 2 in
+      if Bytes.length b > 0 then
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      Bytes.unsafe_to_string b
+
+let save_snapshot path st =
+  let data = maybe_flip (encode_snapshot st) in
+  let len = String.length data in
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match Unix.close fd with () -> () | exception Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Faultinject.fire Faultinject.Store_short_write with
+      | () -> write_all fd (Bytes.unsafe_of_string data) 0 len
+      | exception (Faultinject.Injected_fault _ as e) ->
+          (* Simulated crash mid-write: only a prefix reaches the disk. *)
+          write_all fd (Bytes.unsafe_of_string data) 0 (len / 2);
+          Unix.fsync fd;
+          raise e);
+      Unix.fsync fd);
+  (* Crash here (before the rename) leaves only the temp file: the
+     previous generation stays the durable truth. *)
+  Faultinject.fire Faultinject.Store_crash_rename;
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path);
+  Obs.Gauge.set g_snapshot_bytes len;
+  let n = Socgraph.Graph.n_vertices st.graph in
+  if n > 0 then Obs.Gauge.set g_bytes_per_user (len / n);
+  len
+
+let load_snapshot path =
+  Obs.time_hist h_snapshot_load @@ fun () ->
+  match read_file path with
+  | Error e -> Error e
+  | Ok bytes -> decode_snapshot ~file:path bytes
+
+let verify_snapshot path =
+  match load_snapshot path with
+  | Error e -> Error e
+  | Ok st ->
+      Ok
+        {
+          si_bytes = String.length (encode_snapshot st);
+          si_n = Socgraph.Graph.n_vertices st.graph;
+          si_m = Socgraph.Graph.n_edges st.graph;
+          si_horizon = horizon_of st.schedules;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* WAL codec (docs/PERSISTENCE.md, "Delta log layout"). *)
+
+let max_record = 1 lsl 20
+
+let rec_edge_add = 1
+
+let rec_edge_remove = 2
+
+let rec_avail_flip = 3
+
+let rec_schedule_set = 4
+
+let encode_record d =
+  let p = Buffer.create 32 in
+  w_u8 p format_version;
+  (match d with
+  | Edge_add { u; v; w } ->
+      w_u8 p rec_edge_add;
+      w_u32 p u;
+      w_u32 p v;
+      w_f64 p w
+  | Edge_remove { u; v } ->
+      w_u8 p rec_edge_remove;
+      w_u32 p u;
+      w_u32 p v
+  | Avail_flip { vertex; slot } ->
+      w_u8 p rec_avail_flip;
+      w_u32 p vertex;
+      w_u32 p slot
+  | Schedule_set { vertex; avail } ->
+      w_u8 p rec_schedule_set;
+      w_u32 p vertex;
+      let horizon = Timetable.Availability.horizon avail in
+      w_u32 p horizon;
+      w_mask p avail ~horizon);
+  let payload = Buffer.contents p in
+  if String.length payload > max_record then
+    invalid_arg "Store.encode_record: record exceeds 1 MiB cap";
+  let b = Buffer.create (8 + String.length payload) in
+  w_u32 b (String.length payload);
+  w_u32 b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_record_payload p =
+  let v = r_u8 p in
+  if v <> format_version then
+    fail p (Printf.sprintf "record version %d, this build reads %d" v
+              format_version);
+  let tag = r_u8 p in
+  let d =
+    if tag = rec_edge_add then begin
+      let u = r_u32 p in
+      let v = r_u32 p in
+      let w = r_f64 p in
+      Edge_add { u; v; w }
+    end
+    else if tag = rec_edge_remove then begin
+      let u = r_u32 p in
+      let v = r_u32 p in
+      Edge_remove { u; v }
+    end
+    else if tag = rec_avail_flip then begin
+      let vertex = r_u32 p in
+      let slot = r_u32 p in
+      Avail_flip { vertex; slot }
+    end
+    else if tag = rec_schedule_set then begin
+      let vertex = r_u32 p in
+      let horizon = r_u32 p in
+      let nbytes = (horizon + 7) / 8 in
+      need p nbytes;
+      let bits = Bitset.create horizon in
+      for byte = 0 to nbytes - 1 do
+        let v = Char.code p.buf.[p.pos + byte] in
+        for bit = 0 to 7 do
+          let slot = (byte * 8) + bit in
+          if slot < horizon && v land (1 lsl bit) <> 0 then Bitset.set bits slot
+        done
+      done;
+      p.pos <- p.pos + nbytes;
+      Schedule_set { vertex; avail = Timetable.Availability.of_bitset bits }
+    end
+    else fail p (Printf.sprintf "unknown record tag %d" tag)
+  in
+  if p.pos <> String.length p.buf then
+    fail p
+      (Printf.sprintf "%d trailing byte(s) in record"
+         (String.length p.buf - p.pos));
+  d
+
+type replay = {
+  deltas : delta list;
+  records : int;
+  valid_bytes : int;
+  torn : corrupt option;
+}
+
+(* One frame at [r.pos].  [`Torn c] covers everything a crashed append
+   or tail rot produces (truncation, hostile length, bad CRC): the
+   bytes before this frame remain trustworthy.  A payload that fails to
+   decode *under a valid CRC* is not a torn tail — the writer never
+   produced it — so it raises [Fail] and the whole log is refused. *)
+let decode_frame r =
+  let start = r.pos in
+  let remaining = String.length r.buf - r.pos in
+  if remaining < 8 then
+    `Torn
+      { file = r.rfile; offset = start;
+        detail = Printf.sprintf "truncated record header (%d byte(s))" remaining }
+  else begin
+    let len = r_u32 r in
+    let declared_crc = r_u32 r in
+    if len > max_record then begin
+      r.pos <- start;
+      `Torn
+        { file = r.rfile; offset = start;
+          detail = Printf.sprintf "record length %d exceeds %d cap" len max_record }
+    end
+    else if len > String.length r.buf - r.pos then begin
+      let got = String.length r.buf - r.pos in
+      r.pos <- start;
+      `Torn
+        { file = r.rfile; offset = start;
+          detail = Printf.sprintf "truncated record: %d of %d payload byte(s)" got len }
+    end
+    else begin
+      let got_crc = crc32_sub r.buf r.pos len in
+      if got_crc <> declared_crc then begin
+        r.pos <- start;
+        `Torn
+          { file = r.rfile; offset = start;
+            detail =
+              Printf.sprintf "record CRC mismatch: stored %08x, computed %08x"
+                declared_crc got_crc }
+      end
+      else begin
+        let p =
+          { rfile = r.rfile; buf = String.sub r.buf r.pos len;
+            base = r.base + r.pos; pos = 0 }
+        in
+        r.pos <- r.pos + len;
+        `Record (decode_record_payload p, start)
+      end
+    end
+  end
+
+(* Internal: decoded records with their starting offsets (recovery
+   reports the offset when a record's semantics are invalid). *)
+let replay_wal_records path =
+  match read_file path with
+  | Error (Corrupt { detail; _ })
+    when String.length detail >= 11 && String.sub detail 0 11 = "cannot open" ->
+      (* A store that has never appended has no log: empty, not corrupt. *)
+      Ok ([], { deltas = []; records = 0; valid_bytes = 0; torn = None })
+  | Error e -> Error e
+  | Ok bytes -> (
+      let r = { rfile = path; buf = bytes; base = 0; pos = 0 } in
+      let rec go acc =
+        if r.pos >= String.length bytes then (List.rev acc, None)
+        else
+          match decode_frame r with
+          | `Record (d, off) -> go ((d, off) :: acc)
+          | `Torn c -> (List.rev acc, Some c)
+      in
+      match go [] with
+      | recs, torn ->
+          let deltas = List.map fst recs in
+          Ok
+            ( recs,
+              {
+                deltas;
+                records = List.length recs;
+                valid_bytes = r.pos;
+                torn;
+              } )
+      | exception Fail c -> Error (Corrupt c))
+
+let replay_wal path =
+  match replay_wal_records path with
+  | Error e -> Error e
+  | Ok (_, replay) -> Ok replay
+
+let verify_wal path =
+  match replay_wal_records path with
+  | Error e -> Error e
+  | Ok (_, { torn = Some c; _ }) -> Error (Corrupt c)
+  | Ok (_, { records; _ }) -> Ok records
+
+(* ------------------------------------------------------------------ *)
+(* The store handle. *)
+
+type t = {
+  dir : string;
+  mutable wal_fd : Unix.file_descr;
+  mutable gen : int;
+  mutable wbytes : int;
+  checkpoint_bytes : int;
+  lock : Mutex.t;
+}
+
+type recovery = {
+  r_dir : string;
+  r_snapshot_gen : int;
+  r_snapshots_skipped : int;
+  r_replayed : int;
+  r_torn : corrupt option;
+  r_state : state;
+}
+
+let recovery_status r =
+  if r.r_snapshot_gen < 0 then "fresh store (generation 0 written)"
+  else
+    Printf.sprintf "recovered generation %d%s, replayed %d record(s)%s"
+      r.r_snapshot_gen
+      (if r.r_snapshots_skipped > 0 then
+         Printf.sprintf " (%d newer generation(s) corrupt)" r.r_snapshots_skipped
+       else "")
+      r.r_replayed
+      (match r.r_torn with
+      | Some c -> Printf.sprintf ", torn tail dropped at byte %d" c.offset
+      | None -> "")
+
+let snapshot_path ~dir ~gen = Filename.concat dir (Printf.sprintf "snapshot-%06d.stgq" gen)
+
+let wal_path ~dir = Filename.concat dir "wal.stgq"
+
+let gen_of_name name =
+  let prefix = "snapshot-" and suffix = ".stgq" in
+  let lp = String.length prefix and ls = String.length suffix in
+  let ln = String.length name in
+  if ln > lp + ls
+     && String.sub name 0 lp = prefix
+     && String.sub name (ln - ls) ls = suffix
+  then int_of_string_opt (String.sub name lp (ln - lp - ls))
+  else None
+
+let generations dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map gen_of_name
+  |> List.sort (fun a b -> compare b a)
+
+let mkdir_quiet dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let outcome_fresh = 0
+
+let outcome_clean = 1
+
+let outcome_replayed = 2
+
+let outcome_torn = 3
+
+let outcome_fallback = 4
+
+let open_dir ?(checkpoint_bytes = 1 lsl 20) ~init dir =
+  if checkpoint_bytes < 1 then
+    invalid_arg "Store.open_dir: checkpoint_bytes must be >= 1";
+  mkdir_quiet dir;
+  (* Newest generation that verifies wins; rotten newer images are
+     skipped (and counted) rather than taking the store down. *)
+  let rec pick = function
+    | [] -> None
+    | gen :: rest -> (
+        match load_snapshot (snapshot_path ~dir ~gen) with
+        | Ok state -> Some (gen, state, 0)
+        | Error _ -> (
+            match pick rest with
+            | Some (g, s, skipped) -> Some (g, s, skipped + 1)
+            | None -> None))
+  in
+  let gens = generations dir in
+  let base =
+    match gens with
+    | [] ->
+        let state = init () in
+        let bytes = save_snapshot (snapshot_path ~dir ~gen:0) state in
+        ignore (bytes : int);
+        Ok (-1, 0, state, 0)
+    | newest :: _ -> (
+        match pick gens with
+        | Some (gen, state, skipped) -> Ok (gen, gen, state, skipped)
+        | None ->
+            (* Snapshots exist but none verifies: refuse to clobber. *)
+            Error
+              (Corrupt
+                 {
+                   file = snapshot_path ~dir ~gen:newest;
+                   offset = 0;
+                   detail =
+                     Printf.sprintf "no valid snapshot among %d generation(s)"
+                       (List.length gens);
+                 }))
+  in
+  match base with
+  | Error e -> Error e
+  | Ok (reported_gen, gen, snap_state, skipped) -> (
+      let wal = wal_path ~dir in
+      match replay_wal_records wal with
+      | Error e -> Error e
+      | Ok (recs, replay) -> (
+          let rec fold st = function
+            | [] -> Ok st
+            | (d, off) :: rest -> (
+                match apply_delta st d with
+                | Ok st' -> fold st' rest
+                | Error detail ->
+                    Error (Corrupt { file = wal; offset = off; detail }))
+          in
+          match fold snap_state recs with
+          | Error e -> Error e
+          | Ok state ->
+              let fd =
+                Unix.openfile wal
+                  [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+                  0o644
+              in
+              (* Drop the torn tail so the next append extends the
+                 durable prefix instead of burying garbage. *)
+              if replay.torn <> None then Unix.ftruncate fd replay.valid_bytes;
+              ignore (Unix.lseek fd replay.valid_bytes Unix.SEEK_SET : int);
+              let t =
+                {
+                  dir;
+                  wal_fd = fd;
+                  gen = max gen 0;
+                  wbytes = replay.valid_bytes;
+                  checkpoint_bytes;
+                  lock = Mutex.create ();
+                }
+              in
+              Obs.Counter.add m_replayed replay.records;
+              Obs.Gauge.set g_wal_bytes t.wbytes;
+              Obs.Gauge.set g_recovery_outcome
+                (if skipped > 0 then outcome_fallback
+                 else if replay.torn <> None then outcome_torn
+                 else if replay.records > 0 then outcome_replayed
+                 else if reported_gen < 0 then outcome_fresh
+                 else outcome_clean);
+              Ok
+                ( t,
+                  {
+                    r_dir = dir;
+                    r_snapshot_gen = reported_gen;
+                    r_snapshots_skipped = skipped;
+                    r_replayed = replay.records;
+                    r_torn = replay.torn;
+                    r_state = state;
+                  } )))
+
+let append ?(sync = true) t d =
+  let record = maybe_flip (encode_record d) in
+  let len = String.length record in
+  Mutex.protect t.lock (fun () ->
+      (match Faultinject.fire Faultinject.Store_crash_append with
+      | () -> write_all t.wal_fd (Bytes.unsafe_of_string record) 0 len
+      | exception (Faultinject.Injected_fault _ as e) ->
+          (* Simulated crash mid-append: half a header hits the disk. *)
+          write_all t.wal_fd (Bytes.unsafe_of_string record) 0 (min 5 len);
+          Unix.fsync t.wal_fd;
+          raise e);
+      if sync then Unix.fsync t.wal_fd;
+      t.wbytes <- t.wbytes + len;
+      Obs.Counter.incr m_appends;
+      Obs.Gauge.set g_wal_bytes t.wbytes)
+
+let wal_bytes t = Mutex.protect t.lock (fun () -> t.wbytes)
+
+let should_checkpoint t =
+  Mutex.protect t.lock (fun () -> t.wbytes >= t.checkpoint_bytes)
+
+let checkpoint t state =
+  Obs.time_hist h_checkpoint @@ fun () ->
+  Mutex.protect t.lock (fun () ->
+      let next = t.gen + 1 in
+      let bytes = save_snapshot (snapshot_path ~dir:t.dir ~gen:next) state in
+      ignore (bytes : int);
+      (* The new image is durable; the log it subsumes can go.  Crash
+         anywhere before this point recovers from the previous
+         generation + intact WAL. *)
+      Unix.ftruncate t.wal_fd 0;
+      ignore (Unix.lseek t.wal_fd 0 Unix.SEEK_SET : int);
+      Unix.fsync t.wal_fd;
+      t.wbytes <- 0;
+      t.gen <- next;
+      (* Keep the previous generation as the bit-rot fallback. *)
+      List.iter
+        (fun gen ->
+          if gen < next - 1 then
+            match Unix.unlink (snapshot_path ~dir:t.dir ~gen) with
+            | () -> ()
+            | exception Unix.Unix_error _ -> ())
+        (generations t.dir);
+      Obs.Counter.incr m_checkpoints;
+      Obs.Gauge.set g_wal_bytes 0)
+
+let close t =
+  match Unix.close t.wal_fd with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ()

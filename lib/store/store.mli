@@ -1,0 +1,212 @@
+(** Crash-safe durable state: versioned snapshots + a write-ahead delta
+    log with verified recovery (docs/PERSISTENCE.md).
+
+    A store is a directory holding numbered snapshot generations
+    ([snapshot-NNNNNN.stgq]) and one delta log ([wal.stgq]).  Snapshots
+    are a versioned, length-prefixed, CRC32-checked binary image of the
+    social graph + timetable, written via temp file + [fsync] + atomic
+    rename so a crash never leaves a half-written generation visible.
+    Every mutation is journalled to the WAL as one CRC-framed record
+    {e before} the in-memory edit lands; recovery loads the newest valid
+    snapshot, replays the log, and tolerates a torn/truncated tail by
+    stopping at the first bad CRC (the tail is then truncated so later
+    appends extend the durable prefix, not garbage).
+
+    Decoder discipline mirrors {!Proto}: every length from disk is
+    checked against the bytes actually present {e before} any
+    allocation, and every failure — truncation, hostile length, flipped
+    bit, unknown tag, semantic violation — surfaces as a typed
+    {!error} carrying the file and byte offset, never an exception.
+
+    Fault sites: the [Store_*] cases of {!Faultinject.site} fire at the
+    protocol's crash seams (short write, bit flip, crash-before-rename,
+    crash-mid-append); the [@faults] matrix replays them and checks
+    recovery lands exactly on the pre-crash durable prefix. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 State and deltas} *)
+
+(** The durable world: the social graph plus one calendar per vertex. *)
+type state = {
+  graph : Socgraph.Graph.t;
+  schedules : Timetable.Availability.t array;
+}
+
+(** [state_of_instance graph schedules] validates shape (one schedule
+    per vertex, uniform horizon) and packs a state.
+    @raise Invalid_argument on shape violations. *)
+val state_of_instance :
+  Socgraph.Graph.t -> Timetable.Availability.t array -> state
+
+(** Deep copy (the graph is immutable and shared; calendars are copied). *)
+val copy_state : state -> state
+
+(** Structural equality: same vertices, same edges and weights, same
+    availability bits.  This is the relation the crash-recovery
+    differential gate checks. *)
+val state_equal : state -> state -> bool
+
+(** One journalled mutation. *)
+type delta =
+  | Edge_add of { u : int; v : int; w : float }
+      (** insert one edge, or re-weight it if already present *)
+  | Edge_remove of { u : int; v : int }  (** drop one edge if present *)
+  | Avail_flip of { vertex : int; slot : int }
+      (** toggle one calendar slot *)
+  | Schedule_set of { vertex : int; avail : Timetable.Availability.t }
+      (** replace one calendar (same horizon required) *)
+
+val pp_delta : Format.formatter -> delta -> unit
+
+(** [delta_vertices d] — the vertices a delta touches, for precise
+    context invalidation ({!Engine.Cache.set_graph}'s [?touched]). *)
+val delta_vertices : delta -> int list
+
+(** [apply_delta state d] returns the successor state, or [Error detail]
+    when the delta is semantically invalid against [state] (vertex or
+    slot out of range, horizon mismatch, non-positive weight).  The
+    input state is not mutated. *)
+val apply_delta : state -> delta -> (state, string) result
+
+(* ------------------------------------------------------------------ *)
+(** {1 Typed corruption} *)
+
+type corrupt = {
+  file : string;  (** path (or caller-supplied label) of the bad input *)
+  offset : int;  (** byte offset of the first unusable byte *)
+  detail : string;
+}
+
+type error = Corrupt of corrupt
+
+val string_of_error : error -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+(* ------------------------------------------------------------------ *)
+(** {1 Snapshot codec} *)
+
+(** [encode_snapshot state] is the byte image (docs/PERSISTENCE.md). *)
+val encode_snapshot : state -> string
+
+(** [decode_snapshot ~file bytes] — [file] only labels errors.  Never
+    raises; hostile section lengths are checked against the bytes
+    present before any allocation. *)
+val decode_snapshot : file:string -> string -> (state, error) result
+
+(** What {!verify_snapshot} reports without building the state. *)
+type snapshot_info = {
+  si_bytes : int;
+  si_n : int;  (** vertices *)
+  si_m : int;  (** edges *)
+  si_horizon : int;
+}
+
+(** [save_snapshot path state] writes atomically (temp + [fsync] +
+    rename, then directory [fsync]) and returns the byte size.
+    @raise Unix.Unix_error on I/O failure,
+    {!Faultinject.Injected_fault} under an armed [store_*] plan. *)
+val save_snapshot : string -> state -> int
+
+(** [load_snapshot path] reads and decodes; a missing file is
+    [Error (Corrupt _)] like any other unusable input. *)
+val load_snapshot : string -> (state, error) result
+
+(** [verify_snapshot path] checks framing, CRCs and graph/timetable
+    shape without retaining the state. *)
+val verify_snapshot : string -> (snapshot_info, error) result
+
+(* ------------------------------------------------------------------ *)
+(** {1 WAL codec} *)
+
+(** [encode_record d] is one CRC-framed log record. *)
+val encode_record : delta -> string
+
+(** Result of a tolerant log read: the decodable prefix, plus where and
+    why decoding stopped when the tail was torn. *)
+type replay = {
+  deltas : delta list;  (** in append order *)
+  records : int;
+  valid_bytes : int;  (** length of the durable prefix *)
+  torn : corrupt option;  (** [Some] when a tail was dropped *)
+}
+
+(** [replay_wal path] reads the log, stopping at the first bad CRC or
+    truncated record (recovery semantics — a torn tail is data loss
+    bounded by one append, not corruption).  A missing file is an empty
+    log.  Never raises on bad bytes. *)
+val replay_wal : string -> (replay, error) result
+
+(** [verify_wal path] is the strict read: any undecodable byte,
+    including a torn tail, is [Error (Corrupt _)]. *)
+val verify_wal : string -> (int, error) result
+
+(* ------------------------------------------------------------------ *)
+(** {1 The store: open/recover, journal, checkpoint} *)
+
+type t
+
+(** What recovery found and did. *)
+type recovery = {
+  r_dir : string;
+  r_snapshot_gen : int;  (** generation loaded; [-1] = fresh store *)
+  r_snapshots_skipped : int;  (** newer generations rejected as corrupt *)
+  r_replayed : int;  (** WAL records folded into the state *)
+  r_torn : corrupt option;  (** torn tail dropped (and truncated away) *)
+  r_state : state;
+}
+
+(** One-line recovery summary, the [/healthz] field. *)
+val recovery_status : recovery -> string
+
+(** [open_dir ?checkpoint_bytes ~init dir] opens (creating the
+    directory if needed) and recovers: load the newest snapshot
+    generation that verifies, replay the WAL over it, truncate any torn
+    tail.  A fresh directory gets [init ()] as generation 0.  Errors are
+    typed: an unusable WAL body (bad semantics under a valid CRC) or a
+    directory with snapshots of which none verify refuse to open rather
+    than silently clobbering data.  [checkpoint_bytes] (default 1 MiB)
+    is the WAL size at which {!should_checkpoint} starts answering
+    [true]. *)
+val open_dir :
+  ?checkpoint_bytes:int -> init:(unit -> state) -> string ->
+  (t * recovery, error) result
+
+(** [append ?sync t d] journals one mutation — call it {e before}
+    applying the edit in memory, ack only after it returns.  [sync]
+    (default [true]) forces the record to disk; pass [false] only where
+    losing the tail is acceptable (bulk load, benchmarks).
+    @raise Unix.Unix_error on I/O failure,
+    {!Faultinject.Injected_fault} under an armed plan (the record is
+    {e not} durable in that case). *)
+val append : ?sync:bool -> t -> delta -> unit
+
+(** Bytes currently in the WAL. *)
+val wal_bytes : t -> int
+
+(** Whether the WAL has outgrown the checkpoint threshold. *)
+val should_checkpoint : t -> bool
+
+(** [checkpoint t state] publishes [state] as the next snapshot
+    generation, truncates the WAL, and prunes generations older than
+    the previous one (kept as the fallback {!open_dir} falls back to
+    when the newest image rots).
+    @raise Unix.Unix_error / {!Faultinject.Injected_fault} as
+    {!save_snapshot}; on a crash mid-checkpoint the store recovers from
+    the previous generation + intact WAL. *)
+val checkpoint : t -> state -> unit
+
+(** Close the WAL handle.  The store must not be used afterwards. *)
+val close : t -> unit
+
+(** {1 Internals exposed for tests} *)
+
+(** [crc32 s] — IEEE 802.3 CRC32 of a whole string (the checksum every
+    frame in this module carries). *)
+val crc32 : string -> int
+
+(** Snapshot path of generation [gen] under [dir]. *)
+val snapshot_path : dir:string -> gen:int -> string
+
+(** WAL path under [dir]. *)
+val wal_path : dir:string -> string

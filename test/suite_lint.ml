@@ -180,7 +180,35 @@ let test_wall_clock () =
   expect_clean ~file:"bin/stgq_cli.ml" ~rule:"wall-clock"
     "let t = Unix.gettimeofday ()";
   expect_clean ~file:"lib/core/stgselect.ml" ~rule:"wall-clock"
-    "let t = Budget.now_ns ()";
+    "let t = Budget.now_ns ()"
+
+(* R9 -------------------------------------------------------------- *)
+
+let test_durability_bypass () =
+  (* solver state must persist through Store's snapshot + WAL protocol *)
+  expect_rule ~file:"lib/core/service.ml" ~rule:"durability-bypass" ~line:1
+    "let f oc st = output_string oc st";
+  expect_rule ~file:"lib/core/service.ml" ~rule:"durability-bypass"
+    "let f p = open_out p";
+  expect_rule ~file:"lib/engine/cache.ml" ~rule:"durability-bypass"
+    "let f fd b = Unix.write fd b 0 8";
+  expect_rule ~file:"lib/core/stgselect.ml" ~rule:"durability-bypass"
+    "let f fd s = Unix.single_write fd s 0 1";
+  expect_rule ~file:"lib/core/resilience.ml" ~rule:"durability-bypass"
+    "let f p = Stdlib.open_out_bin p";
+  (* lib/store owns the protocol; CLI/bench reports are out of scope *)
+  expect_clean ~file:"lib/store/store.ml" ~rule:"durability-bypass"
+    "let f fd b = Unix.write fd b 0 8";
+  expect_clean ~file:"bin/stgq_cli.ml" ~rule:"durability-bypass"
+    "let f st = output_string (open_out \"report\") st";
+  expect_clean ~file:"bench/main.ml" ~rule:"durability-bypass"
+    "let f st = output_string (open_out \"BENCH.json\") st";
+  (* reads are fine everywhere *)
+  expect_clean ~file:"lib/core/service.ml" ~rule:"durability-bypass"
+    "let f p = open_in p";
+  (* suppressible like any other rule *)
+  expect_clean ~file:"lib/core/service.ml" ~rule:"durability-bypass"
+    "let f fd b = Unix.write fd b 0 8 (* lint: allow durability-bypass *)";
   expect_clean ~file:"lib/core/stgselect.ml" ~rule:"wall-clock"
     "(* lint: allow wall-clock *)\nlet t = Unix.gettimeofday ()"
 
@@ -258,6 +286,8 @@ let suite =
     Alcotest.test_case "R7 missing mli" `Quick test_missing_mli;
     Alcotest.test_case "span balance" `Quick test_span_balance;
     Alcotest.test_case "R8 wall clock in solver code" `Quick test_wall_clock;
+    Alcotest.test_case "R9 durability bypass in solver code" `Quick
+      test_durability_bypass;
     Alcotest.test_case "certificate audit" `Quick test_uncertified_solver;
     Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
     Alcotest.test_case "reporters" `Quick test_reporters;

@@ -1,0 +1,830 @@
+(* The durable store: snapshot/WAL codecs under round-trip, fuzz and
+   hostile-input tests; the crash-at-every-record recovery differential
+   (recovered state == in-memory replay of the durable prefix, and a
+   recovered service answers bit-identically to an uncrashed one); the
+   cache-epoch / precise-invalidation contract; client connect retry;
+   and the env-gated [Store_*] half of the fault matrix (the root
+   [@faults] alias replays each I/O crash plan through this suite). *)
+
+open Stgq_core
+
+let check = Alcotest.check
+module G = QCheck.Gen
+
+(* --- fault plan gating (same shape as suite_faultmatrix) ----------- *)
+
+let specs =
+  match Sys.getenv_opt "STGQ_FAULTS" with
+  | None | Some "" -> []
+  | Some raw -> (
+      match Faultinject.parse raw with
+      | Ok specs -> specs
+      | Error msg -> failwith ("unparsable STGQ_FAULTS plan: " ^ msg))
+
+let spec_for site =
+  List.find_opt (fun (s : Faultinject.spec) -> s.site = site) specs
+
+let store_sites =
+  [
+    Faultinject.Store_short_write;
+    Faultinject.Store_bit_flip;
+    Faultinject.Store_crash_rename;
+    Faultinject.Store_crash_append;
+  ]
+
+(* With a store plan armed, every store I/O call can fire: the ordinary
+   tests would consume one-shot plans nondeterministically, so they
+   stand down and only the site-specific tests run. *)
+let store_plan_armed =
+  List.exists
+    (fun (s : Faultinject.spec) -> List.mem s.site store_sites)
+    specs
+
+let unless_armed f () = if store_plan_armed then () else f ()
+
+(* --- scratch directories ------------------------------------------- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d = Printf.sprintf "store-test-%d-%d" (Unix.getpid ()) !dir_counter in
+  (match Unix.mkdir d 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rm_rf d =
+  if Sys.file_exists d && Sys.is_directory d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+let with_dir f =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- fixtures ------------------------------------------------------ *)
+
+let horizon = 12
+
+let base_graph =
+  Socgraph.Graph.of_edges 8
+    [
+      (0, 1, 1.); (1, 2, 1.); (2, 3, 2.); (0, 3, 1.5); (3, 4, 1.);
+      (4, 5, 1.); (5, 6, 2.); (6, 7, 1.); (0, 2, 2.5); (2, 5, 1.2);
+    ]
+
+let mk_sched lo hi =
+  let a = Timetable.Availability.create ~horizon in
+  Timetable.Availability.set_free a lo hi;
+  a
+
+let base_state () =
+  let schedules = Array.init 8 (fun v -> mk_sched 0 (11 - (v mod 3))) in
+  Store.state_of_instance base_graph schedules
+
+(* A representative mutation stream: every delta kind, including a
+   re-weight, a removal of a just-added edge's neighbour and a flip
+   that undoes an earlier flip. *)
+let deltas () =
+  [
+    Store.Avail_flip { vertex = 2; slot = 3 };
+    Store.Edge_add { u = 0; v = 7; w = 2.5 };
+    Store.Schedule_set { vertex = 1; avail = mk_sched 2 9 };
+    Store.Edge_remove { u = 1; v = 2 };
+    Store.Avail_flip { vertex = 5; slot = 0 };
+    Store.Edge_add { u = 2; v = 3; w = 0.5 };
+    Store.Schedule_set { vertex = 6; avail = mk_sched 0 5 };
+    Store.Edge_remove { u = 6; v = 7 };
+    Store.Avail_flip { vertex = 2; slot = 3 };
+    Store.Edge_add { u = 1; v = 4; w = 1.1 };
+  ]
+
+let apply_all st ds =
+  List.fold_left
+    (fun st d ->
+      match Store.apply_delta st d with
+      | Ok st' -> st'
+      | Error e -> Alcotest.failf "apply_delta: %s" e)
+    st ds
+
+let expect_state name a b =
+  check Alcotest.bool (name ^ ": states equal") true (Store.state_equal a b)
+
+let open_exn ?checkpoint_bytes ~init d =
+  match Store.open_dir ?checkpoint_bytes ~init d with
+  | Ok pair -> pair
+  | Error e -> Alcotest.failf "open_dir: %s" (Store.string_of_error e)
+
+let no_init () = Alcotest.fail "init must not run: a snapshot exists"
+
+(* --- snapshot codec ------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  let st = apply_all (base_state ()) (deltas ()) in
+  let bytes = Store.encode_snapshot st in
+  (match Store.decode_snapshot ~file:"mem" bytes with
+  | Ok st' -> expect_state "decode(encode)" st st'
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  with_dir @@ fun d ->
+  let p = Filename.concat d "snap.stgq" in
+  let n = Store.save_snapshot p st in
+  check Alcotest.int "save returns the image size" (String.length bytes) n;
+  (match Store.load_snapshot p with
+  | Ok st' -> expect_state "load(save)" st st'
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  match Store.verify_snapshot p with
+  | Ok info ->
+      check Alcotest.int "si_bytes" n info.Store.si_bytes;
+      check Alcotest.int "si_n" 8 info.Store.si_n;
+      check Alcotest.int "si_m"
+        (Socgraph.Graph.n_edges st.Store.graph)
+        info.Store.si_m;
+      check Alcotest.int "si_horizon" horizon info.Store.si_horizon
+  | Error e -> Alcotest.fail (Store.string_of_error e)
+
+let test_snapshot_empty () =
+  (* zero vertices, zero schedules: the degenerate image round-trips *)
+  let st = Store.state_of_instance (Socgraph.Graph.of_edges 0 []) [||] in
+  match Store.decode_snapshot ~file:"mem" (Store.encode_snapshot st) with
+  | Ok st' -> expect_state "empty" st st'
+  | Error e -> Alcotest.fail (Store.string_of_error e)
+
+let test_apply_delta () =
+  let st = base_state () in
+  let frozen = Store.copy_state st in
+  (* the functional contract: inputs are never mutated *)
+  (match Store.apply_delta st (Store.Avail_flip { vertex = 0; slot = 1 }) with
+  | Ok st' ->
+      check Alcotest.bool "flip changed the copy" false
+        (Store.state_equal st st')
+  | Error e -> Alcotest.failf "flip: %s" e);
+  expect_state "input untouched" frozen st;
+  (* re-weight replaces the edge weight *)
+  (match Store.apply_delta st (Store.Edge_add { u = 1; v = 0; w = 9. }) with
+  | Ok st' ->
+      check (Alcotest.option (Alcotest.float 0.))
+        "re-weight wins" (Some 9.)
+        (Socgraph.Graph.edge_weight st'.Store.graph 0 1)
+  | Error e -> Alcotest.failf "re-weight: %s" e);
+  (* removing an absent edge is a no-op, not an error *)
+  (match Store.apply_delta st (Store.Edge_remove { u = 0; v = 6 }) with
+  | Ok st' -> expect_state "remove absent" st st'
+  | Error e -> Alcotest.failf "remove absent: %s" e);
+  let expect_err name d =
+    match Store.apply_delta st d with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: invalid delta accepted" name
+  in
+  expect_err "oob vertex" (Store.Edge_add { u = 0; v = 99; w = 1. });
+  expect_err "self loop" (Store.Edge_add { u = 3; v = 3; w = 1. });
+  expect_err "bad weight" (Store.Edge_add { u = 0; v = 4; w = -1. });
+  expect_err "nan weight" (Store.Edge_add { u = 0; v = 4; w = Float.nan });
+  expect_err "oob slot" (Store.Avail_flip { vertex = 0; slot = horizon });
+  expect_err "oob flip vertex" (Store.Avail_flip { vertex = -1; slot = 0 });
+  expect_err "horizon mismatch"
+    (Store.Schedule_set
+       { vertex = 0; avail = Timetable.Availability.create ~horizon:5 })
+
+(* --- WAL codec + recovery ------------------------------------------ *)
+
+let test_wal_roundtrip () =
+  with_dir @@ fun d ->
+  let ds = deltas () in
+  let final = apply_all (base_state ()) ds in
+  let t, r0 = open_exn ~init:base_state d in
+  check Alcotest.int "fresh marker" (-1) r0.Store.r_snapshot_gen;
+  check Alcotest.bool "fresh status" true
+    (contains ~needle:"fresh" (Store.recovery_status r0));
+  List.iter (Store.append t) ds;
+  let wb = Store.wal_bytes t in
+  check Alcotest.int "wal bytes = sum of records" wb
+    (List.fold_left (fun a dl -> a + String.length (Store.encode_record dl)) 0 ds);
+  Store.close t;
+  (match Store.verify_wal (Store.wal_path ~dir:d) with
+  | Ok n -> check Alcotest.int "verify counts records" (List.length ds) n
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  (match Store.replay_wal (Store.wal_path ~dir:d) with
+  | Ok r ->
+      check Alcotest.int "replay records" (List.length ds) r.Store.records;
+      check Alcotest.int "replay valid bytes" wb r.Store.valid_bytes;
+      check Alcotest.bool "no torn tail" true (r.Store.torn = None);
+      expect_state "replayed deltas rebuild the state" final
+        (apply_all (base_state ()) r.Store.deltas)
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  let t2, r2 = open_exn ~init:no_init d in
+  Store.close t2;
+  check Alcotest.int "recovered from gen 0" 0 r2.Store.r_snapshot_gen;
+  check Alcotest.int "all records replayed" (List.length ds) r2.Store.r_replayed;
+  expect_state "recovered state" final r2.Store.r_state
+
+let test_checkpoint () =
+  with_dir @@ fun d ->
+  let t, _ = open_exn ~checkpoint_bytes:1 ~init:base_state d in
+  let d1 = Store.Avail_flip { vertex = 0; slot = 2 } in
+  let st1 = apply_all (base_state ()) [ d1 ] in
+  Store.append t d1;
+  check Alcotest.bool "threshold crossed" true (Store.should_checkpoint t);
+  Store.checkpoint t st1;
+  check Alcotest.int "wal truncated" 0 (Store.wal_bytes t);
+  check Alcotest.bool "gen 1 published" true
+    (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:1));
+  check Alcotest.bool "gen 0 kept as fallback" true
+    (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:0));
+  let d2 = Store.Avail_flip { vertex = 1; slot = 2 } in
+  let st2 = apply_all st1 [ d2 ] in
+  Store.append t d2;
+  Store.checkpoint t st2;
+  check Alcotest.bool "gen 2 published" true
+    (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:2));
+  check Alcotest.bool "gen 0 pruned" false
+    (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:0));
+  Store.close t;
+  let t3, r3 = open_exn ~init:no_init d in
+  Store.close t3;
+  check Alcotest.int "recovered from gen 2" 2 r3.Store.r_snapshot_gen;
+  check Alcotest.int "nothing to replay" 0 r3.Store.r_replayed;
+  expect_state "checkpointed state" st2 r3.Store.r_state
+
+let test_torn_tail () =
+  with_dir @@ fun d ->
+  let ds = [ List.nth (deltas ()) 0; List.nth (deltas ()) 1 ] in
+  let t, _ = open_exn ~init:base_state d in
+  List.iter (Store.append t) ds;
+  Store.close t;
+  let wal = Store.wal_path ~dir:d in
+  let intact = read_file wal in
+  (* a crashed append: half a header of garbage at the tail *)
+  write_file wal (intact ^ "\222\173\190");
+  (match Store.replay_wal wal with
+  | Ok r ->
+      check Alcotest.int "prefix records survive" 2 r.Store.records;
+      check Alcotest.int "valid bytes = intact prefix" (String.length intact)
+        r.Store.valid_bytes;
+      check Alcotest.bool "tail reported torn" true (r.Store.torn <> None)
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  (match Store.verify_wal wal with
+  | Error (Store.Corrupt c) ->
+      check Alcotest.int "torn offset" (String.length intact) c.Store.offset
+  | Ok _ -> Alcotest.fail "strict verify accepted a torn tail");
+  (* recovery truncates the tail and the log is appendable again *)
+  let t2, r2 = open_exn ~init:no_init d in
+  check Alcotest.bool "recovery reports the torn tail" true
+    (r2.Store.r_torn <> None);
+  check Alcotest.int "durable prefix replayed" 2 r2.Store.r_replayed;
+  expect_state "durable prefix state" (apply_all (base_state ()) ds)
+    r2.Store.r_state;
+  Store.append t2 (Store.Avail_flip { vertex = 7; slot = 1 });
+  Store.close t2;
+  (match Store.verify_wal wal with
+  | Ok n -> check Alcotest.int "appends extend the durable prefix" 3 n
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  (* a bit flip mid-log: replay stops at the first bad CRC *)
+  let flipped = Bytes.of_string (read_file wal) in
+  let off = String.length (Store.encode_record (List.nth ds 0)) + 9 in
+  Bytes.set flipped off (Char.chr (Char.code (Bytes.get flipped off) lxor 0x01));
+  write_file wal (Bytes.to_string flipped);
+  match Store.replay_wal wal with
+  | Ok r ->
+      check Alcotest.int "replay stops at the first bad CRC" 1 r.Store.records;
+      check Alcotest.bool "flip reported" true (r.Store.torn <> None)
+  | Error e -> Alcotest.fail (Store.string_of_error e)
+
+(* The differential gate: crash the log at every byte offset around
+   every record boundary; recovery must land exactly on the in-memory
+   replay of the durable prefix. *)
+let test_crash_at_every_record () =
+  with_dir @@ fun d ->
+  let ds = deltas () in
+  let t, _ = open_exn ~init:base_state d in
+  List.iter (Store.append t) ds;
+  Store.close t;
+  let wal_bytes = read_file (Store.wal_path ~dir:d) in
+  let snap_bytes = read_file (Store.snapshot_path ~dir:d ~gen:0) in
+  (* record boundaries, in prefix order: boundary j = bytes holding the
+     first j records *)
+  let boundaries =
+    List.rev
+      (List.fold_left
+         (fun acc dl ->
+           match acc with
+           | prev :: _ -> (prev + String.length (Store.encode_record dl)) :: acc
+           | [] -> assert false)
+         [ 0 ] ds)
+  in
+  let expected_prefix j = apply_all (base_state ()) (List.filteri (fun i _ -> i < j) ds) in
+  let try_cut ~cut ~records =
+    with_dir @@ fun d2 ->
+    write_file (Store.snapshot_path ~dir:d2 ~gen:0) snap_bytes;
+    write_file (Store.wal_path ~dir:d2) (String.sub wal_bytes 0 cut);
+    let t2, r2 = open_exn ~init:no_init d2 in
+    Store.close t2;
+    check Alcotest.int
+      (Printf.sprintf "cut %d: durable prefix is %d record(s)" cut records)
+      records r2.Store.r_replayed;
+    expect_state (Printf.sprintf "cut %d" cut) (expected_prefix records)
+      r2.Store.r_state
+  in
+  List.iteri
+    (fun j b ->
+      (* exactly at the boundary: a clean crash between appends *)
+      try_cut ~cut:b ~records:j;
+      (* one byte into the next header, and one byte short of the next
+         boundary: torn mid-append, the tail must be dropped *)
+      if j < List.length ds then begin
+        try_cut ~cut:(b + 1) ~records:j;
+        let next = List.nth boundaries (j + 1) in
+        try_cut ~cut:(next - 1) ~records:j
+      end)
+    boundaries
+
+(* Recovered state must serve bit-identical answers: solve the same
+   query on an uncrashed service and on one rebuilt from recovery. *)
+let test_recovered_answers () =
+  with_dir @@ fun d ->
+  let ds = deltas () in
+  let final = apply_all (base_state ()) ds in
+  let t, _ = open_exn ~init:base_state d in
+  List.iter (Store.append t) ds;
+  Store.close t;
+  let t2, r2 = open_exn ~init:no_init d in
+  Store.close t2;
+  let service_of (st : Store.state) =
+    Service.create
+      {
+        Query.social = { Query.graph = st.Store.graph; initiator = 0 };
+        schedules = st.Store.schedules;
+      }
+  in
+  let live = service_of final in
+  let recovered = service_of r2.Store.r_state in
+  let q = { Query.p = 3; s = 2; k = 2; m = 2 } in
+  let q_sg = { Query.p = 3; s = 2; k = 2 } in
+  List.iter
+    (fun initiator ->
+      let a = Service.stgq live ~initiator q in
+      let b = Service.stgq recovered ~initiator q in
+      check Alcotest.bool
+        (Printf.sprintf "stgq answers identical (initiator %d)" initiator)
+        true (a = b);
+      let a = Service.sgq live ~initiator q_sg in
+      let b = Service.sgq recovered ~initiator q_sg in
+      check Alcotest.bool
+        (Printf.sprintf "sgq answers identical (initiator %d)" initiator)
+        true (a = b))
+    [ 0; 3; 5 ]
+
+(* --- decoder hardening --------------------------------------------- *)
+
+let test_snapshot_truncation () =
+  let bytes = Store.encode_snapshot (apply_all (base_state ()) (deltas ())) in
+  for cut = 0 to String.length bytes - 1 do
+    match Store.decode_snapshot ~file:"mem" (String.sub bytes 0 cut) with
+    | Error (Store.Corrupt _) -> ()
+    | Ok _ -> Alcotest.failf "strict prefix of %d byte(s) decoded" cut
+  done
+
+let test_wal_truncation () =
+  with_dir @@ fun d ->
+  let ds = deltas () in
+  let t, _ = open_exn ~init:base_state d in
+  List.iter (Store.append t) ds;
+  Store.close t;
+  let wal = read_file (Store.wal_path ~dir:d) in
+  let boundaries =
+    List.fold_left
+      (fun acc dl ->
+        match acc with
+        | prev :: _ -> (prev + String.length (Store.encode_record dl)) :: acc
+        | [] -> assert false)
+      [ 0 ] ds
+  in
+  let probe = Filename.concat d "probe.wal" in
+  for cut = 0 to String.length wal - 1 do
+    write_file probe (String.sub wal 0 cut);
+    match Store.verify_wal probe with
+    | Ok _ when List.mem cut boundaries -> ()
+    | Ok n ->
+        Alcotest.failf "strict verify accepted a mid-record cut at %d (%d recs)"
+          cut n
+    | Error (Store.Corrupt _) when not (List.mem cut boundaries) -> ()
+    | Error (Store.Corrupt c) ->
+        Alcotest.failf "boundary cut at %d rejected: %s" cut c.Store.detail
+  done
+
+let snapshot_fuzz_bytes =
+  lazy (Store.encode_snapshot (apply_all (base_state ()) (deltas ())))
+
+let prop_snapshot_mutation =
+  Gen.qtest ~count:300 "snapshot byte mutations never raise"
+    (QCheck.make
+       ~print:(fun (pos, byte) -> Printf.sprintf "byte %d := %d" pos byte)
+       (fun st ->
+         let bytes = Lazy.force snapshot_fuzz_bytes in
+         (G.int_bound (String.length bytes - 1) st, G.int_bound 255 st)))
+    (fun (pos, byte) ->
+      let mutated = Bytes.of_string (Lazy.force snapshot_fuzz_bytes) in
+      Bytes.set mutated pos (Char.chr byte);
+      match Store.decode_snapshot ~file:"mem" (Bytes.to_string mutated) with
+      | Ok _ | Error (Store.Corrupt _) -> true)
+
+let prop_garbage_snapshot =
+  Gen.qtest ~count:300 "random bytes never decode as a snapshot image"
+    (QCheck.make ~print:(Printf.sprintf "%S") G.(string_size (int_bound 64)))
+    (fun s ->
+      match Store.decode_snapshot ~file:"mem" s with
+      | Error (Store.Corrupt _) -> true
+      | Ok st -> Store.state_equal st st (* unreachable for garbage < magic *))
+
+let w32_be b v =
+  for i = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (i * 8)) land 0xFF))
+  done
+
+let section b tag payload =
+  Buffer.add_char b (Char.chr tag);
+  w32_be b (String.length payload);
+  w32_be b (Store.crc32 payload);
+  Buffer.add_string b payload
+
+(* Hostile declared lengths must be rejected against the bytes present
+   before anything is allocated from them. *)
+let test_hostile_lengths () =
+  (* a graph section declaring ~4 GiB of payload *)
+  let b = Buffer.create 32 in
+  Buffer.add_string b "STGQSNAP\001";
+  Buffer.add_char b '\001';
+  w32_be b 0xFFFFFF00;
+  w32_be b 0;
+  (match Store.decode_snapshot ~file:"mem" (Buffer.contents b) with
+  | Error (Store.Corrupt c) ->
+      check Alcotest.bool "offset recorded" true (c.Store.offset > 0)
+  | Ok _ -> Alcotest.fail "hostile section length decoded");
+  (* a timetable section declaring a ~4e9-slot horizon under a valid
+     CRC: the mask bytes are not present, so no bitset may be built *)
+  let g = Buffer.create 16 in
+  w32_be g 2;
+  w32_be g 0;
+  let tt = Buffer.create 16 in
+  w32_be tt 2;
+  w32_be tt 0xFFFFFF00;
+  let img = Buffer.create 64 in
+  Buffer.add_string img "STGQSNAP\001";
+  section img 1 (Buffer.contents g);
+  section img 2 (Buffer.contents tt);
+  (match Store.decode_snapshot ~file:"mem" (Buffer.contents img) with
+  | Error (Store.Corrupt c) ->
+      check Alcotest.bool "truncation detail" true
+        (contains ~needle:"truncated" c.Store.detail)
+  | Ok _ -> Alcotest.fail "hostile horizon decoded");
+  (* a WAL record declaring more than the 1 MiB cap is a torn tail for
+     replay and corruption for strict verify *)
+  with_dir @@ fun d ->
+  let wal = Filename.concat d "wal.stgq" in
+  let b = Buffer.create 16 in
+  w32_be b ((1 lsl 20) + 1);
+  w32_be b 0;
+  write_file wal (Buffer.contents b);
+  (match Store.replay_wal wal with
+  | Ok r ->
+      check Alcotest.int "no records" 0 r.Store.records;
+      check Alcotest.bool "cap reported" true
+        (match r.Store.torn with
+        | Some c -> contains ~needle:"cap" c.Store.detail
+        | None -> false)
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  match Store.verify_wal wal with
+  | Error (Store.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "strict verify accepted an over-cap record"
+
+let test_recovery_refuses () =
+  (* a directory whose only snapshot is rot: refuse, do not clobber *)
+  (with_dir @@ fun d ->
+   write_file (Store.snapshot_path ~dir:d ~gen:0) "garbage";
+   match Store.open_dir ~init:no_init d with
+   | Error (Store.Corrupt _) -> ()
+   | Ok _ -> Alcotest.fail "opened a store with no valid snapshot");
+  (* a WAL record with a valid CRC but invalid semantics: the writer
+     never produced it, so recovery refuses with its offset *)
+  with_dir @@ fun d ->
+  let t, _ = open_exn ~init:base_state d in
+  Store.close t;
+  write_file (Store.wal_path ~dir:d)
+    (Store.encode_record (Store.Edge_add { u = 0; v = 7777; w = 1. }));
+  match Store.open_dir ~init:no_init d with
+  | Error (Store.Corrupt c) ->
+      check Alcotest.int "offset of the bad record" 0 c.Store.offset;
+      check Alcotest.bool "detail names the range violation" true
+        (contains ~needle:"out of range" c.Store.detail)
+  | Ok _ -> Alcotest.fail "replayed a semantically invalid record"
+
+(* --- engine epoch + precise invalidation --------------------------- *)
+
+let test_cache_epoch_and_touched () =
+  let path = Socgraph.Graph.of_edges 5 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.); (3, 4, 1.) ] in
+  let cache = Engine.Cache.create path in
+  check Alcotest.int "epoch starts at 0" 0 (Engine.Cache.epoch cache);
+  ignore (Engine.Cache.context cache ~initiator:0 ~s:1 : Engine.Context.t);
+  check Alcotest.int "one cached context" 1
+    (Engine.Cache.stats cache).Engine.Cache.entries;
+  (* a delta on edge {3,4}: neither endpoint is within s=1 of initiator
+     0, so the cached context must survive *)
+  let g2 = Socgraph.Graph.of_edges 5 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.); (3, 4, 2.) ] in
+  Engine.Cache.set_graph ~touched:[ 3; 4 ] cache g2;
+  check Alcotest.int "untouched context survives" 1
+    (Engine.Cache.stats cache).Engine.Cache.entries;
+  check Alcotest.int "epoch bumped" 1 (Engine.Cache.epoch cache);
+  (* a delta touching vertex 1 — feasible for (0, s=1) — must drop it *)
+  let g3 = Socgraph.Graph.of_edges 5 [ (0, 1, 3.); (1, 2, 1.); (2, 3, 1.); (3, 4, 2.) ] in
+  Engine.Cache.set_graph ~touched:[ 0; 1 ] cache g3;
+  check Alcotest.int "touched context dropped" 0
+    (Engine.Cache.stats cache).Engine.Cache.entries;
+  check Alcotest.int "epoch bumped again" 2 (Engine.Cache.epoch cache);
+  (* calendar edits bump the epoch too *)
+  let schedules = Array.init 5 (fun _ -> mk_sched 0 5) in
+  let cache2 = Engine.Cache.create ~schedules path in
+  Engine.Cache.set_schedule cache2 ~vertex:2 (mk_sched 1 3);
+  check Alcotest.int "schedule edit bumps epoch" 1 (Engine.Cache.epoch cache2)
+
+(* --- client retry + healthz ---------------------------------------- *)
+
+let fast_policy =
+  { Resilience.default_policy with backoff_ms = 0.01; max_retries = 2 }
+
+let base_ti () =
+  let st = base_state () in
+  {
+    Query.social = { Query.graph = st.Store.graph; initiator = 0 };
+    schedules = st.Store.schedules;
+  }
+
+let test_connect_retry () =
+  (* unreachable endpoint: typed error after the retry allowance *)
+  (match
+     Server.Client.connect_retry ~policy:fast_policy
+       (Server.Unix_path "store-test-no-such-dir/sock")
+   with
+  | Error msg ->
+      check Alcotest.bool "error counts attempts" true
+        (contains ~needle:"3 attempt(s)" msg)
+  | Ok _ -> Alcotest.fail "connected to nothing");
+  (* live endpoint: first attempt wins *)
+  let service = Service.create (base_ti ()) in
+  Suite_server.with_server service @@ fun addr ->
+  match Server.Client.connect_retry ~policy:fast_policy addr with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          match Server.Client.hello c ~client:"suite-store" with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.fail msg)
+
+let test_healthz_recovery_field () =
+  with_dir @@ fun d ->
+  let t, recovery = open_exn ~init:base_state d in
+  Store.close t;
+  let baseline = Obs.snapshot () in
+  let status () = "store: " ^ Store.recovery_status recovery in
+  let code, _, body = Obs.Exposition.respond ~health:status ~baseline "/healthz" in
+  check Alcotest.int "healthz is 200" 200 code;
+  check Alcotest.bool "liveness line first" true
+    (String.length body >= 3 && String.sub body 0 3 = "ok\n");
+  check Alcotest.bool "recovery status reported" true
+    (contains ~needle:"fresh store" body);
+  (* without the hook the body is unchanged *)
+  let _, _, plain = Obs.Exposition.respond ~baseline "/healthz" in
+  check Alcotest.string "default body" "ok\n" plain
+
+(* --- the wire: journal before ack ---------------------------------- *)
+
+let test_wire_durability () =
+  with_dir @@ fun d ->
+  let service = Service.create (base_ti ()) in
+  let init () =
+    Store.state_of_instance (Service.graph service) (Service.schedules service)
+  in
+  let t, _ = open_exn ~init d in
+  let config = { Server.default_config with store = Some t } in
+  let edit = mk_sched 1 4 in
+  (Suite_server.with_server ~config service @@ fun addr ->
+   Suite_server.with_client addr @@ fun c ->
+   (match
+      Suite_server.request_exn c
+        (Proto.Update_schedule { vertex = 3; avail = edit })
+    with
+   | Proto.Updated { vertex } -> check Alcotest.int "acked vertex" 3 vertex
+   | resp -> Alcotest.failf "expected Updated, got %a" Proto.pp_response resp);
+   (* an invalid edit is rejected before it can pollute the log *)
+   match
+     Suite_server.request_exn c
+       (Proto.Update_schedule { vertex = 999; avail = edit })
+   with
+   | Proto.Failed (Proto.Bad_request _) -> ()
+   | resp -> Alcotest.failf "expected Bad_request, got %a" Proto.pp_response resp);
+  Store.close t;
+  (* the acked edit survives: reopen and find it in the recovered state *)
+  let t2, r2 = open_exn ~init:no_init d in
+  Store.close t2;
+  check Alcotest.int "one journalled record" 1 r2.Store.r_replayed;
+  check Alcotest.bool "recovered calendar carries the edit" true
+    (Bitset.equal
+       (Timetable.Availability.bits r2.Store.r_state.Store.schedules.(3))
+       (Timetable.Availability.bits edit));
+  (* the recovered state is exactly what the live service holds... *)
+  expect_state "recovered == live in-memory state" (init ()) r2.Store.r_state;
+  (* ...and reverting the one acked edit lands back on the initial state *)
+  expect_state "only vertex 3 changed" (base_state ())
+    (apply_all r2.Store.r_state
+       [ Store.Schedule_set { vertex = 3; avail = (base_state ()).Store.schedules.(3) } ])
+
+let test_store_metrics () =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let appends = Obs.counter "store.wal.appends" in
+  let replays = Obs.counter "store.replay.records" in
+  let before_appends = Obs.Counter.value appends in
+  let before_replays = Obs.Counter.value replays in
+  with_dir @@ fun d ->
+  let t, _ = open_exn ~init:base_state d in
+  List.iter (Store.append t) (deltas ());
+  Store.close t;
+  check Alcotest.int "appends counted"
+    (before_appends + List.length (deltas ()))
+    (Obs.Counter.value appends);
+  let t2, _ = open_exn ~init:no_init d in
+  Store.close t2;
+  check Alcotest.int "replayed records counted"
+    (before_replays + List.length (deltas ()))
+    (Obs.Counter.value replays)
+
+(* --- the Store_* fault matrix (env-gated) -------------------------- *)
+
+let test_fault_short_write () =
+  match spec_for Faultinject.Store_short_write with
+  | None -> ()
+  | Some spec ->
+      with_dir @@ fun d ->
+      let p = Filename.concat d "snap.stgq" in
+      let st = base_state () in
+      (match Store.save_snapshot p st with
+      | _ -> Alcotest.fail "short-write plan did not fire"
+      | exception Faultinject.Injected_fault _ -> ());
+      check Alcotest.bool "site fired" true
+        (Faultinject.hits Faultinject.Store_short_write > 0);
+      (* the crash happened before the rename: no image is visible *)
+      check Alcotest.bool "no image published" false (Sys.file_exists p);
+      (* the half-written temp file never verifies *)
+      (match Store.load_snapshot (p ^ ".tmp") with
+      | Error (Store.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "half-written temp file decoded");
+      if not spec.persistent then begin
+        let n = Store.save_snapshot p st in
+        check Alcotest.bool "retry publishes" true (n > 0);
+        match Store.load_snapshot p with
+        | Ok st' -> expect_state "published image" st st'
+        | Error e -> Alcotest.fail (Store.string_of_error e)
+      end
+
+let test_fault_crash_rename () =
+  match spec_for Faultinject.Store_crash_rename with
+  | None -> ()
+  | Some spec ->
+      with_dir @@ fun d ->
+      let p = Filename.concat d "snap.stgq" in
+      let st = base_state () in
+      (match Store.save_snapshot p st with
+      | _ -> Alcotest.fail "crash-rename plan did not fire"
+      | exception Faultinject.Injected_fault _ -> ());
+      check Alcotest.bool "site fired" true
+        (Faultinject.hits Faultinject.Store_crash_rename > 0);
+      (* crash after fsync, before rename: temp complete, image absent *)
+      check Alcotest.bool "no image published" false (Sys.file_exists p);
+      (match Store.load_snapshot (p ^ ".tmp") with
+      | Ok st' -> expect_state "temp file was fully written" st st'
+      | Error e -> Alcotest.fail (Store.string_of_error e));
+      if not spec.persistent then begin
+        ignore (Store.save_snapshot p st : int);
+        match Store.load_snapshot p with
+        | Ok st' -> expect_state "retry publishes" st st'
+        | Error e -> Alcotest.fail (Store.string_of_error e)
+      end
+
+let test_fault_bit_flip () =
+  match spec_for Faultinject.Store_bit_flip with
+  | None -> ()
+  | Some spec ->
+      with_dir @@ fun d ->
+      let stA = base_state () in
+      let stB = apply_all (base_state ()) [ List.nth (deltas ()) 0 ] in
+      (* newest generation takes the silent flip *)
+      ignore (Store.save_snapshot (Store.snapshot_path ~dir:d ~gen:1) stA : int);
+      check Alcotest.bool "site fired" true
+        (Faultinject.hits Faultinject.Store_bit_flip > 0);
+      (match Store.load_snapshot (Store.snapshot_path ~dir:d ~gen:1) with
+      | Error (Store.Corrupt _) -> ()
+      | Ok _ -> Alcotest.fail "flipped image passed its CRC");
+      if spec.persistent then begin
+        (* every image rots: recovery must refuse, not fabricate *)
+        ignore (Store.save_snapshot (Store.snapshot_path ~dir:d ~gen:0) stB : int);
+        match Store.open_dir ~init:no_init d with
+        | Error (Store.Corrupt _) -> ()
+        | Ok _ -> Alcotest.fail "opened on all-corrupt generations"
+      end
+      else begin
+        (* older generation is intact: recovery falls back to it *)
+        ignore (Store.save_snapshot (Store.snapshot_path ~dir:d ~gen:0) stB : int);
+        let t, r = open_exn ~init:no_init d in
+        Store.close t;
+        check Alcotest.int "fell back to gen 0" 0 r.Store.r_snapshot_gen;
+        check Alcotest.int "rotten generation counted" 1
+          r.Store.r_snapshots_skipped;
+        expect_state "fallback state" stB r.Store.r_state
+      end
+
+let test_fault_crash_append () =
+  match spec_for Faultinject.Store_crash_append with
+  | None -> ()
+  | Some spec ->
+      with_dir @@ fun d ->
+      let t, _ = open_exn ~init:base_state d in
+      let d1 = List.nth (deltas ()) 0 in
+      (match Store.append t d1 with
+      | () -> Alcotest.fail "crash-append plan did not fire"
+      | exception Faultinject.Injected_fault _ -> ());
+      check Alcotest.bool "site fired" true
+        (Faultinject.hits Faultinject.Store_crash_append > 0);
+      Store.close t;
+      (* recovery: the torn record is dropped, state is the pre-crash
+         durable prefix (nothing was acked, nothing is replayed) *)
+      let t2, r2 = open_exn ~init:no_init d in
+      check Alcotest.int "torn record not replayed" 0 r2.Store.r_replayed;
+      check Alcotest.bool "torn tail reported" true (r2.Store.r_torn <> None);
+      expect_state "durable prefix = snapshot" (base_state ()) r2.Store.r_state;
+      if not spec.persistent then begin
+        Store.append t2 d1;
+        Store.close t2;
+        let t3, r3 = open_exn ~init:no_init d in
+        Store.close t3;
+        check Alcotest.int "retried append replays" 1 r3.Store.r_replayed;
+        expect_state "retried append recovered"
+          (apply_all (base_state ()) [ d1 ])
+          r3.Store.r_state
+      end
+      else Store.close t2
+
+let suite =
+  [
+    Alcotest.test_case "snapshot round-trip" `Quick
+      (unless_armed test_snapshot_roundtrip);
+    Alcotest.test_case "empty snapshot" `Quick (unless_armed test_snapshot_empty);
+    Alcotest.test_case "apply_delta semantics" `Quick
+      (unless_armed test_apply_delta);
+    Alcotest.test_case "WAL round-trip + recovery" `Quick
+      (unless_armed test_wal_roundtrip);
+    Alcotest.test_case "checkpoint + prune" `Quick (unless_armed test_checkpoint);
+    Alcotest.test_case "torn tail" `Quick (unless_armed test_torn_tail);
+    Alcotest.test_case "crash at every record (differential)" `Quick
+      (unless_armed test_crash_at_every_record);
+    Alcotest.test_case "recovered answers bit-identical" `Quick
+      (unless_armed test_recovered_answers);
+    Alcotest.test_case "snapshot truncation" `Quick
+      (unless_armed test_snapshot_truncation);
+    Alcotest.test_case "WAL truncation" `Quick (unless_armed test_wal_truncation);
+    (if store_plan_armed then
+       Alcotest.test_case "snapshot mutations (skipped: plan armed)" `Quick
+         (fun () -> ())
+     else prop_snapshot_mutation);
+    (if store_plan_armed then
+       Alcotest.test_case "garbage snapshots (skipped: plan armed)" `Quick
+         (fun () -> ())
+     else prop_garbage_snapshot);
+    Alcotest.test_case "hostile lengths" `Quick (unless_armed test_hostile_lengths);
+    Alcotest.test_case "recovery refuses bad stores" `Quick
+      (unless_armed test_recovery_refuses);
+    Alcotest.test_case "cache epoch + precise invalidation" `Quick
+      (unless_armed test_cache_epoch_and_touched);
+    Alcotest.test_case "connect retry" `Quick (unless_armed test_connect_retry);
+    Alcotest.test_case "healthz recovery field" `Quick
+      (unless_armed test_healthz_recovery_field);
+    Alcotest.test_case "wire journal-before-ack" `Quick
+      (unless_armed test_wire_durability);
+    Alcotest.test_case "store metrics" `Quick (unless_armed test_store_metrics);
+    Alcotest.test_case "fault: short write" `Quick test_fault_short_write;
+    Alcotest.test_case "fault: crash before rename" `Quick
+      test_fault_crash_rename;
+    Alcotest.test_case "fault: bit flip" `Quick test_fault_bit_flip;
+    Alcotest.test_case "fault: crash mid-append" `Quick test_fault_crash_append;
+  ]
