@@ -1597,7 +1597,7 @@ let scale_smoke ~out =
     Store.append ~sync:false store (delta_of i)
   done;
   let t0 = Unix.gettimeofday () in
-  let replayed = ok_or_die (Store.replay_wal (Store.wal_path ~dir)) in
+  let replayed = ok_or_die (Store.replay_wal (Store.wal_path ~dir ~gen:0)) in
   let replay_s = Unix.gettimeofday () -. t0 in
   let replay_per_s =
     if replay_s <= 0. then float_of_int records

@@ -14,11 +14,13 @@ type site =
   | Store_bit_flip
   | Store_crash_rename
   | Store_crash_append
+  | Store_crash_checkpoint
 
 let all_sites =
   [
     Context_build; Pool_job_start; Kernel_expansion; Certify;
     Store_short_write; Store_bit_flip; Store_crash_rename; Store_crash_append;
+    Store_crash_checkpoint;
   ]
 
 let site_name = function
@@ -30,6 +32,7 @@ let site_name = function
   | Store_bit_flip -> "store_bit_flip"
   | Store_crash_rename -> "store_crash_rename"
   | Store_crash_append -> "store_crash_append"
+  | Store_crash_checkpoint -> "store_crash_checkpoint"
 
 let site_of_name = function
   | "context_build" -> Some Context_build
@@ -40,6 +43,7 @@ let site_of_name = function
   | "store_bit_flip" -> Some Store_bit_flip
   | "store_crash_rename" -> Some Store_crash_rename
   | "store_crash_append" -> Some Store_crash_append
+  | "store_crash_checkpoint" -> Some Store_crash_checkpoint
   | _ -> None
 
 exception Injected_fault of { site : site; transient : bool }
@@ -120,6 +124,7 @@ let index = function
   | Store_bit_flip -> 5
   | Store_crash_rename -> 6
   | Store_crash_append -> 7
+  | Store_crash_checkpoint -> 8
 
 let install specs =
   Mutex.lock lock;

@@ -33,6 +33,9 @@ type site =
           before the atomic rename *)
   | Store_crash_append
       (** WAL append: crash mid-record, leaving a torn tail *)
+  | Store_crash_checkpoint
+      (** checkpoint: crash after the new snapshot generation's atomic
+          rename but before the delta log rotates to that generation *)
 
 val all_sites : site list
 

@@ -13,6 +13,12 @@
      before the in-memory edit lands.  A crash mid-append leaves a torn
      tail; recovery stops at the first bad CRC and truncates the tail
      so later appends extend the durable prefix.
+   - each log is bound to a snapshot generation: [wal-NNNNNN.stgq]
+     holds exactly the deltas appended on top of [snapshot-NNNNNN.stgq].
+     A checkpoint publishes generation g+1 and then rotates the log, so
+     a crash between those two steps leaves generation g+1 with no log
+     of its own — recovery replays zero deltas, never the superseded
+     log of generation g on top of the image that already contains it.
 
    The [Store_*] fault sites fire at exactly these seams so the
    [@faults] matrix can replay each crash deterministically. *)
@@ -357,8 +363,18 @@ let r_section r ~expect_tag =
   r.pos <- r.pos + len;
   payload
 
+(* [Graph.of_sorted_arrays] sizes O(n) degree/row columns from [n]
+   before a single edge is read, so the vertex count must be bounded
+   here: a ~30-byte image declaring n ~ 4e9 under a valid CRC would
+   otherwise force multi-GiB allocations.  The cap is two orders of
+   magnitude above the scale gates (1e5 users in BENCH_scale.json). *)
+let max_vertices = 1 lsl 24
+
 let decode_graph_section p =
   let n = r_u32 p in
+  if n > max_vertices then
+    fail p
+      (Printf.sprintf "vertex count %d exceeds the %d cap" n max_vertices);
   let m = r_u32 p in
   (* 16 bytes per edge; checked before the three columns exist. *)
   need p (16 * m);
@@ -449,6 +465,12 @@ let decode_snapshot ~file bytes =
   match decode_snapshot_reader { rfile = file; buf = bytes; base = 0; pos = 0 } with
   | state -> Ok state
   | exception Fail c -> Error (Corrupt c)
+  | exception Out_of_memory ->
+      (* Belt over the cap's braces: a hostile size that still provokes
+         an allocation failure is corruption, not a crash. *)
+      Error
+        (Corrupt
+           { file; offset = 0; detail = "allocation failure decoding image" })
 
 type snapshot_info = { si_bytes : int; si_n : int; si_m : int; si_horizon : int }
 
@@ -461,10 +483,17 @@ let rec write_all fd buf off len =
     write_all fd buf (off + n) (len - n)
   end
 
-let read_file path =
+(* How a whole-file read ended.  [`Missing] is exactly ENOENT; every
+   other failure — permissions, fd exhaustion, I/O error, a directory
+   in the file's place — is [`Unreadable] and must never be conflated
+   with an absent file: treating an unreadable log as empty would
+   position later appends at offset 0 and silently overwrite the
+   durable records underneath. *)
+let read_file_raw path =
   match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Missing
   | exception Unix.Unix_error (e, _, _) ->
-      Error
+      `Unreadable
         (Corrupt
            { file = path; offset = 0;
              detail = "cannot open: " ^ Unix.error_message e })
@@ -475,22 +504,39 @@ let read_file path =
           | () -> ()
           | exception Unix.Unix_error _ -> ())
         (fun () ->
-          let size = (Unix.fstat fd).Unix.st_size in
-          let buf = Bytes.create size in
-          let rec go off =
-            if off >= size then ()
-            else
-              match Unix.read fd buf off (size - off) with
-              | 0 -> raise End_of_file
-              | n -> go (off + n)
-          in
-          match go 0 with
-          | () -> Ok (Bytes.unsafe_to_string buf)
+          match
+            let size = (Unix.fstat fd).Unix.st_size in
+            let buf = Bytes.create size in
+            let rec go off =
+              if off >= size then ()
+              else
+                match Unix.read fd buf off (size - off) with
+                | 0 -> raise End_of_file
+                | n -> go (off + n)
+            in
+            go 0;
+            Bytes.unsafe_to_string buf
+          with
+          | s -> `Contents s
           | exception End_of_file ->
-              Error
+              `Unreadable
                 (Corrupt
                    { file = path; offset = 0;
-                     detail = "file shrank while reading" }))
+                     detail = "file shrank while reading" })
+          | exception Unix.Unix_error (e, _, _) ->
+              `Unreadable
+                (Corrupt
+                   { file = path; offset = 0;
+                     detail = "cannot read: " ^ Unix.error_message e }))
+
+let read_file path =
+  match read_file_raw path with
+  | `Contents s -> Ok s
+  | `Missing ->
+      Error
+        (Corrupt
+           { file = path; offset = 0; detail = "cannot open: no such file" })
+  | `Unreadable e -> Error e
 
 (* fsync of the containing directory makes the rename itself durable.
    Some filesystems refuse fsync on a directory fd; that only weakens
@@ -715,13 +761,13 @@ let decode_frame r =
 (* Internal: decoded records with their starting offsets (recovery
    reports the offset when a record's semantics are invalid). *)
 let replay_wal_records path =
-  match read_file path with
-  | Error (Corrupt { detail; _ })
-    when String.length detail >= 11 && String.sub detail 0 11 = "cannot open" ->
-      (* A store that has never appended has no log: empty, not corrupt. *)
+  match read_file_raw path with
+  | `Missing ->
+      (* A store that has never appended has no log: empty, not corrupt.
+         Only ENOENT qualifies — any other read failure propagates. *)
       Ok ([], { deltas = []; records = 0; valid_bytes = 0; torn = None })
-  | Error e -> Error e
-  | Ok bytes -> (
+  | `Unreadable e -> Error e
+  | `Contents bytes -> (
       let r = { rfile = path; buf = bytes; base = 0; pos = 0 } in
       let rec go acc =
         if r.pos >= String.length bytes then (List.rev acc, None)
@@ -790,10 +836,13 @@ let recovery_status r =
 
 let snapshot_path ~dir ~gen = Filename.concat dir (Printf.sprintf "snapshot-%06d.stgq" gen)
 
-let wal_path ~dir = Filename.concat dir "wal.stgq"
+(* The log is bound to the snapshot generation it extends: [wal-g]
+   holds exactly the deltas appended on top of [snapshot-g], so
+   state(g) + wal-g = state(g+1) by construction and recovery can never
+   replay a log over an image that already contains it. *)
+let wal_path ~dir ~gen = Filename.concat dir (Printf.sprintf "wal-%06d.stgq" gen)
 
-let gen_of_name name =
-  let prefix = "snapshot-" and suffix = ".stgq" in
+let gen_of ~prefix ~suffix name =
   let lp = String.length prefix and ls = String.length suffix in
   let ln = String.length name in
   if ln > lp + ls
@@ -802,10 +851,18 @@ let gen_of_name name =
   then int_of_string_opt (String.sub name lp (ln - lp - ls))
   else None
 
-let generations dir =
+let gen_of_name = gen_of ~prefix:"snapshot-" ~suffix:".stgq"
+
+let wal_gen_of_name = gen_of ~prefix:"wal-" ~suffix:".stgq"
+
+let generations_by dir classify =
   Sys.readdir dir |> Array.to_list
-  |> List.filter_map gen_of_name
+  |> List.filter_map classify
   |> List.sort (fun a b -> compare b a)
+
+let generations dir = generations_by dir gen_of_name
+
+let wal_generations dir = generations_by dir wal_gen_of_name
 
 let mkdir_quiet dir =
   match Unix.mkdir dir 0o755 with
@@ -841,11 +898,35 @@ let open_dir ?(checkpoint_bytes = 1 lsl 20) ~init dir =
   let gens = generations dir in
   let base =
     match gens with
-    | [] ->
-        let state = init () in
-        let bytes = save_snapshot (snapshot_path ~dir ~gen:0) state in
-        ignore (bytes : int);
-        Ok (-1, 0, state, 0)
+    | [] -> (
+        (* No snapshot at all.  A leftover non-empty delta log means
+           this was once a live store whose images were lost: replaying
+           a stale log over [init ()] would fabricate state, so refuse
+           before anything is written into the directory. *)
+        let stale =
+          List.filter
+            (fun g ->
+              match read_file_raw (wal_path ~dir ~gen:g) with
+              | `Contents "" | `Missing -> false
+              | `Contents _ | `Unreadable _ -> true)
+            (wal_generations dir)
+        in
+        match stale with
+        | g :: _ ->
+            Error
+              (Corrupt
+                 {
+                   file = wal_path ~dir ~gen:g;
+                   offset = 0;
+                   detail =
+                     "delta log present but no snapshot generation: refusing \
+                      to initialise over it";
+                 })
+        | [] ->
+            let state = init () in
+            let bytes = save_snapshot (snapshot_path ~dir ~gen:0) state in
+            ignore (bytes : int);
+            Ok (-1, 0, state, 0))
     | newest :: _ -> (
         match pick gens with
         | Some (gen, state, skipped) -> Ok (gen, gen, state, skipped)
@@ -863,59 +944,99 @@ let open_dir ?(checkpoint_bytes = 1 lsl 20) ~init dir =
   in
   match base with
   | Error e -> Error e
-  | Ok (reported_gen, gen, snap_state, skipped) -> (
-      let wal = wal_path ~dir in
-      match replay_wal_records wal with
+  | Ok (reported_gen, gen0, snap_state, skipped) -> (
+      (* Replay the per-generation log chain upward from the loaded
+         generation: wal-g is the log of snapshot g, and when recovery
+         fell back past a rotten image the surviving logs reconstruct
+         the durable prefix (state(g) + wal-g = state(g+1)).  Only the
+         last log of the chain may carry a torn tail — a torn or
+         missing log *followed by* a newer generation's log means the
+         chain cannot be trusted, so the store refuses to open. *)
+      let rec chain st g total =
+        let wal = wal_path ~dir ~gen:g in
+        match replay_wal_records wal with
+        | Error e -> Error e
+        | Ok (recs, replay) -> (
+            let rec fold st = function
+              | [] -> Ok st
+              | (d, off) :: rest -> (
+                  match apply_delta st d with
+                  | Ok st' -> fold st' rest
+                  | Error detail ->
+                      Error (Corrupt { file = wal; offset = off; detail }))
+            in
+            match fold st recs with
+            | Error e -> Error e
+            | Ok st' ->
+                let total = total + replay.records in
+                if not (Sys.file_exists (wal_path ~dir ~gen:(g + 1))) then
+                  Ok (st', g, total, replay)
+                else if replay.torn <> None then
+                  Error
+                    (Corrupt
+                       {
+                         file = wal;
+                         offset =
+                           (match replay.torn with
+                           | Some c -> c.offset
+                           | None -> 0);
+                         detail =
+                           "torn log followed by a newer generation's log: \
+                            chain broken";
+                       })
+                else if not (Sys.file_exists wal) then
+                  Error
+                    (Corrupt
+                       {
+                         file = wal;
+                         offset = 0;
+                         detail =
+                           "log missing but a newer generation's log exists: \
+                            chain broken";
+                       })
+                else chain st' (g + 1) total)
+      in
+      match chain snap_state gen0 0 with
       | Error e -> Error e
-      | Ok (recs, replay) -> (
-          let rec fold st = function
-            | [] -> Ok st
-            | (d, off) :: rest -> (
-                match apply_delta st d with
-                | Ok st' -> fold st' rest
-                | Error detail ->
-                    Error (Corrupt { file = wal; offset = off; detail }))
+      | Ok (state, active_gen, replayed, active) ->
+          let fd =
+            Unix.openfile
+              (wal_path ~dir ~gen:active_gen)
+              [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+              0o644
           in
-          match fold snap_state recs with
-          | Error e -> Error e
-          | Ok state ->
-              let fd =
-                Unix.openfile wal
-                  [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
-                  0o644
-              in
-              (* Drop the torn tail so the next append extends the
-                 durable prefix instead of burying garbage. *)
-              if replay.torn <> None then Unix.ftruncate fd replay.valid_bytes;
-              ignore (Unix.lseek fd replay.valid_bytes Unix.SEEK_SET : int);
-              let t =
-                {
-                  dir;
-                  wal_fd = fd;
-                  gen = max gen 0;
-                  wbytes = replay.valid_bytes;
-                  checkpoint_bytes;
-                  lock = Mutex.create ();
-                }
-              in
-              Obs.Counter.add m_replayed replay.records;
-              Obs.Gauge.set g_wal_bytes t.wbytes;
-              Obs.Gauge.set g_recovery_outcome
-                (if skipped > 0 then outcome_fallback
-                 else if replay.torn <> None then outcome_torn
-                 else if replay.records > 0 then outcome_replayed
-                 else if reported_gen < 0 then outcome_fresh
-                 else outcome_clean);
-              Ok
-                ( t,
-                  {
-                    r_dir = dir;
-                    r_snapshot_gen = reported_gen;
-                    r_snapshots_skipped = skipped;
-                    r_replayed = replay.records;
-                    r_torn = replay.torn;
-                    r_state = state;
-                  } )))
+          (* Drop the torn tail so the next append extends the durable
+             prefix instead of burying garbage. *)
+          if active.torn <> None then Unix.ftruncate fd active.valid_bytes;
+          ignore (Unix.lseek fd active.valid_bytes Unix.SEEK_SET : int);
+          let t =
+            {
+              dir;
+              wal_fd = fd;
+              gen = active_gen;
+              wbytes = active.valid_bytes;
+              checkpoint_bytes;
+              lock = Mutex.create ();
+            }
+          in
+          Obs.Counter.add m_replayed replayed;
+          Obs.Gauge.set g_wal_bytes t.wbytes;
+          Obs.Gauge.set g_recovery_outcome
+            (if skipped > 0 then outcome_fallback
+             else if active.torn <> None then outcome_torn
+             else if replayed > 0 then outcome_replayed
+             else if reported_gen < 0 then outcome_fresh
+             else outcome_clean);
+          Ok
+            ( t,
+              {
+                r_dir = dir;
+                r_snapshot_gen = reported_gen;
+                r_snapshots_skipped = skipped;
+                r_replayed = replayed;
+                r_torn = active.torn;
+                r_state = state;
+              } ))
 
 let append ?(sync = true) t d =
   let record = maybe_flip (encode_record d) in
@@ -938,28 +1059,45 @@ let wal_bytes t = Mutex.protect t.lock (fun () -> t.wbytes)
 let should_checkpoint t =
   Mutex.protect t.lock (fun () -> t.wbytes >= t.checkpoint_bytes)
 
+let unlink_quiet path =
+  match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ()
+
 let checkpoint t state =
   Obs.time_hist h_checkpoint @@ fun () ->
   Mutex.protect t.lock (fun () ->
       let next = t.gen + 1 in
       let bytes = save_snapshot (snapshot_path ~dir:t.dir ~gen:next) state in
       ignore (bytes : int);
-      (* The new image is durable; the log it subsumes can go.  Crash
-         anywhere before this point recovers from the previous
-         generation + intact WAL. *)
-      Unix.ftruncate t.wal_fd 0;
-      ignore (Unix.lseek t.wal_fd 0 Unix.SEEK_SET : int);
-      Unix.fsync t.wal_fd;
+      (* Generation [next] is durable but the log bound to [t.gen] is
+         still intact: a crash before the rotation below recovers from
+         [next] with an absent [wal-next] — zero deltas, exactly the
+         acked image, never the superseded log applied twice.  The
+         site lets the [@faults] matrix replay this exact window. *)
+      Faultinject.fire Faultinject.Store_crash_checkpoint;
+      let fd =
+        Unix.openfile
+          (wal_path ~dir:t.dir ~gen:next)
+          [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+          0o644
+      in
+      (match Unix.close t.wal_fd with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ());
+      t.wal_fd <- fd;
       t.wbytes <- 0;
       t.gen <- next;
-      (* Keep the previous generation as the bit-rot fallback. *)
+      (* Keep the previous generation — image and its log — as the
+         bit-rot fallback chain; prune everything older. *)
       List.iter
         (fun gen ->
-          if gen < next - 1 then
-            match Unix.unlink (snapshot_path ~dir:t.dir ~gen) with
-            | () -> ()
-            | exception Unix.Unix_error _ -> ())
+          if gen < next - 1 then unlink_quiet (snapshot_path ~dir:t.dir ~gen))
         (generations t.dir);
+      List.iter
+        (fun gen ->
+          if gen < next - 1 then unlink_quiet (wal_path ~dir:t.dir ~gen))
+        (wal_generations t.dir);
       Obs.Counter.incr m_checkpoints;
       Obs.Gauge.set g_wal_bytes 0)
 

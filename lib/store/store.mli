@@ -2,15 +2,20 @@
     log with verified recovery (docs/PERSISTENCE.md).
 
     A store is a directory holding numbered snapshot generations
-    ([snapshot-NNNNNN.stgq]) and one delta log ([wal.stgq]).  Snapshots
+    ([snapshot-NNNNNN.stgq]), each paired with the delta log of the
+    mutations appended on top of it ([wal-NNNNNN.stgq]).  Snapshots
     are a versioned, length-prefixed, CRC32-checked binary image of the
     social graph + timetable, written via temp file + [fsync] + atomic
     rename so a crash never leaves a half-written generation visible.
     Every mutation is journalled to the WAL as one CRC-framed record
     {e before} the in-memory edit lands; recovery loads the newest valid
-    snapshot, replays the log, and tolerates a torn/truncated tail by
-    stopping at the first bad CRC (the tail is then truncated so later
-    appends extend the durable prefix, not garbage).
+    snapshot, replays {e that generation's} log (walking surviving newer
+    logs when it fell back past a rotten image), and tolerates a
+    torn/truncated tail by stopping at the first bad CRC (the tail is
+    then truncated so later appends extend the durable prefix, not
+    garbage).  Binding each log to its generation closes the checkpoint
+    crash window: a crash between publishing generation g+1 and rotating
+    the log recovers from g+1 with zero deltas, never a double apply.
 
     Decoder discipline mirrors {!Proto}: every length from disk is
     checked against the bytes actually present {e before} any
@@ -20,8 +25,9 @@
 
     Fault sites: the [Store_*] cases of {!Faultinject.site} fire at the
     protocol's crash seams (short write, bit flip, crash-before-rename,
-    crash-mid-append); the [@faults] matrix replays them and checks
-    recovery lands exactly on the pre-crash durable prefix. *)
+    crash-mid-append, crash-mid-checkpoint between publish and log
+    rotation); the [@faults] matrix replays them and checks recovery
+    lands exactly on the pre-crash durable prefix. *)
 
 (* ------------------------------------------------------------------ *)
 (** {1 State and deltas} *)
@@ -89,9 +95,15 @@ val pp_error : Format.formatter -> error -> unit
 (** [encode_snapshot state] is the byte image (docs/PERSISTENCE.md). *)
 val encode_snapshot : state -> string
 
+(** Hard cap on the vertex count a snapshot may declare (the decoder
+    sizes O(n) structures from it before any edge is read). *)
+val max_vertices : int
+
 (** [decode_snapshot ~file bytes] — [file] only labels errors.  Never
-    raises; hostile section lengths are checked against the bytes
-    present before any allocation. *)
+    raises; hostile section lengths and vertex counts are checked
+    against the bytes present (and {!max_vertices}) before any
+    allocation, and a residual allocation failure is reported as
+    corruption rather than escaping. *)
 val decode_snapshot : file:string -> string -> (state, error) result
 
 (** What {!verify_snapshot} reports without building the state. *)
@@ -133,8 +145,9 @@ type replay = {
 
 (** [replay_wal path] reads the log, stopping at the first bad CRC or
     truncated record (recovery semantics — a torn tail is data loss
-    bounded by one append, not corruption).  A missing file is an empty
-    log.  Never raises on bad bytes. *)
+    bounded by one append, not corruption).  A missing file (ENOENT,
+    and only ENOENT — an unreadable file is a typed error, never an
+    empty log) is an empty log.  Never raises on bad bytes. *)
 val replay_wal : string -> (replay, error) result
 
 (** [verify_wal path] is the strict read: any undecodable byte,
@@ -161,13 +174,17 @@ val recovery_status : recovery -> string
 
 (** [open_dir ?checkpoint_bytes ~init dir] opens (creating the
     directory if needed) and recovers: load the newest snapshot
-    generation that verifies, replay the WAL over it, truncate any torn
-    tail.  A fresh directory gets [init ()] as generation 0.  Errors are
-    typed: an unusable WAL body (bad semantics under a valid CRC) or a
-    directory with snapshots of which none verify refuse to open rather
-    than silently clobbering data.  [checkpoint_bytes] (default 1 MiB)
-    is the WAL size at which {!should_checkpoint} starts answering
-    [true]. *)
+    generation that verifies, replay that generation's log over it
+    (and, when a rotten newer image was skipped, the surviving newer
+    logs in generation order), truncate any torn tail on the active
+    log.  A fresh directory gets [init ()] as generation 0.  Errors are
+    typed: an unusable WAL body (bad semantics under a valid CRC), a
+    directory with snapshots of which none verify, a directory holding
+    a delta log but no snapshot generation, or a broken log chain (a
+    torn or missing log followed by a newer generation's log) refuse to
+    open rather than silently clobbering or fabricating data.
+    [checkpoint_bytes] (default 1 MiB) is the WAL size at which
+    {!should_checkpoint} starts answering [true]. *)
 val open_dir :
   ?checkpoint_bytes:int -> init:(unit -> state) -> string ->
   (t * recovery, error) result
@@ -188,12 +205,18 @@ val wal_bytes : t -> int
 val should_checkpoint : t -> bool
 
 (** [checkpoint t state] publishes [state] as the next snapshot
-    generation, truncates the WAL, and prunes generations older than
-    the previous one (kept as the fallback {!open_dir} falls back to
-    when the newest image rots).
+    generation, rotates the delta log to that generation, and prunes
+    generations — image and log — older than the previous one (kept as
+    the fallback chain {!open_dir} falls back to when the newest image
+    rots).
     @raise Unix.Unix_error / {!Faultinject.Injected_fault} as
-    {!save_snapshot}; on a crash mid-checkpoint the store recovers from
-    the previous generation + intact WAL. *)
+    {!save_snapshot}, plus the [store_crash_checkpoint] site between
+    the publish and the log rotation.  A crash before the publish
+    recovers from the previous generation + its intact log; a crash
+    after it recovers from the new generation with zero deltas (the
+    superseded log is never replayed on top of the image that contains
+    it).  When an injected crash escapes this call, treat the handle as
+    crashed: {!close} it and {!open_dir} again. *)
 val checkpoint : t -> state -> unit
 
 (** Close the WAL handle.  The store must not be used afterwards. *)
@@ -208,5 +231,5 @@ val crc32 : string -> int
 (** Snapshot path of generation [gen] under [dir]. *)
 val snapshot_path : dir:string -> gen:int -> string
 
-(** WAL path under [dir]. *)
-val wal_path : dir:string -> string
+(** Path of the delta log bound to snapshot generation [gen]. *)
+val wal_path : dir:string -> gen:int -> string

@@ -30,6 +30,7 @@ let store_sites =
     Faultinject.Store_bit_flip;
     Faultinject.Store_crash_rename;
     Faultinject.Store_crash_append;
+    Faultinject.Store_crash_checkpoint;
   ]
 
 (* With a store plan armed, every store I/O call can fire: the ordinary
@@ -212,10 +213,10 @@ let test_wal_roundtrip () =
   check Alcotest.int "wal bytes = sum of records" wb
     (List.fold_left (fun a dl -> a + String.length (Store.encode_record dl)) 0 ds);
   Store.close t;
-  (match Store.verify_wal (Store.wal_path ~dir:d) with
+  (match Store.verify_wal (Store.wal_path ~dir:d ~gen:0) with
   | Ok n -> check Alcotest.int "verify counts records" (List.length ds) n
   | Error e -> Alcotest.fail (Store.string_of_error e));
-  (match Store.replay_wal (Store.wal_path ~dir:d) with
+  (match Store.replay_wal (Store.wal_path ~dir:d ~gen:0) with
   | Ok r ->
       check Alcotest.int "replay records" (List.length ds) r.Store.records;
       check Alcotest.int "replay valid bytes" wb r.Store.valid_bytes;
@@ -242,6 +243,10 @@ let test_checkpoint () =
     (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:1));
   check Alcotest.bool "gen 0 kept as fallback" true
     (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:0));
+  check Alcotest.bool "log rotated to gen 1" true
+    (Sys.file_exists (Store.wal_path ~dir:d ~gen:1));
+  check Alcotest.bool "gen 0 log kept as fallback" true
+    (Sys.file_exists (Store.wal_path ~dir:d ~gen:0));
   let d2 = Store.Avail_flip { vertex = 1; slot = 2 } in
   let st2 = apply_all st1 [ d2 ] in
   Store.append t d2;
@@ -250,6 +255,8 @@ let test_checkpoint () =
     (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:2));
   check Alcotest.bool "gen 0 pruned" false
     (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:0));
+  check Alcotest.bool "gen 0 log pruned" false
+    (Sys.file_exists (Store.wal_path ~dir:d ~gen:0));
   Store.close t;
   let t3, r3 = open_exn ~init:no_init d in
   Store.close t3;
@@ -263,7 +270,7 @@ let test_torn_tail () =
   let t, _ = open_exn ~init:base_state d in
   List.iter (Store.append t) ds;
   Store.close t;
-  let wal = Store.wal_path ~dir:d in
+  let wal = Store.wal_path ~dir:d ~gen:0 in
   let intact = read_file wal in
   (* a crashed append: half a header of garbage at the tail *)
   write_file wal (intact ^ "\222\173\190");
@@ -310,7 +317,7 @@ let test_crash_at_every_record () =
   let t, _ = open_exn ~init:base_state d in
   List.iter (Store.append t) ds;
   Store.close t;
-  let wal_bytes = read_file (Store.wal_path ~dir:d) in
+  let wal_bytes = read_file (Store.wal_path ~dir:d ~gen:0) in
   let snap_bytes = read_file (Store.snapshot_path ~dir:d ~gen:0) in
   (* record boundaries, in prefix order: boundary j = bytes holding the
      first j records *)
@@ -327,7 +334,7 @@ let test_crash_at_every_record () =
   let try_cut ~cut ~records =
     with_dir @@ fun d2 ->
     write_file (Store.snapshot_path ~dir:d2 ~gen:0) snap_bytes;
-    write_file (Store.wal_path ~dir:d2) (String.sub wal_bytes 0 cut);
+    write_file (Store.wal_path ~dir:d2 ~gen:0) (String.sub wal_bytes 0 cut);
     let t2, r2 = open_exn ~init:no_init d2 in
     Store.close t2;
     check Alcotest.int
@@ -348,6 +355,81 @@ let test_crash_at_every_record () =
         try_cut ~cut:(next - 1) ~records:j
       end)
     boundaries
+
+(* The checkpoint crash window: generation g+1 is renamed into place
+   but the crash lands before the log rotates.  For every prefix of the
+   mutation stream, recovery must load the new image and replay ZERO
+   deltas — the superseded wal-g must never be applied on top of the
+   image that already contains it (Avail_flip is non-idempotent, so a
+   double apply would diverge).  Then the fallback chain: rot the new
+   image and recovery must rebuild the same state from gen g plus the
+   per-generation logs. *)
+let test_checkpoint_crash_window () =
+  let ds = deltas () in
+  for j = 0 to List.length ds do
+    with_dir @@ fun d ->
+    let prefix = List.filteri (fun i _ -> i < j) ds in
+    let acked = apply_all (base_state ()) prefix in
+    let t, _ = open_exn ~init:base_state d in
+    List.iter (Store.append t) prefix;
+    (match
+       Faultinject.with_plan "store_crash_checkpoint@1" (fun () ->
+           Store.checkpoint t acked)
+     with
+    | () -> Alcotest.fail "checkpoint crash plan did not fire"
+    | exception Faultinject.Injected_fault _ -> ());
+    Store.close t;
+    (* the window on disk: snapshot-1 published, wal-0 intact, no wal-1 *)
+    check Alcotest.bool
+      (Printf.sprintf "prefix %d: new image published" j)
+      true
+      (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:1));
+    check Alcotest.bool
+      (Printf.sprintf "prefix %d: log not yet rotated" j)
+      false
+      (Sys.file_exists (Store.wal_path ~dir:d ~gen:1));
+    let t2, r2 = open_exn ~init:no_init d in
+    check Alcotest.int
+      (Printf.sprintf "prefix %d: loaded the published generation" j)
+      1 r2.Store.r_snapshot_gen;
+    check Alcotest.int
+      (Printf.sprintf "prefix %d: zero deltas replayed (no double apply)" j)
+      0 r2.Store.r_replayed;
+    expect_state
+      (Printf.sprintf "prefix %d: recovered == acked" j)
+      acked r2.Store.r_state;
+    (* appends land in the rotated-forward log and recover on top *)
+    let extra = Store.Avail_flip { vertex = 7; slot = 4 } in
+    Store.append t2 extra;
+    Store.close t2;
+    let t3, r3 = open_exn ~init:no_init d in
+    Store.close t3;
+    check Alcotest.int
+      (Printf.sprintf "prefix %d: post-crash append replays" j)
+      1 r3.Store.r_replayed;
+    expect_state
+      (Printf.sprintf "prefix %d: acked + extra" j)
+      (apply_all acked [ extra ])
+      r3.Store.r_state;
+    (* rot the new image: recovery falls back to gen 0 and rebuilds the
+       same state from the per-generation log chain wal-0 ++ wal-1 *)
+    write_file (Store.snapshot_path ~dir:d ~gen:1) "rot";
+    let t4, r4 = open_exn ~init:no_init d in
+    Store.close t4;
+    check Alcotest.int
+      (Printf.sprintf "prefix %d: fell back to gen 0" j)
+      0 r4.Store.r_snapshot_gen;
+    check Alcotest.int
+      (Printf.sprintf "prefix %d: rotten image counted" j)
+      1 r4.Store.r_snapshots_skipped;
+    check Alcotest.int
+      (Printf.sprintf "prefix %d: chain replays both logs" j)
+      (j + 1) r4.Store.r_replayed;
+    expect_state
+      (Printf.sprintf "prefix %d: chain rebuilds acked + extra" j)
+      (apply_all acked [ extra ])
+      r4.Store.r_state
+  done
 
 (* Recovered state must serve bit-identical answers: solve the same
    query on an uncrashed service and on one rebuilt from recovery. *)
@@ -401,7 +483,7 @@ let test_wal_truncation () =
   let t, _ = open_exn ~init:base_state d in
   List.iter (Store.append t) ds;
   Store.close t;
-  let wal = read_file (Store.wal_path ~dir:d) in
+  let wal = read_file (Store.wal_path ~dir:d ~gen:0) in
   let boundaries =
     List.fold_left
       (fun acc dl ->
@@ -471,6 +553,30 @@ let test_hostile_lengths () =
   | Error (Store.Corrupt c) ->
       check Alcotest.bool "offset recorded" true (c.Store.offset > 0)
   | Ok _ -> Alcotest.fail "hostile section length decoded");
+  (* a graph section declaring ~4e9 vertices under a valid CRC with
+     zero edges: ~30 bytes on disk must not size O(n) vertex columns *)
+  let hostile_n = Buffer.create 16 in
+  w32_be hostile_n 0xFFFFFF00;
+  w32_be hostile_n 0;
+  let img_n = Buffer.create 64 in
+  Buffer.add_string img_n "STGQSNAP\001";
+  section img_n 1 (Buffer.contents hostile_n);
+  (match Store.decode_snapshot ~file:"mem" (Buffer.contents img_n) with
+  | Error (Store.Corrupt c) ->
+      check Alcotest.bool "vertex cap named" true
+        (contains ~needle:"cap" c.Store.detail)
+  | Ok _ -> Alcotest.fail "hostile vertex count decoded");
+  (* just over the cap is rejected, the cap itself is about bounding
+     allocation, not the encodable range below it *)
+  let over = Buffer.create 16 in
+  w32_be over (Store.max_vertices + 1);
+  w32_be over 0;
+  let img_over = Buffer.create 64 in
+  Buffer.add_string img_over "STGQSNAP\001";
+  section img_over 1 (Buffer.contents over);
+  (match Store.decode_snapshot ~file:"mem" (Buffer.contents img_over) with
+  | Error (Store.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "vertex count over the cap decoded");
   (* a timetable section declaring a ~4e9-slot horizon under a valid
      CRC: the mask bytes are not present, so no bitset may be built *)
   let g = Buffer.create 16 in
@@ -508,6 +614,27 @@ let test_hostile_lengths () =
   | Error (Store.Corrupt _) -> ()
   | Ok _ -> Alcotest.fail "strict verify accepted an over-cap record"
 
+(* Only ENOENT means "empty log": any other failure reading the log
+   must surface as a typed error, never as an empty log — misreading an
+   existing log as empty would position appends at offset 0 and
+   overwrite durable records. *)
+let test_wal_missing_vs_unreadable () =
+  (match Store.replay_wal "store-test-definitely-absent.stgq" with
+  | Ok r ->
+      check Alcotest.int "absent file is an empty log" 0 r.Store.records;
+      check Alcotest.bool "no torn tail" true (r.Store.torn = None)
+  | Error e -> Alcotest.fail (Store.string_of_error e));
+  (* a directory in the log's place opens but fails to read (EISDIR) *)
+  with_dir @@ fun d ->
+  (match Store.replay_wal d with
+  | Error (Store.Corrupt c) ->
+      check Alcotest.bool "read failure reported" true
+        (contains ~needle:"cannot" c.Store.detail)
+  | Ok _ -> Alcotest.fail "unreadable log read as an empty log");
+  match Store.verify_wal d with
+  | Error (Store.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "strict verify read an unreadable log as empty"
+
 let test_recovery_refuses () =
   (* a directory whose only snapshot is rot: refuse, do not clobber *)
   (with_dir @@ fun d ->
@@ -515,12 +642,43 @@ let test_recovery_refuses () =
    match Store.open_dir ~init:no_init d with
    | Error (Store.Corrupt _) -> ()
    | Ok _ -> Alcotest.fail "opened a store with no valid snapshot");
+  (* a delta log with no snapshot generation at all: the images were
+     lost, so refuse to initialise over the stale log — and write
+     nothing into the directory while refusing *)
+  (with_dir @@ fun d ->
+   write_file
+     (Store.wal_path ~dir:d ~gen:0)
+     (Store.encode_record (Store.Avail_flip { vertex = 0; slot = 1 }));
+   (match Store.open_dir ~init:no_init d with
+   | Error (Store.Corrupt c) ->
+       check Alcotest.bool "stale log named" true
+         (contains ~needle:"no snapshot" c.Store.detail)
+   | Ok _ -> Alcotest.fail "initialised over a stale delta log");
+   check Alcotest.bool "no generation written while refusing" false
+     (Sys.file_exists (Store.snapshot_path ~dir:d ~gen:0)));
+  (* a broken log chain: the loaded generation's log is missing while a
+     newer generation's log survives — state cannot be reconstructed *)
+  (with_dir @@ fun d ->
+   let t, _ = open_exn ~init:base_state d in
+   Store.append t (Store.Avail_flip { vertex = 0; slot = 1 });
+   Store.checkpoint t (apply_all (base_state ())
+                         [ Store.Avail_flip { vertex = 0; slot = 1 } ]);
+   Store.close t;
+   (* snapshots 0+1, logs 0+1 exist; lose snapshot 1 and log 0 *)
+   Sys.remove (Store.snapshot_path ~dir:d ~gen:1);
+   Sys.remove (Store.wal_path ~dir:d ~gen:0);
+   match Store.open_dir ~init:no_init d with
+   | Error (Store.Corrupt c) ->
+       check Alcotest.bool "chain break named" true
+         (contains ~needle:"chain" c.Store.detail)
+   | Ok _ -> Alcotest.fail "opened across a broken log chain");
   (* a WAL record with a valid CRC but invalid semantics: the writer
      never produced it, so recovery refuses with its offset *)
   with_dir @@ fun d ->
   let t, _ = open_exn ~init:base_state d in
   Store.close t;
-  write_file (Store.wal_path ~dir:d)
+  write_file
+    (Store.wal_path ~dir:d ~gen:0)
     (Store.encode_record (Store.Edge_add { u = 0; v = 7777; w = 1. }));
   match Store.open_dir ~init:no_init d with
   | Error (Store.Corrupt c) ->
@@ -785,6 +943,45 @@ let test_fault_crash_append () =
       end
       else Store.close t2
 
+let test_fault_crash_checkpoint () =
+  match spec_for Faultinject.Store_crash_checkpoint with
+  | None -> ()
+  | Some spec ->
+      with_dir @@ fun d ->
+      let t, _ = open_exn ~init:base_state d in
+      let d1 = List.nth (deltas ()) 0 in
+      Store.append t d1;
+      let acked = apply_all (base_state ()) [ d1 ] in
+      (match Store.checkpoint t acked with
+      | () -> Alcotest.fail "crash-checkpoint plan did not fire"
+      | exception Faultinject.Injected_fault _ -> ());
+      check Alcotest.bool "site fired" true
+        (Faultinject.hits Faultinject.Store_crash_checkpoint > 0);
+      Store.close t;
+      (* the published image is the durable truth; the superseded log
+         must not be replayed on top of it *)
+      let t2, r2 = open_exn ~init:no_init d in
+      check Alcotest.int "loaded the published generation" 1
+        r2.Store.r_snapshot_gen;
+      check Alcotest.int "no double apply" 0 r2.Store.r_replayed;
+      expect_state "recovered == acked" acked r2.Store.r_state;
+      if not spec.persistent then begin
+        (* the next checkpoint completes a full rotation *)
+        let d2 = List.nth (deltas ()) 4 in
+        Store.append t2 d2;
+        let acked2 = apply_all acked [ d2 ] in
+        Store.checkpoint t2 acked2;
+        Store.close t2;
+        let t3, r3 = open_exn ~init:no_init d in
+        Store.close t3;
+        check Alcotest.int "retry publishes the next generation" 2
+          r3.Store.r_snapshot_gen;
+        check Alcotest.int "nothing to replay after rotation" 0
+          r3.Store.r_replayed;
+        expect_state "checkpointed state" acked2 r3.Store.r_state
+      end
+      else Store.close t2
+
 let suite =
   [
     Alcotest.test_case "snapshot round-trip" `Quick
@@ -798,6 +995,8 @@ let suite =
     Alcotest.test_case "torn tail" `Quick (unless_armed test_torn_tail);
     Alcotest.test_case "crash at every record (differential)" `Quick
       (unless_armed test_crash_at_every_record);
+    Alcotest.test_case "checkpoint crash window (differential)" `Quick
+      (unless_armed test_checkpoint_crash_window);
     Alcotest.test_case "recovered answers bit-identical" `Quick
       (unless_armed test_recovered_answers);
     Alcotest.test_case "snapshot truncation" `Quick
@@ -812,6 +1011,8 @@ let suite =
          (fun () -> ())
      else prop_garbage_snapshot);
     Alcotest.test_case "hostile lengths" `Quick (unless_armed test_hostile_lengths);
+    Alcotest.test_case "missing vs unreadable log" `Quick
+      (unless_armed test_wal_missing_vs_unreadable);
     Alcotest.test_case "recovery refuses bad stores" `Quick
       (unless_armed test_recovery_refuses);
     Alcotest.test_case "cache epoch + precise invalidation" `Quick
@@ -827,4 +1028,6 @@ let suite =
       test_fault_crash_rename;
     Alcotest.test_case "fault: bit flip" `Quick test_fault_bit_flip;
     Alcotest.test_case "fault: crash mid-append" `Quick test_fault_crash_append;
+    Alcotest.test_case "fault: crash mid-checkpoint" `Quick
+      test_fault_crash_checkpoint;
   ]
