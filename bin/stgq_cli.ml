@@ -585,12 +585,107 @@ let trace_stgq_cmd =
       const run $ source_term $ initiator_term $ p_term $ s_term $ k_term
       $ m_term $ domains_term $ trace_out_term)
 
+(* Minimal HTTP/1.0 GET against the exposition endpoint — enough to
+   pull one JSON body; the server closes after each response. *)
+let http_get ~host ~port path =
+  let inet = Unix.inet_addr_of_string host in
+  let fd =
+    Unix.socket ~cloexec:true
+      (Unix.domain_of_sockaddr (Unix.ADDR_INET (inet, port)))
+      Unix.SOCK_STREAM 0
+  in
+  Fun.protect ~finally:(fun () ->
+      match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (inet, port));
+  let req =
+    Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s:%d\r\n\r\n" path host port
+  in
+  let rec write_all off len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd req off len in
+      write_all (off + n) (len - n)
+    end
+  in
+  write_all 0 (String.length req);
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  let raw = Buffer.contents buf in
+  let header_end =
+    let n = String.length raw in
+    let rec find i =
+      if i + 4 > n then None
+      else if String.sub raw i 4 = "\r\n\r\n" then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match header_end with
+  | None -> Fmt.failwith "malformed HTTP response"
+  | Some i ->
+      let status =
+        match String.index_opt raw '\r' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      (status, String.sub raw (i + 4) (String.length raw - i - 4))
+
+let trace_fetch_cmd =
+  let id =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"ID"
+             ~doc:"Trace id, as printed by `stgq query ... --connect` or \
+                   listed at /traces.")
+  in
+  let connect =
+    Arg.(value & opt string "127.0.0.1:7412"
+         & info [ "connect" ] ~docv:"HOST:PORT"
+             ~doc:"The exposition endpoint — the server's --metrics-port, \
+                   not its wire port.")
+  in
+  let run id connect =
+    let host, port =
+      match String.rindex_opt connect ':' with
+      | None -> Fmt.failwith "--connect expects HOST:PORT, got %S" connect
+      | Some i -> (
+          let host = String.sub connect 0 i in
+          let port =
+            String.sub connect (i + 1) (String.length connect - i - 1)
+          in
+          match int_of_string_opt port with
+          | Some port -> (host, port)
+          | None -> Fmt.failwith "--connect: bad port %S" port)
+    in
+    let status, body = http_get ~host ~port (Printf.sprintf "/trace/%d" id) in
+    Fmt.pr "%s@." body;
+    if not (String.length status >= 12 && String.sub status 9 3 = "200") then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:"Fetch a retained trace tree from a running server's flight \
+             recorder (GET /trace/ID on the --metrics-port endpoint); \
+             exits non-zero when the trace was never retained or has been \
+             evicted.")
+    Term.(const run $ id $ connect)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:"Answer one query with span recording on and render the trace \
-             tree and pruning waterfall (see docs/OBSERVABILITY.md).")
-    [ trace_sgq_cmd; trace_stgq_cmd ]
+             tree and pruning waterfall, or fetch a retained trace from a \
+             running server (see docs/OBSERVABILITY.md).")
+    [ trace_sgq_cmd; trace_stgq_cmd; trace_fetch_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* serve: the binary wire-protocol query server (docs/PROTOCOL.md).    *)
@@ -644,10 +739,38 @@ let serve_cmd =
              ~doc:"Also expose /metrics and /healthz (which reports the \
                    store-recovery status) over HTTP on $(docv).")
   in
+  let flight_recorder =
+    Arg.(value & flag
+         & info [ "flight-recorder" ]
+             ~doc:"Enable the flight recorder: metrics, tracing, \
+                   tail-sampled trace retention (/traces, /trace/:id), the \
+                   structured event log (/events/tail) and the runtime \
+                   sampler (/metrics/history) — see docs/OBSERVABILITY.md.")
+  in
+  let events_dir =
+    Arg.(value & opt (some string) None
+         & info [ "events-dir" ] ~docv:"DIR"
+             ~doc:"Persist the event log as JSONL under $(docv) with \
+                   size-capped rotation (implies --flight-recorder).")
+  in
   let run src domains deadline node_budget no_degrade admission_limit bind_host
       port unix_socket max_connections store_dir checkpoint_bytes metrics_port
-      stats =
+      flight_recorder events_dir stats =
     with_stats stats @@ fun () ->
+    let flight_recorder = flight_recorder || events_dir <> None in
+    if flight_recorder then begin
+      Obs.set_enabled true;
+      Obs.Trace.set_enabled true;
+      Obs.Flightrec.set_enabled true;
+      Obs.Events.configure ?dir:events_dir ();
+      Obs.Runtime.start ()
+    end;
+    Fun.protect ~finally:(fun () ->
+        if flight_recorder then begin
+          Obs.Runtime.stop ();
+          Obs.Events.stop ()
+        end)
+    @@ fun () ->
     (* recover the durable state first: once a store exists, it — not
        the dataset flags — is the source of truth *)
     let graph, schedules, store, recovery =
@@ -721,7 +844,7 @@ let serve_cmd =
       const run $ source_term $ domains_term $ deadline_term $ node_budget_term
       $ no_degrade_term $ admission_limit $ bind_host $ port $ unix_socket
       $ max_connections $ store_dir $ checkpoint_bytes $ metrics_port
-      $ stats_term)
+      $ flight_recorder $ events_dir $ stats_term)
 
 (* ------------------------------------------------------------------ *)
 (* query: remote queries against a running `stgq serve`.               *)
@@ -781,6 +904,13 @@ let print_failed label = function
       Fmt.pr "%s: server speaks protocol v%d, this build speaks v%d@." label
         server_version Proto.version
 
+(* Trace id 0 means the server predates tracing (wire v1) or answered
+   with the flight recorder off. *)
+let print_trace_id trace_id =
+  if trace_id <> 0 then
+    Fmt.pr "trace id: %d (fetch with `stgq trace fetch %d --connect ...`)@."
+      trace_id trace_id
+
 let query_request addr req ~on_answer ~label =
   with_connection addr @@ fun c ->
   match Server.Client.request c req with
@@ -800,10 +930,12 @@ let query_sgq_cmd =
          })
       ~label
       ~on_answer:(function
-        | Proto.Sg_answer { value; rung; gap; retries; reason; certified = _ } ->
+        | Proto.Sg_answer
+            { value; rung; gap; retries; reason; certified = _; trace_id } ->
             print_resilient ~label ~pp_solution:Query.pp_sg_solution
               ~none_msg:"no feasible group"
-              (Ok { Resilience.value; rung; gap; retries; reason })
+              (Ok { Resilience.value; rung; gap; retries; reason });
+            print_trace_id trace_id
         | resp -> Fmt.failwith "unexpected response: %a" Proto.pp_response resp)
   in
   Cmd.v
@@ -824,11 +956,12 @@ let query_stgq_cmd =
          })
       ~label
       ~on_answer:(function
-        | Proto.Stg_answer { value; rung; gap; retries; reason; certified = _ }
-          ->
+        | Proto.Stg_answer
+            { value; rung; gap; retries; reason; certified = _; trace_id } ->
             print_resilient ~label ~pp_solution:(Query.pp_stg_solution ~m)
               ~none_msg:"no feasible group/time"
-              (Ok { Resilience.value; rung; gap; retries; reason })
+              (Ok { Resilience.value; rung; gap; retries; reason });
+            print_trace_id trace_id
         | resp -> Fmt.failwith "unexpected response: %a" Proto.pp_response resp)
   in
   Cmd.v

@@ -50,6 +50,55 @@ let pp_error ppf = function
       Format.fprintf ppf "unavailable (%s, %d retries)"
         (Printexc.to_string error) retries
 
+(* --- outcome classification ---------------------------------------- *)
+
+(* The flight-recorder view of a finished ladder run: which rung
+   answered, whether the caller got less than exact, and why — the one
+   place the Ok/Error shape is flattened for retention and the event
+   log, so Service and the server classify identically. *)
+type classification = {
+  c_rung : string;  (* answering rung, or "unavailable" *)
+  c_ok : bool;
+  c_degraded : bool;  (* any outcome below an exact answer *)
+  c_unavailable : bool;
+  c_retries : int;
+  c_trip : string option;  (* budget reason that tripped, if any *)
+  c_gap : float option;
+}
+
+let classify (result : ('a answer, error) result) =
+  match result with
+  | Ok a ->
+      {
+        c_rung = rung_name a.rung;
+        c_ok = true;
+        c_degraded = a.rung <> Exact;
+        c_unavailable = false;
+        c_retries = a.retries;
+        c_trip = Option.map Budget.reason_name a.reason;
+        c_gap = a.gap;
+      }
+  | Error (Degraded { reason; retries }) ->
+      {
+        c_rung = "degraded";
+        c_ok = false;
+        c_degraded = true;
+        c_unavailable = false;
+        c_retries = retries;
+        c_trip = Some (Budget.reason_name reason);
+        c_gap = None;
+      }
+  | Error (Unavailable { error = _; retries }) ->
+      {
+        c_rung = "unavailable";
+        c_ok = false;
+        c_degraded = false;
+        c_unavailable = true;
+        c_retries = retries;
+        c_trip = None;
+        c_gap = None;
+      }
+
 (* --- metrics ------------------------------------------------------- *)
 
 let m_deadline_hits = Obs.counter "service.deadline_hits"

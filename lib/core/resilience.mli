@@ -67,6 +67,24 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** The flight-recorder view of a finished ladder run, flattened from
+    the [Ok]/[Error] shape in one place so the service layer and the
+    server classify outcomes identically (see [Obs.Flightrec] retention
+    and the [Obs.Events] query records). *)
+type classification = {
+  c_rung : string;
+      (** {!rung_name} of the answering rung, or ["degraded"] /
+          ["unavailable"] for the typed failures *)
+  c_ok : bool;
+  c_degraded : bool;  (** any outcome below an exact answer *)
+  c_unavailable : bool;
+  c_retries : int;
+  c_trip : string option;  (** budget reason that tripped, if any *)
+  c_gap : float option;
+}
+
+val classify : ('a answer, error) result -> classification
+
 (** [protect ?policy f] applies only the retry/classification half of
     the ladder to a pre-solve step (context build, planning): transient
     injected faults retry with the policy's backoff, any surviving

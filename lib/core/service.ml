@@ -33,8 +33,79 @@ let create ?(config = Search_core.default_config) ?(cache_capacity = 64) ?pool
 let query_span name ~initiator (f : unit -> 'a) : 'a =
   Obs.Trace.with_span name ~attrs:[ ("initiator", string_of_int initiator) ] f
 
+(* --- flight-recorder publication ------------------------------------
+
+   Every completed query — resilient or exact, single or batched —
+   reports its outcome once: to {!Obs.Flightrec} (which decides whether
+   the stitched trace is worth retaining) and to {!Obs.Events} (one
+   JSONL record).  Costs two atomic loads per query while both sinks
+   are off. *)
+
+let plane_on () = Obs.Flightrec.enabled () || Obs.Events.enabled ()
+
+let current_trace_id () =
+  match Obs.Trace.current () with
+  | Some c -> c.Obs.Trace.trace_id
+  | None -> 0
+
+let sgq_params (q : Query.sgq) = [ ("p", q.p); ("s", q.s); ("k", q.k) ]
+
+let stgq_params (q : Query.stgq) =
+  [ ("p", q.p); ("s", q.s); ("k", q.k); ("m", q.m) ]
+
+(* The classification of a plain (non-resilient) solve: it either
+   returned a certified answer or raised out of the whole query. *)
+let exact_classification _result =
+  {
+    Resilience.c_rung = "exact";
+    c_ok = true;
+    c_degraded = false;
+    c_unavailable = false;
+    c_retries = 0;
+    c_trip = None;
+    c_gap = Some 0.;
+  }
+
+let publish ~kind ~initiator ~params ~trace_id ~t0 ~cache_hit
+    (c : Resilience.classification) =
+  let latency_ns = Obs.now_ns () -. t0 in
+  Obs.Flightrec.observe ~trace_id ~kind ~latency_ns
+    ~degraded:c.Resilience.c_degraded ~unavailable:c.c_unavailable
+    ~retries:c.c_retries ?trip:c.c_trip ();
+  Obs.Events.query_completed ~trace_id ~kind ~initiator ~params
+    ~rung:c.c_rung
+    ~outcome:
+      (if c.c_ok then "ok"
+       else if c.c_unavailable then "unavailable"
+       else "degraded")
+    ?gap:c.c_gap ?trip:c.c_trip ~retries:c.c_retries ~latency_ns ~cache_hit
+    ~journalled_bytes:0 ()
+
+(* [recorded] opens the query root span, runs [body] inside it, then —
+   with the span closed, so the stitched tree is complete — classifies
+   and publishes.  Identical to [query_span span body] while the plane
+   is off. *)
+let recorded ~kind ~span ~initiator ~params t ~classify body =
+  if not (plane_on ()) then query_span span ~initiator body
+  else begin
+    let t0 = Obs.now_ns () in
+    let hits0 = (Engine.Cache.stats t.engine).Engine.Cache.hits in
+    let trace_id = ref 0 in
+    let result =
+      query_span span ~initiator (fun () ->
+          trace_id := current_trace_id ();
+          body ())
+    in
+    let cache_hit = (Engine.Cache.stats t.engine).Engine.Cache.hits > hits0 in
+    publish ~kind ~initiator ~params ~trace_id:!trace_id ~t0 ~cache_hit
+      (classify result);
+    result
+  end
+
 let sgq t ~initiator (query : Query.sgq) =
-  query_span "service.sgq" ~initiator @@ fun () ->
+  recorded ~kind:"sgq" ~span:"service.sgq" ~initiator
+    ~params:(sgq_params query) t ~classify:exact_classification
+  @@ fun () ->
   Obs.time_hist Instr.sgq_latency @@ fun () ->
   Query.check_sgq query;
   let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
@@ -45,7 +116,9 @@ let sgq t ~initiator (query : Query.sgq) =
   Validate.certify_sg instance query solution
 
 let stgq t ~initiator (query : Query.stgq) =
-  query_span "service.stgq" ~initiator @@ fun () ->
+  recorded ~kind:"stgq" ~span:"service.stgq" ~initiator
+    ~params:(stgq_params query) t ~classify:exact_classification
+  @@ fun () ->
   Obs.time_hist Instr.stgq_latency @@ fun () ->
   Query.check_stgq query;
   let ctx = Engine.Cache.context t.engine ~initiator ~s:query.s in
@@ -71,7 +144,9 @@ let stgq t ~initiator (query : Query.stgq) =
    (anytime and heuristic answers included). *)
 
 let sgq_r ?policy ?cancel t ~initiator (query : Query.sgq) =
-  query_span "service.sgq" ~initiator @@ fun () ->
+  recorded ~kind:"sgq" ~span:"service.sgq" ~initiator
+    ~params:(sgq_params query) t ~classify:Resilience.classify
+  @@ fun () ->
   Obs.Trace.add_attrs [ ("resilient", "true") ];
   Obs.time_hist Instr.sgq_latency @@ fun () ->
   Query.check_sgq query;
@@ -93,7 +168,9 @@ let sgq_r ?policy ?cancel t ~initiator (query : Query.sgq) =
   Resilience.run ?policy ?cancel ~exact ~heuristic ()
 
 let stgq_r ?policy ?cancel t ~initiator (query : Query.stgq) =
-  query_span "service.stgq" ~initiator @@ fun () ->
+  recorded ~kind:"stgq" ~span:"service.stgq" ~initiator
+    ~params:(stgq_params query) t ~classify:Resilience.classify
+  @@ fun () ->
   Obs.Trace.add_attrs [ ("resilient", "true") ];
   Obs.time_hist Instr.stgq_latency @@ fun () ->
   Query.check_stgq query;
@@ -146,7 +223,9 @@ let sgq_batch t (reqs : (int * Query.sgq) list) =
   Engine.Batch.run ?pool:t.pool ~cache:t.engine
     ~key:(fun (initiator, (q : Query.sgq)) -> (initiator, q.s))
     ~solve:(fun ctx (initiator, (q : Query.sgq)) ->
-      query_span "service.sgq" ~initiator @@ fun () ->
+      recorded ~kind:"sgq" ~span:"service.sgq" ~initiator
+        ~params:(sgq_params q) t ~classify:exact_classification
+      @@ fun () ->
       Obs.time_hist Instr.sgq_latency @@ fun () ->
       let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
       let solution = Sgselect.solve ~config:t.config ~ctx instance q in
@@ -168,7 +247,9 @@ let stgq_batch t (reqs : (int * Query.stgq) list) =
          group will ask for, on the build domain, off the solve path. *)
       ignore (Engine.Context.pivots ctx ~m:q.m : int list))
     ~solve:(fun ctx (initiator, (q : Query.stgq)) ->
-      query_span "service.stgq" ~initiator @@ fun () ->
+      recorded ~kind:"stgq" ~span:"service.stgq" ~initiator
+        ~params:(stgq_params q) t ~classify:exact_classification
+      @@ fun () ->
       Obs.time_hist Instr.stgq_latency @@ fun () ->
       let ti =
         {
@@ -199,7 +280,9 @@ let sgq_batch_r ?policy ?cancel t (reqs : (int * Query.sgq) list) =
   Engine.Batch.run ?pool:t.pool ~cache:t.engine
     ~key:(fun (initiator, (q : Query.sgq)) -> (initiator, q.s))
     ~solve:(fun ctx (initiator, (q : Query.sgq)) ->
-      query_span "service.sgq" ~initiator @@ fun () ->
+      recorded ~kind:"sgq" ~span:"service.sgq" ~initiator
+        ~params:(sgq_params q) t ~classify:Resilience.classify
+      @@ fun () ->
       Obs.Trace.add_attrs [ ("resilient", "true") ];
       Obs.time_hist Instr.sgq_latency @@ fun () ->
       let instance = { Query.graph = Engine.Cache.graph t.engine; initiator } in
@@ -232,7 +315,9 @@ let stgq_batch_r ?policy ?cancel t (reqs : (int * Query.stgq) list) =
     ~warm:(fun ctx (_, (q : Query.stgq)) ->
       ignore (Engine.Context.pivots ctx ~m:q.m : int list))
     ~solve:(fun ctx (initiator, (q : Query.stgq)) ->
-      query_span "service.stgq" ~initiator @@ fun () ->
+      recorded ~kind:"stgq" ~span:"service.stgq" ~initiator
+        ~params:(stgq_params q) t ~classify:Resilience.classify
+      @@ fun () ->
       Obs.Trace.add_attrs [ ("resilient", "true") ];
       Obs.time_hist Instr.stgq_latency @@ fun () ->
       let ti =

@@ -8,7 +8,7 @@ let m_queries = Obs.counter "engine.batch.queries"
 
 let m_groups = Obs.counter "engine.batch.groups"
 
-let m_size = Obs.histogram "engine.batch.size"
+let m_size = Obs.histogram ~unit_:Obs.Count "engine.batch.size"
 
 let m_reuse = Obs.gauge "engine.batch.context_reuse_pct"
 

@@ -126,7 +126,11 @@ and die t ~requeue e =
   let replaced = not t.closed in
   if replaced then t.handles <- Domain.spawn (worker t) :: t.handles;
   Mutex.unlock t.lock;
-  if replaced then Obs.Counter.incr m_respawns;
+  if replaced then begin
+    Obs.Counter.incr m_respawns;
+    Obs.Events.emit ~kind:"pool.respawn"
+      [ ("error", "\"" ^ Obs.json_escape (Printexc.to_string e) ^ "\"") ]
+  end;
   Log.warn (fun m ->
       m "worker domain died (%s)%s" (Printexc.to_string e)
         (if replaced then "; respawned a replacement" else "; pool is closed"))

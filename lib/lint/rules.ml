@@ -535,6 +535,80 @@ let check_durability_bypass ctx structure =
   end
 
 (* ------------------------------------------------------------------ *)
+(* R10 — stdout/stderr prints in serving code.                         *)
+
+(* The serving plane (lib/server, plus the service/resilience layers it
+   fronts) reports through structured channels: metrics, spans and the
+   [Obs.Events] JSONL log — all queryable from the exposition routes.
+   A stray [print_endline] or [Printf.eprintf] there is operational
+   state that bypasses every one of them: it interleaves with other
+   domains' output, never reaches /events/tail, and vanishes when
+   stdout is not a terminal.  [Log] (the levelled logger) and
+   formatter-parameterised pretty-printers stay legal. *)
+let raw_prints =
+  [
+    "print_endline";
+    "print_string";
+    "print_newline";
+    "prerr_endline";
+    "prerr_string";
+    "prerr_newline";
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "Format.print_string";
+  ]
+
+(* lib/server/*, lib/core/service.ml and lib/core/resilience.ml — the
+   layers whose outcomes the event log records. *)
+let is_event_log_scope file =
+  let components =
+    String.split_on_char '/' file
+    |> List.concat_map (String.split_on_char '\\')
+  in
+  let rec after_lib = function
+    | "lib" :: next :: _ -> Some next
+    | _ :: rest -> after_lib rest
+    | [] -> None
+  in
+  match after_lib components with
+  | Some "server" -> true
+  | Some "core" ->
+      let base = Filename.basename file in
+      base = "service.ml" || base = "resilience.ml"
+  | _ -> false
+
+let check_event_log_bypass ctx structure =
+  if not (is_event_log_scope ctx.file) then []
+  else begin
+    let findings = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc }
+              when List.mem (normalize (lid_to_string txt)) raw_prints ->
+                findings :=
+                  Diag.make ~rule:"event-log-bypass" ~severity:Diag.Error loc
+                    (Printf.sprintf
+                       "%s prints operational state to a raw stream in \
+                        serving code; record it through Obs.Events (or the \
+                        levelled Log) so it reaches the event ring, the \
+                        JSONL sink and /events/tail"
+                       (normalize (lid_to_string txt)))
+                  :: !findings
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.structure it structure;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 
 let all ?(allowed_state_modules = []) () =
@@ -602,5 +676,14 @@ let all ?(allowed_state_modules = []) () =
          lib/engine) — durable state must go through Store's snapshot + WAL \
          protocol";
       check = check_durability_bypass;
+    };
+    {
+      id = "event-log-bypass";
+      severity = Diag.Error;
+      summary =
+        "print_endline/Printf.eprintf in serving code (lib/server, \
+         lib/core/{service,resilience}.ml) — operational state must go \
+         through Obs.Events or the levelled Log";
+      check = check_event_log_bypass;
     };
   ]

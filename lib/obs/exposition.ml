@@ -1,12 +1,49 @@
-(* Stats exposition: Prometheus text-format metrics and /trace/last
-   JSON over a minimal stdlib-Unix HTTP server, for long-running
-   Service processes.  One short-lived connection per request; no
-   keep-alive, no threads — the accept loop runs on the caller's
-   domain. *)
+(* Stats exposition: Prometheus text-format metrics, the flight
+   recorder (retained traces, event tail, telemetry history) and
+   /trace/last JSON over a minimal stdlib-Unix HTTP server, for
+   long-running Service processes.  One short-lived connection per
+   request; no keep-alive, no threads — the accept loop runs on the
+   caller's domain. *)
 
 type addr =
   | Tcp of string * int
   | Unix_path of string
+
+(* ------------------------------------------------------------------ *)
+(* Route table — the single source of the "/" index body and the
+   docs/OBSERVABILITY.md route table (route_table_markdown), so the
+   two cannot drift from the dispatch below.                           *)
+
+let routes =
+  [
+    ("/", "this index");
+    ("/healthz", "liveness probe (200 ok, plus the host's health line)");
+    ("/metrics", "Prometheus text format (cumulative totals)");
+    ("/metrics/delta", "same, since the server's baseline snapshot");
+    ("/metrics/history", "runtime telemetry samples as a JSON series");
+    ("/trace/last", "newest stitched trace as JSON");
+    ("/trace/:id", "retained flight-recorder trace by id (JSON)");
+    ("/traces", "flight-recorder retention summary (JSON)");
+    ("/events/tail?n=N", "last N structured event records (JSONL)");
+  ]
+
+let index_body =
+  let width =
+    List.fold_left (fun w (r, _) -> Stdlib.max w (String.length r)) 0 routes
+  in
+  String.concat "\n"
+    ("stgq stats exposition"
+    :: List.map
+         (fun (r, d) -> Printf.sprintf "  %-*s  %s" width r d)
+         routes)
+  ^ "\n"
+
+let route_table_markdown () =
+  String.concat "\n"
+    ("| Route | Serves |"
+     :: "| --- | --- |"
+     :: List.map (fun (r, d) -> Printf.sprintf "| `%s` | %s |" r d) routes)
+  ^ "\n"
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus text format (version 0.0.4).                             *)
@@ -39,6 +76,10 @@ let prometheus (s : Registry.snapshot) =
   List.iter
     (fun (name, (h : Registry.histogram_summary)) ->
       let m = metric_name name in
+      (* The HELP line carries the declared unit so a unitless size
+         histogram (engine.batch.size) cannot scrape as nanoseconds. *)
+      line "# HELP %s samples in %s" m
+        (Registry.hist_unit_to_string h.Registry.h_unit);
       line "# TYPE %s summary" m;
       line "%s{quantile=\"0.5\"} %.0f" m h.Registry.h_p50;
       line "%s{quantile=\"0.9\"} %.0f" m h.Registry.h_p90;
@@ -51,36 +92,80 @@ let prometheus (s : Registry.snapshot) =
 (* ------------------------------------------------------------------ *)
 (* Routing.                                                            *)
 
-let index_body =
-  String.concat "\n"
-    [
-      "stgq stats exposition";
-      "  /metrics        Prometheus text format (cumulative totals)";
-      "  /metrics/delta  same, since the server's baseline snapshot";
-      "  /trace/last     newest stitched trace as JSON";
-      "  /healthz        liveness probe (200 ok)";
-      "";
-    ]
+let text = "text/plain; charset=utf-8"
 
-let respond ?health ~baseline path =
+let prom = "text/plain; version=0.0.4"
+
+let json = "application/json"
+
+let jsonl = "application/jsonl"
+
+(* "a=1&b=2" -> value of [key], if present. *)
+let query_param query key =
+  List.find_map
+    (fun pair ->
+      match String.index_opt pair '=' with
+      | Some i when String.sub pair 0 i = key ->
+          Some (String.sub pair (i + 1) (String.length pair - i - 1))
+      | _ -> None)
+    (String.split_on_char '&' query)
+
+let not_found body = (404, text, body ^ "\n\n" ^ index_body)
+
+let trace_by_id id_s =
+  match id_s with
+  | "last" -> (
+      match Trace.last () with
+      | Some t -> (200, json, Trace.tree_json t ^ "\n")
+      | None -> (404, json, "{\"error\": \"no trace recorded\"}\n"))
+  | _ -> (
+      match int_of_string_opt id_s with
+      | None -> (404, json, "{\"error\": \"bad trace id\"}\n")
+      | Some id -> (
+          match Flightrec.trace_json id with
+          | Some body -> (200, json, body ^ "\n")
+          | None ->
+              ( 404,
+                json,
+                Registry.json_object
+                  [
+                    ("error", "\"trace not retained\"");
+                    ("trace_id", string_of_int id);
+                  ]
+                ^ "\n" )))
+
+(* [respond ?health ~baseline target] routes one request target
+   (path plus optional ?query). *)
+let respond ?health ~baseline target =
+  let path, query =
+    match String.index_opt target '?' with
+    | Some i ->
+        ( String.sub target 0 i,
+          String.sub target (i + 1) (String.length target - i - 1) )
+    | None -> (target, "")
+  in
   match path with
-  | "/" -> (200, "text/plain; charset=utf-8", index_body)
+  | "/" -> (200, text, index_body)
   | "/healthz" ->
       (* Liveness plus whatever the host process wants probes to see —
          the query server reports its store-recovery status here. *)
       let extra = match health with Some f -> f () ^ "\n" | None -> "" in
-      (200, "text/plain; charset=utf-8", "ok\n" ^ extra)
-  | "/metrics" ->
-      (200, "text/plain; version=0.0.4", prometheus (Registry.snapshot ()))
+      (200, text, "ok\n" ^ extra)
+  | "/metrics" -> (200, prom, prometheus (Registry.snapshot ()))
   | "/metrics/delta" ->
-      ( 200,
-        "text/plain; version=0.0.4",
-        prometheus (Registry.delta baseline (Registry.snapshot ())) )
-  | "/trace/last" -> (
-      match Trace.last () with
-      | Some t -> (200, "application/json", Trace.tree_json t ^ "\n")
-      | None -> (404, "application/json", "{\"error\": \"no trace recorded\"}\n"))
-  | _ -> (404, "text/plain; charset=utf-8", "not found\n")
+      (200, prom, prometheus (Registry.delta baseline (Registry.snapshot ())))
+  | "/metrics/history" -> (200, json, Runtime.history_json () ^ "\n")
+  | "/traces" -> (200, json, Flightrec.summary_json () ^ "\n")
+  | "/events/tail" ->
+      let n =
+        match Option.bind (query_param query "n") int_of_string_opt with
+        | Some n when n > 0 -> n
+        | _ -> 100
+      in
+      (200, jsonl, String.concat "" (Events.tail n))
+  | _ when String.length path > 7 && String.sub path 0 7 = "/trace/" ->
+      trace_by_id (String.sub path 7 (String.length path - 7))
+  | _ -> not_found "not found"
 
 let status_text = function
   | 200 -> "200 OK"
@@ -93,7 +178,8 @@ let http_response ~status ~content_type body =
      close\r\n\r\n%s"
     (status_text status) content_type (String.length body) body
 
-(* First request line: "GET /path?query HTTP/1.1". *)
+(* First request line: "GET /path?query HTTP/1.1".  The query string is
+   kept — /events/tail reads its [n] parameter from it. *)
 let request_path req =
   let first_line =
     match String.index_opt req '\r' with
@@ -104,10 +190,7 @@ let request_path req =
         | None -> req)
   in
   match String.split_on_char ' ' first_line with
-  | _meth :: target :: _ -> (
-      match String.index_opt target '?' with
-      | Some i -> String.sub target 0 i
-      | None -> target)
+  | _meth :: target :: _ -> target
   | _ -> "/"
 
 (* ------------------------------------------------------------------ *)

@@ -1,20 +1,30 @@
 (** Stats exposition for long-running [Service] processes: Prometheus
-    text-format metrics and [/trace/last] JSON over a minimal
+    text-format metrics and the flight-recorder views (retained traces,
+    structured event tail, runtime telemetry history) over a minimal
     stdlib-[Unix] HTTP server.
 
-    Routes:
-    - [/] — plain-text index
+    Routes are declared once in {!routes} — the ["/"] index body and
+    the docs/OBSERVABILITY.md route table ({!route_table_markdown}) are
+    both generated from it, so they cannot drift from the dispatcher:
+    - [/] — plain-text index (also the body of every 404)
+    - [/healthz] — liveness probe, always [200 ok]; when the host
+      passes [?health], its one-line report follows the [ok] line
     - [/metrics] — Prometheus text format (version 0.0.4) of the
       current registry snapshot; metric names are prefixed [stgq_] with
       dots mangled to underscores (counters → [counter], gauges →
       [gauge] plus a [_high_water] companion, histograms → [summary]
-      with 0.5/0.9/0.99 quantiles in ns)
+      with 0.5/0.9/0.99 quantiles and a HELP line naming the declared
+      unit, [ns] or [count])
     - [/metrics/delta] — the same, of [Registry.delta baseline now]
+    - [/metrics/history] — [Runtime.history_json]
     - [/trace/last] — the newest stitched trace ([Trace.tree_json]);
       404 when none is buffered
-    - [/healthz] — liveness probe, always [200 ok]; when the host
-      passes [?health], its one-line report (e.g. the store-recovery
-      status of the query server) follows the [ok] line
+    - [/trace/:id] — the retained flight-recorder trace
+      ([Flightrec.trace_json]); typed JSON 404 when the id was evicted
+      or never retained
+    - [/traces] — [Flightrec.summary_json]
+    - [/events/tail?n=N] — the last [N] (default 100) event records as
+      JSONL
 
     The server is single-threaded and connection-per-request (no
     keep-alive): run it on a spare domain next to the serving pool. *)
@@ -23,11 +33,23 @@ type addr =
   | Tcp of string * int  (** host (numeric, e.g. ["127.0.0.1"]) and port *)
   | Unix_path of string  (** Unix-domain socket path (unlinked on bind and close) *)
 
+(** The route table: [(route, description)] pairs, the single source of
+    the index body and the docs route table. *)
+val routes : (string * string) list
+
+(** The ["/"] body (generated from {!routes}). *)
+val index_body : string
+
+(** Markdown rendering of {!routes} — docs/OBSERVABILITY.md embeds
+    this verbatim, and a test asserts it. *)
+val route_table_markdown : unit -> string
+
 (** Prometheus text rendering of a snapshot (the [/metrics] body). *)
 val prometheus : Registry.snapshot -> string
 
-(** [respond ?health ~baseline path] routes one request:
-    [(status, content-type, body)].  Exposed for tests. *)
+(** [respond ?health ~baseline target] routes one request target (path
+    plus optional [?query]): [(status, content-type, body)].  Exposed
+    for tests. *)
 val respond :
   ?health:(unit -> string) ->
   baseline:Registry.snapshot ->

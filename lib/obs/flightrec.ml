@@ -1,0 +1,294 @@
+(* lint: allow-file toplevel-state *)
+(* Flight recorder: a bounded store of fully-stitched trace trees keyed
+   by trace id.  The per-domain span rings (Trace) are a moving window —
+   a degraded query's spans are overwritten milliseconds later under
+   load.  This module pins the traces worth keeping at the moment the
+   query completes, when the outcome is known:
+
+   - {b pinned}: degraded, unavailable, retried or budget-tripped
+     queries, and queries slower than the latency threshold (default:
+     the rolling p99 of [service.*.latency_ns]);
+   - {b sampled}: every [sample_every]-th normal query, so the store
+     always holds healthy baselines to diff a bad trace against.
+
+   Eviction is oldest-unpinned-first; pinned entries only age out when
+   the whole store is pinned.  Admissions and evictions are counted
+   ([obs.flightrec.{retained,sampled,evicted}]). *)
+
+(* Domain-safety contract for the typed analysis: all mutable state is
+   guarded by [lock] or atomic; cross-domain access is by design. *)
+[@@@lint.domain_safe]
+
+type entry = {
+  e_trace_id : int;
+  e_kind : string;
+  mutable e_reason : string;
+      (* why it was kept: "degraded", "slow", "sampled", ... *)
+  mutable e_pinned : bool;
+  e_latency_ns : float;
+  e_ts_ns : float;  (* admission wall-clock *)
+  mutable e_roots : Trace.tree list;  (* stitched forest for this trace id *)
+  mutable e_spans : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  by_id : (int, entry) Hashtbl.t;
+  order : int Queue.t;  (* admission order; may hold already-evicted ids *)
+  mutable capacity : int;
+  mutable sample_every : int;
+  mutable normal_seen : int;  (* normal-outcome queries since reset *)
+}
+
+let state =
+  {
+    lock = Mutex.create ();
+    by_id = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity = 256;
+    sample_every = 16;
+    normal_seen = 0;
+  }
+
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+
+let retained_total = Atomic.make 0
+
+let sampled_total = Atomic.make 0
+
+let evicted_total = Atomic.make 0
+
+let configure ?capacity ?sample_every () =
+  Mutex.lock state.lock;
+  (match capacity with Some c when c > 0 -> state.capacity <- c | _ -> ());
+  (match sample_every with
+  | Some n when n > 0 -> state.sample_every <- n
+  | _ -> ());
+  Mutex.unlock state.lock
+
+(* Rolling slow-query threshold: the worse p99 of the two service
+   latency histograms.  0 (no samples yet) disables the slow criterion
+   rather than pinning everything during warm-up. *)
+let latency_threshold_ns () =
+  let p99 name = Registry.Histogram.quantile (Registry.histogram name) 0.99 in
+  Float.max (p99 "service.sgq.latency_ns") (p99 "service.stgq.latency_ns")
+
+let stitch trace_id =
+  let spans =
+    List.filter (fun s -> s.Trace.sp_trace = trace_id) (Trace.spans ())
+  in
+  (Trace.trees spans, List.length spans)
+
+(* Caller holds the lock. *)
+let evict_one () =
+  (* First pass: oldest unpinned entry still present.  The queue may
+     lead with ids of entries already evicted or re-admitted; skip those
+     by membership check. *)
+  let victim = ref None in
+  Queue.iter
+    (fun id ->
+      if !victim = None then
+        match Hashtbl.find_opt state.by_id id with
+        | Some e when not e.e_pinned -> victim := Some id
+        | _ -> ())
+    state.order;
+  (if !victim = None then
+     (* Everything live is pinned: fall back to the oldest live entry so
+        the store stays bounded. *)
+     Queue.iter
+       (fun id ->
+         if !victim = None && Hashtbl.mem state.by_id id then
+           victim := Some id)
+       state.order);
+  match !victim with
+  | Some id ->
+      Hashtbl.remove state.by_id id;
+      Atomic.incr evicted_total
+  | None -> ()
+
+(* Drop queue prefix entries that no longer name a live trace, so the
+   queue length stays proportional to the live store. *)
+let compact_order () =
+  let continue_ = ref true in
+  while (not (Queue.is_empty state.order)) && !continue_ do
+    let id = Queue.peek state.order in
+    if Hashtbl.mem state.by_id id then continue_ := false
+    else ignore (Queue.pop state.order : int)
+  done
+
+let admit ~trace_id ~kind ~reason ~pinned ~latency_ns =
+  let roots, nspans = stitch trace_id in
+  Mutex.lock state.lock;
+  (match Hashtbl.find_opt state.by_id trace_id with
+  | Some e ->
+      (* Same trace observed twice (e.g. batch members): keep one entry,
+         upgrade to pinned if any observation pinned it. *)
+      if pinned && not e.e_pinned then begin
+        e.e_pinned <- true;
+        e.e_reason <- reason;
+        Atomic.incr retained_total
+      end;
+      e.e_roots <- roots;
+      e.e_spans <- nspans
+  | None ->
+      while Hashtbl.length state.by_id >= state.capacity do
+        evict_one ()
+      done;
+      Hashtbl.replace state.by_id trace_id
+        {
+          e_trace_id = trace_id;
+          e_kind = kind;
+          e_reason = reason;
+          e_pinned = pinned;
+          e_latency_ns = latency_ns;
+          e_ts_ns = Registry.now_ns ();
+          e_roots = roots;
+          e_spans = nspans;
+        };
+      Queue.push trace_id state.order;
+      compact_order ();
+      Atomic.incr (if pinned then retained_total else sampled_total));
+  Mutex.unlock state.lock
+
+let observe ~trace_id ~kind ~latency_ns ~degraded ~unavailable ~retries ?trip
+    () =
+  if Atomic.get enabled_flag && trace_id <> 0 then begin
+    let reason =
+      if unavailable then Some "unavailable"
+      else if degraded then Some "degraded"
+      else if trip <> None then Some "budget-trip"
+      else if retries > 0 then Some "retried"
+      else
+        let threshold = latency_threshold_ns () in
+        if threshold > 0. && latency_ns > threshold then Some "slow" else None
+    in
+    match reason with
+    | Some reason -> admit ~trace_id ~kind ~reason ~pinned:true ~latency_ns
+    | None ->
+        Mutex.lock state.lock;
+        state.normal_seen <- state.normal_seen + 1;
+        (* first of every stride — so stride 1 samples every query *)
+        let take = (state.normal_seen - 1) mod state.sample_every = 0 in
+        Mutex.unlock state.lock;
+        if take then
+          admit ~trace_id ~kind ~reason:"sampled" ~pinned:false ~latency_ns
+  end
+
+(* Re-stitch an entry after more of its spans landed — the server calls
+   this once the request root span closes, so retained trees include
+   the full server-side envelope. *)
+let refresh trace_id =
+  if Atomic.get enabled_flag && trace_id <> 0 then begin
+    Mutex.lock state.lock;
+    let present = Hashtbl.mem state.by_id trace_id in
+    Mutex.unlock state.lock;
+    if present then begin
+      (* Stitch outside the lock: spans() walks every ring slot. *)
+      let roots, nspans = stitch trace_id in
+      Mutex.lock state.lock;
+      (match Hashtbl.find_opt state.by_id trace_id with
+      | Some e ->
+          e.e_roots <- roots;
+          e.e_spans <- nspans
+      | None -> ());
+      Mutex.unlock state.lock
+    end
+  end
+
+type summary = {
+  s_trace_id : int;
+  s_kind : string;
+  s_reason : string;
+  s_pinned : bool;
+  s_latency_ns : float;
+  s_spans : int;
+}
+
+let entries () =
+  Mutex.lock state.lock;
+  let out =
+    Hashtbl.fold
+      (fun _ e acc ->
+        ( e.e_ts_ns,
+          {
+            s_trace_id = e.e_trace_id;
+            s_kind = e.e_kind;
+            s_reason = e.e_reason;
+            s_pinned = e.e_pinned;
+            s_latency_ns = e.e_latency_ns;
+            s_spans = e.e_spans;
+          } )
+        :: acc)
+      state.by_id []
+  in
+  Mutex.unlock state.lock;
+  (* Newest first. *)
+  List.map snd (List.sort (fun (a, _) (b, _) -> Float.compare b a) out)
+
+let find trace_id =
+  Mutex.lock state.lock;
+  let r =
+    Option.map (fun e -> e.e_roots) (Hashtbl.find_opt state.by_id trace_id)
+  in
+  Mutex.unlock state.lock;
+  r
+
+let summary_json () =
+  let row s =
+    Registry.json_object
+      [
+        ("trace_id", string_of_int s.s_trace_id);
+        ("kind", "\"" ^ Registry.json_escape s.s_kind ^ "\"");
+        ("reason", "\"" ^ Registry.json_escape s.s_reason ^ "\"");
+        ("pinned", string_of_bool s.s_pinned);
+        ("latency_ns", Printf.sprintf "%.0f" s.s_latency_ns);
+        ("spans", string_of_int s.s_spans);
+      ]
+  in
+  "[" ^ String.concat ",\n " (List.map row (entries ())) ^ "]"
+
+let trace_json trace_id =
+  Option.map
+    (fun roots ->
+      Registry.json_object
+        [
+          ("trace_id", string_of_int trace_id);
+          ( "roots",
+            "[" ^ String.concat ", " (List.map Trace.tree_json roots) ^ "]" );
+        ])
+    (find trace_id)
+
+let retained () = Atomic.get retained_total
+
+let sampled () = Atomic.get sampled_total
+
+let evicted () = Atomic.get evicted_total
+
+let size () =
+  Mutex.lock state.lock;
+  let n = Hashtbl.length state.by_id in
+  Mutex.unlock state.lock;
+  n
+
+let reset () =
+  Mutex.lock state.lock;
+  Hashtbl.reset state.by_id;
+  Queue.clear state.order;
+  state.normal_seen <- 0;
+  Mutex.unlock state.lock;
+  Atomic.set retained_total 0;
+  Atomic.set sampled_total 0;
+  Atomic.set evicted_total 0
+
+let () =
+  Registry.register_counter_source (fun () ->
+      [
+        ("obs.flightrec.retained", retained ());
+        ("obs.flightrec.sampled", sampled ());
+        ("obs.flightrec.evicted", evicted ());
+      ]);
+  Registry.register_reset_hook reset

@@ -1,0 +1,95 @@
+(** Flight recorder: bounded retention of fully-stitched trace trees.
+
+    The per-domain span rings ({!Trace}) are a moving window; under
+    load a degraded query's spans are overwritten within milliseconds.
+    The flight recorder pins traces worth keeping at the moment the
+    query completes, when the outcome is known:
+
+    - {b pinned}: degraded, unavailable, retried or budget-tripped
+      queries, and queries slower than the rolling p99 of
+      [service.*.latency_ns];
+    - {b sampled}: every [sample_every]-th normal query (healthy
+      baselines to diff a bad trace against).
+
+    Eviction is oldest-unpinned-first (pinned entries age out only when
+    the whole store is pinned), counted as
+    [obs.flightrec.{retained,sampled,evicted}] in every snapshot. *)
+
+(** {1 Switch} *)
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [configure ?capacity ?sample_every ()] sets the store bound
+    (default 256 traces) and the normal-query sampling stride (default
+    16).  Non-positive values are ignored. *)
+val configure : ?capacity:int -> ?sample_every:int -> unit -> unit
+
+(** {1 Feeding} *)
+
+(** [observe ~trace_id ~kind ~latency_ns ~degraded ~unavailable
+    ~retries ?trip ()] classifies one completed query and admits its
+    stitched trace if the retention policy keeps it.  [trace_id = 0]
+    (no trace recorded) is a no-op.  Call after the query's root span
+    has closed so the stitched tree is complete. *)
+val observe :
+  trace_id:int ->
+  kind:string ->
+  latency_ns:float ->
+  degraded:bool ->
+  unavailable:bool ->
+  retries:int ->
+  ?trip:string ->
+  unit ->
+  unit
+
+(** [refresh trace_id] re-stitches a retained trace after more of its
+    spans landed — the server calls this when the request envelope span
+    closes.  No-op for unretained ids. *)
+val refresh : int -> unit
+
+(** The slow-query pin threshold currently in force: the worse p99 of
+    the two service latency histograms, 0 before any samples (the slow
+    criterion is then disabled). *)
+val latency_threshold_ns : unit -> float
+
+(** {1 Reading} *)
+
+type summary = {
+  s_trace_id : int;
+  s_kind : string;
+  s_reason : string;
+      (** "degraded" | "unavailable" | "budget-trip" | "retried" |
+          "slow" | "sampled" *)
+  s_pinned : bool;
+  s_latency_ns : float;
+  s_spans : int;
+}
+
+(** Retained traces, newest first. *)
+val entries : unit -> summary list
+
+(** The stitched forest for a retained trace id. *)
+val find : int -> Trace.tree list option
+
+(** JSON array of {!entries} (the [/traces] wire format). *)
+val summary_json : unit -> string
+
+(** JSON object with the stitched roots (the [/trace/:id] wire
+    format); [None] if the id is not retained. *)
+val trace_json : int -> string option
+
+val retained : unit -> int
+
+val sampled : unit -> int
+
+val evicted : unit -> int
+
+(** Live entries currently in the store. *)
+val size : unit -> int
+
+(** Empty the store and zero the totals (also runs on
+    [Registry.reset]).  The enabled flag and configuration are
+    untouched. *)
+val reset : unit -> unit

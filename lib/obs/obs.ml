@@ -4,4 +4,7 @@
 
 include Registry
 module Trace = Trace
+module Flightrec = Flightrec
+module Events = Events
+module Runtime = Runtime
 module Exposition = Exposition

@@ -7,16 +7,25 @@
     - {b query-level tracing} ({!Trace}): hierarchical spans across
       domains, stitched trees, Chrome-trace/Perfetto export and the
       pruning-waterfall solver profile;
+    - the {b flight recorder plane}: tail-sampled trace retention
+      ({!Flightrec}), the structured JSONL event log ({!Events}) and
+      the runtime telemetry sampler ({!Runtime});
     - the {b exposition server} ({!Exposition}): Prometheus text-format
-      metrics and [/trace/last] JSON over stdlib-[Unix] sockets.
+      metrics, retained traces, the event tail and the telemetry
+      history over stdlib-[Unix] sockets.
 
-    Metrics and tracing have independent switches ({!set_enabled} vs
-    {!Trace.set_enabled}); both are off by default and cost one atomic
-    load per record operation while off.  See docs/OBSERVABILITY.md. *)
+    Metrics, tracing and the flight-recorder modules have independent
+    switches ({!set_enabled}, {!Trace.set_enabled},
+    {!Flightrec.set_enabled}, {!Events.set_enabled}); all are off by
+    default and cost one atomic load per record operation while off.
+    See docs/OBSERVABILITY.md. *)
 
 include module type of struct
   include Registry
 end
 
 module Trace = Trace
+module Flightrec = Flightrec
+module Events = Events
+module Runtime = Runtime
 module Exposition = Exposition

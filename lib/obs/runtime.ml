@@ -1,0 +1,204 @@
+(* lint: allow-file toplevel-state *)
+(* Runtime telemetry history: a fixed-interval sampler on its own
+   thread, writing GC/pool/cache/server readings into a bounded ring
+   served as the [/metrics/history] JSON series.
+
+   Each sample holds the deltas since the previous one (minor words
+   allocated, major collections, busy-ns per pool worker) plus the
+   instantaneous levels (heap words, queue depth, cache entries, server
+   inflight), so a dashboard can plot rates without differentiating
+   client-side.  The sampler thread sleeps in short slices and checks a
+   stop flag, so [stop] returns promptly rather than after a full
+   interval. *)
+
+(* Domain-safety contract for the typed analysis: the ring is guarded
+   by [lock]; the stop flag is atomic; cross-thread access is by
+   design. *)
+[@@@lint.domain_safe]
+
+type sample = {
+  m_ts_ns : float;
+  m_minor_words : float;  (* allocated since previous sample *)
+  m_major_collections : int;  (* since previous sample *)
+  m_heap_words : int;
+  m_pool_queue_depth : int;
+  m_pool_busy_pct : int;
+      (* share of the interval the pool spent solving, summed over
+         workers; >100 means more than one worker was busy on average *)
+  m_cache_entries : int;
+  m_server_inflight : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  ring : sample option array;
+  mutable next : int;
+  mutable thread : Thread.t option;
+  mutable last_stat : Gc.stat option;
+  mutable last_minor_words : float;
+  mutable last_busy_ns : int;
+  mutable last_ts_ns : float;
+}
+
+let ring_capacity = 512
+
+let state =
+  {
+    lock = Mutex.create ();
+    ring = Array.make ring_capacity None;
+    next = 0;
+    thread = None;
+    last_stat = None;
+    last_minor_words = 0.;
+    last_busy_ns = 0;
+    last_ts_ns = 0.;
+  }
+
+let stop_flag = Atomic.make false
+
+let samples_total = Atomic.make 0
+
+let running () =
+  Mutex.lock state.lock;
+  let r = state.thread <> None in
+  Mutex.unlock state.lock;
+  r
+
+(* Gauges/counters published by the engine and server layers; interning
+   here creates them as zeros when those layers are not loaded, which
+   reads correctly (idle pool, empty cache). *)
+let g_queue = Registry.gauge "engine.pool.queue_depth_hwm"
+
+let c_busy = Registry.counter "engine.pool.worker_busy_ns"
+
+let g_cache = Registry.gauge "engine.cache.entries"
+
+let g_inflight = Registry.gauge "server.inflight"
+
+(* Take one reading and append it to the ring.  Exposed for tests so
+   they need not wait out an interval. *)
+let sample_once () =
+  let ts = Registry.now_ns () in
+  let stat = Gc.quick_stat () in
+  (* [quick_stat]'s minor_words only advances at minor collections; the
+     dedicated accessor includes the current allocation pointer. *)
+  let minor_now = Gc.minor_words () in
+  let busy = Registry.Counter.value c_busy in
+  Mutex.lock state.lock;
+  let minor_words, majors =
+    match state.last_stat with
+    | Some prev ->
+        ( minor_now -. state.last_minor_words,
+          stat.Gc.major_collections - prev.Gc.major_collections )
+    | None -> (0., 0)
+  in
+  let busy_pct =
+    let dt = ts -. state.last_ts_ns in
+    if state.last_ts_ns > 0. && dt > 0. then
+      int_of_float (100. *. float_of_int (busy - state.last_busy_ns) /. dt)
+    else 0
+  in
+  state.last_stat <- Some stat;
+  state.last_minor_words <- minor_now;
+  state.last_busy_ns <- busy;
+  state.last_ts_ns <- ts;
+  state.ring.(state.next) <-
+    Some
+      {
+        m_ts_ns = ts;
+        m_minor_words = Float.max 0. minor_words;
+        m_major_collections = Stdlib.max 0 majors;
+        m_heap_words = stat.Gc.heap_words;
+        m_pool_queue_depth = Registry.Gauge.value g_queue;
+        m_pool_busy_pct = Stdlib.max 0 busy_pct;
+        m_cache_entries = Registry.Gauge.value g_cache;
+        m_server_inflight = Registry.Gauge.value g_inflight;
+      };
+  state.next <- (state.next + 1) mod ring_capacity;
+  Mutex.unlock state.lock;
+  Atomic.incr samples_total
+
+let start ?(interval_ms = 250) () =
+  Mutex.lock state.lock;
+  let already = state.thread <> None in
+  Mutex.unlock state.lock;
+  if not already then begin
+    Atomic.set stop_flag false;
+    let interval = float_of_int (Stdlib.max 1 interval_ms) /. 1000. in
+    let body () =
+      while not (Atomic.get stop_flag) do
+        sample_once ();
+        (* Sleep in ~10ms slices so stop is prompt. *)
+        let slept = ref 0. in
+        while (not (Atomic.get stop_flag)) && !slept < interval do
+          let slice = Float.min 0.01 (interval -. !slept) in
+          Thread.delay slice;
+          slept := !slept +. slice
+        done
+      done
+    in
+    let t = Thread.create body () in
+    Mutex.lock state.lock;
+    state.thread <- Some t;
+    Mutex.unlock state.lock
+  end
+
+let stop () =
+  Mutex.lock state.lock;
+  let t = state.thread in
+  state.thread <- None;
+  Mutex.unlock state.lock;
+  match t with
+  | Some t ->
+      Atomic.set stop_flag true;
+      Thread.join t
+  | None -> ()
+
+(* Oldest first, at most [ring_capacity]. *)
+let history () =
+  Mutex.lock state.lock;
+  let out = ref [] in
+  for k = 0 to ring_capacity - 1 do
+    (* Walk backwards from just behind the cursor so the accumulator
+       comes out oldest-first. *)
+    let i = (state.next + ring_capacity - 1 - k) mod ring_capacity in
+    match state.ring.(i) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  Mutex.unlock state.lock;
+  !out
+
+let history_json () =
+  let row s =
+    Registry.json_object
+      [
+        ("ts_ns", Printf.sprintf "%.0f" s.m_ts_ns);
+        ("minor_words", Printf.sprintf "%.0f" s.m_minor_words);
+        ("major_collections", string_of_int s.m_major_collections);
+        ("heap_words", string_of_int s.m_heap_words);
+        ("pool_queue_depth", string_of_int s.m_pool_queue_depth);
+        ("pool_busy_pct", string_of_int s.m_pool_busy_pct);
+        ("cache_entries", string_of_int s.m_cache_entries);
+        ("server_inflight", string_of_int s.m_server_inflight);
+      ]
+  in
+  "[" ^ String.concat ",\n " (List.map row (history ())) ^ "]"
+
+let samples () = Atomic.get samples_total
+
+let reset () =
+  Mutex.lock state.lock;
+  Array.fill state.ring 0 ring_capacity None;
+  state.next <- 0;
+  state.last_stat <- None;
+  state.last_minor_words <- 0.;
+  state.last_busy_ns <- 0;
+  state.last_ts_ns <- 0.;
+  Mutex.unlock state.lock;
+  Atomic.set samples_total 0
+
+let () =
+  Registry.register_counter_source (fun () ->
+      [ ("obs.runtime.samples", samples ()) ]);
+  Registry.register_reset_hook reset

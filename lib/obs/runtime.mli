@@ -1,0 +1,49 @@
+(** Runtime telemetry history: a fixed-interval sampler on its own
+    thread feeding a bounded ring, served as [/metrics/history].
+
+    Each sample mixes deltas since the previous sample (minor words
+    allocated, major collections, pool busy share) with instantaneous
+    levels (heap words, queue-depth high-water, cache entries, server
+    inflight), so dashboards plot rates without client-side
+    differentiation.  {!stop} is prompt: the thread sleeps in short
+    slices and checks a stop flag. *)
+
+type sample = {
+  m_ts_ns : float;
+  m_minor_words : float;  (** allocated since the previous sample *)
+  m_major_collections : int;  (** since the previous sample *)
+  m_heap_words : int;
+  m_pool_queue_depth : int;
+  m_pool_busy_pct : int;
+      (** share of the interval pool workers spent solving, summed over
+          workers — >100 means more than one worker busy on average *)
+  m_cache_entries : int;
+  m_server_inflight : int;
+}
+
+(** Start the sampler thread (no-op if already running).
+    [interval_ms] defaults to 250. *)
+val start : ?interval_ms:int -> unit -> unit
+
+(** Stop and join the sampler thread (no-op if not running). *)
+val stop : unit -> unit
+
+val running : unit -> bool
+
+(** Take one reading synchronously — the test hook; also what the
+    thread calls each interval. *)
+val sample_once : unit -> unit
+
+(** Buffered samples, oldest first (ring capacity 512). *)
+val history : unit -> sample list
+
+(** JSON array of {!history} (the [/metrics/history] wire format). *)
+val history_json : unit -> string
+
+(** Samples taken since the last reset — surfaced as
+    [obs.runtime.samples]. *)
+val samples : unit -> int
+
+(** Empty the ring and zero the total (also runs on [Registry.reset]).
+    A running sampler keeps running. *)
+val reset : unit -> unit

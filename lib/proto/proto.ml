@@ -7,11 +7,20 @@
    only allocation sized from wire data is the availability slab, and
    its byte count is checked against the remaining buffer *before* the
    slab is created, so a hostile length field can never out-allocate
-   the frame that carried it. *)
+   the frame that carried it.
+
+   Versioning: every frame payload leads with its wire version; this
+   build speaks [min_version .. version] and fields added after v1 are
+   written/read only at the versions that know them ([Hello.speaks]
+   and answer [trace_id] from v2).  The negotiated version of a
+   connection is [min server_version client_speaks], carried in
+   [Hello]/[Hello_ok], so an old client never sees bytes it cannot
+   decode. *)
 
 open Stgq_core
 
-let version = 1
+let version = 2
+let min_version = 1
 let max_frame = 1 lsl 20
 let header_bytes = 4
 
@@ -22,7 +31,9 @@ type policy = {
 }
 
 type request =
-  | Hello of { client : string }
+  | Hello of { client : string; speaks : int }
+      (* [speaks]: highest wire version the client understands; assumed
+         1 when the Hello itself arrived at v1 *)
   | Ping of string
   | Sgq of { initiator : int; q : Query.sgq; policy : policy option }
   | Stgq of { initiator : int; q : Query.stgq; policy : policy option }
@@ -48,6 +59,7 @@ type response =
       retries : int;
       reason : Budget.reason option;
       certified : bool;
+      trace_id : int;  (* server-assigned; 0 = none (and on v1 wires) *)
     }
   | Stg_answer of {
       value : Query.stg_solution option;
@@ -56,6 +68,7 @@ type response =
       retries : int;
       reason : Budget.reason option;
       certified : bool;
+      trace_id : int;  (* server-assigned; 0 = none (and on v1 wires) *)
     }
   | Updated of { vertex : int }
   | Failed of server_error
@@ -76,8 +89,9 @@ let string_of_decode_error = function
       Printf.sprintf "truncated: needed %d more byte(s), %d available" needed
         got
   | Bad_version { got } ->
-      Printf.sprintf "unsupported protocol version %d (this build speaks %d)"
-        got version
+      Printf.sprintf
+        "unsupported protocol version %d (this build speaks %d..%d)" got
+        min_version version
   | Bad_tag { context; tag } ->
       Printf.sprintf "unknown tag %d for %s" tag context
   | Bad_value { context; detail } ->
@@ -177,13 +191,16 @@ let w_stg_solution b (s : Query.stg_solution) =
   w_f64 b s.st_total_distance;
   w_u32 b s.start_slot
 
-let w_answer w_value b value rung gap retries reason certified =
+let w_answer ~v w_value b value rung gap retries reason certified trace_id =
   w_opt w_value b value;
   w_u8 b (rung_tag rung);
   w_opt w_f64 b gap;
   w_u32 b retries;
   w_opt (fun b r -> w_u8 b (reason_tag r)) b reason;
-  w_bool b certified
+  w_bool b certified;
+  (* v2 field: a v1 peer stops reading at [certified], so the byte must
+     not be on the wire at all. *)
+  if v >= 2 then w_u32 b (trace_id land 0xFFFFFFFF)
 
 let w_server_error b = function
   | Overloaded { queue_depth; limit } ->
@@ -205,10 +222,11 @@ let w_server_error b = function
       w_u8 b 5;
       w_u8 b server_version
 
-let w_request b = function
-  | Hello { client } ->
+let w_request ~v b = function
+  | Hello { client; speaks } ->
       w_u8 b 1;
-      w_str8 b client
+      w_str8 b client;
+      if v >= 2 then w_u8 b speaks
   | Ping s ->
       w_u8 b 2;
       w_str16 b s
@@ -232,19 +250,21 @@ let w_request b = function
       w_u32 b vertex;
       w_avail b avail
 
-let w_response b = function
-  | Hello_ok { version = v } ->
+let w_response ~v b = function
+  | Hello_ok { version = hv } ->
       w_u8 b 1;
-      w_u8 b v
+      w_u8 b hv
   | Pong s ->
       w_u8 b 2;
       w_str16 b s
-  | Sg_answer { value; rung; gap; retries; reason; certified } ->
+  | Sg_answer { value; rung; gap; retries; reason; certified; trace_id } ->
       w_u8 b 3;
-      w_answer w_sg_solution b value rung gap retries reason certified
-  | Stg_answer { value; rung; gap; retries; reason; certified } ->
+      w_answer ~v w_sg_solution b value rung gap retries reason certified
+        trace_id
+  | Stg_answer { value; rung; gap; retries; reason; certified; trace_id } ->
       w_u8 b 4;
-      w_answer w_stg_solution b value rung gap retries reason certified
+      w_answer ~v w_stg_solution b value rung gap retries reason certified
+        trace_id
   | Updated { vertex } ->
       w_u8 b 5;
       w_u32 b vertex
@@ -252,10 +272,15 @@ let w_response b = function
       w_u8 b 6;
       w_server_error b err
 
-let frame payload_writer msg =
+let check_version v =
+  if v < min_version || v > version then
+    invalid_arg (Printf.sprintf "Proto: cannot encode at version %d" v)
+
+let frame ~v payload_writer msg =
+  check_version v;
   let b = Buffer.create 64 in
-  w_u8 b version;
-  payload_writer b msg;
+  w_u8 b v;
+  payload_writer ~v b msg;
   let len = Buffer.length b in
   if len > max_frame then invalid_arg "Proto: frame exceeds max_frame";
   let out = Buffer.create (header_bytes + len) in
@@ -263,8 +288,8 @@ let frame payload_writer msg =
   Buffer.add_buffer out b;
   Buffer.contents out
 
-let encode_request m = frame w_request m
-let encode_response m = frame w_response m
+let encode_request ?(version = version) m = frame ~v:version w_request m
+let encode_response ?(version = version) m = frame ~v:version w_response m
 
 (* ------------------------------------------------------------------ *)
 (* Readers: a cursor over an immutable string; every primitive checks
@@ -395,14 +420,15 @@ let r_stg_solution r =
   let start_slot = r_u32 r in
   { Query.st_attendees; st_total_distance; start_slot }
 
-let r_answer ~context r_value r =
+let r_answer ~v ~context r_value r =
   let value = r_opt ~context r_value r in
   let rung = r_rung r in
   let gap = r_opt ~context:"answer.gap" r_f64 r in
   let retries = r_u32 r in
   let reason = r_opt ~context:"answer.reason" r_reason r in
   let certified = r_bool ~context:"answer.certified" r in
-  (value, rung, gap, retries, reason, certified)
+  let trace_id = if v >= 2 then r_u32 r else 0 in
+  (value, rung, gap, retries, reason, certified, trace_id)
 
 let r_server_error r =
   match r_u8 r with
@@ -426,9 +452,12 @@ let r_server_error r =
       Unsupported_version { server_version }
   | tag -> raise (Fail (Bad_tag { context = "server error"; tag }))
 
-let r_request r =
+let r_request ~v r =
   match r_u8 r with
-  | 1 -> Hello { client = r_str8 r }
+  | 1 ->
+      let client = r_str8 r in
+      let speaks = if v >= 2 then r_u8 r else 1 in
+      Hello { client; speaks }
   | 2 -> Ping (r_str16 r)
   | 3 ->
       let initiator = r_u32 r in
@@ -451,20 +480,20 @@ let r_request r =
       Update_schedule { vertex; avail }
   | tag -> raise (Fail (Bad_tag { context = "request"; tag }))
 
-let r_response r =
+let r_response ~v r =
   match r_u8 r with
   | 1 -> Hello_ok { version = r_u8 r }
   | 2 -> Pong (r_str16 r)
   | 3 ->
-      let value, rung, gap, retries, reason, certified =
-        r_answer ~context:"sg_answer.value" r_sg_solution r
+      let value, rung, gap, retries, reason, certified, trace_id =
+        r_answer ~v ~context:"sg_answer.value" r_sg_solution r
       in
-      Sg_answer { value; rung; gap; retries; reason; certified }
+      Sg_answer { value; rung; gap; retries; reason; certified; trace_id }
   | 4 ->
-      let value, rung, gap, retries, reason, certified =
-        r_answer ~context:"stg_answer.value" r_stg_solution r
+      let value, rung, gap, retries, reason, certified, trace_id =
+        r_answer ~v ~context:"stg_answer.value" r_stg_solution r
       in
-      Stg_answer { value; rung; gap; retries; reason; certified }
+      Stg_answer { value; rung; gap; retries; reason; certified; trace_id }
   | 5 -> Updated { vertex = r_u32 r }
   | 6 -> Failed (r_server_error r)
   | tag -> raise (Fail (Bad_tag { context = "response"; tag }))
@@ -473,8 +502,9 @@ let decode_payload read payload =
   let r = { buf = payload; pos = 0 } in
   match
     let v = r_u8 r in
-    if v <> version then raise (Fail (Bad_version { got = v }));
-    let msg = read r in
+    if v < min_version || v > version then
+      raise (Fail (Bad_version { got = v }));
+    let msg = read ~v r in
     let extra = String.length r.buf - r.pos in
     if extra > 0 then raise (Fail (Trailing_bytes { extra }));
     msg
@@ -542,7 +572,8 @@ let equal_stg (a : Query.stg_solution) (b : Query.stg_solution) =
 
 let equal_request (a : request) (b : request) =
   match (a, b) with
-  | Hello x, Hello y -> String.equal x.client y.client
+  | Hello x, Hello y ->
+      String.equal x.client y.client && Int.equal x.speaks y.speaks
   | Ping x, Ping y -> String.equal x y
   | Sgq x, Sgq y ->
       Int.equal x.initiator y.initiator
@@ -583,6 +614,7 @@ let equal_response (a : response) (b : response) =
       && Int.equal x.retries y.retries
       && Option.equal (fun a b -> a = b) x.reason y.reason
       && Bool.equal x.certified y.certified
+      && Int.equal x.trace_id y.trace_id
   | Stg_answer x, Stg_answer y ->
       Option.equal equal_stg x.value y.value
       && x.rung = y.rung
@@ -590,6 +622,7 @@ let equal_response (a : response) (b : response) =
       && Int.equal x.retries y.retries
       && Option.equal (fun a b -> a = b) x.reason y.reason
       && Bool.equal x.certified y.certified
+      && Int.equal x.trace_id y.trace_id
   | Updated x, Updated y -> Int.equal x.vertex y.vertex
   | Failed x, Failed y -> equal_server_error x y
   | ( ( Hello_ok _ | Pong _ | Sg_answer _ | Stg_answer _ | Updated _
@@ -613,7 +646,8 @@ let pp_avail ppf a =
   done
 
 let pp_request ppf = function
-  | Hello { client } -> Format.fprintf ppf "Hello %S" client
+  | Hello { client; speaks } ->
+      Format.fprintf ppf "Hello{client=%S; speaks=%d}" client speaks
   | Ping s -> Format.fprintf ppf "Ping %S" s
   | Sgq { initiator; q; policy } ->
       Format.fprintf ppf "Sgq{init=%d; p=%d; s=%d; k=%d; policy=%a}" initiator
@@ -648,24 +682,26 @@ let pp_server_error ppf = function
   | Unsupported_version { server_version } ->
       Format.fprintf ppf "Unsupported_version{%d}" server_version
 
-let pp_answer pp_value ppf (value, rung, gap, retries, reason, certified) =
+let pp_answer pp_value ppf
+    (value, rung, gap, retries, reason, certified, trace_id) =
   Format.fprintf ppf
-    "{value=%a; rung=%a; gap=%a; retries=%d; reason=%a; certified=%b}"
+    "{value=%a; rung=%a; gap=%a; retries=%d; reason=%a; certified=%b; \
+     trace_id=%d}"
     (Format.pp_print_option pp_value)
     value Resilience.pp_rung rung
     (Format.pp_print_option Format.pp_print_float)
     gap retries
     (Format.pp_print_option pp_reason)
-    reason certified
+    reason certified trace_id
 
 let pp_response ppf = function
   | Hello_ok { version = v } -> Format.fprintf ppf "Hello_ok{version=%d}" v
   | Pong s -> Format.fprintf ppf "Pong %S" s
-  | Sg_answer { value; rung; gap; retries; reason; certified } ->
+  | Sg_answer { value; rung; gap; retries; reason; certified; trace_id } ->
       Format.fprintf ppf "Sg_answer%a"
         (pp_answer Query.pp_sg_solution)
-        (value, rung, gap, retries, reason, certified)
-  | Stg_answer { value; rung; gap; retries; reason; certified } ->
+        (value, rung, gap, retries, reason, certified, trace_id)
+  | Stg_answer { value; rung; gap; retries; reason; certified; trace_id } ->
       Format.fprintf ppf "Stg_answer%a"
         (pp_answer (fun ppf (s : Query.stg_solution) ->
              Format.fprintf ppf "{attendees=%a; dist=%g; start=%d}"
@@ -673,6 +709,6 @@ let pp_response ppf = function
                   ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
                   Format.pp_print_int)
                s.st_attendees s.st_total_distance s.start_slot))
-        (value, rung, gap, retries, reason, certified)
+        (value, rung, gap, retries, reason, certified, trace_id)
   | Updated { vertex } -> Format.fprintf ppf "Updated{vertex=%d}" vertex
   | Failed e -> Format.fprintf ppf "Failed(%a)" pp_server_error e

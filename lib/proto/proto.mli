@@ -15,8 +15,14 @@
 
 open Stgq_core
 
-(** Protocol version spoken by this build (currently 1). *)
+(** Newest protocol version spoken by this build (currently 2: v2
+    added [Hello.speaks] and the answer [trace_id]). *)
 val version : int
+
+(** Oldest version this build still decodes and encodes (currently 1).
+    A connection's negotiated version is
+    [min server_version client_speaks]. *)
+val min_version : int
 
 (** Hard cap on a frame's declared payload length, in bytes (1 MiB).
     Larger declarations are rejected before allocation. *)
@@ -36,7 +42,10 @@ type policy = {
 }
 
 type request =
-  | Hello of { client : string }  (** identifier, at most 255 bytes *)
+  | Hello of { client : string; speaks : int }
+      (** [client]: identifier, at most 255 bytes.  [speaks]: highest
+          wire version the client understands — written from wire v2
+          on, assumed 1 when the Hello arrived at v1. *)
   | Ping of string
   | Sgq of { initiator : int; q : Query.sgq; policy : policy option }
   | Stgq of { initiator : int; q : Query.stgq; policy : policy option }
@@ -66,6 +75,9 @@ type response =
       retries : int;
       reason : Budget.reason option;
       certified : bool;
+      trace_id : int;
+          (** server-assigned flight-recorder trace id; 0 = none.  On
+              the wire from v2 only — a v1 answer decodes with 0. *)
     }
   | Stg_answer of {
       value : Query.stg_solution option;
@@ -74,6 +86,7 @@ type response =
       retries : int;
       reason : Budget.reason option;
       certified : bool;
+      trace_id : int;  (** as for [Sg_answer] *)
     }
   | Updated of { vertex : int }
   | Failed of server_error
@@ -90,12 +103,16 @@ type decode_error =
 val string_of_decode_error : decode_error -> string
 
 (** {1 Encoding} — both encoders emit a complete frame (length prefix
-    included).  They raise [Invalid_argument] on out-of-range values
-    (negative ids, identifiers over 255 bytes, lists over 65535
-    elements); well-typed application values always encode. *)
+    included).  [?version] (default {!version}) selects the wire
+    version, e.g. the connection's negotiated one; fields newer than it
+    are simply not written.  They raise [Invalid_argument] on
+    out-of-range values (negative ids, identifiers over 255 bytes,
+    lists over 65535 elements) or a [?version] outside
+    [{!min_version}..{!version}]; well-typed application values always
+    encode. *)
 
-val encode_request : request -> string
-val encode_response : response -> string
+val encode_request : ?version:int -> request -> string
+val encode_response : ?version:int -> response -> string
 
 (** {1 Decoding} *)
 

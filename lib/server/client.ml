@@ -1,4 +1,10 @@
-type t = { fd : Unix.file_descr }
+type t = {
+  mutable fd : Unix.file_descr;
+  addr : Listener.addr;
+  mutable negotiated : int;
+      (* wire version for every encode; starts optimistic at this
+         build's newest, lowered by [hello] if the server is older *)
+}
 
 let connect (addr : Listener.addr) =
   match addr with
@@ -11,11 +17,13 @@ let connect (addr : Listener.addr) =
           Unix.SOCK_STREAM 0
       in
       Unix.connect fd sockaddr;
-      { fd }
+      { fd; addr; negotiated = Proto.version }
   | Listener.Unix_path path ->
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
-      { fd }
+      { fd; addr; negotiated = Proto.version }
+
+let negotiated_version t = t.negotiated
 
 let close t =
   match Unix.close t.fd with () -> () | exception Unix.Unix_error _ -> ()
@@ -68,7 +76,7 @@ let read_exact fd n =
   go 0
 
 let request t req =
-  let frame = Proto.encode_request req in
+  let frame = Proto.encode_request ~version:t.negotiated req in
   really_write t.fd (Bytes.unsafe_of_string frame) 0 (String.length frame);
   match read_exact t.fd Proto.header_bytes with
   | Error e -> Error e
@@ -80,17 +88,43 @@ let request t req =
           | Error e -> Error e
           | Ok payload -> Proto.decode_response_payload payload))
 
-let hello t ~client =
-  match request t (Proto.Hello { client }) with
-  | Ok (Proto.Hello_ok { version }) when version = Proto.version -> Ok version
-  | Ok (Proto.Hello_ok { version }) ->
-      Error (Printf.sprintf "server speaks protocol version %d, not %d" version
-               Proto.version)
-  | Ok (Proto.Failed (Proto.Unsupported_version { server_version })) ->
+let check_hello_ok t = function
+  | Proto.Hello_ok { version }
+    when version >= Proto.min_version && version <= Proto.version ->
+      t.negotiated <- version;
+      Ok version
+  | Proto.Hello_ok { version } ->
+      Error
+        (Printf.sprintf "server negotiated version %d, this build speaks %d..%d"
+           version Proto.min_version Proto.version)
+  | Proto.Failed (Proto.Unsupported_version { server_version }) ->
       Error (Printf.sprintf "server rejected version %d (speaks %d)"
                Proto.version server_version)
-  | Ok resp ->
+  | resp ->
       Error
         (Format.asprintf "unexpected handshake response: %a" Proto.pp_response
            resp)
+
+let hello t ~client =
+  match request t (Proto.Hello { client; speaks = Proto.version }) with
+  | Ok (Proto.Failed (Proto.Unsupported_version { server_version }))
+    when server_version >= Proto.min_version && server_version < Proto.version
+    -> (
+      (* An older server rejected our newest framing and closed the
+         stream; reconnect and redo the handshake at its version. *)
+      close t;
+      match connect t.addr with
+      | fresh -> (
+          t.fd <- fresh.fd;
+          t.negotiated <- server_version;
+          match
+            request t (Proto.Hello { client; speaks = server_version })
+          with
+          | Ok resp -> check_hello_ok t resp
+          | Error e -> Error (Proto.string_of_decode_error e))
+      | exception Unix.Unix_error (errno, _, _) ->
+          Error
+            (Printf.sprintf "reconnect for version fallback failed: %s"
+               (Unix.error_message errno)))
+  | Ok resp -> check_hello_ok t resp
   | Error e -> Error (Proto.string_of_decode_error e)

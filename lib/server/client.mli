@@ -23,14 +23,22 @@ val connect : Listener.addr -> t
 val connect_retry :
   ?policy:Stgq_core.Resilience.policy -> Listener.addr -> (t, string) result
 
-(** [request t req] writes one frame and reads one response frame.
-    Decode failures and mid-frame EOF (the server hung up) surface as
-    typed errors; [Unix.Unix_error] propagates for transport faults. *)
+(** [request t req] writes one frame (at the connection's negotiated
+    wire version) and reads one response frame.  Decode failures and
+    mid-frame EOF (the server hung up) surface as typed errors;
+    [Unix.Unix_error] propagates for transport faults. *)
 val request : t -> Proto.request -> (Proto.response, Proto.decode_error) result
 
 (** [hello t ~client] performs the version handshake: sends
-    {!Proto.Hello} and checks the server answers {!Proto.Hello_ok}
-    with a version this build speaks. *)
+    {!Proto.Hello} with [speaks = Proto.version] and adopts the
+    server's negotiated version for all subsequent frames on this
+    connection.  When an older server rejects the newest framing
+    outright (it also closes the stream), the client reconnects once
+    and redoes the handshake at the server's version. *)
 val hello : t -> client:string -> (int, string) result
+
+(** The wire version used for encodes on this connection:
+    [Proto.version] until {!hello} negotiates something lower. *)
+val negotiated_version : t -> int
 
 val close : t -> unit

@@ -84,8 +84,17 @@ let durable_update_schedule t ~vertex avail =
              (Timetable.Availability.horizon avail)
              (Service.horizon t.service));
       Mutex.protect t.durable (fun () ->
+          let wal0 = Obs.Gauge.value (Obs.gauge "store.wal.bytes") in
           Store.append store (Store.Schedule_set { vertex; avail });
           Obs.Counter.incr m_journalled;
+          Obs.Events.emit ~kind:"schedule.update"
+            [
+              ("vertex", string_of_int vertex);
+              ( "journalled_bytes",
+                string_of_int
+                  (Stdlib.max 0
+                     (Obs.Gauge.value (Obs.gauge "store.wal.bytes") - wal0)) );
+            ];
           Service.update_schedule t.service ~vertex avail;
           if Store.should_checkpoint store then
             Store.checkpoint store
@@ -152,7 +161,7 @@ let check_initiator t initiator =
    (range/parameter validation in Query/Service) and maps to
    [Bad_request]; anything else a solver path leaks maps to
    [Unavailable] rather than tearing the connection down. *)
-let solve t (req : Proto.request) : Proto.response =
+let solve t ~trace_id (req : Proto.request) : Proto.response =
   match
     match req with
     | Proto.Sgq { initiator; q; policy } ->
@@ -168,6 +177,7 @@ let solve t (req : Proto.request) : Proto.response =
                 retries = a.retries;
                 reason = a.reason;
                 certified = true;
+                trace_id;
               }
         | Error e -> Proto.Failed (of_error e))
     | Proto.Stgq { initiator; q; policy } ->
@@ -183,6 +193,7 @@ let solve t (req : Proto.request) : Proto.response =
                 retries = a.retries;
                 reason = a.reason;
                 certified = true;
+                trace_id;
               }
         | Error e -> Proto.Failed (of_error e))
     | Proto.Update_schedule { vertex; avail } ->
@@ -199,11 +210,42 @@ let solve t (req : Proto.request) : Proto.response =
       Proto.Failed
         (Proto.Unavailable { message = Printexc.to_string e; retries = 0 })
 
+let request_kind = function
+  | Proto.Sgq _ -> "sgq"
+  | Proto.Stgq _ -> "stgq"
+  | Proto.Update_schedule _ -> "update_schedule"
+  | Proto.Hello _ -> "hello"
+  | Proto.Ping _ -> "ping"
+
+(* The server-side envelope: one "server.request" span rooting the
+   whole solve (so retained traces show queueing and response assembly,
+   not just solver time), with the trace id captured for the wire
+   answer and the flight recorder re-stitched once the span closes. *)
+let solve_traced t (req : Proto.request) : Proto.response =
+  let tid = ref 0 in
+  let resp =
+    Obs.Trace.with_span "server.request"
+      ~attrs:[ ("request", request_kind req) ]
+      (fun () ->
+        (match Obs.Trace.current () with
+        | Some c -> tid := c.Obs.Trace.trace_id
+        | None -> ());
+        solve t ~trace_id:!tid req)
+  in
+  Obs.Flightrec.refresh !tid;
+  resp
+
 let admit t (req : Proto.request) : Proto.response =
   let depth = Atomic.fetch_and_add t.inflight 1 in
   if depth >= t.config.admission_limit then begin
     ignore (Atomic.fetch_and_add t.inflight (-1) : int);
     Obs.Counter.incr m_sheds;
+    Obs.Events.emit ~kind:"server.shed"
+      [
+        ("request", "\"" ^ request_kind req ^ "\"");
+        ("queue_depth", string_of_int depth);
+        ("limit", string_of_int t.config.admission_limit);
+      ];
     Proto.Failed
       (Proto.Overloaded
          { queue_depth = depth; limit = t.config.admission_limit })
@@ -216,21 +258,25 @@ let admit t (req : Proto.request) : Proto.response =
         (match t.config.on_admitted with Some hook -> hook req | None -> ());
         Obs.Counter.incr m_requests;
         let t0 = Obs.now_ns () in
-        let resp = solve t req in
+        let resp = solve_traced t req in
         Obs.Histogram.observe h_latency (Obs.now_ns () -. t0);
         resp)
 
 let dispatch t (req : Proto.request) : Proto.response =
   match req with
-  | Proto.Hello _ -> Proto.Hello_ok { version = Proto.version }
+  | Proto.Hello { client = _; speaks } ->
+      (* Negotiate down to what both sides decode; a v1 Hello arrives
+         with [speaks = 1]. *)
+      let speaks = Stdlib.max Proto.min_version speaks in
+      Proto.Hello_ok { version = Stdlib.min Proto.version speaks }
   | Proto.Ping s -> Proto.Pong s
   | Proto.Sgq _ | Proto.Stgq _ | Proto.Update_schedule _ -> admit t req
 
 (* ------------------------------------------------------------------ *)
 (* Connection handling. *)
 
-let send_response fd resp =
-  send_string fd (Proto.encode_response resp);
+let send_response ?version fd resp =
+  send_string fd (Proto.encode_response ?version resp);
   Obs.Counter.incr m_frames_out
 
 (* One iteration: [`Continue] after a clean request/response exchange,
@@ -243,7 +289,7 @@ let serve_one t fd =
       match Proto.decode_frame_length header with
       | Error e ->
           Obs.Counter.incr m_decode_errors;
-          send_response fd
+          send_response ~version:Proto.min_version fd
             (Proto.Failed
                (Proto.Bad_request { message = Proto.string_of_decode_error e }));
           `Close
@@ -254,18 +300,23 @@ let serve_one t fd =
               Obs.Counter.incr m_frames_in;
               match Proto.decode_request_payload payload with
               | Ok req ->
-                  send_response fd (dispatch t req);
+                  (* Answer at the version the request arrived at: a v1
+                     peer gets v1 bytes back (no trace-id field), a v2
+                     peer the full answer.  The payload is non-empty —
+                     its version byte just decoded. *)
+                  let arrived = Char.code payload.[0] in
+                  send_response ~version:arrived fd (dispatch t req);
                   `Continue
               | Error (Proto.Bad_version _) ->
                   Obs.Counter.incr m_decode_errors;
-                  send_response fd
+                  send_response ~version:Proto.min_version fd
                     (Proto.Failed
                        (Proto.Unsupported_version
                           { server_version = Proto.version }));
                   `Close
               | Error e ->
                   Obs.Counter.incr m_decode_errors;
-                  send_response fd
+                  send_response ~version:Proto.min_version fd
                     (Proto.Failed
                        (Proto.Bad_request
                           { message = Proto.string_of_decode_error e }));
@@ -330,6 +381,10 @@ let bind_listen addr =
           close_quiet sock;
           unlink_quiet path )
 
+let addr_string = function
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+  | Unix_path path -> "unix:" ^ path
+
 let resolved_addr addr sock =
   match (addr, Unix.getsockname sock) with
   | Tcp (host, 0), Unix.ADDR_INET (_, port) -> Tcp (host, port)
@@ -375,6 +430,11 @@ type handle = {
 let start t addr =
   let sock, cleanup = bind_listen addr in
   let bound = resolved_addr addr sock in
+  Obs.Events.emit ~kind:"server.start"
+    [
+      ("addr", "\"" ^ Obs.json_escape (addr_string bound) ^ "\"");
+      ("admission_limit", string_of_int t.config.admission_limit);
+    ];
   let accept_domain = Domain.spawn (fun () -> accept_loop t sock) in
   {
     server = t;
@@ -399,5 +459,7 @@ let stop h =
     (* Unblock handler threads parked in [Unix.read]. *)
     let conns = Mutex.protect h.server.lock (fun () -> h.server.conns) in
     List.iter shutdown_quiet conns;
-    join_handlers h.server
+    join_handlers h.server;
+    Obs.Events.emit ~kind:"server.stop"
+      [ ("addr", "\"" ^ Obs.json_escape (addr_string h.bound) ^ "\"") ]
   end

@@ -1021,12 +1021,22 @@ let open_dir ?(checkpoint_bytes = 1 lsl 20) ~init dir =
           in
           Obs.Counter.add m_replayed replayed;
           Obs.Gauge.set g_wal_bytes t.wbytes;
-          Obs.Gauge.set g_recovery_outcome
-            (if skipped > 0 then outcome_fallback
-             else if active.torn <> None then outcome_torn
-             else if replayed > 0 then outcome_replayed
-             else if reported_gen < 0 then outcome_fresh
-             else outcome_clean);
+          let outcome =
+            if skipped > 0 then outcome_fallback
+            else if active.torn <> None then outcome_torn
+            else if replayed > 0 then outcome_replayed
+            else if reported_gen < 0 then outcome_fresh
+            else outcome_clean
+          in
+          Obs.Gauge.set g_recovery_outcome outcome;
+          Obs.Events.emit ~kind:"store.recovery"
+            [
+              ("outcome", string_of_int outcome);
+              ("snapshot_gen", string_of_int reported_gen);
+              ("replayed", string_of_int replayed);
+              ("snapshots_skipped", string_of_int skipped);
+              ("torn_tail", string_of_bool (active.torn <> None));
+            ];
           Ok
             ( t,
               {
@@ -1099,7 +1109,12 @@ let checkpoint t state =
           if gen < next - 1 then unlink_quiet (wal_path ~dir:t.dir ~gen))
         (wal_generations t.dir);
       Obs.Counter.incr m_checkpoints;
-      Obs.Gauge.set g_wal_bytes 0)
+      Obs.Gauge.set g_wal_bytes 0;
+      Obs.Events.emit ~kind:"store.checkpoint"
+        [
+          ("generation", string_of_int next);
+          ("snapshot_bytes", string_of_int bytes);
+        ])
 
 let close t =
   match Unix.close t.wal_fd with

@@ -212,6 +212,34 @@ let test_durability_bypass () =
   expect_clean ~file:"lib/core/stgselect.ml" ~rule:"wall-clock"
     "(* lint: allow wall-clock *)\nlet t = Unix.gettimeofday ()"
 
+(* R10 ------------------------------------------------------------- *)
+
+let test_event_log_bypass () =
+  (* serving code must report through Obs.Events or the levelled Log *)
+  expect_rule ~file:"lib/server/listener.ml" ~rule:"event-log-bypass" ~line:1
+    "let f () = print_endline \"shed\"";
+  expect_rule ~file:"lib/server/client.ml" ~rule:"event-log-bypass"
+    "let f d = Printf.eprintf \"queue %d\\n\" d";
+  expect_rule ~file:"lib/core/service.ml" ~rule:"event-log-bypass"
+    "let f () = Format.printf \"done@.\"";
+  expect_rule ~file:"lib/core/resilience.ml" ~rule:"event-log-bypass"
+    "let f r = Stdlib.prerr_endline r";
+  (* the CLI, bench and the rest of lib/core print reports by design *)
+  expect_clean ~file:"bin/stgq_cli.ml" ~rule:"event-log-bypass"
+    "let f () = print_endline \"report\"";
+  expect_clean ~file:"bench/main.ml" ~rule:"event-log-bypass"
+    "let f () = Printf.printf \"qps %d\\n\" 3";
+  expect_clean ~file:"lib/core/stgselect.ml" ~rule:"event-log-bypass"
+    "let f () = print_endline \"debug\"";
+  (* formatter-parameterised printers and the levelled Log stay legal *)
+  expect_clean ~file:"lib/server/listener.ml" ~rule:"event-log-bypass"
+    "let pp ppf r = Format.pp_print_string ppf r";
+  expect_clean ~file:"lib/server/listener.ml" ~rule:"event-log-bypass"
+    "let f e = Log.warn (fun m -> m \"worker died: %s\" e)";
+  (* suppressible like any other rule *)
+  expect_clean ~file:"lib/server/listener.ml" ~rule:"event-log-bypass"
+    "let f () = print_endline \"x\" (* lint: allow event-log-bypass *)"
+
 (* Certificate audit ------------------------------------------------ *)
 
 let test_uncertified_solver () =
@@ -288,6 +316,8 @@ let suite =
     Alcotest.test_case "R8 wall clock in solver code" `Quick test_wall_clock;
     Alcotest.test_case "R9 durability bypass in solver code" `Quick
       test_durability_bypass;
+    Alcotest.test_case "R10 event-log bypass in serving code" `Quick
+      test_event_log_bypass;
     Alcotest.test_case "certificate audit" `Quick test_uncertified_solver;
     Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
     Alcotest.test_case "reporters" `Quick test_reporters;

@@ -55,7 +55,9 @@ let gen_stgq st =
 
 let gen_initiator st = G.int_bound 0xFFFFFF st
 
-let gen_hello st = Proto.Hello { client = gen_ident st }
+let gen_hello st =
+  Proto.Hello
+    { client = gen_ident st; speaks = Proto.min_version + G.int_bound 6 st }
 let gen_ping st = Proto.Ping (gen_string st)
 
 let gen_sgq_req st =
@@ -111,6 +113,7 @@ let gen_sg_answer st =
       retries = G.int_bound 10 st;
       reason = gen_opt gen_reason st;
       certified = G.bool st;
+      trace_id = G.int_bound 0xFFFFFF st;
     }
 
 let gen_stg_answer st =
@@ -122,6 +125,7 @@ let gen_stg_answer st =
       retries = G.int_bound 10 st;
       reason = gen_opt gen_reason st;
       certified = G.bool st;
+      trace_id = G.int_bound 0xFFFFFF st;
     }
 
 let gen_server_error st =
@@ -201,8 +205,8 @@ let pinned_roundtrips () =
       true (resp_roundtrip m)
   in
   (* max-length identifier (255 bytes) and the empty one *)
-  check_req (Proto.Hello { client = String.make 255 'x' });
-  check_req (Proto.Hello { client = "" });
+  check_req (Proto.Hello { client = String.make 255 'x'; speaks = Proto.version });
+  check_req (Proto.Hello { client = ""; speaks = 1 });
   check_req (Proto.Ping "");
   (* empty (all-busy) and full (all-free) availability slabs, with a
      horizon that is not a multiple of 8 so the last byte is partial *)
@@ -230,6 +234,7 @@ let pinned_roundtrips () =
                      retries = 2;
                      reason;
                      certified = true;
+                     trace_id = 0;
                    }))
             [ None; Some { Query.attendees = [ 0; 3; 9 ]; total_distance = 7.5 } ])
         [ None; Some Budget.Deadline; Some Budget.Node_limit; Some Budget.Cancelled ])
@@ -244,6 +249,86 @@ let pinned_roundtrips () =
       Proto.Bad_request { message = "initiator 99 out of range" };
       Proto.Unsupported_version { server_version = 1 };
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-version compatibility: the v1 framing must keep round-tripping
+   byte-for-byte so old clients and servers interoperate with this
+   build (docs/PROTOCOL.md). *)
+
+let strip_version_fields = function
+  | Proto.Hello { client; _ } -> Proto.Hello { client; speaks = 1 }
+  | req -> req
+
+let strip_trace_id = function
+  | Proto.Sg_answer a -> Proto.Sg_answer { a with trace_id = 0 }
+  | Proto.Stg_answer a -> Proto.Stg_answer { a with trace_id = 0 }
+  | resp -> resp
+
+(* Encoding at min_version and decoding with this build loses exactly
+   the v2 fields: [speaks] decodes as 1, [trace_id] as 0. *)
+let prop_v1_request_compat =
+  Gen.qtest ~count:500 "v1-encoded requests decode with v2 fields defaulted"
+    (req_arb gen_request) (fun m ->
+      match
+        Proto.decode_request
+          (Proto.encode_request ~version:Proto.min_version m)
+      with
+      | Ok m' -> Proto.equal_request (strip_version_fields m) m'
+      | Error _ -> false)
+
+let prop_v1_response_compat =
+  Gen.qtest ~count:500 "v1-encoded answers decode without a trace id"
+    (resp_arb gen_response) (fun m ->
+      match
+        Proto.decode_response
+          (Proto.encode_response ~version:Proto.min_version m)
+      with
+      | Ok m' -> Proto.equal_response (strip_trace_id m) m'
+      | Error _ -> false)
+
+(* The v1 wire image of an answer must not contain the trace-id field at
+   all — an old client reads the exact bytes it always did. *)
+let v1_answer_omits_trace_id () =
+  let answer trace_id =
+    Proto.Stg_answer
+      {
+        value =
+          Some
+            {
+              Query.st_attendees = [ 1; 2; 3 ];
+              st_total_distance = 9.5;
+              start_slot = 4;
+            };
+        rung = Resilience.Exact;
+        gap = Some 0.;
+        retries = 0;
+        reason = None;
+        certified = true;
+        trace_id;
+      }
+  in
+  let v1_with id =
+    Proto.encode_response ~version:Proto.min_version (answer id)
+  in
+  Alcotest.check Alcotest.string "v1 frames are trace-id-free" (v1_with 0)
+    (v1_with 123456);
+  let v2 = Proto.encode_response (answer 123456) in
+  Alcotest.check Alcotest.int "v2 spends exactly 4 bytes on the trace id"
+    (String.length (v1_with 0) + 4)
+    (String.length v2);
+  (* decoding the v2 frame recovers the id *)
+  match Proto.decode_response v2 with
+  | Ok (Proto.Stg_answer { trace_id; _ }) ->
+      Alcotest.check Alcotest.int "v2 decode recovers the id" 123456 trace_id
+  | _ -> Alcotest.fail "v2 frame did not decode"
+
+let out_of_range_version_rejected () =
+  (match Proto.encode_request ~version:(Proto.version + 1) (Proto.Ping "x") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "future version accepted by the encoder");
+  (match Proto.encode_request ~version:0 (Proto.Ping "x") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "version 0 accepted by the encoder")
 
 (* ------------------------------------------------------------------ *)
 (* Decoder robustness. *)
@@ -350,6 +435,12 @@ let suite =
   roundtrips
   @ [
       Alcotest.test_case "pinned round-trip corners" `Quick pinned_roundtrips;
+      prop_v1_request_compat;
+      prop_v1_response_compat;
+      Alcotest.test_case "v1 answers omit the trace id" `Quick
+        v1_answer_omits_trace_id;
+      Alcotest.test_case "out-of-range encode versions rejected" `Quick
+        out_of_range_version_rejected;
       prop_truncation;
       Alcotest.test_case "oversized length prefix" `Quick oversized_length;
       Alcotest.test_case "hostile availability horizon" `Quick hostile_horizon;

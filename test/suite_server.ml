@@ -39,6 +39,7 @@ let response_of_sg = function
           retries = a.retries;
           reason = a.reason;
           certified = true;
+          trace_id = 0;
         }
   | Error (Resilience.Degraded { reason; retries }) ->
       Proto.Failed (Proto.Degraded { reason; retries })
@@ -56,6 +57,7 @@ let response_of_stg = function
           retries = a.retries;
           reason = a.reason;
           certified = true;
+          trace_id = 0;
         }
   | Error (Resilience.Degraded { reason; retries }) ->
       Proto.Failed (Proto.Degraded { reason; retries })
@@ -480,6 +482,162 @@ let test_wrong_version_over_wire () =
         resp
   | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
 
+(* A persistent raw connection speaking exact frames — unlike
+   [raw_exchange] it does not wait for the server to hang up, so it can
+   hold a whole session at a pinned wire version. *)
+let raw_session addr f =
+  match addr with
+  | Server.Tcp (host, port) ->
+      let inet = Unix.inet_addr_of_string host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          match Unix.close fd with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (inet, port));
+          let send frame =
+            let len = String.length frame in
+            let sent = Unix.write fd (Bytes.unsafe_of_string frame) 0 len in
+            check Alcotest.int "frame sent whole" len sent
+          in
+          let read_exact n =
+            let buf = Bytes.create n in
+            let rec go off =
+              if off >= n then Bytes.unsafe_to_string buf
+              else
+                match Unix.read fd buf off (n - off) with
+                | 0 -> Alcotest.fail "server hung up mid-frame"
+                | got -> go (off + got)
+            in
+            go 0
+          in
+          let recv () =
+            match Proto.decode_frame_length (read_exact Proto.header_bytes) with
+            | Ok len -> read_exact len
+            | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+          in
+          f send recv)
+  | Server.Unix_path _ -> Alcotest.fail "raw_session expects TCP"
+
+(* An old client speaks v1 for the whole session: the server must reply
+   at v1 (payload version byte) and its answers must decode cleanly —
+   in particular without the v2 trace-id field. *)
+let test_v1_client_session () =
+  let service = Service.create small_ti in
+  with_server service @@ fun addr ->
+  raw_session addr @@ fun send recv ->
+  send
+    (Proto.encode_request ~version:Proto.min_version
+       (Proto.Hello { client = "old-build"; speaks = 1 }));
+  let payload = recv () in
+  check Alcotest.int "reply framed at v1" Proto.min_version
+    (Char.code payload.[0]);
+  (match Proto.decode_response_payload payload with
+  | Ok (Proto.Hello_ok { version }) ->
+      check Alcotest.int "negotiated down to the client" Proto.min_version
+        version
+  | Ok resp -> Alcotest.failf "expected Hello_ok, got %a" Proto.pp_response resp
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e));
+  let q = { Query.p = 4; s = 2; k = 2; m = 3 } in
+  send
+    (Proto.encode_request ~version:Proto.min_version
+       (Proto.Stgq { initiator = 0; q; policy = None }));
+  let payload = recv () in
+  check Alcotest.int "answer framed at v1" Proto.min_version
+    (Char.code payload.[0]);
+  (* byte-for-byte, the answer is what a v1 build would have produced:
+     re-encoding the decoded answer at v1 reproduces the payload *)
+  match Proto.decode_response_payload payload with
+  | Ok (Proto.Stg_answer { value = Some _; trace_id; _ } as resp) ->
+      check Alcotest.int "no trace id crosses a v1 wire" 0 trace_id;
+      check Alcotest.string "payload identical to a v1 build's"
+        (Proto.encode_response ~version:Proto.min_version resp)
+        (let b = Buffer.create 64 in
+         Buffer.add_string b
+           (String.init Proto.header_bytes (fun i ->
+                Char.chr
+                  ((String.length payload lsr ((3 - i) * 8)) land 0xFF)));
+         Buffer.add_string b payload;
+         Buffer.contents b)
+  | Ok resp ->
+      Alcotest.failf "expected an answer, got %a" Proto.pp_response resp
+  | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+
+(* Hello negotiation picks min(server, client) clamped into range. *)
+let test_hello_negotiation_bounds () =
+  let service = Service.create small_ti in
+  with_server service @@ fun addr ->
+  let negotiate speaks =
+    raw_session addr @@ fun send recv ->
+    send (Proto.encode_request (Proto.Hello { client = "probe"; speaks }));
+    match Proto.decode_response_payload (recv ()) with
+    | Ok (Proto.Hello_ok { version }) -> version
+    | Ok resp ->
+        Alcotest.failf "expected Hello_ok, got %a" Proto.pp_response resp
+    | Error e -> Alcotest.fail (Proto.string_of_decode_error e)
+  in
+  check Alcotest.int "matching build" Proto.version (negotiate Proto.version);
+  check Alcotest.int "future client capped at ours" Proto.version (negotiate 9);
+  check Alcotest.int "older client respected" Proto.min_version (negotiate 1);
+  check Alcotest.int "nonsense 0 clamped up" Proto.min_version (negotiate 0)
+
+(* With the flight recorder on, v2 answers carry a server-assigned
+   trace id and the stitched tree is fetchable under it. *)
+let test_answer_trace_id_fetchable () =
+  Obs.set_enabled true;
+  Obs.Trace.set_enabled true;
+  Obs.Flightrec.set_enabled true;
+  Obs.reset ();
+  Obs.Trace.reset ();
+  Obs.Flightrec.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flightrec.set_enabled false;
+      Obs.Flightrec.reset ();
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ();
+      Obs.set_enabled false)
+  @@ fun () ->
+  let service = Service.create small_ti in
+  with_server service @@ fun addr ->
+  with_client addr @@ fun c ->
+  (match Server.Client.hello c ~client:"suite_server" with
+  | Ok v -> check Alcotest.int "negotiated v2" Proto.version v
+  | Error msg -> Alcotest.fail msg);
+  let q = { Query.p = 4; s = 2; k = 2; m = 3 } in
+  match request_exn c (Proto.Stgq { initiator = 0; q; policy = None }) with
+  | Proto.Stg_answer { trace_id; _ } ->
+      check Alcotest.bool "trace id assigned" true (trace_id > 0);
+      (match Obs.Flightrec.find trace_id with
+      | None -> Alcotest.fail "answer's trace id not retained"
+      | Some roots ->
+          let rec names t =
+            t.Obs.Trace.t_span.Obs.Trace.sp_name
+            :: List.concat_map names t.Obs.Trace.t_children
+          in
+          let all = List.concat_map names roots in
+          check Alcotest.bool "server envelope stitched in" true
+            (List.mem "server.request" all);
+          check Alcotest.bool "service span stitched in" true
+            (List.mem "service.stgq" all));
+      (match
+         Obs.Exposition.respond ~baseline:(Obs.snapshot ())
+           (Printf.sprintf "/trace/%d" trace_id)
+       with
+      | 200, _, body ->
+          check Alcotest.bool "/trace/:id serves it" true
+            (let nh = String.length body in
+             let needle = "server.request" in
+             let nn = String.length needle in
+             let rec at i =
+               i + nn <= nh && (String.sub body i nn = needle || at (i + 1))
+             in
+             at 0)
+      | s, _, _ -> Alcotest.failf "/trace/:id -> %d" s)
+  | resp -> Alcotest.failf "expected an answer, got %a" Proto.pp_response resp
+
 let test_oversized_frame_over_wire () =
   let service = Service.create small_ti in
   with_server service @@ fun addr ->
@@ -509,6 +667,12 @@ let suite =
       test_shedding;
     Alcotest.test_case "wrong version over the wire" `Quick
       test_wrong_version_over_wire;
+    Alcotest.test_case "v1 client session end to end" `Quick
+      test_v1_client_session;
+    Alcotest.test_case "hello negotiation bounds" `Quick
+      test_hello_negotiation_bounds;
+    Alcotest.test_case "v2 answers carry a fetchable trace id" `Quick
+      test_answer_trace_id_fetchable;
     Alcotest.test_case "oversized frame over the wire" `Quick
       test_oversized_frame_over_wire;
   ]

@@ -162,6 +162,27 @@ let test_dropped_spans_surface_in_snapshot () =
   check Alcotest.int "surfaced as obs.spans.dropped" extra
     (counter_in (Obs.snapshot ()) "obs.spans.dropped")
 
+(* The trace totals must reach snapshots through the counter source:
+   a snapshot taken while tracing is on reports exactly what the Trace
+   module counted (this is the number BENCH_obs.json publishes). *)
+let test_trace_totals_surface_in_snapshot () =
+  with_obs @@ fun () ->
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+  @@ fun () ->
+  for _ = 1 to 7 do
+    Obs.Trace.with_span "outer" (fun () ->
+        Obs.Trace.with_span "inner" (fun () -> ()))
+  done;
+  check Alcotest.int "module total" 14 (Obs.Trace.total_recorded ());
+  check Alcotest.int "snapshot agrees with Trace.total_recorded" 14
+    (counter_in (Obs.snapshot ()) "obs.trace.spans");
+  check Alcotest.int "no drops" 0
+    (counter_in (Obs.snapshot ()) "obs.trace.dropped")
+
 (* ------------------------------------------------------------------ *)
 (* Exposition: routing and the wire formats.                           *)
 
@@ -271,6 +292,8 @@ let suite =
     Alcotest.test_case "snapshot delta" `Quick test_delta_subtracts_counters;
     Alcotest.test_case "dropped spans surface in snapshots" `Quick
       test_dropped_spans_surface_in_snapshot;
+    Alcotest.test_case "trace totals surface in snapshots" `Quick
+      test_trace_totals_surface_in_snapshot;
     Alcotest.test_case "exposition routing" `Quick test_exposition_routes;
     Alcotest.test_case "exposition over a unix socket" `Quick
       test_unix_socket_serve;
